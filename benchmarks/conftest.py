@@ -1,0 +1,34 @@
+"""Benchmark-suite helpers.
+
+Every benchmark regenerates one paper artifact (DESIGN.md section 3). The
+``record_table`` fixture prints the table and also writes it to
+``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can cite stable
+artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def record_table():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    written: set[str] = set()
+
+    def _record(experiment: str, text: str) -> None:
+        print(f"\n[{experiment}]")
+        print(text)
+        path = RESULTS_DIR / f"{experiment}.txt"
+        # First write of a session replaces the stale artifact; later
+        # writes of the same experiment append. Artifacts of experiments
+        # not run this session are left untouched (partial runs).
+        existing = path.read_text() if experiment in written and path.exists() else ""
+        path.write_text(existing + text + "\n")
+        written.add(experiment)
+
+    return _record

@@ -1,0 +1,184 @@
+"""ABL -- ablations over the design choices DESIGN.md calls out.
+
+1. WBMH merge scheduling: the paper-faithful every-tick sweep vs the
+   event-driven scheduler (identical outputs, very different cost).
+2. WBMH accuracy-budget split: share of epsilon given to the region ratio
+   vs the count quantization -- bucket count against bracket width.
+3. CEH estimator mode: upper (paper Eq. 4), lower, midpoint -- signed error
+   against ground truth.
+4. Boundary representation: exact timestamps (CEH) vs randomized
+   O(log log N) boundaries (ApproxBoundaryCEH, the Matias remark) across a
+   horizon sweep.
+"""
+
+import random
+import time
+
+from repro.benchkit.reporting import format_table
+from repro.core.decay import PolynomialDecay
+from repro.core.exact import ExactDecayingSum
+from repro.histograms.ceh import CascadedEH
+from repro.histograms.matias import ApproxBoundaryCEH
+from repro.histograms.wbmh import WBMH
+
+
+def scheduling_rows():
+    rows = []
+    decay = PolynomialDecay(1.0)
+    for n in (5_000, 20_000):
+        for strategy in ("scan", "scheduled"):
+            w = WBMH(decay, 0.1, merge_strategy=strategy)
+            t0 = time.perf_counter()
+            for _ in range(n):
+                w.add(1)
+                w.advance(1)
+            dt = time.perf_counter() - t0
+            rows.append(
+                [strategy, n, round(n / dt), w.bucket_count(),
+                 round(w.query().value, 4)]
+            )
+    return rows
+
+
+def budget_rows():
+    decay = PolynomialDecay(1.0)
+    exact = ExactDecayingSum(decay)
+    rng = random.Random(3)
+    stream = [rng.random() < 0.5 for _ in range(4000)]
+    for flip in stream:
+        if flip:
+            exact.add(1)
+        exact.advance(1)
+    true = exact.query().value
+    rows = []
+    for region_share in (0.2, 0.5, 0.8, 0.95):
+        eps = 0.2
+        eps_r = region_share * eps
+        ratio = 1.0 + eps_r
+        w = WBMH(decay, eps, ratio=ratio)
+        # ratio path derives count_eps from ratio; emulate split via ratio.
+        for flip in stream:
+            if flip:
+                w.add(1)
+            w.advance(1)
+        est = w.query()
+        rows.append(
+            [region_share, w.bucket_count(),
+             est.relative_error_vs(true), est.width_ratio()]
+        )
+    return rows
+
+
+def estimator_rows():
+    decay = PolynomialDecay(1.0)
+    rng = random.Random(5)
+    stream = [rng.random() < 0.5 for _ in range(4000)]
+    exact = ExactDecayingSum(decay)
+    for flip in stream:
+        if flip:
+            exact.add(1)
+        exact.advance(1)
+    true = exact.query().value
+    rows = []
+    for mode in ("upper", "lower", "midpoint"):
+        ceh = CascadedEH(decay, 0.1, estimator=mode)
+        for flip in stream:
+            if flip:
+                ceh.add(1)
+            ceh.advance(1)
+        est = ceh.query()
+        rows.append([mode, true, est.value, (est.value - true) / true])
+    return rows
+
+
+def boundary_rows():
+    decay = PolynomialDecay(1.0)
+    rows = []
+    for n in (2_000, 8_000, 32_000):
+        exact_b = CascadedEH(decay, 0.1)
+        approx_b = ApproxBoundaryCEH(decay, 0.1, seed=7)
+        exact = ExactDecayingSum(decay)
+        rng = random.Random(7)
+        for _ in range(n):
+            if rng.random() < 0.5:
+                exact_b.add(1)
+                approx_b.add(1)
+                exact.add(1)
+            exact_b.advance(1)
+            approx_b.advance(1)
+            exact.advance(1)
+        true = exact.query().value
+        rows.append(
+            [
+                n,
+                exact_b.storage_report().per_stream_bits,
+                approx_b.storage_report().per_stream_bits,
+                exact_b.query().relative_error_vs(true),
+                approx_b.query().relative_error_vs(true),
+            ]
+        )
+    return rows
+
+
+def test_merge_scheduling(record_table, benchmark):
+    rows = benchmark.pedantic(scheduling_rows, rounds=1, iterations=1)
+    record_table(
+        "ABL-scheduling",
+        format_table(
+            ["strategy", "ticks", "ticks/sec", "buckets", "estimate"],
+            rows,
+        ),
+    )
+    by = {(r[0], r[1]): r for r in rows}
+    for n in (5_000, 20_000):
+        scan, sched = by[("scan", n)], by[("scheduled", n)]
+        assert sched[2] > 2 * scan[2]  # clearly faster
+        assert scan[3] == sched[3]  # identical structure
+        assert scan[4] == sched[4]  # identical answers
+
+
+def test_budget_split(record_table, benchmark):
+    rows = benchmark.pedantic(budget_rows, rounds=1, iterations=1)
+    record_table(
+        "ABL-budget",
+        format_table(
+            ["region share of eps", "buckets", "rel err", "bracket ratio"],
+            rows,
+        ),
+    )
+    buckets = [r[1] for r in rows]
+    assert all(a >= b for a, b in zip(buckets, buckets[1:]))  # fewer buckets
+    for r in rows:
+        assert r[2] < 0.2  # all splits stay within the overall budget
+
+
+def test_estimator_modes(record_table, benchmark):
+    rows = benchmark.pedantic(estimator_rows, rounds=1, iterations=1)
+    record_table(
+        "ABL-estimator",
+        format_table(
+            ["estimator", "true", "estimate", "signed rel err"],
+            rows,
+        ),
+    )
+    by = {r[0]: r[3] for r in rows}
+    assert by["upper"] >= -1e-12  # never under
+    assert by["lower"] <= 1e-12  # never over
+    assert abs(by["midpoint"]) <= max(abs(by["upper"]), abs(by["lower"])) + 1e-12
+
+
+def test_boundary_representation(record_table, benchmark):
+    rows = benchmark.pedantic(boundary_rows, rounds=1, iterations=1)
+    record_table(
+        "ABL-boundaries",
+        format_table(
+            ["N", "exact-boundary bits", "approx-boundary bits",
+             "exact rel err", "approx rel err"],
+            rows,
+        ),
+    )
+    for n, eb, ab, ee, ae in rows:
+        assert ab < eb  # the Matias remark's storage win
+        assert ae < 0.1  # within the accuracy knob
+    gaps = [r[1] - r[2] for r in rows]
+    assert gaps[-1] > gaps[0]  # the win grows with the horizon

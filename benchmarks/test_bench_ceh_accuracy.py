@@ -1,0 +1,91 @@
+"""THM1 -- Theorem 1: CEH answers any decay function within (1 +- eps).
+
+Sweeps decay families x workloads x epsilon and reports the observed
+maximum relative error against ground truth, the certified-bracket
+violation count (must be zero), and the bucket footprint. The paper's
+claim: a single Exponential Histogram of window N suffices for *every*
+decay function.
+"""
+
+import pytest
+
+from repro.benchkit.harness import measure_accuracy
+from repro.benchkit.reporting import format_table
+from repro.core.decay import (
+    ExponentialDecay,
+    GaussianDecay,
+    LinearDecay,
+    LogarithmicDecay,
+    PolynomialDecay,
+    SlidingWindowDecay,
+    TableDecay,
+)
+from repro.histograms.ceh import CascadedEH
+from repro.streams.generators import bernoulli_stream, bursty_stream, periodic_stream
+
+DECAYS = [
+    SlidingWindowDecay(256),
+    ExponentialDecay(0.01),
+    PolynomialDecay(0.5),
+    PolynomialDecay(1.0),
+    PolynomialDecay(2.0),
+    LinearDecay(512),
+    LogarithmicDecay(),
+    GaussianDecay(200.0),
+    TableDecay([1.0, 0.9, 0.7, 0.7, 0.3, 0.1], tail=0.02),
+]
+
+WORKLOADS = {
+    "bernoulli(0.5)": lambda: bernoulli_stream(4000, 0.5, seed=71),
+    "bursty": lambda: bursty_stream(4000, on_mean=40, off_mean=160, seed=72),
+    "periodic(7)": lambda: periodic_stream(4000, 7),
+}
+
+
+def accuracy_rows(epsilon):
+    rows = []
+    for decay in DECAYS:
+        for wname, factory in WORKLOADS.items():
+            items = list(factory())
+            res = measure_accuracy(
+                lambda: CascadedEH(decay, epsilon),
+                decay,
+                items,
+                query_every=53,
+                until=4200,
+            )
+            rows.append(
+                [decay.describe(), wname, epsilon, res.max_rel_error,
+                 res.mean_rel_error, res.bracket_violations, res.buckets]
+            )
+    return rows
+
+
+@pytest.mark.parametrize("epsilon", [0.2, 0.1, 0.05])
+def test_any_decay_within_epsilon(record_table, benchmark, epsilon):
+    rows = benchmark.pedantic(accuracy_rows, args=(epsilon,), rounds=1, iterations=1)
+    record_table(
+        f"THM1-eps{epsilon}",
+        format_table(
+            ["decay", "workload", "eps", "max rel err", "mean rel err",
+             "bracket violations", "buckets"],
+            rows,
+        ),
+    )
+    for row in rows:
+        assert row[5] == 0, row
+        assert row[3] <= epsilon + 1e-9, row
+
+
+def test_update_kernel(benchmark):
+    decay = PolynomialDecay(1.0)
+
+    def run():
+        ceh = CascadedEH(decay, 0.1)
+        for _ in range(2000):
+            ceh.add(1)
+            ceh.advance(1)
+        return ceh
+
+    ceh = benchmark(run)
+    assert ceh.query().value > 0

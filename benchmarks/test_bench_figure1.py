@@ -1,0 +1,80 @@
+"""FIG1 -- Figure 1: link reliability ratings under three decay families.
+
+Regenerates the paper's motivating example as numeric series: the decayed
+failure-mass ratings of links L1 (5h outage) and L2 (30min outage, 24h
+later) at probe times after L2's failure, under SLIWIN, EXPD and POLYD.
+
+Expected shape (paper section 1.2):
+* SLIWIN(6h): L1's event already forgotten at every probe -- rating 0.
+* SLIWIN(48h): verdict flips abruptly when L1's event leaves the window.
+* EXPD: the L1/L2 rating ratio is constant across probes -- no crossover.
+* POLYD: smooth single crossover; ratio converges to the severity ratio 10.
+"""
+
+import pytest
+
+from repro.apps.gateway import rate_trace
+from repro.benchkit.reporting import format_table
+from repro.core.decay import (
+    ExponentialDecay,
+    PolynomialDecay,
+    SlidingWindowDecay,
+)
+from repro.streams.traces import MINUTES_PER_HOUR, figure1_traces
+
+L1, L2 = figure1_traces()
+PROBE_HOURS = [1, 6, 24, 24 * 7, 24 * 30, 24 * 365, 24 * 365 * 10]
+PROBES = [L2.events[0].end + h * MINUTES_PER_HOUR for h in PROBE_HOURS]
+
+DECAYS = [
+    SlidingWindowDecay(6 * MINUTES_PER_HOUR),
+    SlidingWindowDecay(48 * MINUTES_PER_HOUR),
+    ExponentialDecay(0.693 / (6 * MINUTES_PER_HOUR)),
+    ExponentialDecay(0.693 / (48 * MINUTES_PER_HOUR)),
+    PolynomialDecay(0.5),
+    PolynomialDecay(1.0),
+    PolynomialDecay(2.0),
+]
+
+
+def rating_rows():
+    rows = []
+    for g in DECAYS:
+        r1 = rate_trace(L1, g, PROBES)
+        r2 = rate_trace(L2, g, PROBES)
+        for h, a, b in zip(PROBE_HOURS, r1, r2):
+            verdict = "L1 worse" if a > b else ("L2 worse" if b > a else "tie")
+            ratio = a / b if b > 0 else float("inf") if a > 0 else 1.0
+            rows.append([g.describe(), h, a, b, ratio, verdict])
+    return rows
+
+
+def test_figure1_series(record_table, benchmark):
+    rows = benchmark.pedantic(rating_rows, rounds=1, iterations=1)
+    record_table(
+        "FIG1",
+        format_table(
+            ["decay", "hours after L2", "L1 rating", "L2 rating", "L1/L2",
+             "verdict"],
+            rows,
+            precision=3,
+        ),
+    )
+    by_decay = {}
+    for name, h, a, b, ratio, verdict in rows:
+        by_decay.setdefault(name, []).append((h, a, b, verdict))
+
+    # SLIWIN(6h) forgets L1 everywhere.
+    assert all(a == 0.0 for _, a, _, _ in by_decay["SLIWIN(W=360)"])
+    # EXPD verdict never changes while weights are representable.
+    for g in DECAYS:
+        if isinstance(g, ExponentialDecay):
+            entries = by_decay[g.describe()]
+            verdicts = [v for _, a, b, v in entries if a > 0 and b > 0]
+            assert len(set(verdicts)) <= 1
+    # POLYD(1): single smooth crossover ending at L1-worse with ratio ~10.
+    polyd = by_decay["POLYD(alpha=1)"]
+    assert polyd[0][3] == "L2 worse"
+    assert polyd[-1][3] == "L1 worse"
+    last_ratio = [r for n, h, a, b, r, v in rows if n == "POLYD(alpha=1)"][-1]
+    assert last_ratio == pytest.approx(10.0, rel=0.05)

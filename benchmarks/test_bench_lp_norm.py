@@ -1,0 +1,80 @@
+"""S71 -- section 7.1: time-decaying L_p norms via p-stable sketches.
+
+Sweeps p x sketch width L and reports relative error against the exact
+decayed vector, for polynomial decay (the "any decay" configuration) and
+sliding windows (the Datar et al. original). The expected shape: error
+falls like 1/sqrt(L) and is insensitive to the decay family.
+"""
+
+import random
+
+import pytest
+
+from repro.benchkit.reporting import format_table
+from repro.core.decay import PolynomialDecay, SlidingWindowDecay
+from repro.sketches.lp_norm import DecayedLpNorm, ExactDecayedVector
+
+DIM = 64
+STEPS = 400
+
+
+def drive(decay, p, rows, seed):
+    exact = ExactDecayedVector(decay, DIM)
+    sketch = DecayedLpNorm(decay, p, DIM, rows=rows, epsilon=0.05, seed=seed)
+    rng = random.Random(seed)
+    for _ in range(STEPS):
+        c = rng.randrange(DIM)
+        a = rng.uniform(0.5, 2.0)
+        exact.add(c, a)
+        sketch.add(c, a)
+        exact.advance(1)
+        sketch.advance(1)
+    true = exact.norm(p)
+    est = sketch.query().value
+    return abs(est - true) / true
+
+
+def error_rows():
+    rows_out = []
+    for decay in (PolynomialDecay(1.0), SlidingWindowDecay(128)):
+        for p in (1.0, 1.5, 2.0):
+            for width in (9, 35, 101):
+                errs = [drive(decay, p, width, seed) for seed in range(3)]
+                rows_out.append(
+                    [decay.describe(), p, width, sum(errs) / len(errs),
+                     max(errs)]
+                )
+    return rows_out
+
+
+def test_lp_error_sweep(record_table, benchmark):
+    rows = benchmark.pedantic(error_rows, rounds=1, iterations=1)
+    record_table(
+        "S71",
+        format_table(
+            ["decay", "p", "sketch rows L", "mean rel err", "max rel err"],
+            rows,
+        ),
+    )
+    # Error falls with sketch width and is small at L = 101.
+    for decay in ("POLYD(alpha=1)", "SLIWIN(W=128)"):
+        for p_ord in (1.0, 1.5, 2.0):
+            series = [r[3] for r in rows if r[0] == decay and r[1] == p_ord]
+            assert series[-1] < series[0] + 0.05, (decay, p_ord)
+            assert series[-1] < 0.25, (decay, p_ord)
+    # The decay family does not matter (Theorem 1 reduction).
+    polyd = [r[3] for r in rows if r[0] == "POLYD(alpha=1)" and r[2] == 101]
+    sliwin = [r[3] for r in rows if r[0] == "SLIWIN(W=128)" and r[2] == 101]
+    assert max(polyd) < 0.3 and max(sliwin) < 0.3
+
+
+def test_sketch_update_kernel(benchmark):
+    decay = PolynomialDecay(1.0)
+    sketch = DecayedLpNorm(decay, 1.0, DIM, rows=35, epsilon=0.1, seed=0)
+    rng = random.Random(0)
+
+    def step():
+        sketch.add(rng.randrange(DIM), 1.0)
+        sketch.advance(1)
+
+    benchmark(step)

@@ -1,0 +1,137 @@
+"""S72 -- section 7.2: time-decaying random selection and quantiles.
+
+Series 1: empirical mean selection distribution vs g(age)/sum g (total
+variation distance, per decay family).
+Series 2: MV/D list size vs stream length (harmonic growth).
+Series 3: decayed quantile accuracy vs number of repetitions.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.benchkit.reporting import format_table
+from repro.core.decay import ExponentialDecay, PolynomialDecay, SlidingWindowDecay
+from repro.sampling.decayed_sampler import DecayedSampler
+from repro.sampling.mvd import MVDList
+from repro.sampling.quantiles import DecayedQuantileEstimator
+
+
+def distribution_rows():
+    out = []
+    n, pools = 40, 600
+    for decay in (PolynomialDecay(1.0), ExponentialDecay(0.1),
+                  SlidingWindowDecay(20)):
+        agg = {}
+        for i in range(pools):
+            s = DecayedSampler(decay, seed=500 + i)
+            for t in range(n):
+                s.add(t)
+                s.advance(1)
+            for t, p in s.selection_distribution().items():
+                agg[t] = agg.get(t, 0.0) + p / pools
+        z = sum(decay.weight(n - t) for t in range(n))
+        tv = 0.5 * sum(
+            abs(agg.get(t, 0.0) - decay.weight(n - t) / z) for t in range(n)
+        )
+        out.append([decay.describe(), pools, tv])
+    return out
+
+
+def mvd_rows():
+    out = []
+    for n in (100, 1000, 10_000):
+        sizes = []
+        for seed in range(20):
+            mvd = MVDList(seed=seed)
+            for _ in range(n):
+                mvd.add()
+                mvd.advance(1)
+            sizes.append(len(mvd))
+        mean = sum(sizes) / len(sizes)
+        out.append([n, mean, math.log(n), round(mean / math.log(n), 2)])
+    return out
+
+
+def quantile_rows():
+    out = []
+    for reps in (11, 31, 101):
+        errs = []
+        for seed in range(5):
+            est = DecayedQuantileEstimator(
+                PolynomialDecay(1.0), repetitions=reps, seed=seed
+            )
+            rng = random.Random(seed + 99)
+            values = []
+            g = PolynomialDecay(1.0)
+            for t in range(200):
+                v = rng.uniform(0, 100)
+                est.add(v)
+                values.append((t, v))
+                est.advance(1)
+            # g-weighted true median at T=200.
+            weighted = sorted(
+                (v, g.weight(200 - t)) for t, v in values
+            )
+            total = sum(w for _, w in weighted)
+            acc, true_median = 0.0, weighted[-1][0]
+            for v, w in weighted:
+                acc += w
+                if acc >= total / 2:
+                    true_median = v
+                    break
+            got = est.median()
+            # Error as the weighted quantile rank distance from 0.5.
+            rank = sum(w for v, w in weighted if v <= got) / total
+            errs.append(abs(rank - 0.5))
+        out.append([reps, sum(errs) / len(errs), max(errs)])
+    return out
+
+
+def test_selection_distribution(record_table, benchmark):
+    rows = benchmark.pedantic(distribution_rows, rounds=1, iterations=1)
+    record_table(
+        "S72-distribution",
+        format_table(
+            ["decay", "independent samplers", "total variation distance"],
+            rows,
+        ),
+    )
+    for _, _, tv in rows:
+        assert tv < 0.1
+
+
+def test_mvd_size_harmonic(record_table, benchmark):
+    rows = benchmark.pedantic(mvd_rows, rounds=1, iterations=1)
+    record_table(
+        "S72-mvd",
+        format_table(["items n", "mean MV/D size", "ln n", "size / ln n"], rows),
+    )
+    ratios = [r[3] for r in rows]
+    assert all(0.4 < r < 2.0 for r in ratios)
+
+
+def test_quantile_accuracy(record_table, benchmark):
+    rows = benchmark.pedantic(quantile_rows, rounds=1, iterations=1)
+    record_table(
+        "S72-quantiles",
+        format_table(
+            ["repetitions", "mean rank error", "max rank error"],
+            rows,
+        ),
+    )
+    assert rows[-1][1] <= rows[0][1] + 0.02  # more reps, no worse
+    assert rows[-1][1] < 0.15
+
+
+def test_sampler_update_kernel(benchmark):
+    s = DecayedSampler(PolynomialDecay(1.0), seed=1)
+    state = {"t": 0}
+
+    def step():
+        s.add(state["t"])
+        s.advance(1)
+        state["t"] += 1
+
+    benchmark(step)

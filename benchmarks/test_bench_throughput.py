@@ -1,0 +1,75 @@
+"""PERF -- update/query throughput of every decaying-sum engine.
+
+The paper notes the CEH estimate can be maintained with constant amortized
+update time; this benchmark measures wall-clock updates/sec of each engine
+on the same Bernoulli stream, plus query latency, so downstream users can
+pick an engine on cost as well as storage.
+"""
+
+import random
+
+import pytest
+
+from repro.benchkit.reporting import format_table
+from repro.core.decay import (
+    ExponentialDecay,
+    PolynomialDecay,
+    SlidingWindowDecay,
+)
+from repro.core.ewma import ExponentialSum
+from repro.core.exact import ExactDecayingSum
+from repro.histograms.ceh import CascadedEH
+from repro.histograms.eh import ExponentialHistogram
+from repro.histograms.wbmh import WBMH
+
+N = 3000
+
+ENGINES = {
+    "ewma(EXPD)": lambda: ExponentialSum(ExponentialDecay(0.01)),
+    "eh(SLIWIN-512)": lambda: ExponentialHistogram(512, 0.1),
+    "ceh(POLYD-1)": lambda: CascadedEH(PolynomialDecay(1.0), 0.1),
+    "wbmh(POLYD-1)": lambda: WBMH(PolynomialDecay(1.0), 0.1),
+    "wbmh-scan(POLYD-1)": lambda: WBMH(
+        PolynomialDecay(1.0), 0.1, merge_strategy="scan"
+    ),
+    "exact(POLYD-1)": lambda: ExactDecayingSum(PolynomialDecay(1.0)),
+}
+
+
+def drive(factory):
+    engine = factory()
+    rng = random.Random(13)
+    for _ in range(N):
+        if rng.random() < 0.5:
+            engine.add(1)
+        engine.advance(1)
+    return engine
+
+
+@pytest.mark.parametrize("name", list(ENGINES))
+def test_update_throughput(benchmark, name):
+    engine = benchmark(drive, ENGINES[name])
+    assert engine.time == N
+
+
+def test_query_latency_table(record_table, benchmark):
+    import time
+
+    def measure():
+        rows = []
+        for name, factory in ENGINES.items():
+            engine = drive(factory)
+            t0 = time.perf_counter()
+            reps = 500
+            for _ in range(reps):
+                engine.query()
+            dt = (time.perf_counter() - t0) / reps
+            rows.append([name, dt * 1e6])
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    record_table(
+        "PERF-query",
+        format_table(["engine", "query latency (us)"], rows, precision=1),
+    )
+    assert all(r[1] < 50_000 for r in rows)

@@ -1,0 +1,130 @@
+"""S73 -- section 7.3: time-decaying variance.
+
+Series 1: relative error of the general-decay three-sums reduction against
+the exact decayed variance, per decay family and engine accuracy.
+Series 2: the sliding-window (n, mean, M2) histogram against the true
+window population variance, with its bucket footprint.
+Series 3: the conditioning caveat -- relative error inflation when the
+mean dominates the spread (the known weakness of the moments reduction).
+"""
+
+import random
+import statistics
+
+from repro.benchkit.reporting import format_table
+from repro.core.decay import ExponentialDecay, PolynomialDecay
+from repro.moments.variance import DecayedVariance, SlidingWindowVariance
+
+
+def exact_var(decay, pairs, now):
+    s0 = sum(decay.weight(now - t) for t, _ in pairs)
+    s1 = sum(v * decay.weight(now - t) for t, v in pairs)
+    s2 = sum(v * v * decay.weight(now - t) for t, v in pairs)
+    return s2 - s1 * s1 / s0
+
+
+def general_rows():
+    rows = []
+    for decay in (PolynomialDecay(1.0), PolynomialDecay(2.0),
+                  ExponentialDecay(0.02)):
+        for eps in (0.1, 0.05, 0.02):
+            dv = DecayedVariance(decay, epsilon=eps)
+            rng = random.Random(3)
+            pairs = []
+            for t in range(800):
+                v = rng.uniform(0, 10)
+                dv.add(v)
+                pairs.append((t, v))
+                dv.advance(1)
+            true = exact_var(decay, pairs, 800)
+            err = abs(dv.variance() - true) / true
+            rows.append([decay.describe(), eps, true, dv.variance(), err])
+    return rows
+
+
+def window_rows():
+    rows = []
+    for window in (64, 256, 1024):
+        sv = SlidingWindowVariance(window, epsilon=0.05)
+        rng = random.Random(5)
+        values = []
+        for _ in range(4 * window):
+            v = rng.uniform(0, 20)
+            sv.add(v)
+            values.append(v)
+            sv.advance(1)
+        true = statistics.pvariance(values[-(window - 1):])
+        err = abs(sv.variance() - true) / true
+        rows.append([window, true, sv.variance(), err, sv.bucket_count()])
+    return rows
+
+
+def conditioning_rows():
+    rows = []
+    for offset in (0.0, 10.0, 100.0, 1000.0):
+        decay = PolynomialDecay(1.0)
+        dv = DecayedVariance(decay, epsilon=0.05)
+        rng = random.Random(7)
+        pairs = []
+        for t in range(500):
+            v = offset + rng.uniform(0, 1)
+            dv.add(v)
+            pairs.append((t, v))
+            dv.advance(1)
+        true = exact_var(decay, pairs, 500)
+        err = abs(dv.variance() - true) / true if true > 0 else float("inf")
+        rows.append([offset, dv.conditioning(), err])
+    return rows
+
+
+def test_general_decay_variance(record_table, benchmark):
+    rows = benchmark.pedantic(general_rows, rounds=1, iterations=1)
+    record_table(
+        "S73-general",
+        format_table(
+            ["decay", "engine eps", "true variance", "estimate", "rel err"],
+            rows,
+        ),
+    )
+    for row in rows:
+        # Well-conditioned workload: error stays within a few eps.
+        assert row[4] < 6 * row[1] + 0.02, row
+
+
+def test_window_variance(record_table, benchmark):
+    rows = benchmark.pedantic(window_rows, rounds=1, iterations=1)
+    record_table(
+        "S73-window",
+        format_table(
+            ["window", "true variance", "estimate", "rel err", "buckets"],
+            rows,
+        ),
+    )
+    for row in rows:
+        assert row[3] < 0.15
+    # Sublinear buckets: far fewer than window items.
+    assert rows[-1][4] < 1024 / 3
+
+
+def test_conditioning_caveat(record_table, benchmark):
+    rows = benchmark.pedantic(conditioning_rows, rounds=1, iterations=1)
+    record_table(
+        "S73-conditioning",
+        format_table(
+            ["mean offset", "conditioning S2/V^2", "rel err of estimate"],
+            rows,
+        ),
+    )
+    conds = [r[1] for r in rows]
+    assert all(a < b for a, b in zip(conds, conds[1:]))  # inflation grows
+
+
+def test_variance_update_kernel(benchmark):
+    dv = DecayedVariance(PolynomialDecay(1.0), epsilon=0.1)
+    rng = random.Random(9)
+
+    def step():
+        dv.add(rng.uniform(0, 10))
+        dv.advance(1)
+
+    benchmark(step)

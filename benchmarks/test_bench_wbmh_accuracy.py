@@ -1,0 +1,101 @@
+"""LEM51-accuracy -- WBMH accuracy side of Lemma 5.1.
+
+Sweeps epsilon x alpha x workload and reports the observed maximum
+relative error and bracket-violation count of the WBMH against ground
+truth -- the (1 +- eps) approximation half of the lemma (the storage half
+lives in test_bench_storage_scaling). Also compares the two count-rounding
+schemes at equal epsilon.
+"""
+
+import pytest
+
+from repro.benchkit.harness import measure_accuracy
+from repro.benchkit.reporting import format_table
+from repro.core.decay import LogarithmicDecay, PolynomialDecay
+from repro.histograms.wbmh import WBMH
+from repro.streams.generators import bernoulli_stream, bursty_stream
+
+DECAYS = [
+    PolynomialDecay(0.5),
+    PolynomialDecay(1.0),
+    PolynomialDecay(2.0),
+    LogarithmicDecay(),
+]
+
+WORKLOADS = {
+    "bernoulli(0.5)": lambda: bernoulli_stream(4000, 0.5, seed=41),
+    "bursty": lambda: bursty_stream(4000, on_mean=40, off_mean=160, seed=42),
+}
+
+
+def accuracy_rows(epsilon):
+    rows = []
+    for decay in DECAYS:
+        for wname, factory in WORKLOADS.items():
+            items = list(factory())
+            res = measure_accuracy(
+                lambda: WBMH(decay, epsilon),
+                decay,
+                items,
+                query_every=59,
+                until=4200,
+            )
+            rows.append(
+                [decay.describe(), wname, epsilon, res.max_rel_error,
+                 res.mean_rel_error, res.bracket_violations, res.buckets]
+            )
+    return rows
+
+
+def scheme_rows():
+    rows = []
+    decay = PolynomialDecay(1.0)
+    items = list(bernoulli_stream(4000, 0.5, seed=43))
+    for label, kwargs in (
+        ("beta_i = eps/i^2 (N unknown)", {}),
+        ("beta = eps/logN (N known)", {"horizon": 4200}),
+        ("exact counts", {"quantize": False}),
+    ):
+        res = measure_accuracy(
+            lambda: WBMH(decay, 0.1, **kwargs),
+            decay,
+            items,
+            query_every=59,
+            until=4200,
+        )
+        rows.append([label, res.max_rel_error, res.per_stream_bits])
+    return rows
+
+
+@pytest.mark.parametrize("epsilon", [0.3, 0.1, 0.05])
+def test_wbmh_within_epsilon(record_table, benchmark, epsilon):
+    rows = benchmark.pedantic(accuracy_rows, args=(epsilon,), rounds=1,
+                              iterations=1)
+    record_table(
+        f"LEM51-accuracy-eps{epsilon}",
+        format_table(
+            ["decay", "workload", "eps", "max rel err", "mean rel err",
+             "bracket violations", "buckets"],
+            rows,
+        ),
+    )
+    for row in rows:
+        assert row[5] == 0, row
+        assert row[3] <= epsilon + 1e-9, row
+
+
+def test_rounding_schemes(record_table, benchmark):
+    rows = benchmark.pedantic(scheme_rows, rounds=1, iterations=1)
+    record_table(
+        "LEM51-rounding",
+        format_table(
+            ["count rounding", "max rel err", "per-stream bits"],
+            rows,
+        ),
+    )
+    # All schemes stay within the budget; the known-N scheme is the
+    # cheapest quantized one; exact counts pay full-width registers.
+    errs = [r[1] for r in rows]
+    assert all(e <= 0.1 + 1e-9 for e in errs)
+    assert rows[1][2] <= rows[0][2]
+    assert rows[2][2] > rows[1][2]

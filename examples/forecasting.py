@@ -1,0 +1,52 @@
+"""Brown's exponential smoothing (paper section 3.4) as a forecaster.
+
+Polyexponential decay is the weighting behind Brown's double and triple
+smoothing; this example fits a noisy trend and a noisy quadratic with
+orders 1-3 and compares forecast errors -- the 1960s application the paper
+points at.
+
+Run:  python examples/forecasting.py
+"""
+
+import random
+
+from repro import BrownSmoother
+from repro.benchkit.reporting import format_table
+
+
+def run_series(name, truth_fn, horizon=20, n=500, noise=3.0, seed=5):
+    rng = random.Random(seed)
+    smoothers = {order: BrownSmoother(order, alpha=0.25) for order in (1, 2, 3)}
+    for t in range(n):
+        x = truth_fn(t) + rng.gauss(0.0, noise)
+        for s in smoothers.values():
+            s.observe(x)
+    truth = truth_fn(n - 1 + horizon)
+    rows = []
+    for order, s in smoothers.items():
+        f = s.forecast(horizon)
+        rows.append(
+            [name, order, round(truth, 1), round(f, 1),
+             f"{abs(f - truth) / max(1.0, abs(truth)):.2%}"]
+        )
+    return rows
+
+
+def main() -> None:
+    rows = []
+    rows += run_series("linear trend", lambda t: 10.0 + 0.8 * t)
+    rows += run_series("quadratic", lambda t: 5.0 + 0.2 * t + 0.01 * t * t)
+    rows += run_series("constant", lambda t: 42.0)
+    print(format_table(
+        ["series", "smoothing order", "truth @ +20", "forecast", "rel error"],
+        rows,
+    ))
+    print(
+        "\nOrder 2 (double smoothing) nails the linear trend; order 3"
+        "\n(triple) is needed for curvature; order 1 lags any trend --"
+        "\nexactly the §3.4 hierarchy of polyexponential weightings."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Figure 1: why polynomial decay, in one runnable scenario.
+
+Reproduces the paper's motivating example (section 1.2). Link L1 fails for
+5 hours; 24 hours later link L2 fails for 30 minutes. Each decay family
+rates the links by decayed failure mass (lower = more reliable):
+
+  * a 6-hour sliding window forgets L1's big failure entirely;
+  * exponential decay freezes the verdict forever;
+  * polynomial decay starts by penalizing the recent small failure, then
+    smoothly converges to the severity ratio -- L2 emerges more reliable.
+
+Run:  python examples/link_reliability.py
+"""
+
+from repro import ExponentialDecay, PolynomialDecay, SlidingWindowDecay
+from repro.apps.gateway import rate_trace
+from repro.benchkit.reporting import format_table
+from repro.streams.traces import MINUTES_PER_HOUR, figure1_traces
+
+
+def main() -> None:
+    l1, l2 = figure1_traces()
+    print(f"L1: {l1.total_down_minutes()} failure-minutes ending at "
+          f"t={l1.events[0].end}min")
+    print(f"L2: {l2.total_down_minutes()} failure-minutes ending at "
+          f"t={l2.events[0].end}min\n")
+
+    probe_hours = [1, 6, 24, 24 * 7, 24 * 30, 24 * 365]
+    probes = [l2.events[0].end + h * MINUTES_PER_HOUR for h in probe_hours]
+
+    decays = [
+        SlidingWindowDecay(6 * MINUTES_PER_HOUR),
+        SlidingWindowDecay(48 * MINUTES_PER_HOUR),
+        ExponentialDecay(0.693 / (24 * MINUTES_PER_HOUR)),  # 24h half-life
+        PolynomialDecay(1.0),
+        PolynomialDecay(2.0),
+    ]
+
+    rows = []
+    for g in decays:
+        r1 = rate_trace(l1, g, probes)
+        r2 = rate_trace(l2, g, probes)
+        for h, a, b in zip(probe_hours, r1, r2):
+            if a == b == 0.0:
+                verdict = "both forgotten"
+            elif a > b:
+                verdict = "prefer L2"
+            elif b > a:
+                verdict = "prefer L1"
+            else:
+                verdict = "tie"
+            rows.append([g.describe(), h, round(a, 4), round(b, 4), verdict])
+
+    print(format_table(
+        ["decay", "hours after L2 failure", "L1 badness", "L2 badness",
+         "routing verdict"],
+        rows,
+    ))
+
+    print(
+        "\nNote the POLYD rows: the verdict flips exactly once, from"
+        "\n'prefer L1' (recency dominates) to 'prefer L2' (severity"
+        "\ndominates) -- the behaviour the paper proves impossible for"
+        "\nsliding windows and exponential decay."
+    )
+
+
+if __name__ == "__main__":
+    main()

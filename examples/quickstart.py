@@ -1,0 +1,66 @@
+"""Quickstart: maintain time-decaying sums and averages over a stream.
+
+Demonstrates the core API surface in ~60 lines:
+  * pick a decay function (here polynomial decay, the paper's headline),
+  * let the factory choose the storage-optimal engine,
+  * feed a stream, query estimates with certified error brackets,
+  * inspect the bit-level storage footprint.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro import (
+    DecayingAverage,
+    ExactDecayingSum,
+    PolynomialDecay,
+    make_decaying_sum,
+)
+
+
+def main() -> None:
+    decay = PolynomialDecay(alpha=1.0)  # weight of an item aged a: 1/(a+1)
+
+    # The factory picks WBMH for polynomial decay (paper section 5):
+    # O(log N log log N) bits instead of keeping the stream around.
+    engine = make_decaying_sum(decay, epsilon=0.05)
+    reference = ExactDecayingSum(decay)  # ground truth, Omega(N) storage
+    average = DecayingAverage(decay, epsilon=0.05)
+
+    rng = random.Random(42)
+    for _ in range(20_000):
+        if rng.random() < 0.3:  # an event arrives ~30% of ticks
+            value = rng.uniform(0.5, 2.0)
+            engine.add(value)
+            reference.add(value)
+            average.add(value)
+        engine.advance(1)
+        reference.advance(1)
+        average.advance(1)
+
+    est = engine.query()
+    true = reference.query().value
+    avg = average.query()
+
+    print(f"decay function      : {decay.describe()}")
+    print(f"engine              : {type(engine).__name__}")
+    print(f"true decayed sum    : {true:.4f}")
+    print(f"estimate            : {est.value:.4f}")
+    print(f"certified bracket   : [{est.lower:.4f}, {est.upper:.4f}]")
+    print(f"bracket holds truth : {est.contains(true)}")
+    print(f"relative error      : {est.relative_error_vs(true):.4%}")
+    print(f"decayed average     : {avg.value:.4f}")
+
+    sketch_bits = engine.storage_report()
+    exact_bits = reference.storage_report()
+    print(f"engine footprint    : {sketch_bits.per_stream_bits} bits "
+          f"({sketch_bits.buckets} buckets)")
+    print(f"exact footprint     : {exact_bits.per_stream_bits} bits "
+          f"({exact_bits.buckets} retained time steps)")
+    ratio = exact_bits.per_stream_bits / sketch_bits.per_stream_bits
+    print(f"compression         : {ratio:.0f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""RED congestion control with pluggable decay (paper section 1.1).
+
+Runs the same bursty traffic through three RED gateways whose average-queue
+estimators use different decay families -- the classic EWMA register, a
+polynomial-decay average, and a sliding-window average -- and compares drop
+behaviour and queue stability.
+
+Run:  python examples/red_congestion.py
+"""
+
+import random
+
+from repro import DecayingAverage, PolynomialDecay, SlidingWindowDecay
+from repro.apps.red import RedConfig, RedGateway
+from repro.benchkit.reporting import format_table
+from repro.core.ewma import EwmaRegister
+
+
+def bursty_profile(ticks: int, seed: int) -> list[int]:
+    """Alternating 50-tick bursts (heavy) and lulls (light)."""
+    rng = random.Random(seed)
+    profile = []
+    for block in range(ticks // 50):
+        heavy = block % 2 == 0
+        for _ in range(50):
+            profile.append(rng.randint(0, 8 if heavy else 2))
+    return profile
+
+
+def main() -> None:
+    profile = bursty_profile(4000, seed=7)
+    config = RedConfig(
+        min_threshold=5.0,
+        max_threshold=15.0,
+        max_drop_probability=0.1,
+        queue_capacity=50,
+        service_rate=3,
+    )
+
+    averagers = {
+        "EWMA w=0.9 (classic RED)": lambda: EwmaRegister(0.9),
+        "EWMA w=0.5 (fast RED)": lambda: EwmaRegister(0.5),
+        "POLYD alpha=1 average": lambda: DecayingAverage(
+            PolynomialDecay(1.0), epsilon=0.1
+        ),
+        "SLIWIN W=64 average": lambda: DecayingAverage(
+            SlidingWindowDecay(64), epsilon=0.1
+        ),
+    }
+
+    rows = []
+    for name, factory in averagers.items():
+        gw = RedGateway(config, factory(), seed=99)
+        stats = gw.run(profile)
+        # Queue stability: standard deviation of the averaged estimate.
+        est = stats.avg_estimates
+        mean = sum(est) / len(est)
+        var = sum((x - mean) ** 2 for x in est) / len(est)
+        rows.append(
+            [
+                name,
+                stats.offered,
+                stats.dropped_red,
+                stats.dropped_tail,
+                f"{stats.drop_rate:.3%}",
+                round(stats.mean_queue, 2),
+                round(var**0.5, 2),
+            ]
+        )
+
+    print(format_table(
+        ["average-queue estimator", "offered", "RED drops", "tail drops",
+         "drop rate", "mean queue", "estimate stddev"],
+        rows,
+    ))
+    print(
+        "\nRED sheds load early (RED drops) to avoid hard tail drops; the"
+        "\ndecay family controls how fast the congestion signal forgets"
+        "\nthe previous burst."
+    )
+
+
+if __name__ == "__main__":
+    main()

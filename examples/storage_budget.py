@@ -1,0 +1,72 @@
+"""The storage hierarchy, live: how many bits does each engine really use?
+
+Recreates the paper's central storage comparison on one machine: drive the
+same stream into every engine and print per-stream bits as elapsed time
+grows -- Morris (log log N, non-decaying), EWMA (log N, exponential decay),
+WBMH (log N log log N, polynomial decay), CEH (log^2 N, any decay), and the
+exact baseline (linear). This is the "100M customers, one summary per
+field" scenario of section 1.1 in miniature: shared state (WBMH region
+boundaries) is reported separately because a fleet stores it once.
+
+Run:  python examples/storage_budget.py
+"""
+
+import math
+
+from repro import (
+    CascadedEH,
+    ExactDecayingSum,
+    ExponentialDecay,
+    ExponentialSum,
+    MorrisCounter,
+    PolynomialDecay,
+    WBMH,
+)
+from repro.benchkit.reporting import format_table
+
+
+def main() -> None:
+    sizes = [1 << 9, 1 << 12, 1 << 15]
+    polyd = PolynomialDecay(1.0)
+
+    rows = []
+    for n in sizes:
+        engines = {
+            "exact (any decay)": ExactDecayingSum(polyd),
+            "CEH eps=0.3 (any decay)": CascadedEH(polyd, 0.3),
+            "WBMH eps=0.3 (POLYD)": WBMH(polyd, 0.3, horizon=n),
+            "EWMA (EXPD)": ExponentialSum(ExponentialDecay(0.05)),
+        }
+        for name, engine in engines.items():
+            for _ in range(n):
+                engine.add(1)
+                engine.advance(1)
+            rep = engine.storage_report()
+            rows.append(
+                [name, n, rep.per_stream_bits, rep.shared_bits, rep.buckets]
+            )
+        morris = MorrisCounter(accuracy=0.2, seed=3)
+        morris.add(n)
+        rep = morris.storage_report()
+        rows.append(["Morris (no decay)", n, rep.per_stream_bits, 0, 0])
+
+    rows.sort(key=lambda r: (r[1], -r[2]))
+    print(format_table(
+        ["engine", "elapsed N", "per-stream bits", "shared bits", "buckets"],
+        rows,
+    ))
+
+    per_customer = {r[0]: r[2] for r in rows if r[1] == sizes[-1]}
+    fleet = 100_000_000
+    print(f"\nAt N={sizes[-1]} per stream, a {fleet:,}-stream deployment "
+          f"(the paper's AT&T scenario) needs:")
+    for name, bits in sorted(per_customer.items(), key=lambda kv: kv[1]):
+        print(f"  {name:28s} {bits * fleet / 8 / 2**30:10.2f} GiB")
+    log2n = math.log2(sizes[-1])
+    print(f"\n(log2 N = {log2n:.0f}; log2^2 N = {log2n**2:.0f}; "
+          f"N = {sizes[-1]} -- compare the columns against the paper's "
+          "Theta shapes.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+Offline machines with setuptools < 70 cannot build PEP 660 editable wheels;
+``pip install -e . --no-build-isolation --no-use-pep517`` falls back to this
+classic path. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

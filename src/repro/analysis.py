@@ -1,0 +1,142 @@
+"""Offline trace analytics around the Figure 1 questions.
+
+Given failure traces (or any event traces) and a decay family, the
+introduction's questions become concrete computations:
+
+* *When does the verdict flip?* -- :func:`find_crossover` locates the time
+  at which one trace's decayed rating overtakes another's (monotone
+  bisection over the post-event horizon).
+* *How do the families disagree?* -- :func:`verdict_matrix` evaluates a
+  grid of decay functions at a grid of probe times and reports each
+  verdict, the machine-checkable version of the paper's section 1.2
+  discussion.
+* *What can flip at all?* -- :func:`can_cross` uses the ratio property:
+  under exponential decay the rating ratio of two fixed traces is constant
+  (no crossover ever); under sliding windows it is piecewise with jumps;
+  under ratio-nonincreasing subexponential decay the later-event trace's
+  relative weight only falls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.gateway import rate_trace
+from repro.core.decay import DecayFunction, ExponentialDecay
+from repro.core.errors import InvalidParameterError
+from repro.streams.traces import LinkTrace
+
+__all__ = ["Crossover", "find_crossover", "verdict_matrix", "can_cross"]
+
+
+@dataclass(frozen=True, slots=True)
+class Crossover:
+    """Result of a crossover search."""
+
+    time: int | None  # first probe with the flipped verdict (None = never)
+    initial_leader: str  # trace rated better (lower) at the start
+    final_leader: str  # trace rated better at the horizon
+
+
+def _ratings_at(a: LinkTrace, b: LinkTrace, decay: DecayFunction,
+                t: int) -> tuple[float, float]:
+    return rate_trace(a, decay, [t])[0], rate_trace(b, decay, [t])[0]
+
+
+def find_crossover(
+    a: LinkTrace,
+    b: LinkTrace,
+    decay: DecayFunction,
+    *,
+    start: int | None = None,
+    horizon: int = 1 << 24,
+) -> Crossover:
+    """Earliest time in ``[start, horizon]`` where the verdict flips.
+
+    ``start`` defaults to just after the last event of either trace. The
+    search assumes a single crossover in the range (which holds for
+    ratio-nonincreasing decay once both traces are quiet -- the rating
+    ratio is monotone); it bisects on the verdict.
+    """
+    last_event = max(
+        max((e.end for e in a.events), default=0),
+        max((e.end for e in b.events), default=0),
+    )
+    lo = last_event + 1 if start is None else start
+    if lo <= last_event:
+        raise InvalidParameterError(
+            "crossover search must start after the last event"
+        )
+    if horizon <= lo:
+        raise InvalidParameterError("horizon must exceed the start time")
+
+    ra, rb = _ratings_at(a, b, decay, lo)
+    initial = a.name if ra <= rb else b.name
+    # Fast decay may underflow both ratings to zero at the horizon (a
+    # spurious tie); shrink to the last probe that still carries signal.
+    ra_h, rb_h = _ratings_at(a, b, decay, horizon)
+    while horizon > lo + 1 and ra_h == rb_h == 0.0:
+        horizon = lo + (horizon - lo) // 2
+        ra_h, rb_h = _ratings_at(a, b, decay, horizon)
+    if ra_h == rb_h:
+        return Crossover(time=None, initial_leader=initial,
+                         final_leader=initial)
+    final = a.name if ra_h <= rb_h else b.name
+    if initial == final:
+        return Crossover(time=None, initial_leader=initial, final_leader=final)
+
+    lo_t, hi_t = lo, horizon
+    while hi_t - lo_t > 1:
+        mid = (lo_t + hi_t) // 2
+        ra_m, rb_m = _ratings_at(a, b, decay, mid)
+        leader = a.name if ra_m <= rb_m else b.name
+        if leader == initial:
+            lo_t = mid
+        else:
+            hi_t = mid
+    return Crossover(time=hi_t, initial_leader=initial, final_leader=final)
+
+
+def verdict_matrix(
+    a: LinkTrace,
+    b: LinkTrace,
+    decays: list[DecayFunction],
+    probe_times: list[int],
+) -> list[list[str]]:
+    """Rows per decay: the better-rated trace name at each probe time."""
+    if probe_times != sorted(probe_times):
+        raise InvalidParameterError("probe times must be sorted")
+    out = []
+    for g in decays:
+        ra = rate_trace(a, g, probe_times)
+        rb = rate_trace(b, g, probe_times)
+        row = []
+        for x, y in zip(ra, rb):
+            if x == y:
+                row.append("tie")
+            else:
+                row.append(a.name if x < y else b.name)
+        out.append(row)
+    return out
+
+
+def can_cross(decay: DecayFunction, horizon: int = 4096) -> bool:
+    """Whether this decay family can ever flip a two-event verdict.
+
+    Exponential decay cannot (constant relative contribution -- Lemma-like
+    observation in section 1.2); strictly ratio-decreasing functions can.
+    Bounded-support and other non-smooth functions can flip by *forgetting*
+    (treated as crossing here, matching the paper's discussion that the
+    flip is abrupt rather than smooth).
+    """
+    if isinstance(decay, ExponentialDecay):
+        return False
+    sup = decay.support()
+    if sup is not None:
+        return True  # forgets the older event eventually
+    # Strictly decreasing ratio at some age => relative weights move.
+    for age in range(0, horizon):
+        w0, w1, w2 = decay.weight(age), decay.weight(age + 1), decay.weight(age + 2)
+        if w1 > 0 and w2 > 0 and w0 / w1 > w1 / w2 * (1 + 1e-12):
+            return True
+    return False

@@ -1,0 +1,17 @@
+"""The paper's section 1.1 applications as simulators."""
+
+from repro.apps.atm import Circuit, HoldingPolicy, PolicyStats
+from repro.apps.gateway import PathRating, PathSelector, rate_trace
+from repro.apps.red import RedConfig, RedGateway, RedStats
+
+__all__ = [
+    "RedConfig",
+    "RedGateway",
+    "RedStats",
+    "Circuit",
+    "HoldingPolicy",
+    "PolicyStats",
+    "PathSelector",
+    "PathRating",
+    "rate_trace",
+]

@@ -1,0 +1,129 @@
+"""ATM virtual-circuit holding-time policy (paper section 1.1).
+
+Circuit-switched connections cost money while open, but reopening one for a
+new data burst costs latency. Keshav et al. (and the TCP variant of Cohen,
+Kaplan & Oldham) rank circuits by the *anticipated idle time*, estimated as
+a time-decaying average of previous inter-burst idle times, and close the
+circuits with the longest anticipated idle first.
+
+:class:`Circuit` tracks one connection's idle-time history with a pluggable
+decaying average; :class:`HoldingPolicy` keeps at most ``max_open``
+circuits open, closing the worst-ranked ones. The simulator replays burst
+arrival traces and reports cost: open-circuit time (holding cost) plus
+reopen events (setup cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.average import DecayingAverage
+from repro.core.errors import InvalidParameterError
+from repro.core.ewma import EwmaRegister
+
+__all__ = ["Circuit", "HoldingPolicy", "PolicyStats"]
+
+Averager = Callable[[], "EwmaRegister | DecayingAverage"]
+
+
+class Circuit:
+    """One virtual circuit: idle-time estimator + open/closed state."""
+
+    def __init__(self, name: str, averager: EwmaRegister | DecayingAverage) -> None:
+        self.name = name
+        self.averager = averager
+        self.is_open = False
+        self.last_burst_time: int | None = None
+
+    def observe_burst(self, now: int) -> None:
+        """A data burst arrives: record the idle gap since the last burst."""
+        if self.last_burst_time is not None:
+            idle = now - self.last_burst_time
+            if idle < 0:
+                raise InvalidParameterError("bursts must arrive in time order")
+            self._observe(float(idle), now)
+        self.last_burst_time = now
+
+    def anticipated_idle(self) -> float:
+        """Current idle-time estimate (infinity before any observation)."""
+        if isinstance(self.averager, EwmaRegister):
+            return self.averager.value if self.averager.initialized else float("inf")
+        try:
+            return self.averager.query().value
+        except Exception:
+            return float("inf")
+
+    def _observe(self, idle: float, now: int) -> None:
+        if isinstance(self.averager, EwmaRegister):
+            self.averager.observe(idle)
+        else:
+            if now > self.averager.time:
+                self.averager.advance(now - self.averager.time)
+            self.averager.add(idle)
+
+
+@dataclass(slots=True)
+class PolicyStats:
+    """Cost accounting for one simulation run."""
+
+    holding_ticks: int = 0  # circuit-ticks kept open
+    reopens: int = 0  # bursts arriving at a closed circuit
+    bursts: int = 0
+
+    def cost(self, holding_cost: float = 1.0, reopen_cost: float = 50.0) -> float:
+        """Total cost under the given unit prices."""
+        return self.holding_ticks * holding_cost + self.reopens * reopen_cost
+
+
+class HoldingPolicy:
+    """Keep at most ``max_open`` circuits open; evict longest-idle-first."""
+
+    def __init__(self, circuits: list[Circuit], max_open: int) -> None:
+        if max_open < 1:
+            raise InvalidParameterError("max_open must be >= 1")
+        if not circuits:
+            raise InvalidParameterError("need at least one circuit")
+        self.circuits = {c.name: c for c in circuits}
+        if len(self.circuits) != len(circuits):
+            raise InvalidParameterError("circuit names must be unique")
+        self.max_open = int(max_open)
+        self.stats = PolicyStats()
+        self._now = 0
+
+    def run(self, bursts: list[tuple[int, str]]) -> PolicyStats:
+        """Replay ``(time, circuit_name)`` burst events in time order."""
+        for when, name in bursts:
+            if when < self._now:
+                raise InvalidParameterError("bursts must be sorted by time")
+            self._advance_to(when)
+            circuit = self.circuits.get(name)
+            if circuit is None:
+                raise InvalidParameterError(f"unknown circuit {name!r}")
+            self.stats.bursts += 1
+            if not circuit.is_open:
+                self.stats.reopens += 1
+                circuit.is_open = True
+            circuit.observe_burst(when)
+            self._enforce_limit()
+        return self.stats
+
+    def open_circuits(self) -> list[str]:
+        return sorted(name for name, c in self.circuits.items() if c.is_open)
+
+    def _advance_to(self, when: int) -> None:
+        ticks = when - self._now
+        if ticks > 0:
+            open_count = sum(1 for c in self.circuits.values() if c.is_open)
+            self.stats.holding_ticks += ticks * open_count
+            self._now = when
+
+    def _enforce_limit(self) -> None:
+        """Close the circuits with the longest anticipated idle times."""
+        open_circuits = [c for c in self.circuits.values() if c.is_open]
+        excess = len(open_circuits) - self.max_open
+        if excess <= 0:
+            return
+        open_circuits.sort(key=lambda c: c.anticipated_idle(), reverse=True)
+        for c in open_circuits[:excess]:
+            c.is_open = False

@@ -1,0 +1,121 @@
+"""Internet gateway / path selection (paper section 1.1, Figure 1 at scale).
+
+Multiple paths reach each destination; the product rates each path by a
+time-decaying sum of its past failure mass and routes over the path with
+the lowest rating -- exactly the Figure 1 logic. This module scores whole
+fleets of paths under a pluggable decay function so the benchmark can show
+how the choice of family (SLIWIN / EXPD / POLYD) changes routing decisions
+over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.decay import DecayFunction
+from repro.core.errors import InvalidParameterError
+from repro.core.exact import ExactDecayingSum
+from repro.core.interfaces import DecayingSum, make_decaying_sum
+from repro.streams.traces import LinkTrace
+
+__all__ = ["PathRating", "PathSelector", "rate_trace"]
+
+
+@dataclass(slots=True)
+class PathRating:
+    """One path's engine + identity."""
+
+    name: str
+    engine: DecayingSum
+
+    def rating(self) -> float:
+        """Decayed failure mass; lower is better."""
+        return self.engine.query().value
+
+
+class PathSelector:
+    """Rank candidate paths by decayed failure mass."""
+
+    def __init__(
+        self,
+        names: list[str],
+        decay: DecayFunction,
+        *,
+        epsilon: float = 0.05,
+        exact: bool = False,
+    ) -> None:
+        if not names:
+            raise InvalidParameterError("need at least one path")
+        if len(set(names)) != len(names):
+            raise InvalidParameterError("path names must be unique")
+        self._paths = {
+            name: PathRating(
+                name,
+                ExactDecayingSum(decay) if exact else make_decaying_sum(decay, epsilon),
+            )
+            for name in names
+        }
+        self._now = 0
+
+    @property
+    def time(self) -> int:
+        return self._now
+
+    def observe_failure(self, name: str, when: int, magnitude: float = 1.0) -> None:
+        """Record ``magnitude`` failure units on a path at time ``when``."""
+        path = self._paths.get(name)
+        if path is None:
+            raise InvalidParameterError(f"unknown path {name!r}")
+        if when < self._now:
+            raise InvalidParameterError("observations must be in time order")
+        self.advance_to(when)
+        path.engine.add(magnitude)
+
+    def advance_to(self, when: int) -> None:
+        if when < self._now:
+            raise InvalidParameterError("time must not go backwards")
+        steps = when - self._now
+        if steps:
+            for p in self._paths.values():
+                p.engine.advance(steps)
+            self._now = when
+
+    def ratings(self) -> dict[str, float]:
+        return {name: p.rating() for name, p in self._paths.items()}
+
+    def best_path(self) -> str:
+        """Lowest decayed failure mass; ties break lexicographically."""
+        return min(self._paths.values(), key=lambda p: (p.rating(), p.name)).name
+
+
+def rate_trace(
+    trace: LinkTrace,
+    decay: DecayFunction,
+    at_times: list[int],
+    *,
+    epsilon: float = 0.05,
+    exact: bool = True,
+) -> list[float]:
+    """Failure-mass ratings of one link trace at the given query times.
+
+    The Figure 1 benchmark calls this once per (link, decay) pair and
+    compares the two links' rating curves.
+    """
+    if at_times != sorted(at_times):
+        raise InvalidParameterError("query times must be sorted")
+    engine: DecayingSum = (
+        ExactDecayingSum(decay) if exact else make_decaying_sum(decay, epsilon)
+    )
+    items = trace.items()
+    out = []
+    idx = 0
+    for t in at_times:
+        while idx < len(items) and items[idx].time <= t:
+            if items[idx].time > engine.time:
+                engine.advance(items[idx].time - engine.time)
+            engine.add(items[idx].value)
+            idx += 1
+        if t > engine.time:
+            engine.advance(t - engine.time)
+        out.append(engine.query().value)
+    return out

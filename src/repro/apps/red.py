@@ -1,0 +1,144 @@
+"""Random Early Detection gateway (paper section 1.1, after Floyd & Jacobson).
+
+RED routers estimate impending congestion with a *weighted average of
+previous queue lengths* and drop packets with a probability that ramps up
+between two thresholds of that average. The classic deployment uses the
+EWMA register from paper Eq. 1; this simulator makes the averaging engine
+pluggable so the gateway can run on a polynomial-decay average instead --
+the paper's thesis that richer decay families are drop-in upgrades to
+existing EWMA consumers.
+
+The simulation is a discrete-time single-server queue: each tick,
+``arrivals`` packets arrive (from a supplied profile), the average-queue
+estimator is updated, RED drops each arriving packet with the RED
+probability, and the server transmits up to ``service_rate`` packets.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.errors import InvalidParameterError
+from repro.core.ewma import EwmaRegister
+from repro.core.average import DecayingAverage
+
+__all__ = ["RedConfig", "RedStats", "RedGateway"]
+
+
+@dataclass(frozen=True, slots=True)
+class RedConfig:
+    """RED parameters (names follow Floyd & Jacobson)."""
+
+    min_threshold: float = 5.0
+    max_threshold: float = 15.0
+    max_drop_probability: float = 0.1
+    queue_capacity: int = 50
+    service_rate: int = 3
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.min_threshold < self.max_threshold:
+            raise InvalidParameterError("need 0 <= min_threshold < max_threshold")
+        if not 0 < self.max_drop_probability <= 1:
+            raise InvalidParameterError("max_drop_probability must be in (0, 1]")
+        if self.queue_capacity < 1 or self.service_rate < 1:
+            raise InvalidParameterError("capacity and service rate must be >= 1")
+
+
+@dataclass(slots=True)
+class RedStats:
+    """Counters accumulated over a simulation."""
+
+    ticks: int = 0
+    offered: int = 0
+    dropped_red: int = 0
+    dropped_tail: int = 0
+    transmitted: int = 0
+    queue_len_sum: float = 0.0
+    avg_estimates: list[float] = field(default_factory=list)
+
+    @property
+    def drop_rate(self) -> float:
+        if self.offered == 0:
+            return 0.0
+        return (self.dropped_red + self.dropped_tail) / self.offered
+
+    @property
+    def mean_queue(self) -> float:
+        return self.queue_len_sum / self.ticks if self.ticks else 0.0
+
+
+class RedGateway:
+    """A RED queue driven by a pluggable decaying average.
+
+    ``averager`` is either an :class:`~repro.core.ewma.EwmaRegister`
+    (classic RED) or a :class:`~repro.core.average.DecayingAverage` over
+    any decay function. The gateway observes the instantaneous queue length
+    once per tick.
+    """
+
+    def __init__(
+        self,
+        config: RedConfig,
+        averager: EwmaRegister | DecayingAverage,
+        *,
+        seed: int = 0,
+    ) -> None:
+        self.config = config
+        self.averager = averager
+        self._queue = 0
+        self._rng = random.Random(seed)
+        self.stats = RedStats()
+
+    @property
+    def queue_length(self) -> int:
+        return self._queue
+
+    def average_queue(self) -> float:
+        if isinstance(self.averager, EwmaRegister):
+            return self.averager.value if self.averager.initialized else 0.0
+        return self.averager.query().value
+
+    def drop_probability(self, avg: float) -> float:
+        """The RED ramp between the two thresholds."""
+        cfg = self.config
+        if avg < cfg.min_threshold:
+            return 0.0
+        if avg >= cfg.max_threshold:
+            return 1.0
+        frac = (avg - cfg.min_threshold) / (cfg.max_threshold - cfg.min_threshold)
+        return frac * cfg.max_drop_probability
+
+    def tick(self, arrivals: int) -> None:
+        """One time step: observe, admit/drop, serve."""
+        if arrivals < 0:
+            raise InvalidParameterError("arrivals must be >= 0")
+        self._observe_queue()
+        p_drop = self.drop_probability(self.average_queue())
+        for _ in range(arrivals):
+            self.stats.offered += 1
+            if self._rng.random() < p_drop:
+                self.stats.dropped_red += 1
+            elif self._queue >= self.config.queue_capacity:
+                self.stats.dropped_tail += 1
+            else:
+                self._queue += 1
+        served = min(self._queue, self.config.service_rate)
+        self._queue -= served
+        self.stats.transmitted += served
+        self.stats.ticks += 1
+        self.stats.queue_len_sum += self._queue
+        self.stats.avg_estimates.append(self.average_queue())
+
+    def run(self, arrival_profile) -> RedStats:
+        """Drive the gateway over an iterable of per-tick arrival counts."""
+        for arrivals in arrival_profile:
+            self.tick(int(arrivals))
+        return self.stats
+
+    def _observe_queue(self) -> None:
+        if isinstance(self.averager, EwmaRegister):
+            self.averager.observe(float(self._queue))
+        else:
+            self.averager.add(float(self._queue))
+            self.averager.advance(1)

@@ -1,0 +1,107 @@
+"""Sweep runners shared by the benchmark suite.
+
+The benchmarks compare engines against ground truth over parameter sweeps
+(stream length N, accuracy eps, decay family). This module centralizes the
+drive-and-measure loop so each benchmark file only declares its sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.core.decay import DecayFunction
+from repro.core.errors import InvalidParameterError
+from repro.core.exact import ExactDecayingSum
+from repro.streams.generators import StreamItem
+
+__all__ = ["AccuracyResult", "measure_accuracy", "growth_exponent"]
+
+
+@dataclass(slots=True)
+class AccuracyResult:
+    """Accuracy + footprint of one engine over one stream."""
+
+    engine: str
+    queries: int
+    max_rel_error: float
+    mean_rel_error: float
+    bracket_violations: int
+    buckets: int
+    per_stream_bits: int
+
+
+def measure_accuracy(
+    make_engine: Callable[[], object],
+    decay: DecayFunction,
+    items: Sequence[StreamItem],
+    *,
+    query_every: int = 37,
+    until: int | None = None,
+    min_true: float = 1e-9,
+) -> AccuracyResult:
+    """Drive engine and exact reference together, comparing at query points.
+
+    Queries are issued every ``query_every`` ticks (a prime-ish stride to
+    avoid aliasing with bucket boundaries) plus at the final time.
+    """
+    if query_every < 1:
+        raise InvalidParameterError("query_every must be >= 1")
+    engine = make_engine()
+    exact = ExactDecayingSum(decay)
+    horizon = until if until is not None else (items[-1].time + 1 if items else 1)
+
+    max_err = 0.0
+    sum_err = 0.0
+    queries = 0
+    violations = 0
+    idx = 0
+    for t in range(horizon + 1):
+        while idx < len(items) and items[idx].time == t:
+            engine.add(items[idx].value)
+            exact.add(items[idx].value)
+            idx += 1
+        if t % query_every == 0 or t == horizon:
+            true = exact.query().value
+            if true > min_true:
+                est = engine.query()
+                err = est.relative_error_vs(true)
+                max_err = max(max_err, err)
+                sum_err += err
+                queries += 1
+                if not est.contains(true):
+                    violations += 1
+        if t < horizon:
+            engine.advance(1)
+            exact.advance(1)
+    report = engine.storage_report()
+    return AccuracyResult(
+        engine=report.engine,
+        queries=queries,
+        max_rel_error=max_err,
+        mean_rel_error=(sum_err / queries) if queries else 0.0,
+        bracket_violations=violations,
+        buckets=report.buckets,
+        per_stream_bits=report.per_stream_bits,
+    )
+
+
+def growth_exponent(xs: Iterable[float], ys: Iterable[float]) -> float:
+    """Least-squares slope of log(y) against log(x).
+
+    Benchmarks use this to classify storage growth: slope ~1 against
+    ``log^2 N`` for CEH, ~1 against ``log N log log N`` for WBMH, etc.
+    """
+    import math
+
+    pairs = [(math.log(x), math.log(y)) for x, y in zip(xs, ys) if x > 0 and y > 0]
+    if len(pairs) < 2:
+        raise InvalidParameterError("need at least two positive points")
+    n = len(pairs)
+    mx = sum(p[0] for p in pairs) / n
+    my = sum(p[1] for p in pairs) / n
+    num = sum((x - mx) * (y - my) for x, y in pairs)
+    den = sum((x - mx) ** 2 for x, _ in pairs)
+    if den == 0:
+        raise InvalidParameterError("degenerate x values")
+    return num / den

@@ -1,0 +1,73 @@
+"""Fixed-width table and series printers for the benchmark harness.
+
+Every benchmark prints paper-style rows through these helpers so the output
+of ``pytest benchmarks/ --benchmark-only`` doubles as the experiment log
+recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.errors import InvalidParameterError
+
+__all__ = ["format_table", "print_table", "format_series", "banner"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    precision: int = 4,
+) -> str:
+    """Render rows as a fixed-width text table."""
+    if not headers:
+        raise InvalidParameterError("headers must be non-empty")
+    str_rows = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise InvalidParameterError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+        str_rows.append([_fmt(cell, precision) for cell in row])
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        sep,
+    ]
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(headers, rows, *, precision: int = 4, title: str | None = None) -> None:
+    if title:
+        print(banner(title))
+    print(format_table(headers, rows, precision=precision))
+
+
+def format_series(name: str, values: Sequence[float], *, precision: int = 3) -> str:
+    """One labelled numeric series on a single line."""
+    body = " ".join(_fmt(v, precision) for v in values)
+    return f"{name}: {body}"
+
+
+def banner(title: str) -> str:
+    bar = "=" * max(8, len(title) + 4)
+    return f"\n{bar}\n| {title} |\n{bar}"
+
+
+def _fmt(cell: object, precision: int) -> str:
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1e6 or abs(cell) < 10 ** -(precision + 1):
+            return f"{cell:.{precision}e}"
+        return f"{cell:.{precision}f}"
+    return str(cell)

@@ -1,0 +1,281 @@
+"""Command-line interface: estimate decayed aggregates over trace files.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro decays
+    python -m repro estimate --decay polyd:1.0 --epsilon 0.05 \\
+        --input trace.csv --until 5000
+    python -m repro figure1
+    python -m repro storage --decay polyd:1.0 --sizes 512,4096,32768
+
+Decay specs are ``family[:parameter]``: ``expd:0.01``, ``sliwin:100``,
+``polyd:1.0``, ``linear:200``, ``logd`` or ``logd:4``, ``none``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.decay import (
+    DecayFunction,
+    ExponentialDecay,
+    GaussianDecay,
+    LinearDecay,
+    LogarithmicDecay,
+    NoDecay,
+    PolynomialDecay,
+    SlidingWindowDecay,
+)
+from repro.core.errors import InvalidParameterError, ReproError
+from repro.core.exact import ExactDecayingSum
+from repro.core.interfaces import make_decaying_sum
+
+__all__ = ["main", "parse_decay"]
+
+_DECAY_HELP = (
+    "expd:LAMBDA | sliwin:WINDOW | polyd:ALPHA | linear:SPAN | "
+    "logd[:BASE] | gauss:SIGMA | none"
+)
+
+
+def parse_decay(spec: str) -> DecayFunction:
+    """Parse a ``family[:parameter]`` decay specification."""
+    name, _, arg = spec.strip().lower().partition(":")
+    try:
+        if name == "expd":
+            return ExponentialDecay(float(arg))
+        if name == "sliwin":
+            return SlidingWindowDecay(int(arg))
+        if name == "polyd":
+            return PolynomialDecay(float(arg))
+        if name == "linear":
+            return LinearDecay(int(arg))
+        if name == "logd":
+            return LogarithmicDecay(float(arg)) if arg else LogarithmicDecay()
+        if name == "gauss":
+            return GaussianDecay(float(arg))
+        if name == "none":
+            return NoDecay()
+    except ValueError as exc:
+        raise InvalidParameterError(f"bad decay parameter in {spec!r}") from exc
+    raise InvalidParameterError(
+        f"unknown decay family {name!r}; expected {_DECAY_HELP}"
+    )
+
+
+def _load_trace(path: str, sort: bool):
+    from repro.streams.io import read_csv, read_jsonl
+
+    if path.endswith(".jsonl") or path.endswith(".json"):
+        return read_jsonl(path, sort=sort)
+    return read_csv(path, sort=sort)
+
+
+def _cmd_decays(_args: argparse.Namespace) -> int:
+    rows = [
+        ("expd:LAMBDA", "exponential decay exp(-lambda*age); EWMA register"),
+        ("sliwin:W", "sliding window of W ticks; Exponential Histogram"),
+        ("polyd:ALPHA", "polynomial decay (age+1)^-alpha; WBMH"),
+        ("linear:SPAN", "linear ramp to zero over SPAN ticks; cascaded EH"),
+        ("logd[:BASE]", "1/log2(age+BASE), slower than any polynomial; WBMH"),
+        ("none", "no decay (plain sum)"),
+    ]
+    for spec, desc in rows:
+        print(f"  {spec:14s} {desc}")
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    from repro.streams.io import replay
+
+    decay = parse_decay(args.decay)
+    items = _load_trace(args.input, sort=args.sort)
+    if args.engine == "exact":
+        engine = ExactDecayingSum(decay)
+    else:
+        engine = make_decaying_sum(decay, epsilon=args.epsilon)
+    replay(items, engine, until=args.until)
+    est = engine.query()
+    rep = engine.storage_report()
+    print(f"decay        : {decay.describe()}")
+    print(f"engine       : {rep.engine}")
+    print(f"items        : {len(items)}")
+    print(f"clock        : {engine.time}")
+    print(f"estimate     : {est.value:.6g}")
+    print(f"bracket      : [{est.lower:.6g}, {est.upper:.6g}]")
+    print(f"storage bits : {rep.per_stream_bits} per stream"
+          + (f" (+{rep.shared_bits} shared)" if rep.shared_bits else ""))
+    return 0
+
+
+def _cmd_figure1(args: argparse.Namespace) -> int:
+    from repro.apps.gateway import rate_trace
+    from repro.benchkit.reporting import format_table
+    from repro.streams.traces import MINUTES_PER_HOUR, figure1_traces
+
+    l1, l2 = figure1_traces()
+    probes = [l2.events[0].end + h * MINUTES_PER_HOUR
+              for h in (1, 24, 24 * 30, 24 * 365)]
+    decays = [
+        SlidingWindowDecay(6 * MINUTES_PER_HOUR),
+        ExponentialDecay(0.693 / (24 * MINUTES_PER_HOUR)),
+        PolynomialDecay(args.alpha),
+    ]
+    rows = []
+    for g in decays:
+        r1 = rate_trace(l1, g, probes)
+        r2 = rate_trace(l2, g, probes)
+        for h, a, b in zip((1, 24, 720, 8760), r1, r2):
+            verdict = "L1 worse" if a > b else ("L2 worse" if b > a else "tie")
+            rows.append([g.describe(), h, a, b, verdict])
+    print(format_table(
+        ["decay", "hours after L2", "L1 rating", "L2 rating", "verdict"],
+        rows, precision=4,
+    ))
+    return 0
+
+
+def _cmd_storage(args: argparse.Namespace) -> int:
+    from repro.benchkit.reporting import format_table
+    from repro.histograms.ceh import CascadedEH
+    from repro.histograms.wbmh import WBMH
+
+    decay = parse_decay(args.decay)
+    sizes = [int(s) for s in args.sizes.split(",")]
+    rows = []
+    for n in sizes:
+        engines: list[tuple[str, object]] = [
+            ("exact", ExactDecayingSum(decay)),
+            ("ceh", CascadedEH(decay, args.epsilon)),
+        ]
+        if decay.is_ratio_nonincreasing(2048):
+            engines.append(("wbmh", WBMH(decay, args.epsilon, horizon=n)))
+        for name, engine in engines:
+            for _ in range(n):
+                engine.add(1)
+                engine.advance(1)
+            rep = engine.storage_report()
+            rows.append([n, name, rep.per_stream_bits, rep.buckets])
+    print(format_table(["N", "engine", "per-stream bits", "buckets"], rows))
+    return 0
+
+
+def _cmd_sample(args: argparse.Namespace) -> int:
+    from repro.sampling.decayed_sampler import DecayedSampler
+
+    decay = parse_decay(args.decay)
+    items = _load_trace(args.input, sort=args.sort)
+    sampler = DecayedSampler(decay, counts=args.counts, seed=args.seed)
+    for item in items:
+        if item.time > sampler.time:
+            sampler.advance(item.time - sampler.time)
+        sampler.add(item.value)
+    if args.until is not None and args.until > sampler.time:
+        sampler.advance(args.until - sampler.time)
+    for _ in range(args.n):
+        entry = sampler.sample()
+        print(f"t={entry.time}\tvalue={entry.payload}")
+    return 0
+
+
+def _cmd_moments(args: argparse.Namespace) -> int:
+    from repro.moments.higher import DecayedMoments
+
+    decay = parse_decay(args.decay)
+    items = _load_trace(args.input, sort=args.sort)
+    dm = DecayedMoments(decay, max_order=4, epsilon=args.epsilon)
+    for item in items:
+        if item.time > dm.time:
+            dm.advance(item.time - dm.time)
+        dm.add(item.value)
+    if args.until is not None and args.until > dm.time:
+        dm.advance(args.until - dm.time)
+    print(f"decay        : {decay.describe()}")
+    print(f"items        : {len(items)}")
+    print(f"decayed mean : {dm.mean():.6g}")
+    print(f"variance     : {dm.variance():.6g}")
+    print(f"stddev       : {dm.variance() ** 0.5:.6g}")
+    try:
+        print(f"skewness     : {dm.skewness():.6g}")
+        print(f"kurtosis     : {dm.kurtosis():.6g}")
+    except ReproError:
+        print("skewness     : undefined (zero variance)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Time-decaying stream aggregates (Cohen & Strauss, PODS 2003)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("decays", help="list decay-function specs").set_defaults(
+        func=_cmd_decays
+    )
+
+    est = sub.add_parser("estimate", help="estimate a decayed sum over a trace")
+    est.add_argument("--decay", required=True, help=_DECAY_HELP)
+    est.add_argument("--epsilon", type=float, default=0.05)
+    est.add_argument("--input", required=True, help="trace file (.csv or .jsonl)")
+    est.add_argument("--until", type=int, default=None,
+                     help="advance the clock past the last item")
+    est.add_argument("--engine", choices=("auto", "exact"), default="auto")
+    est.add_argument("--sort", action="store_true",
+                     help="sort the trace by time before replay")
+    est.set_defaults(func=_cmd_estimate)
+
+    fig = sub.add_parser("figure1", help="the paper's Figure 1 scenario")
+    fig.add_argument("--alpha", type=float, default=1.0,
+                     help="polynomial decay exponent")
+    fig.set_defaults(func=_cmd_figure1)
+
+    sto = sub.add_parser("storage", help="storage sweep for one decay")
+    sto.add_argument("--decay", required=True, help=_DECAY_HELP)
+    sto.add_argument("--epsilon", type=float, default=0.2)
+    sto.add_argument("--sizes", default="512,4096,32768",
+                     help="comma-separated stream lengths")
+    sto.set_defaults(func=_cmd_storage)
+
+    smp = sub.add_parser(
+        "sample", help="time-decayed random selection from a trace"
+    )
+    smp.add_argument("--decay", required=True, help=_DECAY_HELP)
+    smp.add_argument("--input", required=True)
+    smp.add_argument("--n", type=int, default=5, help="selections to draw")
+    smp.add_argument("--counts", choices=("exact", "eh", "mvd"),
+                     default="exact")
+    smp.add_argument("--seed", type=int, default=0)
+    smp.add_argument("--until", type=int, default=None)
+    smp.add_argument("--sort", action="store_true")
+    smp.set_defaults(func=_cmd_sample)
+
+    mom = sub.add_parser(
+        "moments", help="decayed mean/variance/skewness/kurtosis of a trace"
+    )
+    mom.add_argument("--decay", required=True, help=_DECAY_HELP)
+    mom.add_argument("--input", required=True)
+    mom.add_argument("--epsilon", type=float, default=0.05)
+    mom.add_argument("--until", type=int, default=None)
+    mom.add_argument("--sort", action="store_true")
+    mom.set_defaults(func=_cmd_moments)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""Core problem statements and engines (paper sections 2 and 3).
+
+Decay functions, the decaying-sum protocol and factory, the exact reference
+engine, the EWMA family for exponential and polyexponential decay, and the
+decaying average.
+"""
+
+from repro.core.average import DecayingAverage
+from repro.core.decay import (
+    DecayFunction,
+    PolyExpPolynomialDecay,
+    ExponentialDecay,
+    GaussianDecay,
+    LinearDecay,
+    LogarithmicDecay,
+    NoDecay,
+    PolyexponentialDecay,
+    PolynomialDecay,
+    SlidingWindowDecay,
+    TableDecay,
+)
+from repro.core.errors import (
+    DecayFunctionError,
+    EmptyAggregateError,
+    InvalidParameterError,
+    NotApplicableError,
+    ReproError,
+    TimeOrderError,
+)
+from repro.core.estimate import Estimate
+from repro.core.forecasting import BrownSmoother
+from repro.core.ewma import (
+    EwmaRegister,
+    GeneralPolyexpSum,
+    ExponentialSum,
+    PolyexponentialSum,
+    PolyexpPipeline,
+    QuantizedExponentialSum,
+)
+from repro.core.exact import ExactDecayingSum
+from repro.core.interfaces import DecayingSum, make_decaying_sum
+
+__all__ = [
+    "DecayFunction",
+    "ExponentialDecay",
+    "SlidingWindowDecay",
+    "PolynomialDecay",
+    "PolyexponentialDecay",
+    "PolyExpPolynomialDecay",
+    "LinearDecay",
+    "LogarithmicDecay",
+    "GaussianDecay",
+    "TableDecay",
+    "NoDecay",
+    "Estimate",
+    "DecayingSum",
+    "make_decaying_sum",
+    "ExactDecayingSum",
+    "ExponentialSum",
+    "QuantizedExponentialSum",
+    "EwmaRegister",
+    "BrownSmoother",
+    "PolyexpPipeline",
+    "PolyexponentialSum",
+    "GeneralPolyexpSum",
+    "DecayingAverage",
+    "ReproError",
+    "InvalidParameterError",
+    "DecayFunctionError",
+    "NotApplicableError",
+    "TimeOrderError",
+    "EmptyAggregateError",
+]

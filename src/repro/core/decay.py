@@ -1,0 +1,542 @@
+"""Decay functions (paper sections 2 and 3).
+
+A *decay function* is a non-increasing ``g(a) >= 0`` defined for integer ages
+``a >= 0``. At current time ``T``, an item that arrived at time ``t`` has age
+``a = T - t`` and contributes ``f_i * g(a)`` to the decaying sum ``S_g(T)``.
+
+Age convention
+--------------
+The paper writes polynomial decay as ``g(x) = 1/x**alpha`` with the first
+positive age being ``x = 1``. The library indexes weights by age ``a >= 0``
+and therefore ships :class:`PolynomialDecay` in the shifted form
+``g(a) = (a + 1) ** -alpha``, which is the same function under ``x = a + 1``.
+This matches the paper's own worked example in section 5, where an item
+arriving at time ``t`` carries weight ``1/(T - t + 1)**2`` at time ``T``.
+
+Structural properties
+---------------------
+Two properties of a decay function drive algorithm selection:
+
+* ``support()`` -- the paper's ``N(g)``: the largest age with positive
+  weight, or ``None`` when the support is infinite. Histogram engines expire
+  buckets past the support.
+* :meth:`DecayFunction.is_ratio_nonincreasing` -- whether
+  ``g(a)/g(a + 1)`` is non-increasing in ``a``. This is the applicability
+  condition of the weight-based merging histogram (WBMH, section 5): it
+  guarantees that the relative weights of two items only get closer as time
+  progresses. Exponential decay satisfies it with a constant ratio;
+  polynomial and slower decays satisfy it strictly; sliding windows violate
+  it at the window edge.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Iterable
+
+from repro.core.errors import DecayFunctionError, InvalidParameterError
+
+__all__ = [
+    "DecayFunction",
+    "ExponentialDecay",
+    "SlidingWindowDecay",
+    "PolynomialDecay",
+    "PolyexponentialDecay",
+    "PolyExpPolynomialDecay",
+    "LinearDecay",
+    "LogarithmicDecay",
+    "GaussianDecay",
+    "TableDecay",
+    "NoDecay",
+    "check_ratio_nonincreasing",
+]
+
+
+#: Search cap for half_life/effective_horizon on infinite-support decay.
+_HALF_LIFE_CAP = 1 << 40
+
+
+class DecayFunction(ABC):
+    """A non-increasing, non-negative weight function of integer age."""
+
+    @abstractmethod
+    def weight(self, age: int) -> float:
+        """Return ``g(age)`` for ``age >= 0``.
+
+        Raises :class:`InvalidParameterError` for negative ages.
+        """
+
+    def __call__(self, age: int) -> float:
+        return self.weight(age)
+
+    def support(self) -> int | None:
+        """Largest age with positive weight (the paper's ``N(g)``).
+
+        Returns ``None`` when the function is positive for every age. The
+        default assumes infinite support; bounded families override.
+        """
+        return None
+
+    def is_ratio_nonincreasing(self, horizon: int = 4096) -> bool:
+        """Check the WBMH applicability condition over ``[0, horizon]``.
+
+        Exact for the closed-form families shipped with the library (they
+        override this with an analytic answer); this default verifies the
+        condition numerically over the given horizon.
+        """
+        return check_ratio_nonincreasing(self, horizon)
+
+    def weight_ratio(self, horizon: int) -> float:
+        """The paper's ``D(g)`` truncated at ``horizon``.
+
+        ``D(g)`` is the ratio between the youngest positive weight and the
+        weight at age ``min(horizon, N(g))``. It controls the number of WBMH
+        regions, ``ceil(log_{1+eps} D(g))``.
+        """
+        if horizon < 0:
+            raise InvalidParameterError("horizon must be >= 0")
+        sup = self.support()
+        last = horizon if sup is None else min(horizon, sup)
+        young = self.weight(0)
+        old = self.weight(last)
+        if young <= 0:
+            raise DecayFunctionError("decay function has no positive weight")
+        if old <= 0:
+            raise DecayFunctionError(
+                "weight_ratio horizon extends past the support; "
+                "clamp to support() first"
+            )
+        return young / old
+
+    def weights(self, ages: Iterable[int]) -> list[float]:
+        """Vectorized convenience wrapper around :meth:`weight`."""
+        return [self.weight(a) for a in ages]
+
+    def half_life(self) -> int | None:
+        """Smallest age at which the weight has halved (None if never).
+
+        A practical "how fast is this decay" number for comparing families
+        (e.g. matching a POLYD alpha to an EXPD lambda at one lag).
+        """
+        target = self.weight(0) / 2.0
+        if target <= 0:
+            return 0
+        lo, hi = 0, 1
+        cap = self.support()
+        # One past the support is always below target (weight zero there).
+        limit = cap + 1 if cap is not None else _HALF_LIFE_CAP
+        while self.weight(min(hi, limit)) > target:
+            if hi >= limit:
+                return None
+            lo, hi = hi, min(limit, hi * 2)
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if self.weight(mid) > target:
+                lo = mid
+            else:
+                hi = mid
+        return hi
+
+    def effective_horizon(self, eps: float) -> int | None:
+        """Smallest age where the weight drops below ``eps * g(0)``.
+
+        Items older than this contribute less than an ``eps`` fraction of
+        a fresh item -- a capacity-planning cutoff. ``None`` means the
+        decay never discounts that far within the search cap (logarithmic
+        and very slow polynomial decays at tiny eps).
+        """
+        if not 0 < eps < 1:
+            raise InvalidParameterError(f"eps must be in (0, 1), got {eps}")
+        target = self.weight(0) * eps
+        lo, hi = 0, 1
+        cap = self.support()
+        limit = cap + 1 if cap is not None else _HALF_LIFE_CAP
+        while self.weight(min(hi, limit)) >= target:
+            if hi >= limit:
+                return None
+            lo, hi = hi, min(limit, hi * 2)
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if self.weight(mid) >= target:
+                lo = mid
+            else:
+                hi = mid
+        return hi
+
+    def describe(self) -> str:
+        """Short human-readable name used in benchmark tables."""
+        return type(self).__name__
+
+    @staticmethod
+    def _check_age(age: int) -> None:
+        if age < 0:
+            raise InvalidParameterError(f"age must be >= 0, got {age}")
+
+
+def check_ratio_nonincreasing(g: DecayFunction, horizon: int) -> bool:
+    """Numerically test that ``g(a)/g(a+1)`` is non-increasing on [0, horizon].
+
+    Ages where the ratio is undefined because ``g(a + 1) == 0`` count as
+    violations when ``g(a) > 0`` (the ratio jumps to infinity, as it does at
+    a sliding-window edge), except at the very end of a finite support where
+    all remaining weights are zero.
+    """
+    if horizon < 1:
+        raise InvalidParameterError("horizon must be >= 1")
+    tol = 1e-12
+    prev_ratio = math.inf
+    for age in range(horizon):
+        w0 = g.weight(age)
+        w1 = g.weight(age + 1)
+        if w0 < 0 or w1 < 0:
+            raise DecayFunctionError("decay function returned a negative weight")
+        if w1 > w0 + tol:
+            raise DecayFunctionError("decay function increased with age")
+        if w0 == 0.0:
+            # Entered the zero tail: non-increasing trivially holds onward.
+            return True
+        if w1 == 0.0:
+            # Positive weight followed by zero: infinite ratio after finite
+            # ratios means the ratio increased.
+            return False
+        ratio = w0 / w1
+        if ratio > prev_ratio * (1.0 + 1e-9):
+            return False
+        prev_ratio = ratio
+    return True
+
+
+class ExponentialDecay(DecayFunction):
+    """EXPD_lambda (paper section 3.1): ``g(a) = exp(-lam * a)``.
+
+    The classic single-register recurrence (paper Eq. 1) maintains this decay
+    in Theta(log N) bits; see :class:`repro.core.ewma.ExponentialSum`.
+    ``g(a)/g(a+1) = e**lam`` is constant, so EXPD is WBMH-applicable, but its
+    weight ratio ``D(g)`` grows exponentially with the horizon, which is why
+    WBMH needs a linear number of buckets for it (section 5).
+    """
+
+    def __init__(self, lam: float) -> None:
+        if not lam > 0:
+            raise InvalidParameterError(f"lambda must be > 0, got {lam}")
+        self.lam = float(lam)
+
+    def weight(self, age: int) -> float:
+        self._check_age(age)
+        return math.exp(-self.lam * age)
+
+    def is_ratio_nonincreasing(self, horizon: int = 4096) -> bool:
+        return True
+
+    def describe(self) -> str:
+        return f"EXPD(lam={self.lam:g})"
+
+    def __repr__(self) -> str:
+        return f"ExponentialDecay(lam={self.lam!r})"
+
+
+class SlidingWindowDecay(DecayFunction):
+    """SLIWIN_W (paper section 3.2): weight 1 for ages < W, 0 afterwards.
+
+    The window covers the ``W`` most recent time units: an item of age ``a``
+    is inside the window iff ``a <= W - 1``, so ``support() == W - 1``.
+    Violates the WBMH ratio condition at the window edge.
+    """
+
+    def __init__(self, window: int) -> None:
+        if window < 1:
+            raise InvalidParameterError(f"window must be >= 1, got {window}")
+        self.window = int(window)
+
+    def weight(self, age: int) -> float:
+        self._check_age(age)
+        return 1.0 if age < self.window else 0.0
+
+    def support(self) -> int | None:
+        return self.window - 1
+
+    def is_ratio_nonincreasing(self, horizon: int = 4096) -> bool:
+        return False
+
+    def describe(self) -> str:
+        return f"SLIWIN(W={self.window})"
+
+    def __repr__(self) -> str:
+        return f"SlidingWindowDecay(window={self.window!r})"
+
+
+class PolynomialDecay(DecayFunction):
+    """POLYD_alpha (paper section 3.3): ``g(a) = (a + 1) ** -alpha``.
+
+    The age shift makes the weight finite at age 0 and matches the paper's
+    section 5 example (see module docstring). ``g(a)/g(a+1) =
+    ((a+2)/(a+1))**alpha`` decreases strictly with ``a``, so POLYD is
+    WBMH-applicable and, unlike EXPD and SLIWIN, lets the weights of two
+    items approach each other over time -- the property motivating Figure 1.
+    ``D(g)`` over horizon ``N`` is ``(N + 1)**alpha``, hence
+    ``log D(g) = O(log N)`` and WBMH needs only ``O(log N)`` buckets.
+    """
+
+    def __init__(self, alpha: float) -> None:
+        if not alpha > 0:
+            raise InvalidParameterError(f"alpha must be > 0, got {alpha}")
+        self.alpha = float(alpha)
+
+    def weight(self, age: int) -> float:
+        self._check_age(age)
+        return float(age + 1) ** -self.alpha
+
+    def is_ratio_nonincreasing(self, horizon: int = 4096) -> bool:
+        return True
+
+    def describe(self) -> str:
+        return f"POLYD(alpha={self.alpha:g})"
+
+    def __repr__(self) -> str:
+        return f"PolynomialDecay(alpha={self.alpha!r})"
+
+
+class PolyexponentialDecay(DecayFunction):
+    """Polyexponential decay (paper section 3.4): ``g(a) = a^k e^{-lam a}/k!``.
+
+    For ``k >= 1`` the weight rises from 0 at age 0 to a peak at
+    ``a = k/lam`` and then decays; it is therefore *not* a decay function in
+    the strict non-increasing sense, but the paper defines it because decay
+    by ``p_k(x) e^{-lam x}`` reduces to ``k+1`` pipelined exponential
+    registers (:class:`repro.core.ewma.PolyexponentialSum`). The library
+    accepts it for the exact engine and the EWMA pipeline; histogram engines
+    reject it through their monotonicity checks.
+    """
+
+    def __init__(self, k: int, lam: float) -> None:
+        if k < 0:
+            raise InvalidParameterError(f"k must be >= 0, got {k}")
+        if not lam > 0:
+            raise InvalidParameterError(f"lambda must be > 0, got {lam}")
+        self.k = int(k)
+        self.lam = float(lam)
+
+    def weight(self, age: int) -> float:
+        self._check_age(age)
+        if age == 0:
+            return 1.0 if self.k == 0 else 0.0
+        return age**self.k * math.exp(-self.lam * age) / math.factorial(self.k)
+
+    def is_ratio_nonincreasing(self, horizon: int = 4096) -> bool:
+        return self.k == 0
+
+    def describe(self) -> str:
+        return f"POLYEXP(k={self.k}, lam={self.lam:g})"
+
+    def __repr__(self) -> str:
+        return f"PolyexponentialDecay(k={self.k!r}, lam={self.lam!r})"
+
+
+class PolyExpPolynomialDecay(DecayFunction):
+    """Decay by ``g(a) = p(a) * exp(-lam * a)`` for a polynomial ``p``.
+
+    The full section 3.4 family: the paper shows decay by
+    ``p_k(x) e^{-lam x}`` reduces to ``k + 1`` pipelined exponential
+    registers (:class:`repro.core.ewma.GeneralPolyexpSum`). ``coeffs[j]``
+    is the coefficient of ``a**j``; coefficients must be non-negative so
+    the weight is non-negative at every age (the exact-register engine
+    relies on this globally, not just on sampled ages). Monotonicity is
+    *not* required -- like :class:`PolyexponentialDecay`, this family may
+    rise before it decays, and histogram engines reject it accordingly.
+    """
+
+    def __init__(self, coeffs: "Iterable[float]", lam: float) -> None:
+        cs = [float(c) for c in coeffs]
+        if not cs:
+            raise InvalidParameterError("coeffs must be non-empty")
+        if not lam > 0:
+            raise InvalidParameterError(f"lambda must be > 0, got {lam}")
+        if all(c == 0 for c in cs):
+            raise InvalidParameterError("polynomial must be non-zero")
+        if any(c < 0 for c in cs):
+            raise DecayFunctionError(
+                "coefficients must be non-negative (weight positivity)"
+            )
+        self.coeffs = cs
+        self.lam = float(lam)
+
+    def _poly(self, age: int) -> float:
+        total = 0.0
+        power = 1.0
+        for c in self.coeffs:
+            total += c * power
+            power *= age
+        return total
+
+    def weight(self, age: int) -> float:
+        self._check_age(age)
+        return self._poly(age) * math.exp(-self.lam * age)
+
+    def is_ratio_nonincreasing(self, horizon: int = 4096) -> bool:
+        # Non-increasing only for degree 0 (pure EXPD); any genuine
+        # polynomial factor changes the local rate.
+        return all(c == 0 for c in self.coeffs[1:])
+
+    def describe(self) -> str:
+        return f"POLYEXPPOLY(deg={len(self.coeffs) - 1}, lam={self.lam:g})"
+
+    def __repr__(self) -> str:
+        return f"PolyExpPolynomialDecay({self.coeffs!r}, lam={self.lam!r})"
+
+
+class LinearDecay(DecayFunction):
+    """Linear ramp to zero: ``g(a) = max(0, 1 - a / span)``.
+
+    A simple bounded-support decay that is neither EXPD, SLIWIN nor POLYD;
+    exercises the "any decay function" claim of Theorem 1. The ratio
+    ``g(a)/g(a+1)`` *increases* toward the zero crossing, so LinearDecay is
+    not WBMH-applicable.
+    """
+
+    def __init__(self, span: int) -> None:
+        if span < 1:
+            raise InvalidParameterError(f"span must be >= 1, got {span}")
+        self.span = int(span)
+
+    def weight(self, age: int) -> float:
+        self._check_age(age)
+        return max(0.0, 1.0 - age / self.span)
+
+    def support(self) -> int | None:
+        return self.span - 1
+
+    def is_ratio_nonincreasing(self, horizon: int = 4096) -> bool:
+        return False
+
+    def describe(self) -> str:
+        return f"LINEAR(span={self.span})"
+
+    def __repr__(self) -> str:
+        return f"LinearDecay(span={self.span!r})"
+
+
+class LogarithmicDecay(DecayFunction):
+    """Sub-polynomial decay ``g(a) = 1 / log2(a + base)``, ``base >= 2``.
+
+    Decays more slowly than any polynomial; ``log D(g)`` is
+    ``O(log log N)``, so WBMH maintains it with ``O(log log N)`` buckets --
+    the sub-logarithmic regime mentioned at the end of section 5.
+    """
+
+    def __init__(self, base: float = 2.0) -> None:
+        if not base >= 2.0:
+            raise InvalidParameterError(f"base must be >= 2, got {base}")
+        self.base = float(base)
+
+    def weight(self, age: int) -> float:
+        self._check_age(age)
+        return 1.0 / math.log2(age + self.base)
+
+    def is_ratio_nonincreasing(self, horizon: int = 4096) -> bool:
+        return True
+
+    def describe(self) -> str:
+        return f"LOGD(base={self.base:g})"
+
+    def __repr__(self) -> str:
+        return f"LogarithmicDecay(base={self.base!r})"
+
+
+class GaussianDecay(DecayFunction):
+    """Super-exponential decay ``g(a) = exp(-(a / sigma)**2)``.
+
+    Decays *faster* than any exponential: ``g(a)/g(a+1)`` grows with age,
+    so the WBMH ratio condition fails (regions would have to shrink) and
+    the weights of two items drift further apart over time -- the opposite
+    of the Figure 1 property. Included to exercise Theorem 1's "any decay
+    function" claim on the far side of the spectrum from POLYD: only the
+    cascaded EH serves this family with guarantees.
+    """
+
+    def __init__(self, sigma: float) -> None:
+        if not sigma > 0:
+            raise InvalidParameterError(f"sigma must be > 0, got {sigma}")
+        self.sigma = float(sigma)
+
+    def weight(self, age: int) -> float:
+        self._check_age(age)
+        return math.exp(-((age / self.sigma) ** 2))
+
+    def is_ratio_nonincreasing(self, horizon: int = 4096) -> bool:
+        return False
+
+    def describe(self) -> str:
+        return f"GAUSS(sigma={self.sigma:g})"
+
+    def __repr__(self) -> str:
+        return f"GaussianDecay(sigma={self.sigma!r})"
+
+
+class TableDecay(DecayFunction):
+    """Arbitrary user-supplied decay given as an explicit weight table.
+
+    ``weights[a]`` is ``g(a)`` for ``a < len(weights)``; older ages get
+    ``tail`` (default 0). The constructor validates non-negativity and
+    monotonicity so downstream engines can trust the function.
+    """
+
+    def __init__(self, weights: Iterable[float], tail: float = 0.0) -> None:
+        table = [float(w) for w in weights]
+        if not table:
+            raise InvalidParameterError("weight table must be non-empty")
+        if tail < 0:
+            raise InvalidParameterError("tail weight must be >= 0")
+        prev = math.inf
+        for i, w in enumerate(table):
+            if w < 0:
+                raise DecayFunctionError(f"negative weight at age {i}")
+            if w > prev + 1e-12:
+                raise DecayFunctionError(f"weight increases at age {i}")
+            prev = w
+        if table[-1] < tail - 1e-12:
+            raise DecayFunctionError("tail weight exceeds last table entry")
+        self._table = table
+        self.tail = float(tail)
+
+    def weight(self, age: int) -> float:
+        self._check_age(age)
+        if age < len(self._table):
+            return self._table[age]
+        return self.tail
+
+    def support(self) -> int | None:
+        if self.tail > 0:
+            return None
+        last_pos = None
+        for i, w in enumerate(self._table):
+            if w > 0:
+                last_pos = i
+        return last_pos
+
+    def describe(self) -> str:
+        return f"TABLE(len={len(self._table)})"
+
+    def __repr__(self) -> str:
+        return f"TableDecay({self._table!r}, tail={self.tail!r})"
+
+
+class NoDecay(DecayFunction):
+    """The constant function ``g(a) = 1``: a plain (undecayed) sum.
+
+    Included so the same engines can report the classic non-decaying
+    baseline the paper opens with (Morris counting territory).
+    """
+
+    def weight(self, age: int) -> float:
+        self._check_age(age)
+        return 1.0
+
+    def is_ratio_nonincreasing(self, horizon: int = 4096) -> bool:
+        return True
+
+    def describe(self) -> str:
+        return "NONE"
+
+    def __repr__(self) -> str:
+        return "NoDecay()"

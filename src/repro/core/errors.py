@@ -1,0 +1,50 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to distinguish configuration mistakes from runtime misuse.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidParameterError",
+    "DecayFunctionError",
+    "NotApplicableError",
+    "TimeOrderError",
+    "EmptyAggregateError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A constructor or method argument is outside its documented domain."""
+
+
+class DecayFunctionError(ReproError, ValueError):
+    """A decay function violates a property required by the caller.
+
+    Raised, for example, when a decay function returns a negative weight or
+    increases with age.
+    """
+
+
+class NotApplicableError(ReproError, ValueError):
+    """An algorithm was asked to run on a decay function it does not support.
+
+    The weight-based merging histogram (WBMH, paper section 5) requires
+    ``g(x)/g(x+1)`` to be non-increasing; passing a sliding-window decay in
+    strict mode raises this error.
+    """
+
+
+class TimeOrderError(ReproError, ValueError):
+    """An operation would move an aggregate's clock backwards."""
+
+
+class EmptyAggregateError(ReproError, ValueError):
+    """A query needs at least one observed item (e.g. a decaying average)."""

@@ -1,0 +1,98 @@
+"""Estimates with certified error brackets.
+
+Every approximate engine in the library answers queries with an
+:class:`Estimate` rather than a bare float: the point value plus certified
+lower/upper bounds derived from the structure's invariants (for example the
+half-oldest-bucket uncertainty of an Exponential Histogram, or the
+per-bucket weight bracket of a WBMH). The paper's ``(1 +- eps)`` guarantees
+are then checkable properties: ``lower <= true <= upper`` must always hold,
+and ``upper / lower`` is bounded by the configured accuracy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.errors import InvalidParameterError
+
+__all__ = ["Estimate"]
+
+
+@dataclass(frozen=True, slots=True)
+class Estimate:
+    """A point estimate with certified bounds ``lower <= value <= upper``."""
+
+    value: float
+    lower: float
+    upper: float
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.value) or math.isnan(self.lower) or math.isnan(self.upper):
+            raise InvalidParameterError("estimate fields must not be NaN")
+        if not (self.lower <= self.value <= self.upper):
+            # Guard against floating-point jitter from bracket arithmetic.
+            if self.lower <= self.upper and (
+                math.isclose(self.value, self.lower, rel_tol=1e-9, abs_tol=1e-12)
+                or math.isclose(self.value, self.upper, rel_tol=1e-9, abs_tol=1e-12)
+            ):
+                clamped = min(max(self.value, self.lower), self.upper)
+                object.__setattr__(self, "value", clamped)
+            else:
+                raise InvalidParameterError(
+                    f"estimate bounds violated: {self.lower} <= {self.value} "
+                    f"<= {self.upper}"
+                )
+
+    @classmethod
+    def exact(cls, value: float) -> "Estimate":
+        """An estimate known to be exact."""
+        return cls(value=value, lower=value, upper=value)
+
+    @classmethod
+    def from_bracket(cls, lower: float, upper: float) -> "Estimate":
+        """Midpoint estimate of a certified bracket."""
+        if lower > upper:
+            raise InvalidParameterError(f"empty bracket [{lower}, {upper}]")
+        return cls(value=0.5 * (lower + upper), lower=lower, upper=upper)
+
+    def contains(self, true_value: float, slack: float = 1e-9) -> bool:
+        """Whether the bracket contains ``true_value`` (with float slack)."""
+        pad = slack * max(1.0, abs(self.lower), abs(self.upper))
+        return self.lower - pad <= true_value <= self.upper + pad
+
+    def relative_error_vs(self, true_value: float) -> float:
+        """|value - true| / true, with the 0/0 case defined as 0."""
+        if true_value == 0.0:
+            return 0.0 if self.value == 0.0 else math.inf
+        return abs(self.value - true_value) / abs(true_value)
+
+    def width_ratio(self) -> float:
+        """``upper / lower`` -- the multiplicative uncertainty of the bracket.
+
+        Defined as 1 for the all-zero estimate and infinity when the lower
+        bound is 0 but the upper is not.
+        """
+        if self.lower == 0.0:
+            return 1.0 if self.upper == 0.0 else math.inf
+        return self.upper / self.lower
+
+    def scaled(self, factor: float) -> "Estimate":
+        """Multiply the estimate and bounds by a non-negative factor."""
+        if factor < 0:
+            raise InvalidParameterError("scale factor must be >= 0")
+        return Estimate(
+            value=self.value * factor,
+            lower=self.lower * factor,
+            upper=self.upper * factor,
+        )
+
+    def __add__(self, other: "Estimate") -> "Estimate":
+        return Estimate(
+            value=self.value + other.value,
+            lower=self.lower + other.lower,
+            upper=self.upper + other.upper,
+        )
+
+    def __float__(self) -> float:
+        return float(self.value)

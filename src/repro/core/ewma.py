@@ -1,0 +1,356 @@
+"""Exponential and polyexponential decay via constant-size registers.
+
+Implements the classic recurrence the paper opens with (Eq. 1),
+
+    S_EXPD(t) = f(t) + exp(-lam) * S_EXPD(t - 1),
+
+its weighted-average form ``C <- (1 - w) x + w C`` used by RED and the other
+section 1.1 applications, a bit-quantized variant for the Lemma 3.1 storage
+experiments, and the polyexponential pipeline of section 3.4: decay by
+``p_k(x) exp(-lam x)`` through ``k + 1`` cascaded exponential registers
+(Brown's double/triple smoothing for k = 1, 2).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.decay import (
+    DecayFunction,
+    ExponentialDecay,
+    PolyexponentialDecay,
+    PolyExpPolynomialDecay,
+)
+from repro.core.errors import EmptyAggregateError, InvalidParameterError
+from repro.core.estimate import Estimate
+from repro.storage.model import StorageReport
+
+__all__ = [
+    "ExponentialSum",
+    "QuantizedExponentialSum",
+    "EwmaRegister",
+    "PolyexponentialSum",
+    "GeneralPolyexpSum",
+    "PolyexpPipeline",
+]
+
+
+def _expd_register_bits(lam: float, time: int, items: int, mantissa_bits: int) -> int:
+    """Bits of one EXPD register under the storage model.
+
+    The register's magnitude spans from ``exp(-lam * T)`` (one ancient item)
+    up to the total count, so its exponent is an integer of magnitude about
+    ``lam * T / ln 2``; storing that exponent costs Theta(log(lam * T)) =
+    Theta(log N) bits, which is exactly the paper's Lemma 3.1 upper bound.
+    """
+    exponent_magnitude = 1.0 + lam * max(1, time) / math.log(2) + math.log2(1 + items)
+    exponent_bits = max(1, math.ceil(math.log2(exponent_magnitude + 1)))
+    return exponent_bits + mantissa_bits + 1
+
+
+class ExponentialSum:
+    """EXPD decaying sum via the single-register recurrence (paper Eq. 1)."""
+
+    def __init__(self, decay: ExponentialDecay) -> None:
+        if not isinstance(decay, ExponentialDecay):
+            raise InvalidParameterError("ExponentialSum requires ExponentialDecay")
+        self._decay = decay
+        self._factor = math.exp(-decay.lam)
+        self._sum = 0.0
+        self._time = 0
+        self._items = 0
+
+    @property
+    def time(self) -> int:
+        return self._time
+
+    @property
+    def decay(self) -> DecayFunction:
+        return self._decay
+
+    def add(self, value: float = 1.0) -> None:
+        if value < 0:
+            raise InvalidParameterError(f"value must be >= 0, got {value}")
+        self._sum += value
+        self._items += 1
+
+    def advance(self, steps: int = 1) -> None:
+        if steps < 0:
+            raise InvalidParameterError(f"steps must be >= 0, got {steps}")
+        if steps:
+            self._sum *= self._factor**steps
+            self._time += steps
+
+    def query(self) -> Estimate:
+        return Estimate.exact(self._sum)
+
+    def absorb(self, other: "ExponentialSum") -> None:
+        """Merge another EXPD register over the same decay and clock.
+
+        Decaying sums are linear in the stream, so distributed EXPD
+        registers merge by addition.
+        """
+        if other is self:
+            raise InvalidParameterError("cannot absorb an engine into itself")
+        if not isinstance(other, ExponentialSum):
+            raise InvalidParameterError("can only absorb another ExponentialSum")
+        if other._decay.lam != self._decay.lam:
+            raise InvalidParameterError("absorb requires the same decay rate")
+        if other._time != self._time:
+            from repro.core.errors import TimeOrderError
+
+            raise TimeOrderError(
+                f"clock mismatch: {self._time} vs {other._time}"
+            )
+        self._sum += other._sum
+        self._items += other._items
+
+    def storage_report(self) -> StorageReport:
+        return StorageReport(
+            engine="ewma",
+            register_bits=_expd_register_bits(
+                self._decay.lam, self._time, self._items, mantissa_bits=52
+            ),
+        )
+
+
+class QuantizedExponentialSum(ExponentialSum):
+    """EXPD register truncated to ``mantissa_bits`` after every tick.
+
+    Demonstrates Lemma 3.1's trade-off between register width and accuracy:
+    relative error after N steps is about ``N * 2**-mantissa_bits`` in the
+    worst case, so Theta(log N) mantissa bits keep the estimate within any
+    fixed ``(1 +- eps)``.
+    """
+
+    def __init__(self, decay: ExponentialDecay, mantissa_bits: int) -> None:
+        super().__init__(decay)
+        if mantissa_bits < 1:
+            raise InvalidParameterError("mantissa_bits must be >= 1")
+        self.mantissa_bits = int(mantissa_bits)
+
+    def _quantize(self, x: float) -> float:
+        if x == 0.0:
+            return 0.0
+        mantissa, exponent = math.frexp(x)
+        scale = 2.0**self.mantissa_bits
+        return math.ldexp(math.floor(mantissa * scale) / scale, exponent)
+
+    def add(self, value: float = 1.0) -> None:
+        super().add(value)
+        self._sum = self._quantize(self._sum)
+
+    def advance(self, steps: int = 1) -> None:
+        if steps < 0:
+            raise InvalidParameterError(f"steps must be >= 0, got {steps}")
+        for _ in range(steps):
+            self._sum = self._quantize(self._sum * self._factor)
+            self._time += 1
+
+    def query(self) -> Estimate:
+        # Each quantization multiplies the stored value by (1 - delta) with
+        # 0 <= delta < 2**-mantissa_bits; after `ops` operations the true sum
+        # lies within [stored, stored / (1 - u)**ops].
+        ops = self._time + self._items
+        u = 2.0**-self.mantissa_bits
+        if u * ops >= 1.0:
+            upper = math.inf if self._sum > 0 else 0.0
+        else:
+            upper = self._sum / (1.0 - u) ** ops
+        return Estimate(value=self._sum, lower=self._sum, upper=upper)
+
+    def storage_report(self) -> StorageReport:
+        return StorageReport(
+            engine=f"ewma[{self.mantissa_bits}b]",
+            register_bits=_expd_register_bits(
+                self._decay.lam, self._time, self._items, self.mantissa_bits
+            ),
+        )
+
+
+class EwmaRegister:
+    """The applications-style weighted average ``C <- (1 - w) x + w C``.
+
+    This is the exact formula quoted in section 1.2 (RED queue averaging,
+    ATM holding times, gateway ratings): one observation per update, with the
+    contribution of an observation made ``T`` updates ago scaled by ``w**T``.
+    """
+
+    def __init__(self, w: float, initial: float | None = None) -> None:
+        if not 0 < w < 1:
+            raise InvalidParameterError(f"w must be in (0, 1), got {w}")
+        self.w = float(w)
+        self._value = initial
+        self.updates = 0
+
+    @property
+    def value(self) -> float:
+        if self._value is None:
+            raise EmptyAggregateError("EwmaRegister has no observations yet")
+        return self._value
+
+    @property
+    def initialized(self) -> bool:
+        return self._value is not None
+
+    def observe(self, x: float) -> float:
+        """Fold one observation in and return the new average."""
+        if self._value is None:
+            self._value = float(x)
+        else:
+            self._value = (1.0 - self.w) * x + self.w * self._value
+        self.updates += 1
+        return self._value
+
+
+class PolyexpPipeline:
+    """All polyexponential moments ``M_j(T) = sum_t f(t) w_j(T - t)``.
+
+    ``w_j(a) = a**j exp(-lam a) / j!``. The pipeline update (derived by
+    expanding ``(a + 1)**k``) is
+
+        M_k(T + 1) = exp(-lam) * sum_{j<=k} M_j(T) / (k - j)!  [+ f(T+1) for k=0]
+
+    so ``k + 1`` registers suffice for any decay ``p_k(x) exp(-lam x)`` --
+    the section 3.4 reduction.
+    """
+
+    def __init__(self, k: int, lam: float) -> None:
+        if k < 0:
+            raise InvalidParameterError(f"k must be >= 0, got {k}")
+        if not lam > 0:
+            raise InvalidParameterError(f"lambda must be > 0, got {lam}")
+        self.k = int(k)
+        self.lam = float(lam)
+        self._factor = math.exp(-lam)
+        self._m = [0.0] * (self.k + 1)
+        self._inv_fact = [1.0 / math.factorial(i) for i in range(self.k + 1)]
+        self._time = 0
+        self._items = 0
+
+    @property
+    def time(self) -> int:
+        return self._time
+
+    def moments(self) -> list[float]:
+        """Current values ``[M_0, ..., M_k]``."""
+        return list(self._m)
+
+    def add(self, value: float = 1.0) -> None:
+        if value < 0:
+            raise InvalidParameterError(f"value must be >= 0, got {value}")
+        # A new item has age 0: w_0(0) = 1, w_j(0) = 0 for j >= 1.
+        self._m[0] += value
+        self._items += 1
+
+    def advance(self, steps: int = 1) -> None:
+        if steps < 0:
+            raise InvalidParameterError(f"steps must be >= 0, got {steps}")
+        for _ in range(steps):
+            prev = self._m
+            nxt = [0.0] * (self.k + 1)
+            for kk in range(self.k + 1):
+                acc = 0.0
+                for j in range(kk + 1):
+                    acc += prev[j] * self._inv_fact[kk - j]
+                nxt[kk] = self._factor * acc
+            self._m = nxt
+            self._time += 1
+
+    def combine(self, poly_coeffs: Sequence[float]) -> float:
+        """Decaying sum under ``g(a) = (sum_j c_j a**j) exp(-lam a)``.
+
+        ``poly_coeffs[j]`` is ``c_j``; the answer is
+        ``sum_j c_j * j! * M_j`` since ``M_j`` carries the ``1/j!`` factor.
+        """
+        if len(poly_coeffs) > self.k + 1:
+            raise InvalidParameterError(
+                f"polynomial degree {len(poly_coeffs) - 1} exceeds pipeline k={self.k}"
+            )
+        total = 0.0
+        for j, c in enumerate(poly_coeffs):
+            total += c * math.factorial(j) * self._m[j]
+        return total
+
+    def storage_report(self) -> StorageReport:
+        per_register = _expd_register_bits(
+            self.lam, self._time, self._items, mantissa_bits=52
+        )
+        return StorageReport(
+            engine=f"polyexp[k={self.k}]",
+            register_bits=per_register * (self.k + 1),
+        )
+
+
+class GeneralPolyexpSum:
+    """Decaying sum under ``p(x) e^{-lam x}`` via the §3.4 reduction.
+
+    ``k + 1`` pipelined exponential registers track the moments
+    ``M_0..M_k``; the answer is the linear combination
+    ``sum_j c_j * j! * M_j``. Exact up to float arithmetic, constant work
+    per tick, Theta(k log N) bits.
+    """
+
+    def __init__(self, decay: PolyExpPolynomialDecay) -> None:
+        if not isinstance(decay, PolyExpPolynomialDecay):
+            raise InvalidParameterError(
+                "GeneralPolyexpSum requires PolyExpPolynomialDecay"
+            )
+        self._decay = decay
+        self._pipe = PolyexpPipeline(len(decay.coeffs) - 1, decay.lam)
+
+    @property
+    def time(self) -> int:
+        return self._pipe.time
+
+    @property
+    def decay(self) -> DecayFunction:
+        return self._decay
+
+    def add(self, value: float = 1.0) -> None:
+        self._pipe.add(value)
+
+    def advance(self, steps: int = 1) -> None:
+        self._pipe.advance(steps)
+
+    def query(self) -> Estimate:
+        return Estimate.exact(self._pipe.combine(self._decay.coeffs))
+
+    def storage_report(self) -> StorageReport:
+        report = self._pipe.storage_report()
+        report.engine = f"polyexp-poly[deg={len(self._decay.coeffs) - 1}]"
+        return report
+
+
+class PolyexponentialSum:
+    """Decaying sum under :class:`PolyexponentialDecay` via the pipeline."""
+
+    def __init__(self, decay: PolyexponentialDecay) -> None:
+        if not isinstance(decay, PolyexponentialDecay):
+            raise InvalidParameterError(
+                "PolyexponentialSum requires PolyexponentialDecay"
+            )
+        self._decay = decay
+        self._pipe = PolyexpPipeline(decay.k, decay.lam)
+
+    @property
+    def time(self) -> int:
+        return self._pipe.time
+
+    @property
+    def decay(self) -> DecayFunction:
+        return self._decay
+
+    def add(self, value: float = 1.0) -> None:
+        self._pipe.add(value)
+
+    def advance(self, steps: int = 1) -> None:
+        self._pipe.advance(steps)
+
+    def query(self) -> Estimate:
+        # g(a) = a**k exp(-lam a)/k! = w_k(a), i.e. exactly M_k.
+        return Estimate.exact(self._pipe.moments()[self._decay.k])
+
+    def storage_report(self) -> StorageReport:
+        return self._pipe.storage_report()

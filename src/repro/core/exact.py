@@ -1,0 +1,104 @@
+"""Exact decaying-sum reference engine.
+
+Stores the entire stream (aggregated per time step, as the paper's
+``f(t) = sum of values arriving at t``) and evaluates ``S_g(T)`` directly.
+This is the ground truth that every approximate engine is validated against,
+and the Omega(N) baseline of Lemmas 3.1 and 3.2: its ``storage_report()``
+grows linearly with elapsed time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.decay import DecayFunction
+from repro.core.errors import InvalidParameterError
+from repro.core.estimate import Estimate
+from repro.storage.model import StorageReport, bits_for_value
+
+__all__ = ["ExactDecayingSum"]
+
+
+class ExactDecayingSum:
+    """Ground-truth decaying sum via full stream retention.
+
+    Items older than the decay support are dropped (they will never again
+    carry weight), so for bounded-support decays such as sliding windows the
+    retained prefix is the window itself -- exactly the paper's observation
+    that exact SLIWIN counting needs Omega(N) storage.
+    """
+
+    def __init__(self, decay: DecayFunction) -> None:
+        self._decay = decay
+        self._time = 0
+        # Per-time totals f(t) for retained times, oldest first.
+        self._values: deque[tuple[int, float]] = deque()
+        self._items = 0
+
+    @property
+    def time(self) -> int:
+        return self._time
+
+    @property
+    def decay(self) -> DecayFunction:
+        return self._decay
+
+    @property
+    def items_observed(self) -> int:
+        """Number of ``add`` calls over the engine's lifetime."""
+        return self._items
+
+    def add(self, value: float = 1.0) -> None:
+        if value < 0:
+            raise InvalidParameterError(f"value must be >= 0, got {value}")
+        self._items += 1
+        if self._values and self._values[-1][0] == self._time:
+            t, v = self._values[-1]
+            self._values[-1] = (t, v + value)
+        else:
+            self._values.append((self._time, value))
+
+    def advance(self, steps: int = 1) -> None:
+        if steps < 0:
+            raise InvalidParameterError(f"steps must be >= 0, got {steps}")
+        self._time += steps
+        self._expire()
+
+    def query(self) -> Estimate:
+        total = 0.0
+        for t, v in self._values:
+            total += v * self._decay.weight(self._time - t)
+        return Estimate.exact(total)
+
+    def query_at_age_offset(self, extra_age: int) -> float:
+        """Ground truth ``S_g`` as if the clock were ``extra_age`` ahead.
+
+        Used by benchmarks that compare several engines at a single frozen
+        stream without mutating state.
+        """
+        if extra_age < 0:
+            raise InvalidParameterError("extra_age must be >= 0")
+        total = 0.0
+        for t, v in self._values:
+            total += v * self._decay.weight(self._time - t + extra_age)
+        return total
+
+    def storage_report(self) -> StorageReport:
+        time_bits = bits_for_value(max(1, self._time))
+        count_bits = 0
+        for _, v in self._values:
+            count_bits += bits_for_value(max(1, int(v)))
+        return StorageReport(
+            engine="exact",
+            buckets=len(self._values),
+            timestamp_bits=time_bits * len(self._values),
+            count_bits=count_bits,
+            register_bits=time_bits,
+        )
+
+    def _expire(self) -> None:
+        sup = self._decay.support()
+        if sup is None:
+            return
+        while self._values and self._time - self._values[0][0] > sup:
+            self._values.popleft()

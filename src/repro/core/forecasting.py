@@ -1,0 +1,119 @@
+"""Brown's multiple exponential smoothing (paper section 3.4).
+
+The paper notes that polyexponential decay by ``p_k(x) e^{-lam x}`` via
+pipelined exponential registers is, for k = 1 (k = 2), exactly *Brown's
+double (triple) exponential smoothing* from around 1960, still used to
+model data by a line or a quadratic. This module ships that classic
+forecasting form on top of the same register pipeline:
+
+* ``S1`` is the EWMA of the observations, ``S2`` the EWMA of ``S1``,
+  ``S3`` the EWMA of ``S2``;
+* the k-fold smoothed series is a *negative-binomially weighted* decaying
+  average -- the weight of the observation made ``j`` steps ago in ``Sk``
+  is ``C(j + k - 1, k - 1) * (1 - w)**k * w**j``, a polynomial in ``j``
+  times ``w**j``, i.e. polyexponential decay (verified by the tests);
+* Brown's closed forms recover level / trend / curvature and forecast
+  ``h`` steps ahead.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import EmptyAggregateError, InvalidParameterError
+
+__all__ = ["BrownSmoother"]
+
+
+class BrownSmoother:
+    """Single, double or triple exponential smoothing with forecasting.
+
+    Parameters
+    ----------
+    order:
+        1 (level only), 2 (level + trend, "double"), or 3
+        (level + trend + curvature, "triple").
+    alpha:
+        The smoothing constant in (0, 1): each stage updates as
+        ``S <- alpha * x + (1 - alpha) * S``. (Note this is the
+        conventional forecasting parameterization; the paper's section 1.2
+        register uses ``w = 1 - alpha``.)
+    """
+
+    def __init__(self, order: int, alpha: float) -> None:
+        if order not in (1, 2, 3):
+            raise InvalidParameterError(f"order must be 1, 2 or 3, got {order}")
+        if not 0 < alpha < 1:
+            raise InvalidParameterError(f"alpha must be in (0, 1), got {alpha}")
+        self.order = int(order)
+        self.alpha = float(alpha)
+        self._s: list[float] | None = None
+        self.observations = 0
+
+    @property
+    def initialized(self) -> bool:
+        return self._s is not None
+
+    def observe(self, x: float) -> None:
+        """Fold one observation into all smoothing stages."""
+        if self._s is None:
+            # Standard initialization: all stages start at the first value,
+            # which makes early trend/curvature estimates zero.
+            self._s = [float(x)] * self.order
+        else:
+            a = self.alpha
+            prev = float(x)
+            for i in range(self.order):
+                self._s[i] = a * prev + (1.0 - a) * self._s[i]
+                prev = self._s[i]
+        self.observations += 1
+
+    def smoothed(self) -> list[float]:
+        """Current stage values ``[S1, .., S_order]``."""
+        if self._s is None:
+            raise EmptyAggregateError("no observations yet")
+        return list(self._s)
+
+    def level(self) -> float:
+        """Brown's current-level estimate ``a``."""
+        s = self.smoothed()
+        if self.order == 1:
+            return s[0]
+        if self.order == 2:
+            return 2.0 * s[0] - s[1]
+        return 3.0 * s[0] - 3.0 * s[1] + s[2]
+
+    def trend(self) -> float:
+        """Brown's per-step trend estimate ``b`` (0 for order 1)."""
+        s = self.smoothed()
+        a = self.alpha
+        if self.order == 1:
+            return 0.0
+        if self.order == 2:
+            return a / (1.0 - a) * (s[0] - s[1])
+        return (
+            a
+            / (2.0 * (1.0 - a) ** 2)
+            * (
+                (6.0 - 5.0 * a) * s[0]
+                - (10.0 - 8.0 * a) * s[1]
+                + (4.0 - 3.0 * a) * s[2]
+            )
+        )
+
+    def curvature(self) -> float:
+        """Brown's quadratic coefficient ``c`` (0 below order 3)."""
+        s = self.smoothed()
+        a = self.alpha
+        if self.order < 3:
+            return 0.0
+        return (a / (1.0 - a)) ** 2 * (s[0] - 2.0 * s[1] + s[2])
+
+    def forecast(self, horizon: int) -> float:
+        """Predict the observation ``horizon`` steps ahead.
+
+        ``level + trend * h`` for double smoothing, plus
+        ``curvature * h**2 / 2`` for triple.
+        """
+        if horizon < 0:
+            raise InvalidParameterError(f"horizon must be >= 0, got {horizon}")
+        h = float(horizon)
+        return self.level() + self.trend() * h + 0.5 * self.curvature() * h * h

@@ -1,0 +1,101 @@
+"""Shared protocol for decaying-sum engines and an engine factory.
+
+Every engine (exact, EWMA, EH, CEH, WBMH) follows the same discrete-time
+protocol:
+
+* ``add(value)`` records an item arriving at the current time ``T``.
+* ``advance(steps)`` moves the clock forward.
+* ``query()`` returns an :class:`~repro.core.estimate.Estimate` of the
+  decaying sum ``S_g(T) = sum f_i * g(T - t_i)`` over everything observed so
+  far, items at the current instant included with weight ``g(0)``.
+* ``storage_report()`` returns the bit-level storage accounting
+  (:class:`~repro.storage.model.StorageReport`) that the paper's bounds are
+  measured against.
+
+The factory :func:`make_decaying_sum` picks the best engine for a given
+decay family, mirroring the paper's guidance: the single-register recurrence
+for exponential decay, the Exponential Histogram for sliding windows, WBMH
+for ratio-nonincreasing (e.g. polynomial) decay, and the cascaded EH for
+everything else.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from repro.core.decay import (
+    DecayFunction,
+    ExponentialDecay,
+    SlidingWindowDecay,
+)
+from repro.core.errors import InvalidParameterError
+from repro.core.estimate import Estimate
+
+if TYPE_CHECKING:
+    from repro.storage.model import StorageReport
+
+__all__ = ["DecayingSum", "make_decaying_sum"]
+
+
+@runtime_checkable
+class DecayingSum(Protocol):
+    """Protocol implemented by every decaying-sum engine."""
+
+    @property
+    def time(self) -> int:
+        """Current clock value ``T`` (starts at 0)."""
+
+    @property
+    def decay(self) -> DecayFunction:
+        """The decay function this engine maintains."""
+
+    def add(self, value: float = 1.0) -> None:
+        """Record an item with the given non-negative value at time ``T``."""
+
+    def advance(self, steps: int = 1) -> None:
+        """Advance the clock by ``steps >= 0`` time units."""
+
+    def query(self) -> Estimate:
+        """Estimate ``S_g(T)`` with certified bounds."""
+
+    def storage_report(self) -> "StorageReport":
+        """Bit-level storage accounting for the paper's bounds."""
+
+
+def make_decaying_sum(
+    decay: DecayFunction,
+    epsilon: float = 0.1,
+    *,
+    horizon_hint: int | None = None,
+) -> DecayingSum:
+    """Build the storage-optimal engine for ``decay`` per the paper.
+
+    * EXPD -> :class:`repro.core.ewma.ExponentialSum` (Theta(log N) bits,
+      Eq. 1).
+    * SLIWIN -> :class:`repro.histograms.eh.ExponentialHistogram` wrapped as
+      a decaying sum (Theta(log^2 N) bits, Datar et al.).
+    * ratio-nonincreasing decay (POLYD and slower) ->
+      :class:`repro.histograms.wbmh.WBMH`
+      (O(log D(g) log log N) bits, Lemma 5.1).
+    * anything else -> :class:`repro.histograms.ceh.CascadedEH`
+      (O(log^2 N) bits for any decay, Theorem 1).
+
+    ``horizon_hint`` bounds the age range used for the numerical
+    ratio-nonincreasing check on user-defined decay functions.
+    """
+    # Imported here to keep repro.core free of package-level import cycles.
+    from repro.core.ewma import ExponentialSum
+    from repro.histograms.ceh import CascadedEH
+    from repro.histograms.eh import SlidingWindowSum
+    from repro.histograms.wbmh import WBMH
+
+    if not 0 < epsilon < 1:
+        raise InvalidParameterError(f"epsilon must be in (0, 1), got {epsilon}")
+    if isinstance(decay, ExponentialDecay):
+        return ExponentialSum(decay)
+    if isinstance(decay, SlidingWindowDecay):
+        return SlidingWindowSum(decay.window, epsilon)
+    horizon = horizon_hint if horizon_hint is not None else 4096
+    if decay.is_ratio_nonincreasing(horizon):
+        return WBMH(decay, epsilon)
+    return CascadedEH(decay, epsilon)

@@ -1,0 +1,6 @@
+"""Approximate counters: Morris counting and quantized float registers."""
+
+from repro.counters.approx_float import LevelQuantizer, truncate_mantissa
+from repro.counters.morris import MorrisCounter
+
+__all__ = ["MorrisCounter", "LevelQuantizer", "truncate_mantissa"]

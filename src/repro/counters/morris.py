@@ -1,0 +1,78 @@
+"""Morris approximate counting (Morris 1978; paper section 1).
+
+The paper opens with the observation that a plain (non-decaying) stream sum
+can be approximately maintained in ``O(log log n)`` bits, due to Morris: the
+register holds (roughly) the logarithm of the count and is incremented
+probabilistically. This is the baseline against which the exponential gap to
+decaying sums (Theta(log N) for EXPD, Theta(log^2 N) for SLIWIN) is
+measured, so the library ships it as a first-class engine.
+
+The variant implemented is the standard base-``(1 + a)`` Morris counter:
+on each event the register ``r`` increments with probability
+``(1 + a) ** -r``; the estimate ``((1 + a) ** r - 1) / a`` is unbiased with
+relative standard deviation about ``sqrt(a / 2)``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.core.errors import InvalidParameterError
+from repro.core.estimate import Estimate
+from repro.storage.model import StorageReport, bits_for_value
+
+__all__ = ["MorrisCounter"]
+
+
+class MorrisCounter:
+    """Probabilistic counter holding ``O(log log n)`` bits of state."""
+
+    def __init__(self, accuracy: float = 0.25, *, seed: int | None = None) -> None:
+        if not 0 < accuracy < 1:
+            raise InvalidParameterError(
+                f"accuracy must be in (0, 1), got {accuracy}"
+            )
+        # Relative std-dev sqrt(a/2) <= accuracy  =>  a = 2 * accuracy**2.
+        self.a = 2.0 * accuracy * accuracy
+        self.accuracy = float(accuracy)
+        self._register = 0
+        self._events = 0
+        self._rng = random.Random(seed)
+
+    @property
+    def register(self) -> int:
+        """The stored exponent (the only per-stream state)."""
+        return self._register
+
+    @property
+    def events_observed(self) -> int:
+        """True event count (kept for validation only, not 'stored')."""
+        return self._events
+
+    def add(self, count: int = 1) -> None:
+        if count < 0 or count != int(count):
+            raise InvalidParameterError(f"count must be a non-negative int, got {count}")
+        base = 1.0 + self.a
+        for _ in range(int(count)):
+            self._events += 1
+            if self._rng.random() < base**-self._register:
+                self._register += 1
+
+    def query(self) -> Estimate:
+        """Unbiased estimate with a ~3-sigma bracket."""
+        base = 1.0 + self.a
+        value = (base**self._register - 1.0) / self.a
+        sigma = math.sqrt(self.a / 2.0) * max(value, 1.0)
+        return Estimate(
+            value=value,
+            lower=max(0.0, value - 3.0 * sigma),
+            upper=value + 3.0 * sigma,
+        )
+
+    def storage_report(self) -> StorageReport:
+        """log log n bits: the register stores an exponent, not a count."""
+        return StorageReport(
+            engine="morris",
+            register_bits=bits_for_value(max(1, self._register)),
+        )

@@ -1,0 +1,198 @@
+"""Multi-stream fleets (the paper's section 1.1 AT&T scenario).
+
+"A summary is maintained per field on each of around 100 million
+customers; thus, optimal balancing of information value and available
+storage is very important." A :class:`StreamFleet` maintains one
+decaying-sum engine per key over a shared clock, with the
+stream-independent state (the WBMH region schedule) genuinely shared --
+stored once for the whole fleet -- and reports aggregate storage the way a
+capacity planner would.
+
+Keys are created lazily on first observation; every engine is advanced in
+lock-step so WBMH lattices stay mergeable
+(:meth:`~repro.histograms.wbmh.WBMH.absorb`) across fleet shards.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable
+
+from repro.core.decay import (
+    DecayFunction,
+    ExponentialDecay,
+    SlidingWindowDecay,
+)
+from repro.core.errors import InvalidParameterError, TimeOrderError
+from repro.core.estimate import Estimate
+from repro.core.interfaces import DecayingSum
+from repro.histograms.boundaries import RegionSchedule
+from repro.histograms.wbmh import WBMH
+from repro.storage.model import StorageReport
+
+__all__ = ["StreamFleet"]
+
+
+class StreamFleet:
+    """Per-key decaying sums over a shared clock and shared schedule."""
+
+    def __init__(
+        self,
+        decay: DecayFunction,
+        epsilon: float = 0.1,
+        *,
+        engine_factory: Callable[[], DecayingSum] | None = None,
+    ) -> None:
+        if not 0 < epsilon < 1:
+            raise InvalidParameterError(f"epsilon must be in (0, 1), got {epsilon}")
+        self._decay = decay
+        self.epsilon = float(epsilon)
+        self._shared_schedule: RegionSchedule | None = None
+        if engine_factory is not None:
+            self._factory = engine_factory
+        else:
+            self._factory = self._default_factory()
+        self._engines: dict[Hashable, DecayingSum] = {}
+        self._time = 0
+
+    def _default_factory(self) -> Callable[[], DecayingSum]:
+        """Pick the storage-optimal engine; share WBMH schedules."""
+        from repro.core.ewma import ExponentialSum
+        from repro.histograms.ceh import CascadedEH
+        from repro.histograms.eh import SlidingWindowSum
+
+        decay = self._decay
+        if isinstance(decay, ExponentialDecay):
+            return lambda: ExponentialSum(decay)
+        if isinstance(decay, SlidingWindowDecay):
+            return lambda: SlidingWindowSum(decay.window, self.epsilon)
+        if decay.is_ratio_nonincreasing(4096):
+            ratio = 1.0 + 0.8 * self.epsilon
+            self._shared_schedule = RegionSchedule(decay, ratio)
+
+            def make() -> DecayingSum:
+                return WBMH(
+                    decay, self.epsilon, schedule=self._shared_schedule
+                )
+
+            return make
+        return lambda: CascadedEH(decay, self.epsilon)
+
+    # ------------------------------------------------------------------ API
+
+    @property
+    def time(self) -> int:
+        return self._time
+
+    @property
+    def decay(self) -> DecayFunction:
+        return self._decay
+
+    def __len__(self) -> int:
+        return len(self._engines)
+
+    def keys(self) -> list[Hashable]:
+        return list(self._engines)
+
+    def observe(self, key: Hashable, value: float = 1.0, *,
+                when: int | None = None) -> None:
+        """Record ``value`` on ``key``'s stream, optionally at time ``when``.
+
+        ``when`` must not precede the fleet clock; the whole fleet advances
+        to it (lock-step is what keeps per-key structures mergeable).
+        """
+        if when is not None:
+            self.advance_to(when)
+        engine = self._engines.get(key)
+        if engine is None:
+            engine = self._factory()
+            if self._time:
+                engine.advance(self._time)
+            self._engines[key] = engine
+        engine.add(value)
+
+    def advance(self, steps: int = 1) -> None:
+        if steps < 0:
+            raise InvalidParameterError(f"steps must be >= 0, got {steps}")
+        self._time += steps
+        for engine in self._engines.values():
+            engine.advance(steps)
+
+    def advance_to(self, when: int) -> None:
+        if when < self._time:
+            raise TimeOrderError(
+                f"cannot move the fleet clock back: {self._time} -> {when}"
+            )
+        self.advance(when - self._time)
+
+    def rating(self, key: Hashable) -> Estimate:
+        """Decayed sum for one key (0 for never-observed keys)."""
+        engine = self._engines.get(key)
+        if engine is None:
+            return Estimate.exact(0.0)
+        return engine.query()
+
+    def ratings(self) -> dict[Hashable, float]:
+        return {k: e.query().value for k, e in self._engines.items()}
+
+    def top(self, n: int) -> list[tuple[Hashable, float]]:
+        """The ``n`` keys with the largest decayed sums, descending."""
+        if n < 0:
+            raise InvalidParameterError("n must be >= 0")
+        ranked = sorted(
+            self.ratings().items(), key=lambda kv: (-kv[1], str(kv[0]))
+        )
+        return ranked[:n]
+
+    def bottom(self, n: int) -> list[tuple[Hashable, float]]:
+        """The ``n`` keys with the smallest decayed sums, ascending."""
+        if n < 0:
+            raise InvalidParameterError("n must be >= 0")
+        ranked = sorted(
+            self.ratings().items(), key=lambda kv: (kv[1], str(kv[0]))
+        )
+        return ranked[:n]
+
+    def absorb(self, other: "StreamFleet") -> None:
+        """Merge a shard: key-wise engine absorption (WBMH/EWMA fleets)."""
+        if other is self:
+            raise InvalidParameterError("cannot absorb a fleet into itself")
+        if other._time != self._time:
+            raise TimeOrderError(
+                f"fleet clocks differ: {self._time} vs {other._time}"
+            )
+        for key, engine in other._engines.items():
+            mine = self._engines.get(key)
+            if mine is None:
+                self._engines[key] = engine
+            else:
+                absorb = getattr(mine, "absorb", None)
+                if absorb is None:
+                    raise InvalidParameterError(
+                        f"engine {type(mine).__name__} does not support absorb"
+                    )
+                absorb(engine)
+
+    def storage_report(self) -> StorageReport:
+        """Fleet-level accounting: shared bits counted once.
+
+        ``per_stream_bits`` here is the *total* across keys; the shared
+        schedule (identical object in every WBMH) contributes its bits a
+        single time, which is the section 1.1 storage argument.
+        """
+        total = StorageReport(engine=f"fleet[{len(self._engines)}]")
+        shared_once = 0
+        for engine in self._engines.values():
+            rep = engine.storage_report()
+            shared_once = max(shared_once, rep.shared_bits)
+            total.buckets += rep.buckets
+            total.timestamp_bits += rep.timestamp_bits
+            total.count_bits += rep.count_bits
+            total.register_bits += rep.register_bits
+        total.shared_bits = shared_once
+        return total
+
+    def per_key_bits(self) -> dict[Hashable, int]:
+        return {
+            k: e.storage_report().per_stream_bits
+            for k, e in self._engines.items()
+        }

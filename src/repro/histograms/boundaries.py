@@ -1,0 +1,159 @@
+"""WBMH region schedule (paper section 5).
+
+The weight-based merging histogram partitions the *age axis* into regions
+inside which the decay weight varies by at most the configured ratio
+``1 + eps``: region ``i`` is the maximal interval ``[s_i, e_i]`` with
+``(1 + eps) * g(e_i) >= g(s_i)`` and ``s_{i+1} = e_i + 1``. The schedule
+depends only on the decay function and the ratio -- never on the stream --
+which is what lets a deployment maintaining many streams store it once
+(paper: "the boundary values do not need to be stored for each stream").
+
+The total number of regions up to horizon ``N`` is
+``ceil(log_{1+eps} D(g))`` where ``D(g) = g(0) / g(N)`` is the weight ratio;
+this is the bucket-count driver of Lemma 5.1.
+
+The paper's worked example (``g = 1/x**2``, ratio 5) yields boundaries
+``b = 3, 7, 16, ...`` in its age-from-1 convention, i.e. region starts
+``0, 2, 6, 15, ...`` in this library's age-from-0 convention; the fidelity
+test pins these values.
+"""
+
+from __future__ import annotations
+
+from repro.core.decay import DecayFunction
+from repro.core.errors import InvalidParameterError
+
+__all__ = ["RegionSchedule"]
+
+#: Ages beyond this are treated as an unbounded region (no practical decay
+#: function distinguishes weights this far out at any ratio > 1).
+_AGE_CAP = 1 << 56
+
+
+class RegionSchedule:
+    """Lazily-computed age regions for one (decay, ratio) pair."""
+
+    def __init__(self, decay: DecayFunction, ratio: float) -> None:
+        if not ratio > 1.0:
+            raise InvalidParameterError(f"ratio must be > 1, got {ratio}")
+        self.decay = decay
+        self.ratio = float(ratio)
+        sup = decay.support()
+        self._limit = _AGE_CAP if sup is None else min(_AGE_CAP, sup)
+        # Regions as (start, end) pairs, ends inclusive; grown on demand.
+        self._regions: list[tuple[int, int]] = []
+        self._extend_one()  # region 0 always exists
+
+    @property
+    def first_width(self) -> int:
+        """Width of region 0 -- the WBMH bucket sealing cadence."""
+        s, e = self._regions[0]
+        return e - s + 1
+
+    def region_count(self) -> int:
+        """Regions computed so far (grows lazily with queried ages)."""
+        return len(self._regions)
+
+    def region_of(self, age: int) -> tuple[int, int]:
+        """The region ``[s, e]`` containing ``age``.
+
+        Ages past the decay support belong to a synthetic zero-weight tail
+        region ``[support + 1, _AGE_CAP]`` (all weights equal: zero).
+        """
+        if age < 0:
+            raise InvalidParameterError(f"age must be >= 0, got {age}")
+        if age > self._limit:
+            return (self._limit + 1, _AGE_CAP)
+        while self._regions[-1][1] < age:
+            self._extend_one()
+        # Binary search over region starts.
+        lo, hi = 0, len(self._regions) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._regions[mid][1] < age:
+                lo = mid + 1
+            else:
+                hi = mid
+        return self._regions[lo]
+
+    def same_region(self, young_age: int, old_age: int) -> bool:
+        """Whether the age interval ``[young_age, old_age]`` fits one region."""
+        if old_age < young_age:
+            raise InvalidParameterError("old_age must be >= young_age")
+        s, e = self.region_of(young_age)
+        return old_age <= e
+
+    def index_of(self, age: int) -> int:
+        """Index of the region containing ``age``.
+
+        Ages past the support map to the index just after the last real
+        region (the synthetic zero-weight tail; :meth:`region_at` returns
+        ``None`` there once the schedule is complete).
+        """
+        if age < 0:
+            raise InvalidParameterError(f"age must be >= 0, got {age}")
+        if age > self._limit:
+            while self._regions[-1][1] < self._limit:
+                self._extend_one()
+            return len(self._regions)
+        self.region_of(age)  # ensure coverage
+        lo, hi = 0, len(self._regions) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._regions[mid][1] < age:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def region_at(self, index: int) -> tuple[int, int] | None:
+        """The ``index``-th region, extending the schedule lazily.
+
+        Returns ``None`` once the schedule has covered the full support (or
+        the age cap): there is no further region.
+        """
+        if index < 0:
+            raise InvalidParameterError("index must be >= 0")
+        while len(self._regions) <= index:
+            if self._regions[-1][1] >= self._limit:
+                return None
+            self._extend_one()
+        return self._regions[index]
+
+    def starts(self, upto_age: int) -> list[int]:
+        """Region start ages covering ``[0, upto_age]`` (for inspection)."""
+        self.region_of(min(upto_age, self._limit))
+        return [s for s, _ in self._regions if s <= upto_age]
+
+    def _extend_one(self) -> None:
+        """Append the next region after the last computed one."""
+        start = 0 if not self._regions else self._regions[-1][1] + 1
+        if start > self._limit:
+            raise InvalidParameterError("schedule already covers the support")
+        g = self.decay.weight
+        anchor = g(start)
+        if anchor <= 0.0:
+            # Zero-weight tail: one region to the cap.
+            self._regions.append((start, self._limit))
+            return
+        threshold = anchor / self.ratio
+        # Exponential probe for an age where the weight drops below the
+        # threshold, then binary search for the exact region end.
+        lo = start
+        hi = start + 1
+        while hi <= self._limit and g(hi) >= threshold:
+            lo = hi
+            hi = start + 2 * (hi - start)
+        if hi > self._limit:
+            if g(self._limit) >= threshold:
+                self._regions.append((start, self._limit))
+                return
+            hi = self._limit
+        # Invariant: g(lo) >= threshold, g(hi) < threshold.
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if g(mid) >= threshold:
+                lo = mid
+            else:
+                hi = mid
+        self._regions.append((start, lo))

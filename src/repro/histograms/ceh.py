@@ -1,0 +1,144 @@
+"""Cascaded Exponential Histograms (paper section 4.2, Theorem 1).
+
+Theorem 1: the decaying sum under *any* decay function can be estimated from
+a single Exponential Histogram of window ``N`` (= the decay support, or
+elapsed time for infinite-support decay). The summation-by-parts identity
+(paper Eq. 3) writes ``S_g(T)`` as a positively-weighted combination of
+sliding-window counts at every bucket boundary, which collapses (Eq. 4) to
+
+    S'_g(T) = sum_j C_j * g(T - w_j)
+
+over the histogram buckets, where ``w_j`` is the end time of bucket ``j``.
+Since every item in bucket ``j`` is at least as old as ``w_j``, this is the
+certified *upper* estimator; weighting by the bucket start time gives the
+certified *lower* estimator. The EH domination invariant keeps the bracket
+within a ``(1 +- eps)`` factor.
+
+Two backends are provided:
+
+* ``"eh"`` (default) -- the classic power-of-two EH for integer counts (the
+  paper's DCP setting);
+* ``"domination"`` -- the generalized domination-merging histogram for
+  arbitrary non-negative real values.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+from repro.core.decay import DecayFunction
+from repro.core.errors import InvalidParameterError
+from repro.core.estimate import Estimate
+from repro.histograms.domination import DominationHistogram
+from repro.histograms.eh import ExponentialHistogram
+from repro.storage.model import StorageReport
+
+__all__ = ["CascadedEH"]
+
+Backend = Literal["eh", "domination"]
+
+
+class CascadedEH:
+    """Decaying sum under any decay function, via one EH (Theorem 1)."""
+
+    def __init__(
+        self,
+        decay: DecayFunction,
+        epsilon: float,
+        *,
+        backend: Backend = "eh",
+        estimator: Literal["upper", "lower", "midpoint"] = "midpoint",
+    ) -> None:
+        if not 0 < epsilon < 1:
+            raise InvalidParameterError(f"epsilon must be in (0, 1), got {epsilon}")
+        if estimator not in ("upper", "lower", "midpoint"):
+            raise InvalidParameterError(f"unknown estimator {estimator!r}")
+        sup = decay.support()
+        window = None if sup is None else sup + 1
+        self._decay = decay
+        self.epsilon = float(epsilon)
+        self.estimator = estimator
+        if backend == "eh":
+            self._hist: ExponentialHistogram | DominationHistogram = (
+                ExponentialHistogram(window, epsilon)
+            )
+        elif backend == "domination":
+            self._hist = DominationHistogram(window, epsilon)
+        else:
+            raise InvalidParameterError(f"unknown backend {backend!r}")
+        self.backend = backend
+
+    @property
+    def time(self) -> int:
+        return self._hist.time
+
+    @property
+    def decay(self) -> DecayFunction:
+        return self._decay
+
+    @property
+    def histogram(self) -> ExponentialHistogram | DominationHistogram:
+        """The underlying bucket structure (exposed for storage benches)."""
+        return self._hist
+
+    def add(self, value: float = 1.0) -> None:
+        self._hist.add(value)
+
+    def advance(self, steps: int = 1) -> None:
+        self._hist.advance(steps)
+
+    def query(self) -> Estimate:
+        """Evaluate Eq. 4 over the bucket snapshot with certified bounds.
+
+        For each bucket, every item's age lies in
+        ``[T - end, T - start]``; the decaying contribution is therefore in
+        ``[count * g(T - start), count * g(T - end)]``. Ages beyond the decay
+        support get weight zero automatically, which handles the bucket that
+        straddles the support boundary.
+        """
+        now = self._hist.time
+        g = self._decay.weight
+        upper = 0.0
+        lower = 0.0
+        for b in self._hist.bucket_view():
+            newest_age = now - b.end
+            oldest_age = now - b.start
+            upper += b.count * g(newest_age)
+            lower += b.count * g(oldest_age)
+        if self.estimator == "upper":
+            value = upper
+        elif self.estimator == "lower":
+            value = lower
+        else:
+            value = 0.5 * (upper + lower)
+        return Estimate(value=value, lower=lower, upper=upper)
+
+    def query_decay(self, other: DecayFunction) -> Estimate:
+        """Answer for a *different* decay function from the same structure.
+
+        This is the practical payoff of Theorem 1: one histogram serves
+        every decay function whose support fits inside the structure's
+        window. The requested decay must not out-live the structure's
+        expiry horizon.
+        """
+        window = self._window()
+        other_sup = other.support()
+        if window is not None and (other_sup is None or other_sup + 1 > window):
+            raise InvalidParameterError(
+                "requested decay function outlives the structure's window"
+            )
+        now = self._hist.time
+        upper = 0.0
+        lower = 0.0
+        for b in self._hist.bucket_view():
+            upper += b.count * other.weight(now - b.end)
+            lower += b.count * other.weight(now - b.start)
+        return Estimate(value=0.5 * (upper + lower), lower=lower, upper=upper)
+
+    def storage_report(self) -> StorageReport:
+        report = self._hist.storage_report()
+        report.engine = f"ceh[{self.backend}]"
+        return report
+
+    def _window(self) -> int | None:
+        return self._hist.window

@@ -1,0 +1,248 @@
+"""Exponential Histograms (Datar, Gionis, Indyk & Motwani; paper section 4.1).
+
+The EH maintains the count of 1's in a sliding window of ``W`` time units
+using ``O(eps**-1 log W)`` buckets of ``O(log W)`` bits each -- the
+Theta(log^2 W) structure the paper builds Theorem 1 on.
+
+Mechanics (for 0/1 streams):
+
+* every 1 becomes its own size-1 bucket stamped with its arrival time;
+* bucket sizes are powers of two; whenever more than ``m + 1`` buckets of
+  one size exist (``m = ceil(1/eps)``), the two oldest of that size merge
+  into one of double size stamped with the newer timestamp;
+* buckets whose newest item left the window are discarded;
+* the window count is estimated as (total of all buckets) minus half the
+  oldest bucket, which may straddle the window boundary. The merge invariant
+  guarantees every size below the largest has at least ``m`` buckets, so the
+  straddling uncertainty is at most a ``1/(m+1) <= eps`` fraction.
+
+This implementation additionally tracks the start time of each bucket (only
+the oldest bucket's start is ever consulted) so that
+
+* estimates are *exact* until an item actually falls out of the window, and
+* every answer carries a certified bracket ``[total - oldest + 1, total]``.
+
+:meth:`ExponentialHistogram.query_window` answers *every* window ``w <= W``
+from the same structure (paper Lemma 4.1), which is what the cascaded
+construction of Theorem 1 consumes.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+from repro.core.decay import DecayFunction, SlidingWindowDecay
+from repro.core.errors import InvalidParameterError
+from repro.core.estimate import Estimate
+from repro.histograms.buckets import Bucket
+from repro.storage.model import StorageReport, bits_for_value
+
+__all__ = ["ExponentialHistogram", "SlidingWindowSum"]
+
+
+class ExponentialHistogram:
+    """Sliding-window 0/1 counter with ``(1 +- eps)`` guarantees.
+
+    ``window=None`` builds an *unbounded* EH that never expires buckets;
+    cascaded histograms over infinite-support decay functions (POLYD under
+    Theorem 1) use this mode, with ``N`` equal to elapsed time.
+    """
+
+    def __init__(self, window: int | None, epsilon: float) -> None:
+        if window is not None and window < 1:
+            raise InvalidParameterError(f"window must be >= 1, got {window}")
+        if not 0 < epsilon < 1:
+            raise InvalidParameterError(f"epsilon must be in (0, 1), got {epsilon}")
+        self.window = window
+        self.epsilon = float(epsilon)
+        # At most m+1 buckets of each size; m = ceil(1/eps) bounds the
+        # straddling error by 1/(m+1) <= eps.
+        self.buckets_per_size = math.ceil(1.0 / epsilon)
+        self._buckets: list[Bucket] = []  # oldest first; sizes non-increasing
+        self._per_size: Counter[int] = Counter()
+        self._time = 0
+        self._total = 0  # sum of bucket counts (ints: powers of two)
+
+    @property
+    def time(self) -> int:
+        return self._time
+
+    @property
+    def total_in_buckets(self) -> int:
+        """Sum of all bucket counts (upper bound on the window count)."""
+        return self._total
+
+    def add(self, value: float = 1.0) -> None:
+        """Record ``value`` ones at the current time.
+
+        Non-integral or negative values are rejected: the classic EH is a
+        0/1-stream structure (the paper's DCP). Use
+        :class:`repro.histograms.domination.DominationHistogram` for general
+        non-negative values.
+        """
+        if value < 0 or value != int(value):
+            raise InvalidParameterError(
+                f"ExponentialHistogram takes non-negative integer counts, got {value}"
+            )
+        for _ in range(int(value)):
+            self._buckets.append(Bucket(self._time, self._time, 1))
+            self._per_size[1] += 1
+            self._total += 1
+            self._cascade()
+
+    def advance(self, steps: int = 1) -> None:
+        if steps < 0:
+            raise InvalidParameterError(f"steps must be >= 0, got {steps}")
+        self._time += steps
+        self._expire()
+
+    def query(self) -> Estimate:
+        """Estimate the count over the full window (ages ``0..W-1``)."""
+        if self.window is None:
+            return Estimate.exact(float(self._total))
+        return self.query_window(self.window)
+
+    def query_window(self, w: int) -> Estimate:
+        """Estimate the count of items with age ``< w`` (paper Lemma 4.1)."""
+        if w < 1:
+            raise InvalidParameterError(f"window must be >= 1, got {w}")
+        if self.window is not None and w > self.window:
+            raise InvalidParameterError(
+                f"window {w} exceeds structure window {self.window}"
+            )
+        cutoff = self._time - w  # items with arrival time > cutoff are inside
+        total = 0
+        boundary: Bucket | None = None
+        for b in reversed(self._buckets):  # newest first
+            if b.end <= cutoff:
+                break
+            total += int(b.count)
+            boundary = b
+        if boundary is None:
+            return Estimate.exact(0.0)
+        if boundary.start > cutoff:
+            # Oldest contributing bucket lies entirely inside the window, so
+            # the sum is exact: expiry only drops buckets with no item inside
+            # any window w <= W.
+            return Estimate.exact(float(total))
+        # Straddling bucket: at least its newest item (arrival b.end) is in.
+        c = int(boundary.count)
+        return Estimate(
+            value=float(total) - c / 2.0,
+            lower=float(total - c + 1),
+            upper=float(total),
+        )
+
+    def bucket_view(self) -> list[Bucket]:
+        """Snapshot of live buckets, oldest first (consumed by CEH)."""
+        return list(self._buckets)
+
+    def bucket_count(self) -> int:
+        return len(self._buckets)
+
+    def storage_report(self) -> StorageReport:
+        """Per Datar et al.: one timestamp (log N bits) and one size exponent
+        (log log N bits) per bucket, plus the clock and the oldest-start
+        register."""
+        horizon = self.window if self.window is not None else max(1, self._time)
+        ts_bits = bits_for_value(horizon)
+        n = len(self._buckets)
+        max_size = max((int(b.count) for b in self._buckets), default=1)
+        size_exp_bits = bits_for_value(max(1, max_size.bit_length()))
+        return StorageReport(
+            engine="eh",
+            buckets=n,
+            timestamp_bits=ts_bits * n + ts_bits,  # per-bucket end + oldest start
+            count_bits=size_exp_bits * n,
+            register_bits=bits_for_value(max(1, self._time)),
+        )
+
+    def _cascade(self) -> None:
+        """Merge the two oldest buckets of any size exceeding m+1 copies.
+
+        Bucket sizes are non-increasing from oldest to newest, so buckets of
+        one size form a contiguous run; merging walks leftwards through the
+        runs, doubling the size each step.
+        """
+        m = self.buckets_per_size
+        size = 1
+        while self._per_size[size] > m + 1:
+            run_start = self._run_start(size)
+            older = self._buckets[run_start]
+            newer = self._buckets[run_start + 1]
+            merged = Bucket(
+                start=older.start,
+                end=newer.end,
+                count=older.count + newer.count,
+                level=max(older.level, newer.level) + 1,
+            )
+            self._buckets[run_start : run_start + 2] = [merged]
+            self._per_size[size] -= 2
+            self._per_size[size * 2] += 1
+            size *= 2
+
+    def _run_start(self, size: int) -> int:
+        """Index of the oldest bucket of ``size``.
+
+        The run of size-``size`` buckets starts right after all buckets of
+        strictly larger sizes; their total number is tracked per size.
+        """
+        preceding = 0
+        for s, n in self._per_size.items():
+            if s > size:
+                preceding += n
+        return preceding
+
+    def _expire(self) -> None:
+        if self.window is None:
+            return
+        cutoff = self._time - self.window
+        drop = 0
+        while drop < len(self._buckets) and self._buckets[drop].end <= cutoff:
+            expired = self._buckets[drop]
+            self._total -= int(expired.count)
+            self._per_size[int(expired.count)] -= 1
+            drop += 1
+        if drop:
+            del self._buckets[:drop]
+
+
+class SlidingWindowSum:
+    """DecayingSum adapter: SLIWIN decay answered by an EH.
+
+    The decaying sum under :class:`SlidingWindowDecay` *is* the window
+    count, so this class simply wires the protocol onto
+    :class:`ExponentialHistogram`.
+    """
+
+    def __init__(self, window: int, epsilon: float) -> None:
+        self._decay = SlidingWindowDecay(window)
+        self._eh = ExponentialHistogram(window, epsilon)
+
+    @property
+    def time(self) -> int:
+        return self._eh.time
+
+    @property
+    def decay(self) -> DecayFunction:
+        return self._decay
+
+    @property
+    def histogram(self) -> ExponentialHistogram:
+        """The underlying EH (exposed for storage experiments)."""
+        return self._eh
+
+    def add(self, value: float = 1.0) -> None:
+        self._eh.add(value)
+
+    def advance(self, steps: int = 1) -> None:
+        self._eh.advance(steps)
+
+    def query(self) -> Estimate:
+        return self._eh.query()
+
+    def storage_report(self) -> StorageReport:
+        report = self._eh.storage_report()
+        report.engine = "sliwin-eh"
+        return report

@@ -1,0 +1,30 @@
+"""The paper's lower bounds, packaged as executable experiments."""
+
+from repro.lowerbound.burst_family import DistinguishabilityGame, verify_dominance
+from repro.lowerbound.expd_exact import (
+    approx_bits_required,
+    count_distinct_exact_values,
+    distinct_state_count,
+    exact_bits_required,
+    single_item_resolution,
+)
+from repro.lowerbound.hilbert import (
+    decayed_sums_exact,
+    hilbert_matrix,
+    recover_stream,
+    roundtrip_ok,
+)
+
+__all__ = [
+    "hilbert_matrix",
+    "decayed_sums_exact",
+    "recover_stream",
+    "roundtrip_ok",
+    "distinct_state_count",
+    "count_distinct_exact_values",
+    "single_item_resolution",
+    "exact_bits_required",
+    "approx_bits_required",
+    "verify_dominance",
+    "DistinguishabilityGame",
+]

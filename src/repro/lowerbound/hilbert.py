@@ -1,0 +1,98 @@
+"""Lemma 3.2 as an executable experiment: exact POLYD tracking is Omega(N).
+
+The paper's argument: with decay ``g(x) = 1/x``, the vector of exact
+decayed sums ``S(T)`` for ``N < T <= 2N`` is the image of the per-time
+counts ``f(t), 0 < t <= N`` under (a row-permuted) Hilbert matrix, which is
+non-singular -- so the *entire stream* can be recovered from the exact
+sums, and any exact-tracking algorithm must retain N bits.
+
+:func:`recover_stream` performs the inversion numerically (the Hilbert
+matrix is notoriously ill-conditioned, so recovery uses rational arithmetic
+via :mod:`fractions` for bit-exact results at any N the experiments use).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from repro.core.errors import InvalidParameterError
+
+__all__ = [
+    "decayed_sums_exact",
+    "hilbert_matrix",
+    "recover_stream",
+    "roundtrip_ok",
+]
+
+
+def hilbert_matrix(n: int) -> list[list[Fraction]]:
+    """The (shifted) Hilbert matrix ``M[i][j] = 1 / (i + j + 1)``, exact."""
+    if n < 1:
+        raise InvalidParameterError("n must be >= 1")
+    return [[Fraction(1, i + j + 1) for j in range(n)] for i in range(n)]
+
+
+def decayed_sums_exact(stream: Sequence[int]) -> list[Fraction]:
+    """Exact decayed sums ``S(T) = sum_t f(t) / (T - t)`` at ``T = N+1..2N``.
+
+    ``stream[t - 1]`` is ``f(t)`` for ``t = 1..N`` (0/1 values).
+    """
+    n = len(stream)
+    if n < 1:
+        raise InvalidParameterError("stream must be non-empty")
+    sums = []
+    for T in range(n + 1, 2 * n + 1):
+        s = Fraction(0)
+        for t in range(1, n + 1):
+            if stream[t - 1]:
+                s += Fraction(stream[t - 1], T - t)
+        sums.append(s)
+    return sums
+
+
+def recover_stream(sums: Sequence[Fraction]) -> list[int]:
+    """Invert the linear system and recover the 0/1 stream exactly.
+
+    ``sums[j]`` is ``S(N + 1 + j)``. The matrix row for query time ``T``
+    has entries ``1/(T - t)``; Gaussian elimination over the rationals is
+    exact, so the recovered values are the original integers.
+    """
+    n = len(sums)
+    if n < 1:
+        raise InvalidParameterError("sums must be non-empty")
+    # Row j: T = N + 1 + j; column t-1: coefficient 1/(T - t), t = 1..N.
+    a = [
+        [Fraction(1, (n + 1 + j) - t) for t in range(1, n + 1)] + [sums[j]]
+        for j in range(n)
+    ]
+    for col in range(n):
+        pivot = next(
+            (r for r in range(col, n) if a[r][col] != 0),
+            None,
+        )
+        if pivot is None:
+            raise InvalidParameterError(
+                "singular system -- cannot happen for the Hilbert family"
+            )
+        a[col], a[pivot] = a[pivot], a[col]
+        inv = 1 / a[col][col]
+        a[col] = [x * inv for x in a[col]]
+        for r in range(n):
+            if r != col and a[r][col] != 0:
+                factor = a[r][col]
+                a[r] = [x - factor * y for x, y in zip(a[r], a[col])]
+    values = [a[r][n] for r in range(n)]
+    out = []
+    for v in values:
+        if v.denominator != 1:
+            raise InvalidParameterError(
+                "non-integer recovery -- input sums were not exact"
+            )
+        out.append(int(v))
+    return out
+
+
+def roundtrip_ok(stream: Sequence[int]) -> bool:
+    """End-to-end check: stream -> exact sums -> recovered stream."""
+    return recover_stream(decayed_sums_exact(stream)) == list(stream)

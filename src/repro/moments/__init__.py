@@ -1,0 +1,6 @@
+"""Time-decaying variance (paper section 7.3)."""
+
+from repro.moments.higher import DecayedMoments
+from repro.moments.variance import DecayedVariance, SlidingWindowVariance
+
+__all__ = ["DecayedVariance", "SlidingWindowVariance", "DecayedMoments"]

@@ -1,0 +1,15 @@
+"""Time-decaying random selection and quantiles (paper section 7.2)."""
+
+from repro.sampling.decayed_sampler import DecayedSampler, SamplerPool
+from repro.sampling.mvd import MVDEntry, MVDList
+from repro.sampling.quantiles import DecayedQuantileEstimator
+from repro.sampling.unbiased_counts import UnbiasedWindowCount
+
+__all__ = [
+    "MVDList",
+    "MVDEntry",
+    "DecayedSampler",
+    "SamplerPool",
+    "DecayedQuantileEstimator",
+    "UnbiasedWindowCount",
+]

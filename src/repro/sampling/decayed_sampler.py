@@ -1,0 +1,278 @@
+"""Time-decaying random selection (paper section 7.2).
+
+Goal: return item ``i`` with probability proportional to ``g(T - t_i)``.
+The paper reduces this to window selection plus decaying counts: write the
+decay as a positive mixture of window indicators,
+
+    g(a) = sum_w pi_w * 1[a <= w - 1],      pi_w = g(w - 1) - g(w) >= 0,
+
+pick window ``w`` with probability proportional to ``pi_w * C_w`` (``C_w``
+= number of items inside window ``w``), then return a uniform item of that
+window via the MV/D list.
+
+Two count modes:
+
+* ``counts="exact"`` -- the reference reduction: item ages are retained
+  (run-length compressed per time step) and the window mixture is computed
+  exactly, so selection probabilities are exactly proportional to
+  ``g(age)``.
+* ``counts="eh"`` -- the sublinear configuration: window counts come from
+  an unbounded Exponential Histogram and the mixture is evaluated at
+  histogram boundaries; selection probabilities are then proportional to
+  ``g(age)`` up to the histogram's ``(1 +- eps)`` (the paper notes plain
+  EH counts are biased -- see the next mode).
+
+* ``counts="mvd"`` -- the paper's footnote-4 configuration: window counts
+  come from an :class:`~repro.sampling.unbiased_counts.UnbiasedWindowCount`
+  (k MV/D lists with exponential ranks), whose estimates are *exactly
+  unbiased*; the mixture is evaluated at the union of retained-entry ages.
+  Sublinear storage and no systematic bias in the mixture weights.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import Any
+
+from repro.core.decay import DecayFunction
+from repro.core.errors import EmptyAggregateError, InvalidParameterError
+from repro.histograms.eh import ExponentialHistogram
+from repro.sampling.mvd import MVDEntry, MVDList
+
+__all__ = ["DecayedSampler", "SamplerPool"]
+
+
+class DecayedSampler:
+    """Random selection weighted by any decay function."""
+
+    def __init__(
+        self,
+        decay: DecayFunction,
+        *,
+        counts: str = "exact",
+        epsilon: float = 0.1,
+        mvd_lists: int = 4,
+        seed: int | None = None,
+    ) -> None:
+        if counts not in ("exact", "eh", "mvd"):
+            raise InvalidParameterError(f"unknown counts mode {counts!r}")
+        self._decay = decay
+        self.counts_mode = counts
+        self._mvd = MVDList(seed=seed)
+        self._rng = random.Random(None if seed is None else seed + 1)
+        self._time = 0
+        self._items = 0
+        sup = decay.support()
+        self._window = None if sup is None else sup + 1
+        self._arrivals: list[int] = []  # sorted arrival times (exact mode)
+        self._arrival_counts: list[int] = []
+        self._eh = None
+        self._mvd_counts = None
+        if counts == "eh":
+            self._eh = ExponentialHistogram(self._window, epsilon)
+        elif counts == "mvd":
+            from repro.sampling.unbiased_counts import UnbiasedWindowCount
+
+            self._mvd_counts = UnbiasedWindowCount(
+                mvd_lists, seed=0 if seed is None else seed + 2
+            )
+
+    @property
+    def time(self) -> int:
+        return self._time
+
+    @property
+    def decay(self) -> DecayFunction:
+        return self._decay
+
+    @property
+    def items_observed(self) -> int:
+        return self._items
+
+    def mvd_size(self) -> int:
+        return len(self._mvd)
+
+    def add(self, payload: Any = None) -> None:
+        """Observe one item at the current time."""
+        self._mvd.add(payload)
+        self._items += 1
+        if self._eh is not None:
+            self._eh.add(1)
+        elif self._mvd_counts is not None:
+            self._mvd_counts.add(payload)
+        else:
+            if self._arrivals and self._arrivals[-1] == self._time:
+                self._arrival_counts[-1] += 1
+            else:
+                self._arrivals.append(self._time)
+                self._arrival_counts.append(1)
+
+    def advance(self, steps: int = 1) -> None:
+        if steps < 0:
+            raise InvalidParameterError(f"steps must be >= 0, got {steps}")
+        self._time += steps
+        self._mvd.advance(steps)
+        if self._eh is not None:
+            self._eh.advance(steps)
+        if self._mvd_counts is not None:
+            self._mvd_counts.advance(steps)
+        sup = self._decay.support()
+        if sup is not None:
+            self._mvd.expire_older_than(sup)
+            if self._mvd_counts is not None:
+                self._mvd_counts.expire_older_than(sup)
+            if self._eh is None and self._mvd_counts is None:
+                cutoff = self._time - sup
+                idx = bisect.bisect_left(self._arrivals, cutoff)
+                if idx:
+                    del self._arrivals[:idx]
+                    del self._arrival_counts[:idx]
+
+    def sample(self) -> MVDEntry:
+        """One selection: window by the ``pi_w * C_w`` mixture, then MV/D.
+
+        Raises :class:`EmptyAggregateError` when no item has positive
+        weight.
+        """
+        segments = self._mixture_segments()
+        if not segments:
+            raise EmptyAggregateError("no items with positive decayed weight")
+        total = sum(w for w, _ in segments)
+        if total <= 0:
+            raise EmptyAggregateError("all decayed weights are zero")
+        u = self._rng.random() * total
+        acc = 0.0
+        chosen_window = segments[-1][1]
+        for weight, window in segments:
+            acc += weight
+            if u <= acc:
+                chosen_window = window
+                break
+        entry = self._mvd.window_sample(chosen_window)
+        if entry is None:
+            raise EmptyAggregateError("window selection found no item")
+        return entry
+
+    def sample_many(self, n: int) -> list[MVDEntry]:
+        if n < 0:
+            raise InvalidParameterError("n must be >= 0")
+        return [self.sample() for _ in range(n)]
+
+    def selection_distribution(self) -> dict[int, float]:
+        """Exact per-arrival-time selection probabilities of :meth:`sample`.
+
+        Marginalizes over the window mixture for the *current* rank draw:
+        within each window the selected item is the window's fixed min-rank
+        entry, so the distribution is over MV/D entries. Averaged over the
+        rank randomness this converges to ``g(age)``-proportional; a single
+        instance is intentionally not i.i.d. across repeated calls (use
+        :class:`SamplerPool` for i.i.d. samples).
+        """
+        segments = self._mixture_segments()
+        total = sum(w for w, _ in segments)
+        out: dict[int, float] = {}
+        if total <= 0:
+            return out
+        for weight, window in segments:
+            entry = self._mvd.window_sample(window)
+            if entry is None:
+                continue
+            out[entry.time] = out.get(entry.time, 0.0) + weight / total
+        return out
+
+    def _mixture_segments(self) -> list[tuple[float, int]]:
+        """(probability mass, window) pairs of the telescoped mixture.
+
+        Ages where the cumulative count changes cut the age axis into runs
+        with constant ``C_w``; within a run the mixture weights telescope to
+        ``C * (g(a_run_start) - g(next_run_start))``. In exact mode the cut
+        ages are true item ages; in EH mode they are bucket-boundary ages.
+        """
+        g = self._decay.weight
+        sup = self._decay.support()
+        ages: list[int] = []
+        cums: list[float] = []
+        if self._eh is not None:
+            acc_f = 0.0
+            for b in reversed(self._eh.bucket_view()):
+                age = self._time - b.end
+                if sup is not None and age > sup:
+                    break
+                acc_f += float(b.count)
+                ages.append(age)
+                cums.append(acc_f)
+        elif self._mvd_counts is not None:
+            cut_ages = sorted(
+                {
+                    self._time - e.time
+                    for lst in self._mvd_counts._lists
+                    for e in lst.entries()
+                    if self._time - e.time >= 0
+                }
+            )
+            for age in cut_ages:
+                if sup is not None and age > sup:
+                    break
+                ages.append(age)
+                cums.append(self._mvd_counts.count_window(age + 1).value)
+        else:
+            acc = 0
+            for t, c in zip(reversed(self._arrivals), reversed(self._arrival_counts)):
+                age = self._time - t
+                if sup is not None and age > sup:
+                    break
+                acc += c
+                ages.append(age)
+                cums.append(float(acc))
+        segments: list[tuple[float, int]] = []
+        for j, (age, cum) in enumerate(zip(ages, cums)):
+            next_age = ages[j + 1] if j + 1 < len(ages) else None
+            g_here = g(age)
+            g_next = 0.0 if next_age is None else g(next_age)
+            mass = cum * (g_here - g_next)
+            if mass > 0:
+                segments.append((mass, age + 1))
+        return segments
+
+
+class SamplerPool:
+    """``n`` independent samplers over the same stream.
+
+    One sampler produces correlated repeated selections (its rank draw is
+    fixed once per item, as in any single-pass selection structure); a pool
+    yields one independent selection per member, which is what the
+    quantile amplification and the distribution tests need.
+    """
+
+    def __init__(
+        self,
+        decay: DecayFunction,
+        n: int,
+        *,
+        counts: str = "exact",
+        epsilon: float = 0.1,
+        seed: int = 0,
+    ) -> None:
+        if n < 1:
+            raise InvalidParameterError("n must be >= 1")
+        self.samplers = [
+            DecayedSampler(decay, counts=counts, epsilon=epsilon, seed=seed + 7919 * i)
+            for i in range(n)
+        ]
+
+    @property
+    def time(self) -> int:
+        return self.samplers[0].time
+
+    def add(self, payload: Any = None) -> None:
+        for s in self.samplers:
+            s.add(payload)
+
+    def advance(self, steps: int = 1) -> None:
+        for s in self.samplers:
+            s.advance(steps)
+
+    def sample_each(self) -> list[MVDEntry]:
+        """One independent selection per pool member."""
+        return [s.sample() for s in self.samplers]

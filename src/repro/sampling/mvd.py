@@ -1,0 +1,111 @@
+"""MV/D lists (paper section 7.2, after Cohen 1997).
+
+Every arriving item draws a uniform random *rank*; an item is retained iff
+its rank is smaller than the rank of every item that arrived after it. The
+retained items therefore have strictly increasing ranks in arrival order,
+the expected list size is harmonic (O(log n)), and for *every* window the
+oldest retained item inside the window is the minimum-rank item of that
+window -- a uniform random selection from the window's items.
+
+This single structure simultaneously answers "give me a uniform random item
+from the last w time units" for all w, which is the building block of the
+arbitrary-decay sampler.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.errors import InvalidParameterError
+
+__all__ = ["MVDEntry", "MVDList"]
+
+
+@dataclass(frozen=True, slots=True)
+class MVDEntry:
+    """One retained item: arrival time, rank, and the item payload."""
+
+    time: int
+    rank: float
+    payload: Any
+
+
+class MVDList:
+    """Suffix-minima-of-rank list over a discrete-time stream.
+
+    ``exponential_ranks=True`` draws ranks from Exp(1) instead of
+    Uniform(0,1). The retained set is identical in distribution (only rank
+    *comparisons* matter), but exponential ranks make the minimum rank of
+    an n-item window an Exp(n) variable -- the property behind the
+    unbiased count estimator of paper section 7.2 (footnote 4).
+    """
+
+    def __init__(
+        self, *, seed: int | None = None, exponential_ranks: bool = False
+    ) -> None:
+        self._entries: list[MVDEntry] = []  # arrival order; ranks increasing
+        self._rng = random.Random(seed)
+        self.exponential_ranks = bool(exponential_ranks)
+        self._time = 0
+        self._items = 0
+
+    @property
+    def time(self) -> int:
+        return self._time
+
+    @property
+    def items_observed(self) -> int:
+        return self._items
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(self, payload: Any = None) -> None:
+        """Observe one item at the current time."""
+        if self.exponential_ranks:
+            rank = self._rng.expovariate(1.0)
+        else:
+            rank = self._rng.random()
+        while self._entries and self._entries[-1].rank >= rank:
+            self._entries.pop()
+        self._entries.append(MVDEntry(self._time, rank, payload))
+        self._items += 1
+
+    def advance(self, steps: int = 1) -> None:
+        if steps < 0:
+            raise InvalidParameterError(f"steps must be >= 0, got {steps}")
+        self._time += steps
+
+    def expire_older_than(self, max_age: int) -> None:
+        """Drop entries with age > max_age (bounded-support decay)."""
+        if max_age < 0:
+            raise InvalidParameterError("max_age must be >= 0")
+        cutoff = self._time - max_age
+        keep = [e for e in self._entries if e.time >= cutoff]
+        self._entries = keep
+
+    def window_sample(self, window: int) -> MVDEntry | None:
+        """Uniform random item among those with age ``< window``.
+
+        Ranks increase with arrival time, so the oldest in-window entry is
+        the minimum-rank item of the whole window.
+        """
+        if window < 1:
+            raise InvalidParameterError("window must be >= 1")
+        cutoff = self._time - window  # in-window: time > cutoff
+        lo, hi = 0, len(self._entries)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._entries[mid].time <= cutoff:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo == len(self._entries):
+            return None
+        return self._entries[lo]
+
+    def entries(self) -> list[MVDEntry]:
+        """Snapshot, oldest first."""
+        return list(self._entries)

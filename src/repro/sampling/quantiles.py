@@ -1,0 +1,76 @@
+"""Time-decaying approximate quantiles and medians (paper section 7.2).
+
+A time-decaying approximate p-quantile is an item value that, with high
+probability, is a ``[p +- eps]``-quantile of the value distribution
+weighted by ``g(T - t_i)``. Per the paper (citing the folklore
+amplification), it is obtained by performing a constant number of
+independent time-decayed random selections and taking the empirical
+quantile of the selected values.
+
+:class:`DecayedQuantileEstimator` runs ``repetitions`` independent
+:class:`~repro.sampling.decayed_sampler.DecayedSampler` instances (each
+with its own rank randomness) over the same stream.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.decay import DecayFunction
+from repro.core.errors import EmptyAggregateError, InvalidParameterError
+from repro.sampling.decayed_sampler import DecayedSampler
+
+__all__ = ["DecayedQuantileEstimator"]
+
+
+class DecayedQuantileEstimator:
+    """Quantiles of the g-weighted value distribution by repeated selection."""
+
+    def __init__(
+        self,
+        decay: DecayFunction,
+        *,
+        repetitions: int = 31,
+        counts: str = "exact",
+        epsilon: float = 0.1,
+        seed: int = 0,
+    ) -> None:
+        if repetitions < 1:
+            raise InvalidParameterError("repetitions must be >= 1")
+        self.repetitions = int(repetitions)
+        self._samplers = [
+            DecayedSampler(decay, counts=counts, epsilon=epsilon, seed=seed + 1000 * r)
+            for r in range(self.repetitions)
+        ]
+        self._decay = decay
+
+    @property
+    def time(self) -> int:
+        return self._samplers[0].time
+
+    @property
+    def decay(self) -> DecayFunction:
+        return self._decay
+
+    def add(self, value: float) -> None:
+        """Observe one item whose *value* the quantile is computed over."""
+        for s in self._samplers:
+            s.add(value)
+
+    def advance(self, steps: int = 1) -> None:
+        for s in self._samplers:
+            s.advance(steps)
+
+    def quantile(self, p: float) -> float:
+        """Empirical p-quantile of one selection per sampler."""
+        if not 0.0 <= p <= 1.0:
+            raise InvalidParameterError(f"p must be in [0, 1], got {p}")
+        values = sorted(float(s.sample().payload) for s in self._samplers)
+        if not values:
+            raise EmptyAggregateError("no selections available")
+        idx = min(len(values) - 1, max(0, math.ceil(p * len(values)) - 1))
+        return values[idx]
+
+    def median(self) -> float:
+        """Approximate decayed median (p = 1/2)."""
+        return self.quantile(0.5)

@@ -1,0 +1,299 @@
+"""Checkpointing: JSON-safe snapshots of decay functions and engines.
+
+A deployment maintaining millions of per-customer summaries (paper
+section 1.1) has to survive restarts. This module serializes the
+*deterministic* engines -- EWMA, exact, EH, domination, CEH, WBMH -- to
+plain dicts (JSON-compatible) and restores them to bit-identical state:
+a restored engine continues the stream exactly as the original would.
+
+Randomized structures (Morris counters, MV/D samplers, approximate-
+boundary CEH) are deliberately not serializable here: their correctness
+rests on private random state, and snapshotting it invites subtle misuse
+(restoring one snapshot twice correlates "independent" estimators). Check-
+point the deterministic engines; re-derive randomized ones from the stream.
+
+Usage::
+
+    state = engine_to_dict(engine)
+    json.dumps(state)           # JSON-safe
+    engine = engine_from_dict(state)
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.decay import (
+    DecayFunction,
+    ExponentialDecay,
+    GaussianDecay,
+    LinearDecay,
+    LogarithmicDecay,
+    NoDecay,
+    PolyexponentialDecay,
+    PolyExpPolynomialDecay,
+    PolynomialDecay,
+    SlidingWindowDecay,
+    TableDecay,
+)
+from repro.core.errors import InvalidParameterError
+from repro.core.ewma import ExponentialSum
+from repro.core.exact import ExactDecayingSum
+from repro.counters.approx_float import FixedQuantizer, LevelQuantizer
+from repro.histograms.buckets import Bucket
+from repro.histograms.ceh import CascadedEH
+from repro.histograms.domination import DominationHistogram
+from repro.histograms.eh import ExponentialHistogram, SlidingWindowSum
+from repro.histograms.wbmh import WBMH
+
+__all__ = [
+    "decay_to_dict",
+    "decay_from_dict",
+    "engine_to_dict",
+    "engine_from_dict",
+]
+
+_FORMAT_VERSION = 1
+
+
+# --------------------------------------------------------------- decay
+
+def decay_to_dict(decay: DecayFunction) -> dict[str, Any]:
+    """Serialize any shipped decay function."""
+    if isinstance(decay, ExponentialDecay):
+        return {"family": "expd", "lam": decay.lam}
+    if isinstance(decay, SlidingWindowDecay):
+        return {"family": "sliwin", "window": decay.window}
+    if isinstance(decay, PolynomialDecay):
+        return {"family": "polyd", "alpha": decay.alpha}
+    if isinstance(decay, PolyexponentialDecay):
+        return {"family": "polyexp", "k": decay.k, "lam": decay.lam}
+    if isinstance(decay, PolyExpPolynomialDecay):
+        return {"family": "polyexppoly", "coeffs": list(decay.coeffs),
+                "lam": decay.lam}
+    if isinstance(decay, LinearDecay):
+        return {"family": "linear", "span": decay.span}
+    if isinstance(decay, LogarithmicDecay):
+        return {"family": "logd", "base": decay.base}
+    if isinstance(decay, TableDecay):
+        return {"family": "table", "weights": list(decay._table),
+                "tail": decay.tail}
+    if isinstance(decay, GaussianDecay):
+        return {"family": "gauss", "sigma": decay.sigma}
+    if isinstance(decay, NoDecay):
+        return {"family": "none"}
+    raise InvalidParameterError(
+        f"cannot serialize decay type {type(decay).__name__}"
+    )
+
+
+def decay_from_dict(data: dict[str, Any]) -> DecayFunction:
+    """Inverse of :func:`decay_to_dict`."""
+    family = data.get("family")
+    if family == "expd":
+        return ExponentialDecay(data["lam"])
+    if family == "sliwin":
+        return SlidingWindowDecay(data["window"])
+    if family == "polyd":
+        return PolynomialDecay(data["alpha"])
+    if family == "polyexp":
+        return PolyexponentialDecay(data["k"], data["lam"])
+    if family == "polyexppoly":
+        return PolyExpPolynomialDecay(data["coeffs"], data["lam"])
+    if family == "linear":
+        return LinearDecay(data["span"])
+    if family == "logd":
+        return LogarithmicDecay(data["base"])
+    if family == "table":
+        return TableDecay(data["weights"], tail=data["tail"])
+    if family == "gauss":
+        return GaussianDecay(data["sigma"])
+    if family == "none":
+        return NoDecay()
+    raise InvalidParameterError(f"unknown decay family {family!r}")
+
+
+# -------------------------------------------------------------- engines
+
+def _buckets_out(buckets) -> list[list[float]]:
+    return [[b.start, b.end, b.count, b.level] for b in buckets]
+
+
+def _buckets_in(rows) -> list[Bucket]:
+    return [Bucket(int(s), int(e), float(c), int(lv)) for s, e, c, lv in rows]
+
+
+def engine_to_dict(engine: Any) -> dict[str, Any]:
+    """Serialize a deterministic decaying-sum engine."""
+    if isinstance(engine, ExponentialSum):
+        return {
+            "version": _FORMAT_VERSION,
+            "engine": "ewma",
+            "decay": decay_to_dict(engine.decay),
+            "time": engine.time,
+            "sum": engine._sum,
+            "items": engine._items,
+        }
+    if isinstance(engine, ExactDecayingSum):
+        return {
+            "version": _FORMAT_VERSION,
+            "engine": "exact",
+            "decay": decay_to_dict(engine.decay),
+            "time": engine.time,
+            "values": [[t, v] for t, v in engine._values],
+            "items": engine._items,
+        }
+    if isinstance(engine, SlidingWindowSum):
+        inner = engine_to_dict(engine.histogram)
+        inner["engine"] = "sliwin-sum"
+        inner["window"] = engine.decay.window
+        return inner
+    if isinstance(engine, ExponentialHistogram):
+        return {
+            "version": _FORMAT_VERSION,
+            "engine": "eh",
+            "window": engine.window,
+            "epsilon": engine.epsilon,
+            "time": engine.time,
+            "buckets": _buckets_out(engine.bucket_view()),
+        }
+    if isinstance(engine, DominationHistogram):
+        return {
+            "version": _FORMAT_VERSION,
+            "engine": "domination",
+            "window": engine.window,
+            "epsilon": engine.epsilon,
+            "compact_every": engine.compact_every,
+            "time": engine.time,
+            "buckets": _buckets_out(engine.bucket_view()),
+            "since_compact": engine._since_compact,
+        }
+    if isinstance(engine, CascadedEH):
+        return {
+            "version": _FORMAT_VERSION,
+            "engine": "ceh",
+            "decay": decay_to_dict(engine.decay),
+            "epsilon": engine.epsilon,
+            "backend": engine.backend,
+            "estimator": engine.estimator,
+            "histogram": engine_to_dict(engine.histogram),
+        }
+    if isinstance(engine, WBMH):
+        if isinstance(engine._quantizer, FixedQuantizer):
+            quant: dict[str, Any] = {
+                "kind": "fixed",
+                "eps": engine._quantizer.eps,
+                "horizon": engine._quantizer.horizon,
+            }
+        elif isinstance(engine._quantizer, LevelQuantizer):
+            quant = {"kind": "level", "eps": engine._quantizer.eps}
+        else:
+            quant = {"kind": "none"}
+        return {
+            "version": _FORMAT_VERSION,
+            "engine": "wbmh",
+            "decay": decay_to_dict(engine.decay),
+            "epsilon": engine.epsilon,
+            "ratio": engine.schedule.ratio,
+            "merge_strategy": engine.merge_strategy,
+            "quantizer": quant,
+            "time": engine.time,
+            "sealed": _buckets_out(engine._iter_buckets_sealed()),
+            "live": (
+                None
+                if engine._live is None
+                else [engine._live.start, engine._live.end,
+                      engine._live.count, engine._live.level]
+            ),
+            "items": engine._items,
+            "max_level": engine._max_level,
+        }
+    raise InvalidParameterError(
+        f"cannot serialize engine type {type(engine).__name__} "
+        "(randomized engines are intentionally not checkpointable)"
+    )
+
+
+def engine_from_dict(data: dict[str, Any]) -> Any:
+    """Restore an engine serialized by :func:`engine_to_dict`."""
+    version = data.get("version")
+    if version != _FORMAT_VERSION:
+        raise InvalidParameterError(f"unsupported snapshot version {version!r}")
+    kind = data.get("engine")
+    if kind == "ewma":
+        decay = decay_from_dict(data["decay"])
+        engine = ExponentialSum(decay)
+        engine._time = int(data["time"])
+        engine._sum = float(data["sum"])
+        engine._items = int(data["items"])
+        return engine
+    if kind == "exact":
+        engine = ExactDecayingSum(decay_from_dict(data["decay"]))
+        engine._time = int(data["time"])
+        engine._values.extend((int(t), float(v)) for t, v in data["values"])
+        engine._items = int(data["items"])
+        return engine
+    if kind in ("eh", "sliwin-sum"):
+        if kind == "sliwin-sum":
+            wrapper = SlidingWindowSum(int(data["window"]), float(data["epsilon"]))
+            target = wrapper.histogram
+        else:
+            wrapper = None
+            target = ExponentialHistogram(
+                None if data["window"] is None else int(data["window"]),
+                float(data["epsilon"]),
+            )
+        target._time = int(data["time"])
+        target._buckets = _buckets_in(data["buckets"])
+        for b in target._buckets:
+            target._per_size[int(b.count)] += 1
+        target._total = sum(int(b.count) for b in target._buckets)
+        return wrapper if wrapper is not None else target
+    if kind == "domination":
+        engine = DominationHistogram(
+            None if data["window"] is None else int(data["window"]),
+            float(data["epsilon"]),
+            compact_every=int(data["compact_every"]),
+        )
+        engine._time = int(data["time"])
+        engine._buckets = _buckets_in(data["buckets"])
+        engine._total = sum(b.count for b in engine._buckets)
+        engine._since_compact = int(data["since_compact"])
+        return engine
+    if kind == "ceh":
+        engine = CascadedEH(
+            decay_from_dict(data["decay"]),
+            float(data["epsilon"]),
+            backend=data["backend"],
+            estimator=data["estimator"],
+        )
+        engine._hist = engine_from_dict(data["histogram"])
+        return engine
+    if kind == "wbmh":
+        decay = decay_from_dict(data["decay"])
+        quant = data["quantizer"]
+        kwargs: dict[str, Any] = {
+            "ratio": float(data["ratio"]),
+            "merge_strategy": data["merge_strategy"],
+            "strict": False,
+        }
+        if quant["kind"] == "none":
+            kwargs["quantize"] = False
+        elif quant["kind"] == "fixed":
+            kwargs["horizon"] = int(quant["horizon"])
+        engine = WBMH(decay, float(data["epsilon"]), **kwargs)
+        if quant["kind"] == "level":
+            engine._quantizer = LevelQuantizer(float(quant["eps"]))
+        elif quant["kind"] == "fixed":
+            engine._quantizer = FixedQuantizer(
+                float(quant["eps"]), int(quant["horizon"])
+            )
+        engine._time = int(data["time"])
+        engine._rebuild(_buckets_in(data["sealed"]))
+        if data["live"] is not None:
+            s, e, c, lv = data["live"]
+            engine._live = Bucket(int(s), int(e), float(c), int(lv))
+        engine._items = int(data["items"])
+        engine._max_level = int(data["max_level"])
+        return engine
+    raise InvalidParameterError(f"unknown engine kind {kind!r}")

@@ -1,0 +1,12 @@
+"""Time-decaying L_p norm sketches (paper section 7.1)."""
+
+from repro.sketches.lp_norm import DecayedLpNorm, ExactDecayedVector
+from repro.sketches.pstable import StableMatrix, cms_sample, stable_abs_median
+
+__all__ = [
+    "DecayedLpNorm",
+    "ExactDecayedVector",
+    "StableMatrix",
+    "cms_sample",
+    "stable_abs_median",
+]

@@ -1,0 +1,111 @@
+"""p-stable random variates regenerated from seeds (paper section 7.1).
+
+Indyk's L_p sketch multiplies each update by entries of a random ``L x d``
+matrix of p-stable variates. The paper notes the entries "need not be
+stored and can be generated from seeds on the fly"; this module provides
+exactly that: a counter-mode generator where entry ``(row, column)`` is a
+pure function of ``(seed, row, column)``, via the Chambers--Mallows--Stuck
+transform.
+
+Recovering the norm from sketch coordinates divides the median of their
+absolute values by the median of ``|X|`` for a standard p-stable ``X``;
+:func:`stable_abs_median` supplies that constant (closed form for p = 1 and
+p = 2, seeded Monte-Carlo calibration cached for other p).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from functools import lru_cache
+
+from repro.core.errors import InvalidParameterError
+
+__all__ = ["StableMatrix", "cms_sample", "stable_abs_median", "mix_seed"]
+
+
+def mix_seed(*parts: int) -> int:
+    """Deterministically mix integers into one 64-bit seed (splitmix64).
+
+    Unlike ``hash(tuple)``, this is stable across processes and Python
+    versions, so sketch matrices are reproducible artifacts.
+    """
+    acc = 0x9E3779B97F4A7C15
+    for p in parts:
+        acc = (acc ^ (p & 0xFFFFFFFFFFFFFFFF)) * 0xBF58476D1CE4E5B9 % (1 << 64)
+        acc = (acc ^ (acc >> 27)) * 0x94D049BB133111EB % (1 << 64)
+        acc ^= acc >> 31
+    return acc
+
+
+def cms_sample(p: float, rng: random.Random) -> float:
+    """One standard p-stable variate via Chambers--Mallows--Stuck.
+
+    For ``p = 2`` the transform degenerates to a centered Gaussian with
+    scale ``sqrt(2)`` (the standard 2-stable distribution).
+    """
+    if not 0.0 < p <= 2.0:
+        raise InvalidParameterError(f"p must be in (0, 2], got {p}")
+    if p == 2.0:
+        return rng.gauss(0.0, math.sqrt(2.0))
+    theta = (rng.random() - 0.5) * math.pi  # Uniform(-pi/2, pi/2)
+    w = rng.expovariate(1.0)
+    if p == 1.0:
+        return math.tan(theta)  # Cauchy
+    a = math.sin(p * theta) / (math.cos(theta) ** (1.0 / p))
+    b = (math.cos(theta * (1.0 - p)) / w) ** ((1.0 - p) / p)
+    return a * b
+
+
+@lru_cache(maxsize=32)
+def stable_abs_median(p: float, *, samples: int = 200_000) -> float:
+    """Median of ``|X|`` for standard p-stable ``X``.
+
+    Closed forms: 1 for p = 1 (Cauchy), ``sqrt(2) * Phi^-1(3/4)`` for p = 2.
+    Other p values are calibrated once by seeded Monte-Carlo and cached.
+    """
+    if not 0.0 < p <= 2.0:
+        raise InvalidParameterError(f"p must be in (0, 2], got {p}")
+    if p == 1.0:
+        return 1.0
+    if p == 2.0:
+        # Phi^-1(0.75) = 0.674489750196...
+        return math.sqrt(2.0) * 0.6744897501960817
+    rng = random.Random(0xC0FFEE ^ int(p * 1_000_003))
+    draws = sorted(abs(cms_sample(p, rng)) for _ in range(samples))
+    mid = samples // 2
+    return 0.5 * (draws[mid - 1] + draws[mid])
+
+
+class StableMatrix:
+    """A virtual ``rows x dim`` matrix of p-stable variates.
+
+    Entry ``(j, c)`` is regenerated on demand from ``(seed, j, c)``; nothing
+    is stored, so the per-stream cost of the sketch is only its row
+    accumulators (as in the paper's storage analysis).
+    """
+
+    def __init__(self, p: float, rows: int, dim: int, seed: int = 0) -> None:
+        if rows < 1:
+            raise InvalidParameterError("rows must be >= 1")
+        if dim < 1:
+            raise InvalidParameterError("dim must be >= 1")
+        if not 0.0 < p <= 2.0:
+            raise InvalidParameterError(f"p must be in (0, 2], got {p}")
+        self.p = float(p)
+        self.rows = int(rows)
+        self.dim = int(dim)
+        self.seed = int(seed)
+
+    def entry(self, row: int, column: int) -> float:
+        """The (row, column) variate, a pure function of the seed."""
+        if not 0 <= row < self.rows:
+            raise InvalidParameterError(f"row {row} out of range")
+        if not 0 <= column < self.dim:
+            raise InvalidParameterError(f"column {column} out of range")
+        rng = random.Random(mix_seed(self.seed, row, column))
+        return cms_sample(self.p, rng)
+
+    def column(self, column: int) -> list[float]:
+        """All row entries for one coordinate (one per sketch row)."""
+        return [self.entry(j, column) for j in range(self.rows)]

@@ -1,0 +1,15 @@
+"""Information-theoretic storage accounting for the paper's bit bounds."""
+
+from repro.storage.model import (
+    StorageReport,
+    bits_for_count,
+    bits_for_value,
+    float_register_bits,
+)
+
+__all__ = [
+    "StorageReport",
+    "bits_for_value",
+    "bits_for_count",
+    "float_register_bits",
+]

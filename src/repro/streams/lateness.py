@@ -1,0 +1,120 @@
+"""Out-of-order arrival handling via a bounded-lateness watermark buffer.
+
+The paper's model (like most streaming theory) assumes in-order arrivals,
+but deployed streams deliver late: a measurement stamped ``t`` may show up
+at wall time ``t + L``. :class:`LatenessBuffer` wraps any decaying-sum
+engine and restores the in-order contract:
+
+* events carry explicit timestamps and may arrive up to ``max_lateness``
+  ticks late;
+* the wrapped engine is driven at the *safe frontier*
+  ``watermark - max_lateness`` -- everything at or before the frontier is
+  guaranteed complete, so the engine sees a perfectly ordered stream;
+* queries are answered at the safe frontier (the standard watermark
+  trade-off: bounded lateness is bought with bounded staleness);
+* events older than the frontier are counted and dropped
+  (``too_late_count``), never silently mis-weighted.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.core.errors import InvalidParameterError, TimeOrderError
+from repro.core.estimate import Estimate
+from repro.core.interfaces import DecayingSum
+
+__all__ = ["LatenessBuffer"]
+
+
+class LatenessBuffer:
+    """In-order adapter for streams with bounded out-of-orderness."""
+
+    def __init__(self, engine: DecayingSum, max_lateness: int) -> None:
+        if max_lateness < 0:
+            raise InvalidParameterError(
+                f"max_lateness must be >= 0, got {max_lateness}"
+            )
+        if engine.time != 0:
+            raise InvalidParameterError(
+                "wrap a fresh engine (its clock must start at 0)"
+            )
+        self._engine = engine
+        self.max_lateness = int(max_lateness)
+        self._watermark = 0
+        self._pending: list[tuple[int, int, float]] = []  # (time, seq, value)
+        self._seq = 0
+        self.too_late_count = 0
+        self.buffered_count = 0
+
+    @property
+    def watermark(self) -> int:
+        """Largest event time observed (drives the clock)."""
+        return self._watermark
+
+    @property
+    def frontier(self) -> int:
+        """The safe frontier: queries reflect the stream up to here."""
+        return max(0, self._watermark - self.max_lateness)
+
+    @property
+    def engine(self) -> DecayingSum:
+        """The wrapped engine (clock == frontier)."""
+        return self._engine
+
+    def observe(self, when: int, value: float = 1.0) -> bool:
+        """Record an event stamped ``when``; returns False if too late.
+
+        An event advances the watermark when it is the newest seen; the
+        engine is then fed every buffered event up to the new frontier, in
+        timestamp order.
+        """
+        if when < 0:
+            raise InvalidParameterError(f"when must be >= 0, got {when}")
+        if value < 0:
+            raise InvalidParameterError(f"value must be >= 0, got {value}")
+        if when < self._engine.time:
+            self.too_late_count += 1
+            return False
+        heapq.heappush(self._pending, (when, self._seq, value))
+        self._seq += 1
+        self.buffered_count += 1
+        if when > self._watermark:
+            self._watermark = when
+        # Flush unconditionally: even a non-watermark-advancing event can be
+        # at or before the current frontier (e.g. the very first event at
+        # time 0, or with max_lateness = 0).
+        self._flush()
+        return True
+
+    def advance_watermark(self, when: int) -> None:
+        """Explicitly advance time (e.g. from a punctuation/heartbeat)."""
+        if when < self._watermark:
+            raise TimeOrderError(
+                f"watermark cannot regress: {self._watermark} -> {when}"
+            )
+        self._watermark = when
+        self._flush()
+
+    def query(self) -> Estimate:
+        """Estimate of ``S_g`` at the safe frontier."""
+        return self._engine.query()
+
+    def pending(self) -> int:
+        """Events buffered between the frontier and the watermark."""
+        return len(self._pending)
+
+    def storage_report(self):
+        report = self._engine.storage_report()
+        report.notes["lateness_buffer_entries"] = float(len(self._pending))
+        return report
+
+    def _flush(self) -> None:
+        frontier = self.frontier
+        while self._pending and self._pending[0][0] <= frontier:
+            when, _, value = heapq.heappop(self._pending)
+            if when > self._engine.time:
+                self._engine.advance(when - self._engine.time)
+            self._engine.add(value)
+        if frontier > self._engine.time:
+            self._engine.advance(frontier - self._engine.time)

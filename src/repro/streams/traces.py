@@ -1,0 +1,91 @@
+"""Failure traces: the paper's Figure 1 scenario and generalizations.
+
+The paper's motivating example (section 1.2, Figure 1): link L1 fails for
+5 hours; 24 hours after L1's failure *ends*, link L2 fails for 30 minutes;
+both links are otherwise reliable. A time-decaying sum of failure-minutes is
+a badness rating per link, and the paper argues:
+
+* SLIWIN either forgets L1's failure entirely (small window) or flips from
+  "L2 much better" to "L1 much better" (large window);
+* EXPD keeps the two events' relative contribution constant forever, so its
+  verdict never changes;
+* POLYD first rates L1 worse (bigger recent event) and later rates L2
+  better... more precisely, it lets the weights of the two events approach
+  each other, so the *less severe* failure (L2's) eventually wins -- the
+  crossover neither of the other families can produce.
+
+The trace is emitted at one-minute resolution: a link contributes an item of
+value 1 for every minute it is down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import InvalidParameterError
+from repro.streams.generators import StreamItem
+
+__all__ = ["FailureEvent", "LinkTrace", "figure1_traces", "MINUTES_PER_HOUR"]
+
+MINUTES_PER_HOUR = 60
+
+
+@dataclass(frozen=True, slots=True)
+class FailureEvent:
+    """A contiguous outage: ``[start, start + duration)`` in minutes."""
+
+    start: int
+    duration: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise InvalidParameterError("start must be >= 0")
+        if self.duration < 1:
+            raise InvalidParameterError("duration must be >= 1")
+
+    @property
+    def end(self) -> int:
+        return self.start + self.duration
+
+
+@dataclass(slots=True)
+class LinkTrace:
+    """A named link with a list of failure events."""
+
+    name: str
+    events: list[FailureEvent] = field(default_factory=list)
+
+    def items(self) -> list[StreamItem]:
+        """One unit item per down-minute, in time order."""
+        out = [
+            StreamItem(t, 1.0)
+            for ev in sorted(self.events, key=lambda e: e.start)
+            for t in range(ev.start, ev.end)
+        ]
+        for a, b in zip(out, out[1:]):
+            if b.time <= a.time:
+                raise InvalidParameterError(
+                    f"overlapping failure events in trace {self.name!r}"
+                )
+        return out
+
+    def total_down_minutes(self) -> int:
+        return sum(ev.duration for ev in self.events)
+
+
+def figure1_traces(
+    *,
+    l1_duration_minutes: int = 5 * MINUTES_PER_HOUR,
+    gap_hours: int = 24,
+    l2_duration_minutes: int = 30,
+) -> tuple[LinkTrace, LinkTrace]:
+    """The Figure 1 scenario at minute resolution.
+
+    L1's outage starts at t=0 and lasts ``l1_duration_minutes`` (paper: 5
+    hours). L2's outage starts ``gap_hours`` after L1's outage ends (paper:
+    24 hours later) and lasts ``l2_duration_minutes`` (paper: 30 minutes).
+    """
+    l1 = LinkTrace("L1", [FailureEvent(0, l1_duration_minutes)])
+    l2_start = l1_duration_minutes + gap_hours * MINUTES_PER_HOUR
+    l2 = LinkTrace("L2", [FailureEvent(l2_start, l2_duration_minutes)])
+    return l1, l2

@@ -1,0 +1,92 @@
+"""Unit tests for the ATM holding-time policy (paper section 1.1)."""
+
+import pytest
+
+from repro.apps.atm import Circuit, HoldingPolicy
+from repro.core.average import DecayingAverage
+from repro.core.decay import PolynomialDecay
+from repro.core.errors import InvalidParameterError
+from repro.core.ewma import EwmaRegister
+
+
+def make_circuit(name, w=0.5):
+    return Circuit(name, EwmaRegister(w))
+
+
+class TestCircuit:
+    def test_idle_estimate_from_gaps(self):
+        c = make_circuit("a", w=0.5)
+        c.observe_burst(0)
+        c.observe_burst(10)  # idle 10
+        assert c.anticipated_idle() == 10.0
+        c.observe_burst(12)  # idle 2
+        assert c.anticipated_idle() == pytest.approx(0.5 * 2 + 0.5 * 10)
+
+    def test_unobserved_circuit_is_infinite(self):
+        assert make_circuit("a").anticipated_idle() == float("inf")
+
+    def test_decaying_average_backend(self):
+        c = Circuit("a", DecayingAverage(PolynomialDecay(1.0), epsilon=0.1))
+        c.observe_burst(0)
+        c.observe_burst(5)
+        c.observe_burst(9)
+        assert 3.0 < c.anticipated_idle() < 6.0
+
+    def test_rejects_time_regression(self):
+        c = make_circuit("a")
+        c.observe_burst(10)
+        with pytest.raises(InvalidParameterError):
+            c.observe_burst(5)
+
+
+class TestHoldingPolicy:
+    def test_closes_longest_anticipated_idle(self):
+        # c_fast bursts every 2 ticks, c_slow every 40: under a 1-circuit
+        # budget the policy should keep c_fast open.
+        fast = make_circuit("fast")
+        slow = make_circuit("slow")
+        policy = HoldingPolicy([fast, slow], max_open=1)
+        bursts = []
+        for t in range(0, 200, 2):
+            bursts.append((t, "fast"))
+        for t in range(0, 200, 40):
+            bursts.append((t, "slow"))
+        policy.run(sorted(bursts))
+        assert policy.open_circuits() == ["fast"]
+
+    def test_reopen_accounting(self):
+        a = make_circuit("a")
+        b = make_circuit("b")
+        policy = HoldingPolicy([a, b], max_open=1)
+        stats = policy.run([(0, "a"), (1, "b"), (2, "a")])
+        # Every burst at a closed circuit is a reopen; "a" was evicted by
+        # "b"'s arrival under the 1-circuit budget.
+        assert stats.reopens == 3
+        assert stats.bursts == 3
+
+    def test_holding_cost_counts_open_ticks(self):
+        a = make_circuit("a")
+        policy = HoldingPolicy([a], max_open=1)
+        stats = policy.run([(0, "a"), (10, "a")])
+        assert stats.holding_ticks == 10
+        assert stats.cost(holding_cost=1.0, reopen_cost=0.0) == 10.0
+
+    def test_generous_budget_never_closes(self):
+        a = make_circuit("a")
+        b = make_circuit("b")
+        policy = HoldingPolicy([a, b], max_open=2)
+        stats = policy.run([(0, "a"), (1, "b"), (50, "a"), (51, "b")])
+        assert stats.reopens == 2  # only the initial opens
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            HoldingPolicy([], max_open=1)
+        with pytest.raises(InvalidParameterError):
+            HoldingPolicy([make_circuit("a")], max_open=0)
+        with pytest.raises(InvalidParameterError):
+            HoldingPolicy([make_circuit("a"), make_circuit("a")], max_open=1)
+        policy = HoldingPolicy([make_circuit("a")], max_open=1)
+        with pytest.raises(InvalidParameterError):
+            policy.run([(0, "unknown")])
+        with pytest.raises(InvalidParameterError):
+            policy.run([(5, "a"), (0, "a")])

@@ -1,0 +1,84 @@
+"""Unit tests for the RED gateway simulator (paper section 1.1)."""
+
+import random
+
+import pytest
+
+from repro.apps.red import RedConfig, RedGateway
+from repro.core.average import DecayingAverage
+from repro.core.decay import PolynomialDecay
+from repro.core.errors import InvalidParameterError
+from repro.core.ewma import EwmaRegister
+
+
+class TestConfig:
+    def test_rejects_bad_thresholds(self):
+        with pytest.raises(InvalidParameterError):
+            RedConfig(min_threshold=10, max_threshold=5)
+        with pytest.raises(InvalidParameterError):
+            RedConfig(max_drop_probability=0.0)
+        with pytest.raises(InvalidParameterError):
+            RedConfig(queue_capacity=0)
+
+
+class TestDropRamp:
+    def test_ramp_shape(self):
+        gw = RedGateway(RedConfig(), EwmaRegister(0.9))
+        cfg = gw.config
+        assert gw.drop_probability(cfg.min_threshold - 1) == 0.0
+        assert gw.drop_probability(cfg.max_threshold) == 1.0
+        mid = (cfg.min_threshold + cfg.max_threshold) / 2
+        assert gw.drop_probability(mid) == pytest.approx(
+            cfg.max_drop_probability / 2
+        )
+
+
+class TestSimulation:
+    def test_light_load_no_red_drops(self):
+        gw = RedGateway(RedConfig(service_rate=5), EwmaRegister(0.9), seed=1)
+        stats = gw.run([1] * 500)
+        assert stats.dropped_red == 0
+        assert stats.transmitted == 500
+
+    def test_heavy_load_triggers_red(self):
+        gw = RedGateway(RedConfig(service_rate=2), EwmaRegister(0.9), seed=2)
+        rng = random.Random(3)
+        stats = gw.run(rng.randint(0, 8) for _ in range(2000))
+        assert stats.dropped_red > 0
+        assert 0 < stats.drop_rate < 1
+
+    def test_red_reduces_tail_drops_vs_no_red(self):
+        # A gateway whose average never crosses min_threshold does pure
+        # tail-drop; RED sheds load earlier and smooths the queue.
+        rng_profile = [8 if (t // 50) % 2 == 0 else 0 for t in range(4000)]
+        red = RedGateway(RedConfig(service_rate=4), EwmaRegister(0.7), seed=4)
+        red_stats = red.run(rng_profile)
+        no_red = RedGateway(
+            RedConfig(service_rate=4, min_threshold=49, max_threshold=50),
+            EwmaRegister(0.7),
+            seed=4,
+        )
+        tail_stats = no_red.run(rng_profile)
+        assert red_stats.dropped_tail <= tail_stats.dropped_tail
+
+    def test_decaying_average_backend(self):
+        avg = DecayingAverage(PolynomialDecay(1.0), epsilon=0.1)
+        gw = RedGateway(RedConfig(service_rate=2), avg, seed=5)
+        rng = random.Random(6)
+        stats = gw.run(rng.randint(0, 6) for _ in range(800))
+        assert stats.ticks == 800
+        assert len(stats.avg_estimates) == 800
+        assert stats.offered == stats.dropped_red + stats.dropped_tail + (
+            stats.transmitted + gw.queue_length
+        )
+
+    def test_rejects_negative_arrivals(self):
+        gw = RedGateway(RedConfig(), EwmaRegister(0.9))
+        with pytest.raises(InvalidParameterError):
+            gw.tick(-1)
+
+    def test_average_tracks_queue(self):
+        gw = RedGateway(RedConfig(queue_capacity=100, service_rate=1),
+                        EwmaRegister(0.5), seed=7)
+        gw.run([3] * 100)
+        assert gw.average_queue() > 5

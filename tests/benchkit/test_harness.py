@@ -1,0 +1,74 @@
+"""Unit tests for the accuracy-sweep harness."""
+
+import math
+
+import pytest
+
+from repro.benchkit.harness import AccuracyResult, growth_exponent, measure_accuracy
+from repro.core.decay import PolynomialDecay
+from repro.core.errors import InvalidParameterError
+from repro.core.exact import ExactDecayingSum
+from repro.histograms.wbmh import WBMH
+from repro.streams.generators import StreamItem, bernoulli_stream
+
+
+class TestMeasureAccuracy:
+    def test_exact_engine_reports_zero_error(self):
+        decay = PolynomialDecay(1.0)
+        items = list(bernoulli_stream(300, 0.5, seed=1))
+        res = measure_accuracy(
+            lambda: ExactDecayingSum(decay), decay, items, query_every=17
+        )
+        assert isinstance(res, AccuracyResult)
+        assert res.max_rel_error == 0.0
+        assert res.bracket_violations == 0
+        assert res.queries > 5
+
+    def test_approx_engine_within_epsilon(self):
+        decay = PolynomialDecay(1.0)
+        items = list(bernoulli_stream(500, 0.5, seed=2))
+        res = measure_accuracy(
+            lambda: WBMH(decay, 0.2), decay, items, query_every=31, until=550
+        )
+        assert res.max_rel_error <= 0.2
+        assert res.mean_rel_error <= res.max_rel_error
+        assert res.per_stream_bits > 0
+
+    def test_until_extends_queries(self):
+        decay = PolynomialDecay(1.0)
+        items = [StreamItem(0, 1.0)]
+        res = measure_accuracy(
+            lambda: ExactDecayingSum(decay), decay, items,
+            query_every=10, until=100,
+        )
+        assert res.queries >= 10
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(InvalidParameterError):
+            measure_accuracy(
+                lambda: ExactDecayingSum(PolynomialDecay(1.0)),
+                PolynomialDecay(1.0),
+                [],
+                query_every=0,
+            )
+
+
+class TestGrowthExponent:
+    def test_linear_series(self):
+        xs = [10, 100, 1000]
+        assert growth_exponent(xs, [3 * x for x in xs]) == pytest.approx(1.0)
+
+    def test_quadratic_series(self):
+        xs = [10, 100, 1000]
+        assert growth_exponent(xs, [x * x for x in xs]) == pytest.approx(2.0)
+
+    def test_logarithmic_series_has_small_slope(self):
+        xs = [2**k for k in range(4, 16)]
+        slope = growth_exponent(xs, [math.log2(x) for x in xs])
+        assert slope < 0.4
+
+    def test_needs_two_points(self):
+        with pytest.raises(InvalidParameterError):
+            growth_exponent([10], [5])
+        with pytest.raises(InvalidParameterError):
+            growth_exponent([10, 10], [5, 7])

@@ -1,0 +1,52 @@
+"""Unit tests for the table/series formatters."""
+
+import pytest
+
+from repro.benchkit.reporting import banner, format_series, format_table
+from repro.core.errors import InvalidParameterError
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        text = format_table(["name", "value"], [["a", 1], ["bb", 22.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", "+"}
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # fixed width
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.123456789]], precision=3)
+        assert "0.123" in text
+
+    def test_scientific_for_extremes(self):
+        text = format_table(["x"], [[1.5e9], [1.5e-9]])
+        assert "e+09" in text and "e-09" in text
+
+    def test_zero_and_bool(self):
+        text = format_table(["a", "b"], [[0.0, True]])
+        assert "0" in text and "True" in text
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            format_table([], [])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestSeriesAndBanner:
+    def test_series_line(self):
+        line = format_series("errs", [0.1, 0.25], precision=2)
+        assert line.startswith("errs:")
+        assert "0.10" in line and "0.25" in line
+
+    def test_banner_contains_title(self):
+        text = banner("My Experiment")
+        assert "My Experiment" in text
+        assert text.count("=") >= 2 * len("My Experiment")

@@ -1,0 +1,39 @@
+"""Shared test helpers: engine driving and reference computation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exact import ExactDecayingSum
+
+
+def drive_pair(engine, decay, items, *, until=None):
+    """Drive engine and an exact reference over ``(t, value)`` pairs.
+
+    Returns ``(engine, exact)`` advanced to ``until`` (or the last arrival).
+    """
+    exact = ExactDecayingSum(decay)
+    for t, v in items:
+        for e in (engine, exact):
+            if t > e.time:
+                e.advance(t - e.time)
+            e.add(v)
+    if until is not None:
+        for e in (engine, exact):
+            if until > e.time:
+                e.advance(until - e.time)
+    return engine, exact
+
+
+def assert_estimate_ok(est, true, *, rel=None, msg=""):
+    """Bracket must contain truth; optional relative-error cap."""
+    assert est.lower <= est.upper, msg
+    assert est.contains(true), f"{msg}: bracket [{est.lower}, {est.upper}] misses {true}"
+    if rel is not None and true > 0:
+        err = abs(est.value - true) / true
+        assert err <= rel, f"{msg}: rel error {err} > {rel}"
+
+
+@pytest.fixture
+def rng_seed():
+    return 12345

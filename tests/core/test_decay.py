@@ -1,0 +1,270 @@
+"""Unit tests for the decay-function family (paper sections 2-3)."""
+
+import math
+
+import pytest
+
+from repro.core.decay import (
+    DecayFunction,
+    ExponentialDecay,
+    LinearDecay,
+    LogarithmicDecay,
+    NoDecay,
+    PolyexponentialDecay,
+    PolynomialDecay,
+    SlidingWindowDecay,
+    TableDecay,
+    check_ratio_nonincreasing,
+)
+from repro.core.errors import DecayFunctionError, InvalidParameterError
+
+
+class TestExponentialDecay:
+    def test_weight_values(self):
+        g = ExponentialDecay(0.5)
+        assert g.weight(0) == 1.0
+        assert g.weight(2) == pytest.approx(math.exp(-1.0))
+
+    def test_is_non_increasing(self):
+        g = ExponentialDecay(0.1)
+        weights = g.weights(range(100))
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_infinite_support(self):
+        assert ExponentialDecay(1.0).support() is None
+
+    def test_ratio_constant_hence_nonincreasing(self):
+        assert ExponentialDecay(0.3).is_ratio_nonincreasing()
+        # And the numeric checker agrees with the analytic override.
+        assert check_ratio_nonincreasing(ExponentialDecay(0.3), 200)
+
+    def test_weight_ratio_is_exponential_in_horizon(self):
+        g = ExponentialDecay(0.1)
+        assert g.weight_ratio(100) == pytest.approx(math.exp(10.0))
+
+    @pytest.mark.parametrize("lam", [0.0, -1.0])
+    def test_rejects_bad_lambda(self, lam):
+        with pytest.raises(InvalidParameterError):
+            ExponentialDecay(lam)
+
+    def test_rejects_negative_age(self):
+        with pytest.raises(InvalidParameterError):
+            ExponentialDecay(1.0).weight(-1)
+
+
+class TestSlidingWindowDecay:
+    def test_step_shape(self):
+        g = SlidingWindowDecay(5)
+        assert [g.weight(a) for a in range(7)] == [1, 1, 1, 1, 1, 0, 0]
+
+    def test_support_is_window_minus_one(self):
+        assert SlidingWindowDecay(5).support() == 4
+        assert SlidingWindowDecay(1).support() == 0
+
+    def test_violates_ratio_condition(self):
+        assert not SlidingWindowDecay(10).is_ratio_nonincreasing()
+        assert not check_ratio_nonincreasing(SlidingWindowDecay(10), 100)
+
+    def test_rejects_zero_window(self):
+        with pytest.raises(InvalidParameterError):
+            SlidingWindowDecay(0)
+
+
+class TestPolynomialDecay:
+    def test_shifted_form_matches_paper_example(self):
+        # Section 5 example: weights 1, 1/4, 1/9, ... for ages 0, 1, 2, ...
+        g = PolynomialDecay(2.0)
+        assert [g.weight(a) for a in range(4)] == pytest.approx(
+            [1.0, 0.25, 1 / 9, 1 / 16]
+        )
+
+    def test_ratio_nonincreasing(self):
+        assert PolynomialDecay(1.0).is_ratio_nonincreasing()
+        assert check_ratio_nonincreasing(PolynomialDecay(3.0), 500)
+
+    def test_weights_get_closer_over_time(self):
+        # The Figure 1 property: ratio of weights of two fixed items
+        # approaches 1 as time passes.
+        g = PolynomialDecay(1.0)
+        earlier = [g.weight(a + 10) / g.weight(a) for a in (1, 10, 100, 1000)]
+        assert all(x < y for x, y in zip(earlier, earlier[1:]))
+        assert earlier[-1] > 0.98
+
+    def test_weight_ratio_polynomial_in_horizon(self):
+        g = PolynomialDecay(2.0)
+        assert g.weight_ratio(99) == pytest.approx(100.0**2)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(InvalidParameterError):
+            PolynomialDecay(0.0)
+
+
+class TestPolyexponentialDecay:
+    def test_k0_equals_exponential(self):
+        g = PolyexponentialDecay(0, 0.5)
+        e = ExponentialDecay(0.5)
+        for a in range(10):
+            assert g.weight(a) == pytest.approx(e.weight(a))
+
+    def test_peak_location(self):
+        g = PolyexponentialDecay(3, 0.5)
+        weights = [g.weight(a) for a in range(30)]
+        assert weights.index(max(weights)) == 6  # k / lam = 3 / 0.5
+
+    def test_not_monotone_hence_not_wbmh(self):
+        assert not PolyexponentialDecay(2, 0.1).is_ratio_nonincreasing()
+
+    def test_age_zero(self):
+        assert PolyexponentialDecay(0, 1.0).weight(0) == 1.0
+        assert PolyexponentialDecay(2, 1.0).weight(0) == 0.0
+
+
+class TestLinearAndLogDecay:
+    def test_linear_ramp(self):
+        g = LinearDecay(4)
+        assert [g.weight(a) for a in range(6)] == pytest.approx(
+            [1.0, 0.75, 0.5, 0.25, 0.0, 0.0]
+        )
+        assert g.support() == 3
+
+    def test_linear_not_wbmh_applicable(self):
+        assert not LinearDecay(10).is_ratio_nonincreasing()
+
+    def test_log_decay_slower_than_any_polynomial(self):
+        g = LogarithmicDecay()
+        p = PolynomialDecay(0.5)
+        # At large ages the log decay retains more weight.
+        assert g.weight(10**6) > p.weight(10**6)
+
+    def test_log_decay_wbmh_applicable(self):
+        assert LogarithmicDecay().is_ratio_nonincreasing()
+        assert check_ratio_nonincreasing(LogarithmicDecay(), 2000)
+
+
+class TestTableDecay:
+    def test_lookup_and_tail(self):
+        g = TableDecay([1.0, 0.5, 0.25], tail=0.1)
+        assert g.weight(1) == 0.5
+        assert g.weight(10) == 0.1
+        assert g.support() is None
+
+    def test_zero_tail_support(self):
+        g = TableDecay([1.0, 0.5, 0.0, 0.0])
+        assert g.support() == 1
+
+    def test_rejects_increasing_table(self):
+        with pytest.raises(DecayFunctionError):
+            TableDecay([0.5, 1.0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(DecayFunctionError):
+            TableDecay([1.0, -0.1])
+
+    def test_rejects_tail_above_last(self):
+        with pytest.raises(DecayFunctionError):
+            TableDecay([1.0, 0.2], tail=0.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidParameterError):
+            TableDecay([])
+
+
+class TestGaussianDecay:
+    def test_weight_formula(self):
+        from repro.core.decay import GaussianDecay
+
+        g = GaussianDecay(10.0)
+        assert g.weight(0) == 1.0
+        assert g.weight(10) == pytest.approx(math.exp(-1.0))
+
+    def test_faster_than_any_exponential_eventually(self):
+        from repro.core.decay import GaussianDecay
+
+        g = GaussianDecay(5.0)
+        e = ExponentialDecay(2.0)  # very aggressive EXPD
+        # Far out, the Gaussian tail is below even this exponential.
+        assert g.weight(100) < e.weight(100)
+
+    def test_not_wbmh_applicable(self):
+        from repro.core.decay import GaussianDecay
+
+        assert not GaussianDecay(5.0).is_ratio_nonincreasing()
+        assert not check_ratio_nonincreasing(GaussianDecay(5.0), 50)
+
+    def test_rejects_bad_sigma(self):
+        from repro.core.decay import GaussianDecay
+
+        with pytest.raises(InvalidParameterError):
+            GaussianDecay(0.0)
+
+
+class TestNoDecay:
+    def test_constant(self):
+        g = NoDecay()
+        assert g.weight(0) == g.weight(10**9) == 1.0
+        assert g.support() is None
+        assert g.is_ratio_nonincreasing()
+
+
+class TestHalfLifeAndHorizon:
+    def test_expd_half_life(self):
+        lam = math.log(2.0) / 50.0  # designed half-life 50
+        assert ExponentialDecay(lam).half_life() == 50
+
+    def test_polyd_half_life(self):
+        # (a+1)^-1 halves at a = 1; (a+1)^-2 halves at ceil(sqrt(2)-1) = 1.
+        assert PolynomialDecay(1.0).half_life() == 1
+        assert PolynomialDecay(0.1).half_life() == 2**10 - 1
+
+    def test_sliwin_half_life_is_cutoff(self):
+        assert SlidingWindowDecay(10).half_life() == 10
+
+    def test_no_decay_never_halves(self):
+        assert NoDecay().half_life() is None
+
+    def test_effective_horizon_expd(self):
+        g = ExponentialDecay(0.1)
+        h = g.effective_horizon(0.01)
+        assert g.weight(h) < 0.01 <= g.weight(h - 1)
+
+    def test_effective_horizon_bounded_support(self):
+        g = SlidingWindowDecay(10)
+        assert g.effective_horizon(0.5) == 10
+
+    def test_effective_horizon_validation(self):
+        with pytest.raises(InvalidParameterError):
+            PolynomialDecay(1.0).effective_horizon(0.0)
+
+    def test_matching_families_at_a_lag(self):
+        # Pick lambda so EXPD matches POLYD(1) at the POLYD half-life.
+        polyd = PolynomialDecay(1.0)
+        lag = polyd.half_life()
+        lam = math.log(2.0) / lag
+        expd = ExponentialDecay(lam)
+        assert expd.weight(lag) == pytest.approx(polyd.weight(lag), rel=1e-9)
+        # Past the lag, POLYD retains more (the subexponential tail).
+        assert polyd.weight(100 * lag) > expd.weight(100 * lag)
+
+
+class TestRatioChecker:
+    def test_detects_increase_with_age(self):
+        class Bad(DecayFunction):
+            def weight(self, age):
+                self._check_age(age)
+                return float(age)
+
+        with pytest.raises(DecayFunctionError):
+            check_ratio_nonincreasing(Bad(), 10)
+
+    def test_zero_tail_is_fine(self):
+        # TableDecay hitting zero and staying there: ratio check passes on
+        # the region up to the first zero only.
+        g = TableDecay([1.0, 1.0, 0.0])
+        # weight 1 -> 0 at age 2: the ratio jumps to infinity after finite
+        # ratios -> violation.
+        assert not check_ratio_nonincreasing(g, 10)
+
+    def test_describe_strings(self):
+        assert "EXPD" in ExponentialDecay(1.0).describe()
+        assert "SLIWIN" in SlidingWindowDecay(2).describe()
+        assert "POLYD" in PolynomialDecay(1.0).describe()

@@ -1,0 +1,83 @@
+"""Unit tests for the Estimate value object."""
+
+import math
+
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.core.estimate import Estimate
+
+
+class TestConstruction:
+    def test_exact(self):
+        e = Estimate.exact(5.0)
+        assert e.value == e.lower == e.upper == 5.0
+
+    def test_from_bracket_midpoint(self):
+        e = Estimate.from_bracket(2.0, 4.0)
+        assert e.value == 3.0
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            Estimate(value=1.0, lower=2.0, upper=0.5)
+
+    def test_rejects_value_outside_bracket(self):
+        with pytest.raises(InvalidParameterError):
+            Estimate(value=10.0, lower=0.0, upper=5.0)
+
+    def test_clamps_float_jitter(self):
+        # A value epsilon above the upper bound from float arithmetic is
+        # clamped rather than rejected.
+        e = Estimate(value=1.0 + 1e-12, lower=0.0, upper=1.0)
+        assert e.value == 1.0
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidParameterError):
+            Estimate(value=float("nan"), lower=0.0, upper=1.0)
+
+    def test_rejects_empty_bracket(self):
+        with pytest.raises(InvalidParameterError):
+            Estimate.from_bracket(3.0, 2.0)
+
+
+class TestQueries:
+    def test_contains(self):
+        e = Estimate(value=3.0, lower=2.0, upper=4.0)
+        assert e.contains(2.0) and e.contains(4.0) and e.contains(3.3)
+        assert not e.contains(4.5)
+
+    def test_contains_with_slack(self):
+        e = Estimate.exact(1.0)
+        assert e.contains(1.0 + 1e-12)
+
+    def test_relative_error(self):
+        e = Estimate(value=11.0, lower=9.0, upper=12.0)
+        assert e.relative_error_vs(10.0) == pytest.approx(0.1)
+
+    def test_relative_error_zero_truth(self):
+        assert Estimate.exact(0.0).relative_error_vs(0.0) == 0.0
+        assert Estimate.exact(1.0).relative_error_vs(0.0) == math.inf
+
+    def test_width_ratio(self):
+        assert Estimate(value=3.0, lower=2.0, upper=4.0).width_ratio() == 2.0
+        assert Estimate.exact(0.0).width_ratio() == 1.0
+        assert Estimate(value=1.0, lower=0.0, upper=2.0).width_ratio() == math.inf
+
+
+class TestArithmetic:
+    def test_add(self):
+        a = Estimate(value=1.0, lower=0.5, upper=1.5)
+        b = Estimate(value=2.0, lower=1.5, upper=2.5)
+        c = a + b
+        assert (c.value, c.lower, c.upper) == (3.0, 2.0, 4.0)
+
+    def test_scaled(self):
+        e = Estimate(value=2.0, lower=1.0, upper=3.0).scaled(2.0)
+        assert (e.value, e.lower, e.upper) == (4.0, 2.0, 6.0)
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(InvalidParameterError):
+            Estimate.exact(1.0).scaled(-1.0)
+
+    def test_float_conversion(self):
+        assert float(Estimate(value=2.5, lower=2.0, upper=3.0)) == 2.5

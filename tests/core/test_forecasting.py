@@ -1,0 +1,106 @@
+"""Unit tests for Brown's exponential smoothing (paper section 3.4)."""
+
+import math
+
+import pytest
+
+from repro.core.errors import EmptyAggregateError, InvalidParameterError
+from repro.core.forecasting import BrownSmoother
+
+
+class TestMechanics:
+    def test_initialization_on_first_observation(self):
+        s = BrownSmoother(order=2, alpha=0.3)
+        assert not s.initialized
+        s.observe(5.0)
+        assert s.initialized
+        assert s.smoothed() == [5.0, 5.0]
+        assert s.trend() == 0.0
+
+    def test_stage_recurrence(self):
+        s = BrownSmoother(order=2, alpha=0.5)
+        s.observe(0.0)
+        s.observe(4.0)
+        # S1 = 0.5*4 + 0.5*0 = 2; S2 = 0.5*2 + 0.5*0 = 1.
+        assert s.smoothed() == [2.0, 1.0]
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            BrownSmoother(order=0, alpha=0.5)
+        with pytest.raises(InvalidParameterError):
+            BrownSmoother(order=2, alpha=1.0)
+        s = BrownSmoother(order=1, alpha=0.5)
+        with pytest.raises(EmptyAggregateError):
+            s.level()
+        s.observe(1.0)
+        with pytest.raises(InvalidParameterError):
+            s.forecast(-1)
+
+
+class TestPolyexponentialWeights:
+    def test_kfold_smoothing_is_negative_binomial_weighted(self):
+        # The weight of the observation j steps back in S_k is
+        # C(j+k-1, k-1) * alpha**k' ... with w = 1 - alpha:
+        # S_k(T) = sum_j C(j+k-1, k-1) * (1-w)**k * w**j * x_{T-j}
+        # -- a polynomial in j times w**j: polyexponential decay (§3.4).
+        alpha = 0.4
+        w = 1.0 - alpha
+        xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        s = BrownSmoother(order=3, alpha=alpha)
+        # Zero-initialize by feeding a long zero prefix... instead compute
+        # closed form including the initialization at xs[0].
+        for x in xs:
+            s.observe(x)
+        # Direct recurrence reference.
+        s1 = s2 = s3 = xs[0]
+        for x in xs[1:]:
+            s1 = alpha * x + w * s1
+            s2 = alpha * s1 + w * s2
+            s3 = alpha * s2 + w * s3
+        assert s.smoothed() == pytest.approx([s1, s2, s3])
+        # Weight check on a fresh smoother over an impulse stream: after the
+        # first (initializing) zero, an impulse at lag j contributes
+        # C(j+k-1, k-1) alpha^k w^j to S_k.
+        for k in (1, 2, 3):
+            lag = 4
+            imp = BrownSmoother(order=k, alpha=alpha)
+            imp.observe(0.0)  # initialize all stages at 0
+            imp.observe(1.0)  # the impulse
+            for _ in range(lag):
+                imp.observe(0.0)
+            expected = math.comb(lag + k - 1, k - 1) * alpha**k * w**lag
+            assert imp.smoothed()[k - 1] == pytest.approx(expected)
+
+
+class TestForecasting:
+    def test_double_smoothing_converges_on_linear_trend(self):
+        s = BrownSmoother(order=2, alpha=0.3)
+        for t in range(300):
+            s.observe(7.0 + 2.0 * t)
+        assert s.trend() == pytest.approx(2.0, rel=1e-3)
+        t_last = 299
+        assert s.forecast(10) == pytest.approx(7.0 + 2.0 * (t_last + 10), rel=1e-3)
+
+    def test_triple_smoothing_converges_on_quadratic(self):
+        s = BrownSmoother(order=3, alpha=0.2)
+        for t in range(2000):
+            s.observe(1.0 + 0.5 * t + 0.25 * t * t)
+        assert s.curvature() == pytest.approx(0.5, rel=0.05)
+        t_last = 1999
+        truth = 1.0 + 0.5 * (t_last + 5) + 0.25 * (t_last + 5) ** 2
+        assert s.forecast(5) == pytest.approx(truth, rel=0.01)
+
+    def test_single_smoothing_tracks_level(self):
+        s = BrownSmoother(order=1, alpha=0.5)
+        for _ in range(50):
+            s.observe(42.0)
+        assert s.forecast(3) == pytest.approx(42.0)
+
+    def test_double_beats_single_on_trend(self):
+        single = BrownSmoother(order=1, alpha=0.3)
+        double = BrownSmoother(order=2, alpha=0.3)
+        for t in range(200):
+            single.observe(float(t))
+            double.observe(float(t))
+        truth = 199.0 + 10.0
+        assert abs(double.forecast(10) - truth) < abs(single.forecast(10) - truth)

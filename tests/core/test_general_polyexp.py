@@ -1,0 +1,116 @@
+"""Tests for general polyexponential-polynomial decay (§3.4 in full)."""
+
+import random
+
+import pytest
+
+from repro.core.decay import PolyExpPolynomialDecay, PolynomialDecay
+from repro.core.errors import DecayFunctionError, InvalidParameterError
+from repro.core.ewma import GeneralPolyexpSum
+from repro.core.exact import ExactDecayingSum
+from repro.histograms.wbmh import WBMH
+
+
+class TestDecayFunction:
+    def test_weight_formula(self):
+        g = PolyExpPolynomialDecay([1.0, 2.0], lam=0.5)
+        import math
+
+        for a in (0, 1, 5):
+            assert g.weight(a) == pytest.approx((1 + 2 * a) * math.exp(-0.5 * a))
+
+    def test_degree_zero_is_expd(self):
+        from repro.core.decay import ExponentialDecay
+
+        g = PolyExpPolynomialDecay([3.0], lam=0.2)
+        e = ExponentialDecay(0.2)
+        for a in range(10):
+            assert g.weight(a) == pytest.approx(3.0 * e.weight(a))
+        assert g.is_ratio_nonincreasing()
+
+    def test_rising_profile_not_wbmh_applicable(self):
+        g = PolyExpPolynomialDecay([0.0, 1.0], lam=0.1)
+        assert not g.is_ratio_nonincreasing()
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            PolyExpPolynomialDecay([], 0.1)
+        with pytest.raises(InvalidParameterError):
+            PolyExpPolynomialDecay([1.0], 0.0)
+        with pytest.raises(InvalidParameterError):
+            PolyExpPolynomialDecay([0.0, 0.0], 0.1)
+        with pytest.raises(DecayFunctionError):
+            PolyExpPolynomialDecay([1.0, -2.0], 0.1)
+
+
+class TestEngine:
+    @pytest.mark.parametrize(
+        "coeffs",
+        [[1.0], [1.0, 1.0], [0.5, 0.0, 0.25], [2.0, 1.0, 0.5, 0.1]],
+        ids=["deg0", "deg1", "deg2", "deg3"],
+    )
+    def test_matches_exact(self, coeffs):
+        decay = PolyExpPolynomialDecay(coeffs, lam=0.08)
+        engine = GeneralPolyexpSum(decay)
+        exact = ExactDecayingSum(decay)
+        rng = random.Random(7)
+        for _ in range(400):
+            if rng.random() < 0.4:
+                v = rng.uniform(0.5, 3.0)
+                engine.add(v)
+                exact.add(v)
+            engine.advance(1)
+            exact.advance(1)
+        assert engine.query().value == pytest.approx(
+            exact.query().value, rel=1e-9
+        )
+
+    def test_constant_work_storage_scales_with_degree(self):
+        small = GeneralPolyexpSum(PolyExpPolynomialDecay([1.0], 0.1))
+        large = GeneralPolyexpSum(PolyExpPolynomialDecay([1.0] * 5, 0.1))
+        for e in (small, large):
+            e.add(1.0)
+            e.advance(10)
+        sb = small.storage_report().per_stream_bits
+        lb = large.storage_report().per_stream_bits
+        assert lb == pytest.approx(5 * sb, rel=0.01)
+
+    def test_requires_matching_decay(self):
+        with pytest.raises(InvalidParameterError):
+            GeneralPolyexpSum(PolynomialDecay(1.0))
+
+
+class TestWBMHQueryDecay:
+    def test_bracket_valid_for_other_decay(self):
+        # Build the lattice for POLYD(1), query POLYD(2) -- faster decay,
+        # so brackets may widen but must stay valid.
+        base = PolynomialDecay(1.0)
+        other = PolynomialDecay(2.0)
+        w = WBMH(base, 0.1)
+        exact = ExactDecayingSum(other)
+        rng = random.Random(9)
+        for _ in range(800):
+            if rng.random() < 0.5:
+                w.add(1)
+                exact.add(1)
+            w.advance(1)
+            exact.advance(1)
+        est = w.query_decay(other)
+        assert est.contains(exact.query().value)
+
+    def test_slower_decay_keeps_tight_bracket(self):
+        # POLYD(0.5) varies more slowly than the POLYD(1) lattice, so the
+        # bracket stays within the histogram's epsilon.
+        base = PolynomialDecay(1.0)
+        other = PolynomialDecay(0.5)
+        w = WBMH(base, 0.1)
+        exact = ExactDecayingSum(other)
+        for _ in range(800):
+            w.add(1)
+            exact.add(1)
+            w.advance(1)
+            exact.advance(1)
+        est = w.query_decay(other)
+        true = exact.query().value
+        assert est.contains(true)
+        assert est.relative_error_vs(true) <= 0.1

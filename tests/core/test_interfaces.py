@@ -1,0 +1,64 @@
+"""Unit tests for the engine factory (paper-guided engine selection)."""
+
+import pytest
+
+from repro.core.decay import (
+    ExponentialDecay,
+    LinearDecay,
+    LogarithmicDecay,
+    PolynomialDecay,
+    SlidingWindowDecay,
+)
+from repro.core.errors import InvalidParameterError
+from repro.core.ewma import ExponentialSum
+from repro.core.interfaces import DecayingSum, make_decaying_sum
+from repro.histograms.ceh import CascadedEH
+from repro.histograms.eh import SlidingWindowSum
+from repro.histograms.wbmh import WBMH
+
+
+class TestFactorySelection:
+    def test_expd_gets_single_register(self):
+        assert isinstance(make_decaying_sum(ExponentialDecay(0.1)), ExponentialSum)
+
+    def test_sliwin_gets_eh(self):
+        assert isinstance(make_decaying_sum(SlidingWindowDecay(100)), SlidingWindowSum)
+
+    def test_polyd_gets_wbmh(self):
+        assert isinstance(make_decaying_sum(PolynomialDecay(2.0)), WBMH)
+
+    def test_log_decay_gets_wbmh(self):
+        assert isinstance(make_decaying_sum(LogarithmicDecay()), WBMH)
+
+    def test_linear_decay_gets_ceh(self):
+        # Linear decay violates the WBMH ratio condition.
+        assert isinstance(make_decaying_sum(LinearDecay(50)), CascadedEH)
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(InvalidParameterError):
+            make_decaying_sum(PolynomialDecay(1.0), epsilon=0.0)
+        with pytest.raises(InvalidParameterError):
+            make_decaying_sum(PolynomialDecay(1.0), epsilon=1.0)
+
+
+class TestProtocolConformance:
+    @pytest.mark.parametrize(
+        "decay",
+        [
+            ExponentialDecay(0.1),
+            SlidingWindowDecay(32),
+            PolynomialDecay(1.0),
+            LinearDecay(32),
+        ],
+    )
+    def test_engines_implement_protocol(self, decay):
+        engine = make_decaying_sum(decay, epsilon=0.1)
+        assert isinstance(engine, DecayingSum)
+        assert engine.time == 0
+        engine.add(1.0)
+        engine.advance(3)
+        assert engine.time == 3
+        est = engine.query()
+        assert est.lower <= est.value <= est.upper
+        report = engine.storage_report()
+        assert report.per_stream_bits > 0

@@ -1,0 +1,94 @@
+"""Unit tests for quantized float counters (paper section 5 rounding)."""
+
+import math
+
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.counters.approx_float import (
+    FixedQuantizer,
+    LevelQuantizer,
+    truncate_mantissa,
+)
+
+
+class TestTruncateMantissa:
+    def test_truncation_is_one_sided(self):
+        for x in (1.0, 3.14159, 1e-9, 123456.789):
+            q = truncate_mantissa(x, 8)
+            assert q <= x
+            assert x <= q * (1 + 2.0**-7)
+
+    def test_zero_passthrough(self):
+        assert truncate_mantissa(0.0, 4) == 0.0
+
+    def test_high_bits_identity_for_small_ints(self):
+        assert truncate_mantissa(5.0, 30) == 5.0
+
+    def test_powers_of_two_exact_at_one_bit(self):
+        assert truncate_mantissa(8.0, 1) == 8.0
+
+    def test_rejects_negative_value_and_bits(self):
+        with pytest.raises(InvalidParameterError):
+            truncate_mantissa(-1.0, 4)
+        with pytest.raises(InvalidParameterError):
+            truncate_mantissa(1.0, 0)
+
+
+class TestLevelQuantizer:
+    def test_beta_schedule_decreasing(self):
+        q = LevelQuantizer(0.1)
+        betas = [q.beta(i) for i in range(1, 10)]
+        assert all(a > b for a, b in zip(betas, betas[1:]))
+
+    def test_total_drift_bounded_by_eps(self):
+        # prod (1 + beta_i) <= e**(sum beta_i) <= e**eps for all depths.
+        q = LevelQuantizer(0.1)
+        assert q.drift_factor(200) <= math.exp(0.1) + 1e-12
+
+    def test_mantissa_bits_grow_logarithmically(self):
+        q = LevelQuantizer(0.1)
+        assert q.mantissa_bits(100) - q.mantissa_bits(1) <= 2 * math.log2(100) + 2
+
+    def test_quantize_respects_beta(self):
+        q = LevelQuantizer(0.2)
+        for level in (1, 3, 10):
+            x = 1234.5678
+            got = q.quantize(x, level)
+            assert got <= x <= got * (1 + q.beta(level))
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            LevelQuantizer(0.0)
+        with pytest.raises(InvalidParameterError):
+            LevelQuantizer(0.1).beta(0)
+
+
+class TestFixedQuantizer:
+    def test_uniform_beta(self):
+        q = FixedQuantizer(0.1, horizon=1024)
+        assert q.beta(1) == q.beta(7) == pytest.approx(0.01)
+
+    def test_drift_within_eps_over_log_depth(self):
+        eps = 0.1
+        n = 1 << 20
+        q = FixedQuantizer(eps, n)
+        depth = int(math.log2(n))
+        assert q.drift_factor(depth) <= 1 + eps + 0.01
+
+    def test_mantissa_bits_formula(self):
+        # log(1/beta) = log(1/eps) + log log N bits, plus the ceil slack.
+        q = FixedQuantizer(0.125, horizon=1 << 16)
+        assert q.mantissa_bits(1) == pytest.approx(
+            1 + math.log2(16 / 0.125), abs=1
+        )
+
+    def test_quantize_one_sided(self):
+        q = FixedQuantizer(0.2, horizon=256)
+        x = 999.25
+        got = q.quantize(x, 3)
+        assert got <= x <= got * (1 + q.beta(3))
+
+    def test_rejects_bad_horizon(self):
+        with pytest.raises(InvalidParameterError):
+            FixedQuantizer(0.1, horizon=1)

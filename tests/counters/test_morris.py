@@ -1,0 +1,70 @@
+"""Unit tests for the Morris approximate counter."""
+
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.counters.morris import MorrisCounter
+
+
+class TestAccuracy:
+    def test_estimate_close_for_large_counts(self):
+        m = MorrisCounter(accuracy=0.1, seed=7)
+        n = 50_000
+        m.add(n)
+        est = m.query()
+        assert est.relative_error_vs(n) < 0.4  # ~3 sigma at accuracy 0.1
+
+    def test_average_over_counters_is_unbiased(self):
+        n = 5000
+        estimates = []
+        for seed in range(30):
+            m = MorrisCounter(accuracy=0.2, seed=seed)
+            m.add(n)
+            estimates.append(m.query().value)
+        mean = sum(estimates) / len(estimates)
+        assert abs(mean - n) / n < 0.15
+
+    def test_zero_count(self):
+        m = MorrisCounter(seed=1)
+        assert m.query().value == 0.0
+
+    def test_small_counts_exactish(self):
+        # With small a, low counts increment (almost) deterministically.
+        m = MorrisCounter(accuracy=0.05, seed=3)
+        m.add(1)
+        assert m.query().value > 0
+
+
+class TestStorage:
+    def test_register_is_loglog(self):
+        m = MorrisCounter(accuracy=0.25, seed=11)
+        m.add(100_000)
+        # register ~ log_{1+a}(a n) ; storage ~ log2(register).
+        assert m.register < 300
+        assert m.storage_report().per_stream_bits <= 10
+
+    def test_storage_grows_very_slowly(self):
+        small = MorrisCounter(accuracy=0.25, seed=1)
+        big = MorrisCounter(accuracy=0.25, seed=1)
+        small.add(1000)
+        big.add(100_000)
+        rs = small.storage_report().per_stream_bits
+        rb = big.storage_report().per_stream_bits
+        assert rb - rs <= 2  # log log growth
+
+
+class TestValidation:
+    @pytest.mark.parametrize("acc", [0.0, 1.0, -0.1])
+    def test_rejects_bad_accuracy(self, acc):
+        with pytest.raises(InvalidParameterError):
+            MorrisCounter(accuracy=acc)
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(InvalidParameterError):
+            MorrisCounter(seed=1).add(-1)
+
+    def test_events_observed_tracks_truth(self):
+        m = MorrisCounter(seed=1)
+        m.add(10)
+        m.add(5)
+        assert m.events_observed == 15

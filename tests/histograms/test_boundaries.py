@@ -1,0 +1,111 @@
+"""Unit tests for the WBMH region schedule (paper section 5)."""
+
+import math
+
+import pytest
+
+from repro.core.decay import (
+    ExponentialDecay,
+    NoDecay,
+    PolynomialDecay,
+    SlidingWindowDecay,
+)
+from repro.core.errors import InvalidParameterError
+from repro.histograms.boundaries import RegionSchedule
+
+
+class TestPaperExample:
+    def test_section5_boundaries(self):
+        # Paper: g = 1/x**2, ratio 5 -> b_1=3, b_2=7, b_3=16 in age-from-1
+        # convention, i.e. region starts 0, 2, 6, 15 in age-from-0.
+        sched = RegionSchedule(PolynomialDecay(2.0), ratio=5.0)
+        assert sched.region_of(0) == (0, 1)
+        assert sched.region_of(2) == (2, 5)
+        assert sched.region_of(6) == (6, 14)
+        assert sched.region_of(15)[0] == 15
+
+    def test_first_width(self):
+        sched = RegionSchedule(PolynomialDecay(2.0), ratio=5.0)
+        assert sched.first_width == 2
+
+
+class TestRegionProperties:
+    @pytest.mark.parametrize(
+        "decay,ratio",
+        [
+            (PolynomialDecay(1.0), 1.1),
+            (PolynomialDecay(3.0), 1.5),
+            (ExponentialDecay(0.1), 1.2),
+        ],
+        ids=["polyd1", "polyd3", "expd"],
+    )
+    def test_weight_spread_within_ratio(self, decay, ratio):
+        sched = RegionSchedule(decay, ratio)
+        for age in range(0, 500, 7):
+            s, e = sched.region_of(age)
+            assert s <= age <= e
+            assert decay.weight(s) <= ratio * decay.weight(min(e, 10**6)) + 1e-12
+
+    def test_regions_are_contiguous(self):
+        sched = RegionSchedule(PolynomialDecay(1.0), 1.3)
+        prev_end = -1
+        for start in sched.starts(1000):
+            assert start == prev_end + 1
+            prev_end = sched.region_of(start)[1]
+
+    def test_region_count_tracks_log_weight_ratio(self):
+        # #regions up to N ~ log_{ratio} D(g).
+        decay = PolynomialDecay(2.0)
+        ratio = 1.5
+        sched = RegionSchedule(decay, ratio)
+        n = 100_000
+        sched.region_of(n)
+        expected = math.log(decay.weight_ratio(n)) / math.log(ratio)
+        assert sched.region_count() == pytest.approx(expected, rel=0.35)
+
+    def test_expd_regions_have_constant_width(self):
+        # EXPD's ratio g(a)/g(a+w) depends only on w: all regions equal.
+        sched = RegionSchedule(ExponentialDecay(0.5), ratio=3.0)
+        widths = set()
+        prev = 0
+        for start in sched.starts(100)[1:]:
+            widths.add(start - prev)
+            prev = start
+        assert len(widths) == 1
+
+    def test_polyd_regions_grow_geometrically(self):
+        sched = RegionSchedule(PolynomialDecay(1.0), ratio=2.0)
+        starts = sched.starts(10_000)
+        gaps = [b - a for a, b in zip(starts, starts[1:])]
+        assert all(b >= a for a, b in zip(gaps, gaps[1:]))
+        assert gaps[-1] > 4 * gaps[0]
+
+
+class TestEdgeCases:
+    def test_no_decay_single_region(self):
+        sched = RegionSchedule(NoDecay(), ratio=2.0)
+        s, e = sched.region_of(10**6)
+        assert s == 0
+
+    def test_bounded_support_zero_tail_region(self):
+        sched = RegionSchedule(SlidingWindowDecay(10), ratio=2.0)
+        # Within the window all weights equal -> one region to support.
+        assert sched.region_of(0) == (0, 9)
+        s, _ = sched.region_of(50)
+        assert s == 10  # the zero-weight tail region
+
+    def test_same_region_check(self):
+        sched = RegionSchedule(PolynomialDecay(2.0), ratio=5.0)
+        assert sched.same_region(2, 5)
+        assert not sched.same_region(1, 2)
+        with pytest.raises(InvalidParameterError):
+            sched.same_region(5, 2)
+
+    def test_rejects_bad_ratio(self):
+        with pytest.raises(InvalidParameterError):
+            RegionSchedule(PolynomialDecay(1.0), ratio=1.0)
+
+    def test_rejects_negative_age(self):
+        sched = RegionSchedule(PolynomialDecay(1.0), ratio=2.0)
+        with pytest.raises(InvalidParameterError):
+            sched.region_of(-1)

@@ -1,0 +1,160 @@
+"""Unit tests for the Cascaded Exponential Histogram (Theorem 1)."""
+
+import random
+
+import pytest
+
+from repro.core.decay import (
+    ExponentialDecay,
+    GaussianDecay,
+    LinearDecay,
+    LogarithmicDecay,
+    PolynomialDecay,
+    SlidingWindowDecay,
+    TableDecay,
+)
+from repro.core.errors import InvalidParameterError
+from repro.core.exact import ExactDecayingSum
+from repro.histograms.ceh import CascadedEH
+
+ALL_DECAYS = [
+    PolynomialDecay(0.5),
+    PolynomialDecay(1.0),
+    PolynomialDecay(2.0),
+    ExponentialDecay(0.02),
+    SlidingWindowDecay(100),
+    LinearDecay(150),
+    LogarithmicDecay(),
+    GaussianDecay(120.0),
+    TableDecay([1.0, 0.9, 0.5, 0.5, 0.2], tail=0.05),
+]
+
+
+class TestTheorem1AnyDecay:
+    @pytest.mark.parametrize("decay", ALL_DECAYS, ids=lambda d: d.describe())
+    def test_bracket_and_epsilon_for_any_decay(self, decay):
+        epsilon = 0.1
+        ceh = CascadedEH(decay, epsilon)
+        exact = ExactDecayingSum(decay)
+        rng = random.Random(17)
+        for t in range(1500):
+            if rng.random() < 0.5:
+                ceh.add(1)
+                exact.add(1)
+            ceh.advance(1)
+            exact.advance(1)
+            if t % 71 == 0:
+                true = exact.query().value
+                if true > 1e-9:
+                    est = ceh.query()
+                    assert est.contains(true), decay.describe()
+                    assert abs(est.value - true) / true <= epsilon + 1e-9
+
+    def test_domination_backend_for_real_values(self):
+        decay = PolynomialDecay(1.0)
+        ceh = CascadedEH(decay, 0.1, backend="domination")
+        exact = ExactDecayingSum(decay)
+        rng = random.Random(19)
+        for _ in range(1200):
+            if rng.random() < 0.5:
+                v = rng.uniform(0.2, 4.0)
+                ceh.add(v)
+                exact.add(v)
+            ceh.advance(1)
+            exact.advance(1)
+        true = exact.query().value
+        est = ceh.query()
+        assert est.contains(true)
+        assert abs(est.value - true) / true <= 0.1
+
+    def test_eh_backend_rejects_real_values(self):
+        ceh = CascadedEH(PolynomialDecay(1.0), 0.1, backend="eh")
+        with pytest.raises(InvalidParameterError):
+            ceh.add(0.5)
+
+
+class TestEstimators:
+    def test_upper_geq_lower(self):
+        for mode in ("upper", "lower", "midpoint"):
+            ceh = CascadedEH(PolynomialDecay(1.0), 0.2, estimator=mode)
+            for _ in range(200):
+                ceh.add(1)
+                ceh.advance(1)
+            est = ceh.query()
+            assert est.lower <= est.value <= est.upper
+
+    def test_upper_estimator_is_upper_bound(self):
+        decay = PolynomialDecay(2.0)
+        ceh = CascadedEH(decay, 0.2, estimator="upper")
+        exact = ExactDecayingSum(decay)
+        for _ in range(500):
+            ceh.add(1)
+            exact.add(1)
+            ceh.advance(1)
+            exact.advance(1)
+        assert ceh.query().value >= exact.query().value - 1e-9
+
+    def test_lower_estimator_is_lower_bound(self):
+        decay = PolynomialDecay(2.0)
+        ceh = CascadedEH(decay, 0.2, estimator="lower")
+        exact = ExactDecayingSum(decay)
+        for _ in range(500):
+            ceh.add(1)
+            exact.add(1)
+            ceh.advance(1)
+            exact.advance(1)
+        assert ceh.query().value <= exact.query().value + 1e-9
+
+    def test_rejects_unknown_estimator_and_backend(self):
+        with pytest.raises(InvalidParameterError):
+            CascadedEH(PolynomialDecay(1.0), 0.1, estimator="median")
+        with pytest.raises(InvalidParameterError):
+            CascadedEH(PolynomialDecay(1.0), 0.1, backend="magic")
+
+
+class TestQueryDecay:
+    def test_one_structure_serves_many_decays(self):
+        # Theorem 1's payoff: the same EH answers any decay function.
+        base = PolynomialDecay(1.0)  # infinite support -> unbounded EH
+        ceh = CascadedEH(base, 0.05)
+        exacts = {}
+        others = [PolynomialDecay(2.0), ExponentialDecay(0.05), LinearDecay(80)]
+        for g in others:
+            exacts[g.describe()] = ExactDecayingSum(g)
+        rng = random.Random(23)
+        for _ in range(800):
+            if rng.random() < 0.5:
+                ceh.add(1)
+                for e in exacts.values():
+                    e.add(1)
+            ceh.advance(1)
+            for e in exacts.values():
+                e.advance(1)
+        for g in others:
+            true = exacts[g.describe()].query().value
+            est = ceh.query_decay(g)
+            assert est.contains(true), g.describe()
+            if true > 0:
+                assert abs(est.value - true) / true <= 0.05 + 1e-9
+
+    def test_rejects_decay_outliving_window(self):
+        ceh = CascadedEH(SlidingWindowDecay(50), 0.1)
+        with pytest.raises(InvalidParameterError):
+            ceh.query_decay(PolynomialDecay(1.0))
+        with pytest.raises(InvalidParameterError):
+            ceh.query_decay(SlidingWindowDecay(51))
+
+
+class TestBoundedSupport:
+    def test_buckets_expire_past_support(self):
+        decay = LinearDecay(40)  # support 39
+        ceh = CascadedEH(decay, 0.2)
+        for _ in range(500):
+            ceh.add(1)
+            ceh.advance(1)
+        for b in ceh.histogram.bucket_view():
+            assert ceh.time - b.end <= 40
+
+    def test_storage_report_engine_label(self):
+        ceh = CascadedEH(PolynomialDecay(1.0), 0.1)
+        assert ceh.storage_report().engine == "ceh[eh]"

@@ -1,0 +1,192 @@
+"""Unit tests for the Exponential Histogram (paper section 4.1)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.decay import SlidingWindowDecay
+from repro.core.errors import InvalidParameterError
+from repro.core.exact import ExactDecayingSum
+from repro.histograms.eh import ExponentialHistogram, SlidingWindowSum
+
+
+def run_stream(eh, exact, length, p, seed):
+    rng = random.Random(seed)
+    for _ in range(length):
+        if rng.random() < p:
+            eh.add(1)
+            exact.add(1)
+        eh.advance(1)
+        exact.advance(1)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("epsilon", [0.5, 0.2, 0.1, 0.05])
+    def test_window_count_within_epsilon(self, epsilon):
+        window = 200
+        eh = ExponentialHistogram(window, epsilon)
+        exact = ExactDecayingSum(SlidingWindowDecay(window))
+        rng = random.Random(1)
+        for t in range(3000):
+            if rng.random() < 0.5:
+                eh.add(1)
+                exact.add(1)
+            eh.advance(1)
+            exact.advance(1)
+            if t % 97 == 0:
+                true = exact.query().value
+                if true > 0:
+                    est = eh.query()
+                    assert est.contains(true)
+                    assert abs(est.value - true) / true <= epsilon
+
+    def test_exact_until_first_expiry(self):
+        eh = ExponentialHistogram(1000, 0.3)
+        exact = 0
+        rng = random.Random(5)
+        for _ in range(500):  # never exceeds the window
+            if rng.random() < 0.7:
+                eh.add(1)
+                exact += 1
+            eh.advance(1)
+        est = eh.query()
+        assert est.lower == est.upper == float(exact)
+
+    def test_dense_stream_every_tick(self):
+        eh = ExponentialHistogram(64, 0.1)
+        for _ in range(1000):
+            eh.add(1)
+            eh.advance(1)
+        est = eh.query()
+        assert est.contains(64 - 1)  # ages 1..63 inside after last advance
+
+    def test_multivalued_add_counts_units(self):
+        eh = ExponentialHistogram(100, 0.5)
+        eh.add(5)
+        assert eh.total_in_buckets == 5
+
+    def test_rejects_fractional_values(self):
+        eh = ExponentialHistogram(10, 0.1)
+        with pytest.raises(InvalidParameterError):
+            eh.add(1.5)
+        with pytest.raises(InvalidParameterError):
+            eh.add(-1)
+
+
+class TestInvariants:
+    def test_bucket_sizes_are_powers_of_two(self):
+        eh = ExponentialHistogram(500, 0.2)
+        rng = random.Random(3)
+        for _ in range(2000):
+            if rng.random() < 0.8:
+                eh.add(1)
+            eh.advance(1)
+        for b in eh.bucket_view():
+            size = int(b.count)
+            assert size & (size - 1) == 0
+
+    def test_sizes_non_increasing_oldest_to_newest(self):
+        eh = ExponentialHistogram(500, 0.2)
+        rng = random.Random(4)
+        for _ in range(2000):
+            if rng.random() < 0.8:
+                eh.add(1)
+            eh.advance(1)
+        sizes = [int(b.count) for b in eh.bucket_view()]
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+
+    def test_per_size_bound(self):
+        eh = ExponentialHistogram(500, 0.25)
+        m = eh.buckets_per_size
+        rng = random.Random(5)
+        for _ in range(3000):
+            if rng.random() < 0.9:
+                eh.add(1)
+            eh.advance(1)
+            counts = {}
+            for b in eh.bucket_view():
+                counts[int(b.count)] = counts.get(int(b.count), 0) + 1
+            assert all(c <= m + 1 for c in counts.values())
+
+    def test_logarithmic_bucket_count(self):
+        # O((1/eps) log N) buckets.
+        eh = ExponentialHistogram(None, 0.2)
+        for _ in range(4096):
+            eh.add(1)
+            eh.advance(1)
+        bound = (eh.buckets_per_size + 1) * (math.log2(4096) + 2)
+        assert eh.bucket_count() <= bound
+
+    def test_expiry_drops_old_buckets(self):
+        eh = ExponentialHistogram(16, 0.2)
+        for _ in range(200):
+            eh.add(1)
+            eh.advance(1)
+        for b in eh.bucket_view():
+            assert eh.time - b.end < 16
+
+
+class TestSubWindowQueries:
+    def test_lemma_4_1_all_windows(self):
+        # One EH answers every window w <= N within epsilon.
+        window = 256
+        epsilon = 0.1
+        eh = ExponentialHistogram(window, epsilon)
+        exact = ExactDecayingSum(SlidingWindowDecay(window))
+        run_stream(eh, exact, 2000, 0.6, seed=7)
+        # Reference per sub-window using a fresh exact engine per w.
+        rng = random.Random(7)
+        arrivals = []
+        t = 0
+        for _ in range(2000):
+            if rng.random() < 0.6:
+                arrivals.append(t)
+            t += 1
+        now = 2000
+        for w in (1, 3, 10, 50, 128, 256):
+            true = sum(1 for a in arrivals if now - a < w)
+            est = eh.query_window(w)
+            assert est.contains(true)
+            if true > 0:
+                assert abs(est.value - true) / true <= epsilon
+
+    def test_query_window_rejects_oversized(self):
+        eh = ExponentialHistogram(10, 0.1)
+        with pytest.raises(InvalidParameterError):
+            eh.query_window(11)
+        with pytest.raises(InvalidParameterError):
+            eh.query_window(0)
+
+    def test_unbounded_mode_never_expires(self):
+        eh = ExponentialHistogram(None, 0.2)
+        for _ in range(100):
+            eh.add(1)
+            eh.advance(1)
+        assert eh.total_in_buckets == 100
+        assert eh.query().value == 100.0
+
+
+class TestStorage:
+    def test_storage_grows_like_log_squared(self):
+        bits = []
+        for n in (1 << 8, 1 << 11, 1 << 14):
+            eh = ExponentialHistogram(None, 0.1)
+            for _ in range(n):
+                eh.add(1)
+                eh.advance(1)
+            bits.append(eh.storage_report().per_stream_bits)
+        # log^2 growth: bits ratio ~ (14/8)^2 ~ 3; definitely sub-linear.
+        assert bits[2] < bits[0] * (1 << 6) / 4
+        assert bits[2] / bits[0] == pytest.approx((14 / 8) ** 2, rel=0.5)
+
+
+class TestSlidingWindowSumAdapter:
+    def test_adapter_matches_eh(self):
+        s = SlidingWindowSum(64, 0.1)
+        for _ in range(300):
+            s.add(1)
+            s.advance(1)
+        assert s.decay.window == 64
+        assert s.storage_report().engine == "sliwin-eh"
+        assert s.query().contains(63)

@@ -1,0 +1,129 @@
+"""Unit tests for the approximate-boundary CEH (the Matias remark, §5)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.decay import PolynomialDecay, SlidingWindowDecay
+from repro.core.errors import InvalidParameterError, NotApplicableError
+from repro.core.exact import ExactDecayingSum
+from repro.histograms.ceh import CascadedEH
+from repro.histograms.matias import ApproxBoundaryCEH, GeometricAgeRegister
+
+
+class TestGeometricAgeRegister:
+    def test_unbiased_over_many_registers(self):
+        n = 500
+        delta = 0.05
+        estimates = []
+        for seed in range(200):
+            reg = GeometricAgeRegister(delta, random.Random(seed))
+            reg.advance(n)
+            estimates.append(reg.estimate())
+        mean = sum(estimates) / len(estimates)
+        assert mean == pytest.approx(n, rel=0.05)
+
+    def test_relative_spread_matches_theory(self):
+        n = 2000
+        delta = 0.02
+        estimates = []
+        for seed in range(300):
+            reg = GeometricAgeRegister(delta, random.Random(seed))
+            reg.advance(n)
+            estimates.append(reg.estimate())
+        mean = sum(estimates) / len(estimates)
+        var = sum((x - mean) ** 2 for x in estimates) / len(estimates)
+        rel_std = math.sqrt(var) / n
+        assert rel_std < 2.0 * math.sqrt(delta / 2.0)
+
+    def test_bracket_contains_truth_usually(self):
+        n = 1000
+        hits = 0
+        for seed in range(100):
+            reg = GeometricAgeRegister(0.05, random.Random(seed))
+            reg.advance(n)
+            lo, hi = reg.bracket()
+            hits += lo <= n <= hi
+        assert hits >= 95  # 3-sigma band
+
+    def test_storage_is_loglog(self):
+        reg = GeometricAgeRegister(0.01, random.Random(1))
+        reg.advance(100_000)
+        assert reg.storage_bits() <= 16  # index ~ ln(N)/delta ~ 1.2e3
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            GeometricAgeRegister(0.0, random.Random(0))
+        reg = GeometricAgeRegister(0.1, random.Random(0))
+        with pytest.raises(InvalidParameterError):
+            reg.advance(-1)
+
+
+class TestApproxBoundaryCEH:
+    @pytest.mark.parametrize("alpha", [0.5, 1.0, 2.0])
+    def test_accuracy_polyd(self, alpha):
+        decay = PolynomialDecay(alpha)
+        engine = ApproxBoundaryCEH(decay, 0.1, alpha_hint=alpha, seed=3)
+        exact = ExactDecayingSum(decay)
+        rng = random.Random(3)
+        for _ in range(2500):
+            if rng.random() < 0.5:
+                engine.add(1)
+                exact.add(1)
+            engine.advance(1)
+            exact.advance(1)
+        true = exact.query().value
+        est = engine.query()
+        assert est.relative_error_vs(true) < 0.1
+        assert est.contains(true)  # 3-sigma band (probabilistic)
+
+    def test_beats_exact_boundary_storage(self):
+        decay = PolynomialDecay(1.0)
+        approx = ApproxBoundaryCEH(decay, 0.1, seed=1)
+        exact_b = CascadedEH(decay, 0.1)
+        for _ in range(4000):
+            approx.add(1)
+            exact_b.add(1)
+            approx.advance(1)
+            exact_b.advance(1)
+        assert (
+            approx.storage_report().per_stream_bits
+            < exact_b.storage_report().per_stream_bits
+        )
+
+    def test_boundary_bits_grow_sublogarithmically(self):
+        decay = PolynomialDecay(1.0)
+        bits = []
+        for n in (1000, 8000):
+            engine = ApproxBoundaryCEH(decay, 0.2, seed=2)
+            for _ in range(n):
+                engine.add(1)
+                engine.advance(1)
+            rep = engine.storage_report()
+            bits.append(rep.timestamp_bits / rep.buckets)
+        # Per-boundary bits barely move over an 8x horizon change.
+        assert bits[1] - bits[0] < 2.0
+
+    def test_rejects_bounded_support(self):
+        with pytest.raises(NotApplicableError):
+            ApproxBoundaryCEH(SlidingWindowDecay(100), 0.1)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ApproxBoundaryCEH(PolynomialDecay(1.0), 0.0)
+        with pytest.raises(InvalidParameterError):
+            ApproxBoundaryCEH(PolynomialDecay(1.0), 0.1, alpha_hint=0.0)
+        engine = ApproxBoundaryCEH(PolynomialDecay(1.0), 0.1)
+        with pytest.raises(InvalidParameterError):
+            engine.add(1.5)
+
+    def test_power_of_two_sizes_preserved(self):
+        engine = ApproxBoundaryCEH(PolynomialDecay(1.0), 0.25, seed=4)
+        rng = random.Random(4)
+        for _ in range(1500):
+            if rng.random() < 0.7:
+                engine.add(1)
+            engine.advance(1)
+        for b in engine._buckets:
+            assert b.size & (b.size - 1) == 0

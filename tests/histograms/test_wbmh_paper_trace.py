@@ -1,0 +1,92 @@
+"""Fidelity test: the WBMH reproduces the paper's section 5 worked example.
+
+The paper traces g(x) = 1/x**2 with (1 + eps) = 5 on an all-ones stream and
+prints the bucket contents at T = 1, 2, 3, 4, 6, 8, 9, 10 (its clock starts
+at 1; ours at 0, so paper time T corresponds to our time T - 1). The printed
+weight groups translate to arrival-time intervals, newest first:
+
+    paper T=1  -> ours T=0: [{0}]              printed (1)
+    paper T=2  -> ours T=1: [{0,1}]            printed (1, 1/4)
+    paper T=3  -> ours T=2: [{2},{0,1}]        printed (1); (1/4, 1/9)
+    paper T=4  -> ours T=3: [{2,3},{0,1}]      printed (1, 1/4); (1/9, 1/16)
+    paper T=6  -> ours T=5: [{4,5},{0..3}]     printed (1,1/4); (1/9..1/36)
+    paper T=8  -> ours T=7: [{6,7},{4,5},{0..3}]
+    paper T=9  -> ours T=8: [{8},{6,7},{4,5},{0..3}]
+    paper T=10 -> ours T=9: [{8,9},{4..7},{0..3}]
+
+This test drives the WBMH through the full trace and compares the bucket
+interval structure at *every* step.
+"""
+
+import pytest
+
+from repro.core.decay import PolynomialDecay
+from repro.histograms.wbmh import WBMH
+
+EXPECTED = {
+    0: [(0, 1)],
+    1: [(0, 1)],
+    2: [(2, 3), (0, 1)],
+    3: [(2, 3), (0, 1)],
+    4: [(4, 5), (2, 3), (0, 1)],
+    5: [(4, 5), (0, 3)],
+    6: [(6, 7), (4, 5), (0, 3)],
+    7: [(6, 7), (4, 5), (0, 3)],
+    8: [(8, 9), (6, 7), (4, 5), (0, 3)],
+    9: [(8, 9), (4, 7), (0, 3)],
+}
+
+
+def test_paper_trace_bucket_structure():
+    w = WBMH(PolynomialDecay(2.0), ratio=5.0, quantize=False)
+    assert w.seal_width == 2  # region 0 covers ages {0, 1}
+    for t in range(10):
+        w.add(1)
+        assert w.bucket_arrival_sets() == EXPECTED[t], f"at our T={t}"
+        w.advance(1)
+
+
+def test_paper_trace_weights_printed_by_paper():
+    # Spot-check the weight groups the paper prints at paper-T=10 (ours 9):
+    # (1, 1/4); (1/9, 1/16, 1/25, 1/36); (1/49, 1/64, 1/81, 1/100).
+    g = PolynomialDecay(2.0)
+    w = WBMH(g, ratio=5.0, quantize=False)
+    for _ in range(10):
+        w.add(1)
+        w.advance(1)
+    w = WBMH(g, ratio=5.0, quantize=False)
+    for t in range(10):
+        w.add(1)
+        if t < 9:
+            w.advance(1)
+    spans = w.bucket_arrival_sets()
+    weight_groups = [
+        [g.weight(9 - t) for t in range(end, start - 1, -1)]
+        for start, end in spans
+    ]
+    assert weight_groups[0] == pytest.approx([1.0, 1 / 4])
+    assert weight_groups[1] == pytest.approx([1 / 9, 1 / 16, 1 / 25, 1 / 36])
+    assert weight_groups[2] == pytest.approx([1 / 49, 1 / 64, 1 / 81, 1 / 100])
+
+
+def test_newest_bucket_alternates_width_one_and_two():
+    # Paper: "the bucket of most recent items always alternates between
+    # time-width 1 and time-width 2."
+    w = WBMH(PolynomialDecay(2.0), ratio=5.0, quantize=False)
+    widths = []
+    for t in range(12):
+        w.add(1)
+        newest_start, newest_end = w.bucket_arrival_sets()[0]
+        widths.append(t - newest_start + 1)
+        w.advance(1)
+    assert widths == [1, 2] * 6
+
+
+def test_counts_match_interval_sizes_on_all_ones_stream():
+    w = WBMH(PolynomialDecay(2.0), ratio=5.0, quantize=False)
+    for _ in range(50):
+        w.add(1)
+        w.advance(1)
+    for b in w.bucket_view():
+        expected = min(b.end, 49) - b.start + 1
+        assert b.count == pytest.approx(expected)

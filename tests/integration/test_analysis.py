@@ -1,0 +1,88 @@
+"""Tests for the crossover analytics (the Figure 1 questions as code)."""
+
+import pytest
+
+from repro.analysis import Crossover, can_cross, find_crossover, verdict_matrix
+from repro.apps.gateway import rate_trace
+from repro.core.decay import (
+    ExponentialDecay,
+    GaussianDecay,
+    LogarithmicDecay,
+    PolynomialDecay,
+    SlidingWindowDecay,
+)
+from repro.core.errors import InvalidParameterError
+from repro.streams.traces import figure1_traces
+
+L1, L2 = figure1_traces()
+
+
+class TestFindCrossover:
+    def test_polyd_crossover_exists_and_verdict_flips(self):
+        result = find_crossover(L1, L2, PolynomialDecay(1.0))
+        assert result.time is not None
+        assert result.initial_leader == "L1"
+        assert result.final_leader == "L2"
+        # The found time is the first flip: verify on both sides.
+        g = PolynomialDecay(1.0)
+        before = result.time - 1
+        assert rate_trace(L1, g, [before])[0] <= rate_trace(L2, g, [before])[0]
+        assert rate_trace(L1, g, [result.time])[0] > rate_trace(
+            L2, g, [result.time]
+        )[0]
+
+    def test_expd_never_crosses(self):
+        result = find_crossover(L1, L2, ExponentialDecay(1.0 / 2880))
+        assert result.time is None
+        assert result.initial_leader == result.final_leader
+
+    def test_stronger_decay_crosses_later(self):
+        t1 = find_crossover(L1, L2, PolynomialDecay(1.0)).time
+        t2 = find_crossover(L1, L2, PolynomialDecay(2.0)).time
+        assert t1 is not None and t2 is not None
+        assert t2 != t1
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            find_crossover(L1, L2, PolynomialDecay(1.0), start=0)
+        with pytest.raises(InvalidParameterError):
+            find_crossover(L1, L2, PolynomialDecay(1.0),
+                           start=10**7, horizon=10**6)
+
+
+class TestVerdictMatrix:
+    def test_matrix_shape_and_content(self):
+        probes = [L2.events[0].end + h for h in (60, 60_000, 6_000_000)]
+        decays = [
+            SlidingWindowDecay(360),
+            ExponentialDecay(1.0 / 1440),
+            PolynomialDecay(1.0),
+        ]
+        matrix = verdict_matrix(L1, L2, decays, probes)
+        assert len(matrix) == 3
+        assert all(len(row) == 3 for row in matrix)
+        # SLIWIN(6h) has forgotten L1 at every probe -> prefers L1 (0 < x)
+        # until L2's event also leaves (tie).
+        assert matrix[0][0] == "L1"
+        assert matrix[0][-1] == "tie"
+        # POLYD flips from L1 to L2.
+        assert matrix[2][0] == "L1"
+        assert matrix[2][-1] == "L2"
+
+    def test_unsorted_probes_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            verdict_matrix(L1, L2, [PolynomialDecay(1.0)], [10, 5])
+
+
+class TestCanCross:
+    def test_family_classification(self):
+        assert not can_cross(ExponentialDecay(0.1))
+        assert can_cross(PolynomialDecay(1.0))
+        assert can_cross(LogarithmicDecay())
+        assert can_cross(SlidingWindowDecay(100))  # by forgetting
+        assert can_cross(GaussianDecay(50.0))  # ratio moves (other way)
+
+    def test_consistent_with_crossover_search(self):
+        # Families that cannot cross never produce a crossover time.
+        for g in (ExponentialDecay(1.0 / 500), ExponentialDecay(1.0 / 5000)):
+            assert find_crossover(L1, L2, g).time is None

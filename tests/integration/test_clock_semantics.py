@@ -1,0 +1,93 @@
+"""Clock-semantics contract tests shared by every engine.
+
+Items arrive at the engine's current time; `advance` moves time forward;
+queries are repeatable and side-effect free; big jumps equal many small
+steps. These hold for every engine uniformly -- the kind of contract a
+downstream user silently relies on.
+"""
+
+import pytest
+
+from repro.core.decay import (
+    ExponentialDecay,
+    LinearDecay,
+    PolyExpPolynomialDecay,
+    PolynomialDecay,
+    SlidingWindowDecay,
+)
+from repro.core.ewma import ExponentialSum, GeneralPolyexpSum
+from repro.core.exact import ExactDecayingSum
+from repro.histograms.ceh import CascadedEH
+from repro.histograms.domination import DominationHistogram
+from repro.histograms.eh import ExponentialHistogram
+from repro.histograms.wbmh import WBMH
+
+ENGINES = [
+    ("exact", lambda: ExactDecayingSum(PolynomialDecay(1.0))),
+    ("ewma", lambda: ExponentialSum(ExponentialDecay(0.05))),
+    ("eh", lambda: ExponentialHistogram(64, 0.2)),
+    ("domination", lambda: DominationHistogram(64, 0.2)),
+    ("ceh", lambda: CascadedEH(PolynomialDecay(1.0), 0.2)),
+    ("ceh-linear", lambda: CascadedEH(LinearDecay(64), 0.2)),
+    ("wbmh", lambda: WBMH(PolynomialDecay(1.0), 0.2)),
+    ("polyexp", lambda: GeneralPolyexpSum(
+        PolyExpPolynomialDecay([1.0, 0.2], 0.05))),
+]
+
+IDS = [e[0] for e in ENGINES]
+
+
+@pytest.mark.parametrize("name,factory", ENGINES, ids=IDS)
+class TestClockContract:
+    def test_advance_zero_is_noop(self, name, factory):
+        e = factory()
+        e.add(1)
+        before = e.query().value
+        e.advance(0)
+        assert e.time == 0
+        assert e.query().value == before
+
+    def test_query_is_idempotent(self, name, factory):
+        e = factory()
+        for _ in range(30):
+            e.add(1)
+            e.advance(1)
+        first = e.query()
+        for _ in range(5):
+            again = e.query()
+            assert again.value == first.value
+            assert again.lower == first.lower
+            assert again.upper == first.upper
+
+    def test_big_jump_equals_small_steps(self, name, factory):
+        a = factory()
+        b = factory()
+        for engine in (a, b):
+            for _ in range(10):
+                engine.add(1)
+                engine.advance(1)
+        a.advance(37)
+        for _ in range(37):
+            b.advance(1)
+        assert a.time == b.time
+        assert a.query().value == pytest.approx(b.query().value)
+
+    def test_same_tick_adds_accumulate(self, name, factory):
+        a = factory()
+        b = factory()
+        a.add(1)
+        a.add(1)
+        a.add(1)
+        b.add(3) if name in ("eh", "exact", "domination") else [
+            b.add(1) for _ in range(3)
+        ]
+        a.advance(5)
+        b.advance(5)
+        assert a.query().value == pytest.approx(b.query().value)
+
+    def test_fresh_engine_is_empty(self, name, factory):
+        e = factory()
+        assert e.time == 0
+        assert e.query().value == 0.0
+        e.advance(100)
+        assert e.query().value == 0.0

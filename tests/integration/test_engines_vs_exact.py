@@ -1,0 +1,96 @@
+"""Integration: every engine against ground truth on shared workloads.
+
+The paper's accuracy claims, exercised end-to-end: for each (engine, decay)
+pair supported by the factory, drive the same stream into the engine and
+the exact reference and verify certified brackets and (1 +- eps) accuracy
+at many query points.
+"""
+
+import pytest
+
+from repro.benchkit.harness import measure_accuracy
+from repro.core.decay import (
+    ExponentialDecay,
+    LinearDecay,
+    LogarithmicDecay,
+    PolyExpPolynomialDecay,
+    PolynomialDecay,
+    SlidingWindowDecay,
+    TableDecay,
+)
+from repro.core.ewma import ExponentialSum, GeneralPolyexpSum
+from repro.core.interfaces import make_decaying_sum
+from repro.histograms.ceh import CascadedEH
+from repro.histograms.eh import SlidingWindowSum
+from repro.histograms.wbmh import WBMH
+from repro.streams.generators import bernoulli_stream, bursty_stream
+
+EPS = 0.1
+
+CASES = [
+    ("ewma", ExponentialDecay(0.01), lambda d: ExponentialSum(d)),
+    ("eh", SlidingWindowDecay(128), lambda d: SlidingWindowSum(d.window, EPS)),
+    ("ceh-polyd", PolynomialDecay(1.0), lambda d: CascadedEH(d, EPS)),
+    ("ceh-linear", LinearDecay(200), lambda d: CascadedEH(d, EPS)),
+    ("ceh-table", TableDecay([1, 0.8, 0.6, 0.4, 0.2], tail=0.1),
+     lambda d: CascadedEH(d, EPS)),
+    ("ceh-sliwin", SlidingWindowDecay(128), lambda d: CascadedEH(d, EPS)),
+    ("wbmh-polyd05", PolynomialDecay(0.5), lambda d: WBMH(d, EPS)),
+    ("wbmh-polyd2", PolynomialDecay(2.0), lambda d: WBMH(d, EPS)),
+    ("wbmh-logd", LogarithmicDecay(), lambda d: WBMH(d, EPS)),
+    ("wbmh-scan", PolynomialDecay(1.0),
+     lambda d: WBMH(d, EPS, merge_strategy="scan")),
+    ("polyexp-general", PolyExpPolynomialDecay([1.0, 0.5], 0.02),
+     lambda d: GeneralPolyexpSum(d)),
+]
+
+
+@pytest.mark.parametrize("name,decay,factory", CASES, ids=[c[0] for c in CASES])
+@pytest.mark.parametrize(
+    "workload",
+    ["bernoulli", "bursty"],
+)
+def test_engine_within_epsilon_and_bracketed(name, decay, factory, workload):
+    if workload == "bernoulli":
+        items = list(bernoulli_stream(2500, 0.5, seed=101))
+    else:
+        items = list(bursty_stream(2500, on_mean=30, off_mean=120, seed=202))
+    result = measure_accuracy(
+        lambda: factory(decay), decay, items, query_every=41, until=2600
+    )
+    assert result.bracket_violations == 0
+    assert result.max_rel_error <= EPS + 1e-9, name
+    assert result.queries > 10
+
+
+def test_factory_engines_agree_with_each_other():
+    # The same decay function answered by CEH and WBMH must agree within
+    # their combined tolerance.
+    decay = PolynomialDecay(1.5)
+    ceh = CascadedEH(decay, 0.05)
+    wbmh = WBMH(decay, 0.05)
+    items = list(bernoulli_stream(1500, 0.4, seed=33))
+    idx = 0
+    for t in range(1600):
+        while idx < len(items) and items[idx].time == t:
+            ceh.add(1)
+            wbmh.add(1)
+            idx += 1
+        ceh.advance(1)
+        wbmh.advance(1)
+    a, b = ceh.query().value, wbmh.query().value
+    assert abs(a - b) / max(a, b) < 0.1
+
+
+def test_make_decaying_sum_end_to_end():
+    for decay in (
+        ExponentialDecay(0.02),
+        SlidingWindowDecay(64),
+        PolynomialDecay(1.0),
+        LinearDecay(100),
+    ):
+        engine = make_decaying_sum(decay, epsilon=0.1)
+        items = list(bernoulli_stream(800, 0.5, seed=55))
+        result = measure_accuracy(lambda: engine, decay, items, until=900)
+        assert result.bracket_violations == 0
+        assert result.max_rel_error <= 0.1 + 1e-9, decay.describe()

@@ -1,0 +1,131 @@
+"""Integration: the full Figure 1 narrative (paper section 1.2).
+
+Three claims, each checked against the minute-resolution trace:
+
+1. SLIWIN with a small window completely discounts L1's failure; with a
+   large window the verdict flips abruptly from "L2 much worse" to
+   "L1 much worse" as L1's event leaves the window.
+2. EXPD keeps the two events' relative contribution constant forever.
+3. POLYD produces the smooth crossover: L1 initially more reliable, L2
+   eventually more reliable -- the behaviour impossible for the other two
+   families.
+"""
+
+import pytest
+
+from repro.apps.gateway import rate_trace
+from repro.core.decay import (
+    ExponentialDecay,
+    PolynomialDecay,
+    SlidingWindowDecay,
+)
+from repro.streams.traces import MINUTES_PER_HOUR, figure1_traces
+
+L1, L2 = figure1_traces()
+L2_END = L2.events[0].end  # minute the last failure ends
+
+
+def probes(*hours_after_l2):
+    return [L2_END + h * MINUTES_PER_HOUR for h in hours_after_l2]
+
+
+class TestSlidingWindows:
+    def test_small_window_forgets_l1_entirely(self):
+        # A 6-hour window at any probe after L2's failure has already
+        # dropped L1's event (which ended 24.5h before L2's).
+        w = SlidingWindowDecay(6 * MINUTES_PER_HOUR)
+        times = probes(1, 3)
+        r1 = rate_trace(L1, w, times)
+        assert r1 == [0.0, 0.0]
+        r2 = rate_trace(L2, w, times)
+        assert r2[0] > 0  # L2's failure is still in the window
+
+    def test_large_window_flips_abruptly(self):
+        # A 48h window: while both events are inside, L1 is worse; once
+        # L1's event exits, L2 is worse -- opposite of the expected
+        # convergence, and discontinuous.
+        w = SlidingWindowDecay(48 * MINUTES_PER_HOUR)
+        inside = probes(1)
+        r1_in = rate_trace(L1, w, inside)[0]
+        r2_in = rate_trace(L2, w, inside)[0]
+        assert r1_in > r2_in  # L1 much worse while remembered
+        after = [L1.events[0].end + 48 * MINUTES_PER_HOUR + 10 * MINUTES_PER_HOUR]
+        r1_out = rate_trace(L1, w, after)[0]
+        r2_out = rate_trace(L2, w, after)[0]
+        assert r1_out == 0.0
+        assert r2_out > 0.0  # verdict flipped to L2-much-worse
+
+
+class TestExponentialDecay:
+    @pytest.mark.parametrize("halflife_hours", [6, 24, 72])
+    def test_ratio_constant_over_time(self, halflife_hours):
+        lam = 0.693 / (halflife_hours * MINUTES_PER_HOUR)
+        g = ExponentialDecay(lam)
+        times = probes(1, 10, 30)
+        r1 = rate_trace(L1, g, times)
+        r2 = rate_trace(L2, g, times)
+        ratios = [a / b for a, b in zip(r1, r2) if b > 0]
+        assert len(ratios) >= 2
+        for r in ratios[1:]:
+            assert r == pytest.approx(ratios[0], rel=1e-6)
+
+
+class TestPolynomialDecay:
+    @pytest.mark.parametrize("alpha", [0.5, 1.0, 2.0])
+    def test_l2_eventually_more_reliable(self, alpha):
+        # "Regardless of the initial rating, as time progresses ... we
+        # expect L2 ... to emerge eventually as more reliable than L1."
+        g = PolynomialDecay(alpha)
+        times = probes(1, 24, 24 * 30, 24 * 365, 24 * 365 * 20)
+        r1 = rate_trace(L1, g, times)
+        r2 = rate_trace(L2, g, times)
+        verdicts = [a > b for a, b in zip(r1, r2)]  # True = L1 worse
+        assert verdicts[-1] is True
+        # The flip (if any) is monotone: a single crossover.
+        first_true = verdicts.index(True)
+        assert all(verdicts[first_true:])
+
+    def test_alpha_tunes_the_initial_verdict(self):
+        # The "rich range of decay rates" claim: one hour after L2's
+        # failure, strong decay (alpha=2) still rates the recent small
+        # event as worse (L1 more reliable), while weak decay (alpha=0.5)
+        # already weighs severity and rates L1 worse.
+        t = probes(1)
+        weak = PolynomialDecay(0.5)
+        strong = PolynomialDecay(2.0)
+        assert rate_trace(L1, weak, t)[0] > rate_trace(L2, weak, t)[0]
+        assert rate_trace(L1, strong, t)[0] < rate_trace(L2, strong, t)[0]
+
+    def test_ratio_converges_to_severity_ratio(self):
+        g = PolynomialDecay(1.0)
+        far = [L2_END + 10**7]
+        r1 = rate_trace(L1, g, far)[0]
+        r2 = rate_trace(L2, g, far)[0]
+        assert r1 / r2 == pytest.approx(
+            L1.total_down_minutes() / L2.total_down_minutes(), rel=0.01
+        )
+
+    def test_crossover_time_grows_with_alpha(self):
+        # Stronger decay -> recency matters longer -> later crossover in
+        # relative terms? (For this scenario the crossover age scales like
+        # the gap times a function of alpha; just verify ordering between
+        # two alphas by scanning.)
+        def crossover(alpha):
+            g = PolynomialDecay(alpha)
+            lo, hi = L2_END + 1, L2_END + 10**7
+            while lo < hi:
+                mid = (lo + hi) // 2
+                r1 = rate_trace(L1, g, [mid])[0]
+                r2 = rate_trace(L2, g, [mid])[0]
+                if r1 > r2:
+                    hi = mid
+                else:
+                    lo = mid + 1
+            return lo
+
+        c1 = crossover(1.0)
+        c2 = crossover(2.0)
+        assert c1 != c2  # alpha genuinely tunes the crossover point
+        for c, alpha in ((c1, 1.0), (c2, 2.0)):
+            g = PolynomialDecay(alpha)
+            assert rate_trace(L1, g, [c])[0] > rate_trace(L2, g, [c])[0]

@@ -1,0 +1,165 @@
+"""Failure injection and boundary-condition robustness across engines.
+
+Extreme parameters, degenerate streams, hostile values -- each engine must
+either handle the input correctly or reject it loudly; silent corruption
+is the only disallowed outcome.
+"""
+
+import math
+
+import pytest
+
+from repro.core.decay import (
+    ExponentialDecay,
+    PolynomialDecay,
+    SlidingWindowDecay,
+)
+from repro.core.errors import InvalidParameterError
+from repro.core.ewma import ExponentialSum
+from repro.core.exact import ExactDecayingSum
+from repro.histograms.ceh import CascadedEH
+from repro.histograms.domination import DominationHistogram
+from repro.histograms.eh import ExponentialHistogram
+from repro.histograms.wbmh import WBMH
+
+REAL_ENGINES = [
+    ("exact", lambda: ExactDecayingSum(PolynomialDecay(1.0))),
+    ("ewma", lambda: ExponentialSum(ExponentialDecay(0.1))),
+    ("domination", lambda: DominationHistogram(None, 0.1)),
+    ("wbmh", lambda: WBMH(PolynomialDecay(1.0), 0.1)),
+]
+
+
+class TestHostileValues:
+    @pytest.mark.parametrize("name,factory", REAL_ENGINES,
+                             ids=[e[0] for e in REAL_ENGINES])
+    def test_huge_values_survive(self, name, factory):
+        e = factory()
+        e.add(1e15)
+        e.advance(10)
+        e.add(1.0)
+        est = e.query()
+        assert math.isfinite(est.value)
+        assert est.lower <= est.value <= est.upper
+
+    @pytest.mark.parametrize("name,factory", REAL_ENGINES,
+                             ids=[e[0] for e in REAL_ENGINES])
+    def test_tiny_values_survive(self, name, factory):
+        e = factory()
+        for _ in range(50):
+            e.add(1e-12)
+            e.advance(1)
+        assert e.query().value >= 0.0
+
+    @pytest.mark.parametrize("name,factory", REAL_ENGINES,
+                             ids=[e[0] for e in REAL_ENGINES])
+    def test_negative_rejected(self, name, factory):
+        e = factory()
+        with pytest.raises(InvalidParameterError):
+            e.add(-1.0)
+
+    def test_mixed_magnitudes_bracket_valid(self):
+        decay = PolynomialDecay(1.0)
+        w = WBMH(decay, 0.1)
+        exact = ExactDecayingSum(decay)
+        for i in range(200):
+            v = 1e9 if i % 50 == 0 else 1e-6
+            w.add(v)
+            exact.add(v)
+            w.advance(1)
+            exact.advance(1)
+        assert w.query().contains(exact.query().value)
+
+
+class TestExtremeParameters:
+    def test_tiny_epsilon_eh(self):
+        eh = ExponentialHistogram(64, 0.001)
+        for _ in range(500):
+            eh.add(1)
+            eh.advance(1)
+        est = eh.query()
+        # With eps this small and N=64, estimates are effectively exact.
+        assert est.contains(63)
+        assert est.upper - est.lower <= 1.0 + 64 * 0.001 * 2
+
+    def test_near_one_epsilon(self):
+        for factory in (
+            lambda: CascadedEH(PolynomialDecay(1.0), 0.99),
+            lambda: WBMH(PolynomialDecay(1.0), 0.99),
+        ):
+            e = factory()
+            exact = ExactDecayingSum(PolynomialDecay(1.0))
+            for _ in range(300):
+                e.add(1)
+                exact.add(1)
+                e.advance(1)
+                exact.advance(1)
+            assert e.query().contains(exact.query().value)
+
+    def test_window_one(self):
+        eh = ExponentialHistogram(1, 0.5)
+        for _ in range(20):
+            eh.add(1)
+            eh.advance(1)
+        assert eh.query().value == 0.0  # after advance, the item has age 1
+        eh.add(1)
+        assert eh.query().contains(1.0)
+
+    def test_very_fast_polyd(self):
+        decay = PolynomialDecay(8.0)
+        w = WBMH(decay, 0.2)
+        exact = ExactDecayingSum(decay)
+        for _ in range(200):
+            w.add(1)
+            exact.add(1)
+            w.advance(1)
+            exact.advance(1)
+        assert w.query().contains(exact.query().value)
+
+    def test_very_slow_polyd(self):
+        decay = PolynomialDecay(0.01)
+        w = WBMH(decay, 0.2)
+        exact = ExactDecayingSum(decay)
+        for _ in range(500):
+            w.add(1)
+            exact.add(1)
+            w.advance(1)
+            exact.advance(1)
+        est = w.query()
+        true = exact.query().value
+        assert est.contains(true)
+        assert est.relative_error_vs(true) <= 0.2
+
+
+class TestDegenerateStreams:
+    def test_single_item_then_silence(self):
+        for factory in (
+            lambda: CascadedEH(PolynomialDecay(1.0), 0.1),
+            lambda: WBMH(PolynomialDecay(1.0), 0.1),
+        ):
+            e = factory()
+            exact = ExactDecayingSum(PolynomialDecay(1.0))
+            e.add(1)
+            exact.add(1)
+            e.advance(10_000)
+            exact.advance(10_000)
+            assert e.query().contains(exact.query().value)
+
+    def test_long_silence_then_burst(self):
+        decay = SlidingWindowDecay(32)
+        eh = ExponentialHistogram(32, 0.1)
+        eh.advance(100_000)
+        for _ in range(10):
+            eh.add(1)
+        assert eh.query().contains(10.0)
+
+    def test_alternating_extreme_gaps(self):
+        decay = PolynomialDecay(1.0)
+        w = WBMH(decay, 0.2)
+        exact = ExactDecayingSum(decay)
+        for gap in (1, 1000, 1, 5000, 3):
+            w.add(2.0)
+            exact.add(2.0)
+            w.advance(gap)
+            exact.advance(gap)
+        assert w.query().contains(exact.query().value)

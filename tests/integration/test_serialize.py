@@ -1,0 +1,130 @@
+"""Checkpoint round-trips: restored engines continue streams identically."""
+
+import json
+import random
+
+import pytest
+
+from repro.core.decay import (
+    ExponentialDecay,
+    GaussianDecay,
+    LinearDecay,
+    LogarithmicDecay,
+    NoDecay,
+    PolyexponentialDecay,
+    PolyExpPolynomialDecay,
+    PolynomialDecay,
+    SlidingWindowDecay,
+    TableDecay,
+)
+from repro.core.errors import InvalidParameterError
+from repro.core.ewma import ExponentialSum
+from repro.core.exact import ExactDecayingSum
+from repro.counters.morris import MorrisCounter
+from repro.histograms.ceh import CascadedEH
+from repro.histograms.domination import DominationHistogram
+from repro.histograms.eh import ExponentialHistogram, SlidingWindowSum
+from repro.histograms.wbmh import WBMH
+from repro.serialize import (
+    decay_from_dict,
+    decay_to_dict,
+    engine_from_dict,
+    engine_to_dict,
+)
+
+ALL_DECAYS = [
+    ExponentialDecay(0.07),
+    GaussianDecay(42.0),
+    SlidingWindowDecay(64),
+    PolynomialDecay(1.5),
+    PolyexponentialDecay(2, 0.1),
+    PolyExpPolynomialDecay([1.0, 0.5], 0.1),
+    LinearDecay(100),
+    LogarithmicDecay(3.0),
+    TableDecay([1.0, 0.5, 0.25], tail=0.1),
+    NoDecay(),
+]
+
+ENGINES = [
+    ("ewma", lambda: ExponentialSum(ExponentialDecay(0.05))),
+    ("exact", lambda: ExactDecayingSum(PolynomialDecay(1.0))),
+    ("eh", lambda: ExponentialHistogram(128, 0.1)),
+    ("eh-unbounded", lambda: ExponentialHistogram(None, 0.2)),
+    ("sliwin-sum", lambda: SlidingWindowSum(64, 0.1)),
+    ("domination", lambda: DominationHistogram(100, 0.1, compact_every=3)),
+    ("ceh", lambda: CascadedEH(PolynomialDecay(1.0), 0.1)),
+    ("ceh-dom", lambda: CascadedEH(LinearDecay(80), 0.1, backend="domination",
+                                   estimator="upper")),
+    ("wbmh-level", lambda: WBMH(PolynomialDecay(1.0), 0.1)),
+    ("wbmh-fixed", lambda: WBMH(PolynomialDecay(2.0), 0.1, horizon=4096)),
+    ("wbmh-scan", lambda: WBMH(LogarithmicDecay(), 0.2, quantize=False,
+                               merge_strategy="scan")),
+]
+
+
+class TestDecayRoundtrip:
+    @pytest.mark.parametrize("decay", ALL_DECAYS, ids=lambda d: d.describe())
+    def test_roundtrip_preserves_weights(self, decay):
+        data = json.loads(json.dumps(decay_to_dict(decay)))
+        restored = decay_from_dict(data)
+        assert type(restored) is type(decay)
+        for age in (0, 1, 7, 100):
+            assert restored.weight(age) == decay.weight(age)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            decay_from_dict({"family": "wat"})
+
+
+def drive(engine, stream, *, integers):
+    for gap, value in stream:
+        engine.advance(gap)
+        engine.add(round(value) if integers else value)
+
+
+class TestEngineRoundtrip:
+    @pytest.mark.parametrize("name,factory", ENGINES, ids=[e[0] for e in ENGINES])
+    def test_restored_engine_continues_identically(self, name, factory):
+        integers = name.startswith(("eh", "sliwin", "ceh")) and "dom" not in name
+        rng = random.Random(hash(name) & 0xFFFF)
+        prefix = [(rng.randint(0, 3), rng.uniform(1, 3)) for _ in range(150)]
+        suffix = [(rng.randint(0, 3), rng.uniform(1, 3)) for _ in range(100)]
+
+        original = factory()
+        drive(original, prefix, integers=integers)
+        snapshot = json.loads(json.dumps(engine_to_dict(original)))
+        restored = engine_from_dict(snapshot)
+
+        assert restored.time == original.time
+        assert restored.query().value == pytest.approx(original.query().value)
+
+        drive(original, suffix, integers=integers)
+        drive(restored, suffix, integers=integers)
+        est_o = original.query()
+        est_r = restored.query()
+        assert est_r.value == pytest.approx(est_o.value)
+        assert est_r.lower == pytest.approx(est_o.lower)
+        assert est_r.upper == pytest.approx(est_o.upper)
+
+    def test_wbmh_bucket_lattice_survives(self):
+        w = WBMH(PolynomialDecay(1.0), 0.15)
+        for _ in range(300):
+            w.add(1.0)
+            w.advance(1)
+        restored = engine_from_dict(engine_to_dict(w))
+        assert restored.bucket_arrival_sets() == w.bucket_arrival_sets()
+
+    def test_randomized_engines_rejected(self):
+        m = MorrisCounter(seed=1)
+        with pytest.raises(InvalidParameterError):
+            engine_to_dict(m)
+
+    def test_version_checked(self):
+        state = engine_to_dict(ExponentialSum(ExponentialDecay(0.1)))
+        state["version"] = 999
+        with pytest.raises(InvalidParameterError):
+            engine_from_dict(state)
+
+    def test_unknown_engine_kind(self):
+        with pytest.raises(InvalidParameterError):
+            engine_from_dict({"version": 1, "engine": "mystery"})

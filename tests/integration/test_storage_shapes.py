@@ -1,0 +1,105 @@
+"""Integration: the paper's storage hierarchy, measured.
+
+Paper claims (sections 1-5):
+
+    exact        Omega(N)
+    EH / CEH     Theta(log^2 N)        (sliding windows, any decay)
+    WBMH+POLYD   O(log N log log N)
+    EWMA+EXPD    Theta(log N)
+    Morris       O(log log N)          (non-decaying baseline)
+
+This test drives all engines over the same growing stream and checks the
+*ordering* and coarse growth shape of per-stream storage bits.
+"""
+
+import math
+
+import pytest
+
+from repro.benchkit.harness import growth_exponent
+from repro.core.decay import ExponentialDecay, PolynomialDecay, SlidingWindowDecay
+from repro.core.ewma import ExponentialSum
+from repro.core.exact import ExactDecayingSum
+from repro.counters.morris import MorrisCounter
+from repro.histograms.ceh import CascadedEH
+from repro.histograms.wbmh import WBMH
+
+SIZES = [1 << 9, 1 << 11, 1 << 13]
+
+
+def run_engine(engine, n):
+    for _ in range(n):
+        engine.add(1)
+        engine.advance(1)
+    return engine.storage_report().per_stream_bits
+
+
+@pytest.fixture(scope="module")
+def bits_by_engine():
+    out = {}
+    out["exact"] = [
+        run_engine(ExactDecayingSum(PolynomialDecay(1.0)), n) for n in SIZES
+    ]
+    out["ceh"] = [run_engine(CascadedEH(PolynomialDecay(1.0), 0.1), n) for n in SIZES]
+    out["wbmh"] = [
+        run_engine(WBMH(PolynomialDecay(1.0), 0.1, horizon=n), n) for n in SIZES
+    ]
+    out["ewma"] = [run_engine(ExponentialSum(ExponentialDecay(0.05)), n) for n in SIZES]
+    morris = []
+    for n in SIZES:
+        m = MorrisCounter(accuracy=0.2, seed=5)
+        m.add(n)
+        morris.append(m.storage_report().per_stream_bits)
+    out["morris"] = morris
+    return out
+
+
+class TestHierarchy:
+    def test_ordering_at_largest_n(self, bits_by_engine):
+        b = {k: v[-1] for k, v in bits_by_engine.items()}
+        assert b["morris"] < b["ewma"] < b["ceh"] < b["exact"]
+        assert b["wbmh"] < b["exact"]
+
+    def test_exact_is_linear(self, bits_by_engine):
+        slope = growth_exponent(SIZES, bits_by_engine["exact"])
+        assert slope == pytest.approx(1.0, abs=0.15)
+
+    def test_histograms_are_polylog(self, bits_by_engine):
+        for name in ("ceh", "wbmh"):
+            slope = growth_exponent(SIZES, bits_by_engine[name])
+            assert slope < 0.35, name  # log-ish growth in N
+
+    def test_ceh_tracks_log_squared(self, bits_by_engine):
+        ratios = [
+            bits / math.log2(n) ** 2
+            for bits, n in zip(bits_by_engine["ceh"], SIZES)
+        ]
+        # bits / log^2 N is roughly flat (within 2x across the sweep).
+        assert max(ratios) / min(ratios) < 2.0
+
+    def test_ewma_tracks_log(self, bits_by_engine):
+        ratios = [
+            bits / math.log2(n) for bits, n in zip(bits_by_engine["ewma"], SIZES)
+        ]
+        assert max(ratios) / min(ratios) < 2.0
+
+    def test_wbmh_beats_ceh_asymptotic_trend(self, bits_by_engine):
+        # The WBMH/CEH bit ratio must fall as N grows (the log N vs
+        # log log N per-bucket gap).
+        ratios = [
+            w / c for w, c in zip(bits_by_engine["wbmh"], bits_by_engine["ceh"])
+        ]
+        assert ratios[-1] < ratios[0]
+
+
+class TestSliwinMatchesCeh:
+    def test_sliwin_is_the_hardest_decay(self):
+        # Theorem 1's framing: any decay is answerable within the EH's
+        # log^2 budget; SLIWIN itself sits at the top of the hierarchy.
+        window = 1 << 10
+        ceh = CascadedEH(SlidingWindowDecay(window), 0.1)
+        for _ in range(1 << 12):
+            ceh.add(1)
+            ceh.advance(1)
+        bits = ceh.storage_report().per_stream_bits
+        assert bits < 40 * math.log2(window) ** 2

@@ -1,0 +1,127 @@
+"""Cross-checks: NumPy kernels vs the exact engine (two ground truths)."""
+
+import numpy as np
+import pytest
+
+from repro.core.decay import (
+    ExponentialDecay,
+    LinearDecay,
+    PolynomialDecay,
+    SlidingWindowDecay,
+)
+from repro.core.errors import InvalidParameterError
+from repro.core.exact import ExactDecayingSum
+from repro.vectorized import (
+    decayed_sum_dense,
+    decayed_sum_trajectory,
+    ewma_scan,
+    window_sum_scan,
+)
+
+
+def exact_reference(values, decay):
+    engine = ExactDecayingSum(decay)
+    for i, v in enumerate(values):
+        if v:
+            engine.add(float(v))
+        if i < len(values) - 1:
+            engine.advance(1)
+    return engine
+
+
+@pytest.fixture
+def values():
+    rng = np.random.default_rng(3)
+    arr = rng.uniform(0.0, 2.0, size=300)
+    arr[rng.random(300) < 0.4] = 0.0
+    return arr
+
+
+class TestDenseSum:
+    @pytest.mark.parametrize(
+        "decay",
+        [PolynomialDecay(1.0), ExponentialDecay(0.03), SlidingWindowDecay(50),
+         LinearDecay(120)],
+        ids=lambda d: d.describe(),
+    )
+    def test_matches_exact_engine(self, values, decay):
+        engine = exact_reference(values, decay)
+        assert decayed_sum_dense(values, decay) == pytest.approx(
+            engine.query().value, rel=1e-9
+        )
+
+    def test_extra_age(self, values):
+        decay = PolynomialDecay(1.0)
+        engine = exact_reference(values, decay)
+        engine.advance(17)
+        assert decayed_sum_dense(values, decay, extra_age=17) == pytest.approx(
+            engine.query().value, rel=1e-9
+        )
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            decayed_sum_dense([], PolynomialDecay(1.0))
+        with pytest.raises(InvalidParameterError):
+            decayed_sum_dense([1.0, -1.0], PolynomialDecay(1.0))
+        with pytest.raises(InvalidParameterError):
+            decayed_sum_dense([1.0], PolynomialDecay(1.0), extra_age=-1)
+
+
+class TestTrajectories:
+    def test_trajectory_last_equals_dense(self, values):
+        decay = PolynomialDecay(2.0)
+        traj = decayed_sum_trajectory(values, decay)
+        assert traj[-1] == pytest.approx(decayed_sum_dense(values, decay))
+
+    def test_trajectory_prefix_consistency(self, values):
+        decay = LinearDecay(40)
+        traj = decayed_sum_trajectory(values, decay)
+        for cut in (1, 7, 100):
+            assert traj[cut - 1] == pytest.approx(
+                decayed_sum_dense(values[:cut], decay), rel=1e-9
+            )
+
+    def test_expd_trajectory_uses_scan(self, values):
+        decay = ExponentialDecay(0.05)
+        traj = decayed_sum_trajectory(values, decay)
+        ref = ewma_scan(values, 0.05)
+        np.testing.assert_allclose(traj, ref)
+
+
+class TestEwmaScan:
+    def test_matches_recurrence(self, values):
+        lam = 0.07
+        out = ewma_scan(values, lam)
+        s = 0.0
+        for i, v in enumerate(values):
+            s = s * np.exp(-lam) if i else 0.0
+            s += v
+            assert out[i] == pytest.approx(s, rel=1e-9)
+
+    def test_stable_for_large_lambda_times_n(self):
+        # lam * n = 50_000 -- the naive scaled prefix sum would overflow.
+        values = np.ones(10_000)
+        out = ewma_scan(values, lam=5.0)
+        assert np.all(np.isfinite(out))
+        limit = 1.0 / (1.0 - np.exp(-5.0))
+        assert out[-1] == pytest.approx(limit, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ewma_scan([1.0], 0.0)
+
+
+class TestWindowScan:
+    def test_matches_engine(self, values):
+        window = 32
+        out = window_sum_scan(values, window)
+        engine = exact_reference(values, SlidingWindowDecay(window))
+        assert out[-1] == pytest.approx(engine.query().value)
+
+    def test_small_prefixes(self):
+        out = window_sum_scan([1.0, 2.0, 3.0], 2)
+        np.testing.assert_allclose(out, [1.0, 3.0, 5.0])
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            window_sum_scan([1.0], 0)

@@ -1,0 +1,55 @@
+"""Unit tests for the Lemma 3.1 storage experiments."""
+
+import itertools
+import math
+
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.lowerbound.expd_exact import (
+    approx_bits_required,
+    count_distinct_exact_values,
+    distinct_state_count,
+    exact_bits_required,
+    single_item_resolution,
+)
+
+
+class TestDistinctStates:
+    def test_count_formula(self):
+        # lam = 0.5 -> k = 2 -> 2**ceil(N/2) states.
+        assert distinct_state_count(10, 0.5) == 2**5
+        assert distinct_state_count(11, 0.5) == 2**6
+
+    def test_enumerated_streams_all_distinct(self):
+        # Every spaced binary stream yields a unique exact EXPD value.
+        lam = 0.5
+        k = math.ceil(1 / lam)
+        n_slots = 10
+        streams = itertools.product((0, 1), repeat=n_slots)
+        assert count_distinct_exact_values(streams, lam, k) == 2**n_slots
+
+    def test_exact_bits_linear_in_n(self):
+        b1 = exact_bits_required(100, 1.0)
+        b2 = exact_bits_required(200, 1.0)
+        assert b2 == pytest.approx(2 * b1, abs=2)
+
+
+class TestApproxBits:
+    def test_resolution_counts_factor2_classes(self):
+        # lam = ln(2): consecutive ages differ by exactly factor 2.
+        lam = math.log(2.0)
+        assert single_item_resolution(100, lam) == 101
+
+    def test_approx_bits_logarithmic(self):
+        b_small = approx_bits_required(1 << 10, 0.1)
+        b_large = approx_bits_required(1 << 20, 0.1)
+        assert b_large == pytest.approx(b_small + 10, abs=2)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            distinct_state_count(0, 1.0)
+        with pytest.raises(InvalidParameterError):
+            single_item_resolution(10, 0.0)
+        with pytest.raises(InvalidParameterError):
+            count_distinct_exact_values([], 1.0, 0)

@@ -1,0 +1,68 @@
+"""Unit tests for the Lemma 3.2 Hilbert-recovery experiment."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.lowerbound.hilbert import (
+    decayed_sums_exact,
+    hilbert_matrix,
+    recover_stream,
+    roundtrip_ok,
+)
+
+
+class TestHilbertMatrix:
+    def test_entries(self):
+        m = hilbert_matrix(3)
+        assert m[0][0] == Fraction(1, 1)
+        assert m[1][2] == Fraction(1, 4)
+
+    def test_nonsingular_small(self):
+        # Determinant of the 3x3 shifted Hilbert matrix is nonzero.
+        m = hilbert_matrix(3)
+        det = (
+            m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+            - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+            + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0])
+        )
+        assert det != 0
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(InvalidParameterError):
+            hilbert_matrix(0)
+
+
+class TestRecovery:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 12])
+    def test_roundtrip_random_streams(self, n):
+        rng = random.Random(n)
+        stream = [rng.randint(0, 1) for _ in range(n)]
+        assert roundtrip_ok(stream)
+
+    def test_roundtrip_all_zero_and_all_one(self):
+        assert roundtrip_ok([0, 0, 0, 0])
+        assert roundtrip_ok([1, 1, 1, 1])
+
+    def test_distinct_streams_distinct_sums(self):
+        # The Omega(N) content: different streams -> different sum vectors.
+        seen = {}
+        for bits in range(16):
+            stream = [(bits >> i) & 1 for i in range(4)]
+            sums = tuple(decayed_sums_exact(stream))
+            assert sums not in seen, f"collision: {stream} vs {seen.get(sums)}"
+            seen[sums] = stream
+
+    def test_recover_rejects_inexact_sums(self):
+        sums = decayed_sums_exact([1, 0, 1])
+        sums[0] += Fraction(1, 7)
+        with pytest.raises(InvalidParameterError):
+            recover_stream(sums)
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            decayed_sums_exact([])
+        with pytest.raises(InvalidParameterError):
+            recover_stream([])

@@ -1,0 +1,159 @@
+"""Unit tests for higher decayed moments."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.decay import NoDecay, PolynomialDecay
+from repro.core.errors import EmptyAggregateError, InvalidParameterError
+from repro.core.exact import ExactDecayingSum
+from repro.moments.higher import DecayedMoments
+
+
+def exact_moments(decay, pairs, now, order):
+    weights = [decay.weight(now - t) for t, _ in pairs]
+    total = sum(weights)
+    raw = [
+        sum(w * v**j for w, (_, v) in zip(weights, pairs)) / total
+        for j in range(order + 1)
+    ]
+    mean = raw[1]
+    central = [
+        sum(
+            math.comb(k, j) * raw[j] * (-mean) ** (k - j)
+            for j in range(k + 1)
+        )
+        for k in range(order + 1)
+    ]
+    return raw, central
+
+
+def make_exact_engine(decay):
+    return lambda: ExactDecayingSum(decay)
+
+
+class TestAgainstGroundTruth:
+    @pytest.mark.parametrize("order", [2, 3, 4])
+    def test_central_moments_match(self, order):
+        decay = PolynomialDecay(1.0)
+        dm = DecayedMoments(decay, max_order=4,
+                            engine_factory=make_exact_engine(decay))
+        rng = random.Random(order)
+        pairs = []
+        for t in range(300):
+            v = rng.uniform(0, 10)
+            dm.add(v)
+            pairs.append((t, v))
+            dm.advance(1)
+        _, central = exact_moments(decay, pairs, 300, order)
+        assert dm.central_moment(order) == pytest.approx(
+            central[order], rel=1e-9, abs=1e-9
+        )
+
+    def test_approx_engines_track_truth(self):
+        decay = PolynomialDecay(1.0)
+        dm = DecayedMoments(decay, max_order=4, epsilon=0.02)
+        rng = random.Random(11)
+        pairs = []
+        for t in range(600):
+            v = rng.uniform(0, 10)
+            dm.add(v)
+            pairs.append((t, v))
+            dm.advance(1)
+        _, central = exact_moments(decay, pairs, 600, 4)
+        assert dm.variance() == pytest.approx(central[2], rel=0.1)
+        assert dm.central_moment(4) == pytest.approx(central[4], rel=0.3)
+
+
+class TestShapeStatistics:
+    def test_uniform_stream_shape(self):
+        # Undecayed uniform[0,10]: skewness ~ 0, kurtosis ~ 1.8.
+        dm = DecayedMoments(NoDecay(), max_order=4,
+                            engine_factory=make_exact_engine(NoDecay()))
+        rng = random.Random(13)
+        for _ in range(20_000):
+            dm.add(rng.uniform(0, 10))
+            dm.advance(1)
+        assert abs(dm.skewness()) < 0.1
+        assert dm.kurtosis() == pytest.approx(1.8, rel=0.05)
+
+    def test_decayed_skewness_follows_recent_regime(self):
+        # Recent values exponential-ish (skewed); old values symmetric.
+        decay = PolynomialDecay(2.0)
+        dm = DecayedMoments(decay, max_order=3,
+                            engine_factory=make_exact_engine(decay))
+        rng = random.Random(17)
+        for i in range(600):
+            if i < 300:
+                v = rng.uniform(4, 6)  # symmetric
+            else:
+                v = rng.expovariate(1.0)  # right-skewed
+            dm.add(v)
+            dm.advance(1)
+        assert dm.skewness() > 0.5
+
+    def test_mean_matches_variance_module(self):
+        from repro.moments.variance import DecayedVariance
+
+        decay = PolynomialDecay(1.0)
+        dm = DecayedMoments(decay, max_order=2,
+                            engine_factory=make_exact_engine(decay))
+        dv = DecayedVariance(decay, engine_factory=make_exact_engine(decay))
+        rng = random.Random(19)
+        for _ in range(200):
+            v = rng.uniform(0, 5)
+            dm.add(v)
+            dv.add(v)
+            dm.advance(1)
+            dv.advance(1)
+        assert dm.mean() == pytest.approx(dv.mean())
+        # DecayedVariance implements the paper's *unnormalized*
+        # V^2 = sum g (f - A)^2; DecayedMoments central moments are the
+        # normalized E_g[.] form. They differ by the weight total S_0.
+        assert dm.variance() * dm.weight_total() == pytest.approx(
+            dv.variance(), abs=1e-9
+        )
+
+
+class TestValidation:
+    def test_order_bounds(self):
+        dm = DecayedMoments(PolynomialDecay(1.0), max_order=3)
+        dm.add(1.0)
+        dm.advance(1)
+        with pytest.raises(InvalidParameterError):
+            dm.raw_moment(4)
+        with pytest.raises(InvalidParameterError):
+            dm.raw_moment(0)
+        with pytest.raises(InvalidParameterError):
+            dm.kurtosis()
+
+    def test_empty_raises(self):
+        dm = DecayedMoments(PolynomialDecay(1.0))
+        with pytest.raises(EmptyAggregateError):
+            dm.mean()
+
+    def test_constant_stream_degenerate_shape(self):
+        dm = DecayedMoments(NoDecay(), max_order=4,
+                            engine_factory=make_exact_engine(NoDecay()))
+        for _ in range(10):
+            dm.add(5.0)
+            dm.advance(1)
+        with pytest.raises(EmptyAggregateError):
+            dm.skewness()
+        assert dm.conditioning(2) == math.inf
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(InvalidParameterError):
+            DecayedMoments(PolynomialDecay(1.0), max_order=0)
+        dm = DecayedMoments(PolynomialDecay(1.0))
+        with pytest.raises(InvalidParameterError):
+            dm.add(-1.0)
+
+    def test_storage_report(self):
+        dm = DecayedMoments(PolynomialDecay(1.0), max_order=3, epsilon=0.1)
+        dm.add(2.0)
+        dm.advance(5)
+        rep = dm.storage_report()
+        assert rep.engine == "moments[k=3]"
+        assert rep.per_stream_bits > 0

@@ -1,0 +1,196 @@
+"""Unit tests for time-decaying variance (paper section 7.3)."""
+
+import math
+import random
+import statistics
+
+import pytest
+
+from repro.core.decay import (
+    ExponentialDecay,
+    PolynomialDecay,
+    SlidingWindowDecay,
+)
+from repro.core.errors import EmptyAggregateError, InvalidParameterError
+from repro.core.exact import ExactDecayingSum
+from repro.moments.variance import DecayedVariance, SlidingWindowVariance
+
+
+def exact_decayed_variance(decay, pairs, now):
+    s0 = sum(decay.weight(now - t) for t, _ in pairs)
+    s1 = sum(v * decay.weight(now - t) for t, v in pairs)
+    s2 = sum(v * v * decay.weight(now - t) for t, v in pairs)
+    if s0 == 0:
+        return None
+    return s2 - s1 * s1 / s0
+
+
+class TestDecayedVariance:
+    @pytest.mark.parametrize(
+        "decay",
+        [PolynomialDecay(1.0), ExponentialDecay(0.05)],
+        ids=lambda d: d.describe(),
+    )
+    def test_matches_exact_formula(self, decay):
+        dv = DecayedVariance(decay, epsilon=0.05)
+        rng = random.Random(21)
+        pairs = []
+        for t in range(600):
+            v = rng.uniform(0.0, 10.0)
+            dv.add(v)
+            pairs.append((t, v))
+            dv.advance(1)
+        true = exact_decayed_variance(decay, pairs, 600)
+        assert dv.variance() == pytest.approx(true, rel=0.15)
+        assert dv.mean() == pytest.approx(
+            sum(v * decay.weight(600 - t) for t, v in pairs)
+            / sum(decay.weight(600 - t) for t, _ in pairs),
+            rel=0.1,
+        )
+
+    def test_exact_engine_factory_gives_exact_answer(self):
+        decay = PolynomialDecay(1.0)
+        dv = DecayedVariance(decay, engine_factory=lambda: ExactDecayingSum(decay))
+        rng = random.Random(23)
+        pairs = []
+        for t in range(200):
+            v = rng.uniform(1.0, 5.0)
+            dv.add(v)
+            pairs.append((t, v))
+            dv.advance(1)
+        true = exact_decayed_variance(decay, pairs, 200)
+        assert dv.variance() == pytest.approx(true, rel=1e-9)
+
+    def test_constant_stream_zero_variance(self):
+        dv = DecayedVariance(
+            PolynomialDecay(1.0),
+            engine_factory=lambda: ExactDecayingSum(PolynomialDecay(1.0)),
+        )
+        for _ in range(50):
+            dv.add(4.0)
+            dv.advance(1)
+        assert dv.variance() == pytest.approx(0.0, abs=1e-9)
+        assert dv.stddev() == pytest.approx(0.0, abs=1e-5)
+
+    def test_conditioning_flags_cancellation(self):
+        # Large mean, small spread: conditioning number explodes.
+        dv = DecayedVariance(
+            PolynomialDecay(1.0),
+            engine_factory=lambda: ExactDecayingSum(PolynomialDecay(1.0)),
+        )
+        rng = random.Random(29)
+        for _ in range(100):
+            dv.add(1000.0 + rng.uniform(-0.01, 0.01))
+            dv.advance(1)
+        assert dv.conditioning() > 1e6
+
+    def test_variance_estimate_bracket(self):
+        decay = PolynomialDecay(1.0)
+        dv = DecayedVariance(decay, epsilon=0.05)
+        rng = random.Random(31)
+        pairs = []
+        for t in range(400):
+            v = rng.uniform(0.0, 10.0)
+            dv.add(v)
+            pairs.append((t, v))
+            dv.advance(1)
+        est = dv.variance_estimate()
+        assert est.lower <= est.value <= est.upper
+
+    def test_empty_raises(self):
+        dv = DecayedVariance(PolynomialDecay(1.0))
+        with pytest.raises(EmptyAggregateError):
+            dv.variance()
+
+    def test_rejects_negative(self):
+        dv = DecayedVariance(PolynomialDecay(1.0))
+        with pytest.raises(InvalidParameterError):
+            dv.add(-1.0)
+
+
+class TestSlidingWindowVariance:
+    def test_matches_window_population_variance(self):
+        window = 128
+        sv = SlidingWindowVariance(window, epsilon=0.05)
+        rng = random.Random(33)
+        values = []
+        for _ in range(1500):
+            v = rng.uniform(0.0, 20.0)
+            sv.add(v)
+            values.append(v)
+            sv.advance(1)
+        # In-window items after the final advance: the last window-1 values.
+        recent = values[-(window - 1):]
+        true = statistics.pvariance(recent)
+        assert sv.variance() == pytest.approx(true, rel=0.15)
+        assert sv.mean() == pytest.approx(statistics.fmean(recent), rel=0.1)
+
+    def test_sublinear_buckets(self):
+        sv = SlidingWindowVariance(1000, epsilon=0.1)
+        rng = random.Random(35)
+        for _ in range(5000):
+            sv.add(rng.uniform(0, 5))
+            sv.advance(1)
+        assert sv.bucket_count() < 300
+        assert sv.count() <= 1000 + 1
+
+    def test_sub_window_variances(self):
+        # §7.3: "can retrieve the w-window variance for all w <= N".
+        window = 512
+        sv = SlidingWindowVariance(window, epsilon=0.05)
+        rng = random.Random(41)
+        values = []
+        for _ in range(2000):
+            v = rng.uniform(0.0, 20.0)
+            sv.add(v)
+            values.append(v)
+            sv.advance(1)
+        for w in (32, 128, 512):
+            recent = values[-(w - 1):]
+            true = statistics.pvariance(recent)
+            assert sv.variance_window(w) == pytest.approx(true, rel=0.2), w
+
+    def test_sub_window_validation(self):
+        sv = SlidingWindowVariance(64)
+        with pytest.raises(InvalidParameterError):
+            sv.variance_window(0)
+        with pytest.raises(InvalidParameterError):
+            sv.variance_window(65)
+
+    def test_variance_shift_detection(self):
+        # Variance doubles when the value spread doubles.
+        sv = SlidingWindowVariance(200, epsilon=0.05)
+        rng = random.Random(37)
+        for _ in range(400):
+            sv.add(rng.uniform(0, 10))
+            sv.advance(1)
+        low_var = sv.variance()
+        for _ in range(400):
+            sv.add(rng.uniform(0, 20))
+            sv.advance(1)
+        assert sv.variance() > 2.5 * low_var
+
+    def test_empty_window_raises(self):
+        sv = SlidingWindowVariance(10)
+        with pytest.raises(EmptyAggregateError):
+            sv.variance()
+        sv.add(1.0)
+        sv.advance(50)
+        with pytest.raises(EmptyAggregateError):
+            sv.variance()
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            SlidingWindowVariance(0)
+        with pytest.raises(InvalidParameterError):
+            SlidingWindowVariance(10, epsilon=2.0)
+
+    def test_storage_report(self):
+        sv = SlidingWindowVariance(100)
+        rng = random.Random(39)
+        for _ in range(300):
+            sv.add(rng.uniform(0, 10))
+            sv.advance(1)
+        rep = sv.storage_report()
+        assert rep.engine == "sliwin-var"
+        assert rep.per_stream_bits > 0

@@ -1,0 +1,89 @@
+"""Property tests for the randomized counters.
+
+Invariants that must hold for every stream shape and seed:
+
+* MV/D unbiased counts: the window-count estimate is positive whenever the
+  window holds items, zero exactly when it doesn't, and never explodes
+  past the 3-sigma band around the truth too often.
+* Geometric age registers: estimates are monotone in elapsed time on
+  average, storage stays log-log, brackets are ordered.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decay import PolynomialDecay
+from repro.histograms.matias import GeometricAgeRegister
+from repro.sampling.unbiased_counts import UnbiasedWindowCount
+
+gap_streams = st.lists(st.integers(0, 8), min_size=1, max_size=80)
+
+
+class TestUnbiasedCountProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(gap_streams, st.integers(0, 2**20), st.integers(2, 8))
+    def test_zero_iff_empty_window(self, gaps, seed, k):
+        uc = UnbiasedWindowCount(k=k, seed=seed)
+        last_arrival = 0
+        for g in gaps:
+            uc.advance(g)
+            uc.add()
+            last_arrival = uc.time
+        # A window reaching back to the last arrival is non-empty.
+        w_nonempty = uc.time - last_arrival + 1
+        assert uc.count_window(w_nonempty).value > 0
+        # Advance past everything: window 1 is empty.
+        uc.advance(5)
+        assert uc.count_window(1).value == 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(gap_streams, st.integers(0, 2**20))
+    def test_estimate_bands_ordered(self, gaps, seed):
+        uc = UnbiasedWindowCount(k=4, seed=seed)
+        for g in gaps:
+            uc.advance(g)
+            uc.add()
+        est = uc.count_window(uc.time + 1)
+        assert 0 <= est.lower <= est.value <= est.upper
+
+    @settings(max_examples=50, deadline=None)
+    @given(gap_streams, st.integers(0, 2**20), st.floats(0.3, 2.5))
+    def test_decayed_count_nonnegative_and_bounded(self, gaps, seed, alpha):
+        decay = PolynomialDecay(alpha)
+        uc = UnbiasedWindowCount(k=4, seed=seed)
+        n = 0
+        for g in gaps:
+            uc.advance(g)
+            uc.add()
+            n += 1
+        est = uc.decayed_count(decay)
+        assert est.value >= 0.0
+        # The decayed count of n unit items cannot exceed the estimate of
+        # n by more than the estimator spread allows; sanity-cap at the
+        # 3-sigma upper of the plain count.
+        cap = uc.count_window(uc.time + 1).upper * decay.weight(0)
+        assert est.value <= cap + 1e-9
+
+
+class TestGeometricRegisterProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 2**20), st.floats(0.01, 0.4), st.integers(1, 2000))
+    def test_bracket_ordered_and_storage_small(self, seed, delta, n):
+        reg = GeometricAgeRegister(delta, random.Random(seed))
+        reg.advance(n)
+        lo, hi = reg.bracket()
+        assert 0 <= lo <= reg.estimate() <= hi
+        assert reg.storage_bits() <= 32
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**20), st.floats(0.02, 0.3))
+    def test_estimate_never_decreases(self, seed, delta):
+        reg = GeometricAgeRegister(delta, random.Random(seed))
+        prev = reg.estimate()
+        for _ in range(200):
+            reg.advance(1)
+            cur = reg.estimate()
+            assert cur >= prev
+            prev = cur

@@ -1,0 +1,77 @@
+"""Property-based tests for decay functions (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decay import (
+    ExponentialDecay,
+    LinearDecay,
+    LogarithmicDecay,
+    PolynomialDecay,
+    SlidingWindowDecay,
+    TableDecay,
+)
+
+decay_functions = st.one_of(
+    st.floats(0.01, 5.0).map(ExponentialDecay),
+    st.integers(1, 10_000).map(SlidingWindowDecay),
+    st.floats(0.05, 5.0).map(PolynomialDecay),
+    st.integers(1, 10_000).map(LinearDecay),
+    st.floats(2.0, 16.0).map(LogarithmicDecay),
+)
+
+ages = st.integers(0, 100_000)
+
+
+class TestUniversalDecayProperties:
+    @given(decay_functions, ages)
+    def test_weights_non_negative(self, g, age):
+        assert g.weight(age) >= 0.0
+
+    @given(decay_functions, ages, st.integers(0, 1000))
+    def test_non_increasing(self, g, age, delta):
+        assert g.weight(age) >= g.weight(age + delta) - 1e-15
+
+    @given(decay_functions)
+    def test_support_consistent_with_weights(self, g):
+        sup = g.support()
+        if sup is not None:
+            assert g.weight(sup) > 0.0
+            assert g.weight(sup + 1) == 0.0
+
+    @given(decay_functions, ages)
+    def test_weight_matches_call(self, g, age):
+        assert g(age) == g.weight(age)
+
+
+class TestRatioProperty:
+    @given(st.floats(0.05, 5.0).map(PolynomialDecay), ages, st.integers(1, 100))
+    def test_polyd_weights_converge(self, g, age, delta):
+        # The Figure 1 property: g(a)/g(a+delta) is non-increasing in a.
+        r1 = g.weight(age) / g.weight(age + delta)
+        r2 = g.weight(age + 1) / g.weight(age + 1 + delta)
+        assert r2 <= r1 * (1 + 1e-12)
+
+    @given(st.floats(0.01, 3.0).map(ExponentialDecay), ages, st.integers(1, 50))
+    def test_expd_ratio_constant(self, g, age, delta):
+        if g.lam * (age + delta) > 600:  # avoid underflow to 0
+            return
+        r1 = g.weight(age) / g.weight(age + delta)
+        r2 = g.weight(age + 7) / g.weight(age + 7 + delta)
+        assert math.isclose(r1, r2, rel_tol=1e-9)
+
+
+class TestTableDecayProperties:
+    @settings(max_examples=50)
+    @given(
+        st.lists(st.floats(0.0, 100.0), min_size=1, max_size=30).map(
+            lambda xs: sorted(xs, reverse=True)
+        )
+    )
+    def test_any_sorted_table_is_valid(self, weights):
+        g = TableDecay(weights, tail=0.0)
+        for a in range(len(weights)):
+            assert g.weight(a) == weights[a]
+        assert g.weight(len(weights) + 5) == 0.0

@@ -1,0 +1,87 @@
+"""Property-based tests for Estimate arithmetic and quantized counters."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimate import Estimate
+from repro.counters.approx_float import (
+    FixedQuantizer,
+    LevelQuantizer,
+    truncate_mantissa,
+)
+
+finite = st.floats(0.0, 1e12, allow_nan=False, allow_infinity=False)
+
+
+def estimates(draw_lower, width):
+    return Estimate.from_bracket(draw_lower, draw_lower + width)
+
+
+bracket_pairs = st.tuples(finite, st.floats(0.0, 1e6)).map(
+    lambda t: Estimate.from_bracket(t[0], t[0] + t[1])
+)
+
+
+class TestEstimateAlgebra:
+    @given(bracket_pairs, bracket_pairs)
+    def test_addition_preserves_containment(self, a, b):
+        c = a + b
+        assert c.lower <= c.value <= c.upper
+        assert c.lower == a.lower + b.lower
+        assert c.upper == a.upper + b.upper
+
+    @given(bracket_pairs, st.floats(0.0, 1e6))
+    def test_scaling_preserves_ordering(self, e, factor):
+        s = e.scaled(factor)
+        assert s.lower <= s.value <= s.upper
+
+    @given(bracket_pairs)
+    def test_midpoint_inside(self, e):
+        assert e.contains(e.value)
+
+    @given(finite)
+    def test_exact_contains_itself(self, x):
+        assert Estimate.exact(x).contains(x)
+        assert Estimate.exact(x).width_ratio() == 1.0
+
+
+class TestTruncation:
+    @given(st.floats(1e-300, 1e300), st.integers(1, 50))
+    def test_truncation_bracket(self, x, bits):
+        q = truncate_mantissa(x, bits)
+        assert q <= x
+        assert x <= q * (1.0 + 2.0 ** (1 - bits))
+
+    @given(st.floats(1e-10, 1e10), st.integers(1, 50))
+    def test_idempotent(self, x, bits):
+        q = truncate_mantissa(x, bits)
+        assert truncate_mantissa(q, bits) == q
+
+    @given(st.floats(0.001, 1e9), st.integers(8, 40))
+    def test_monotone_in_value(self, x, bits):
+        q1 = truncate_mantissa(x, bits)
+        q2 = truncate_mantissa(x * 1.5, bits)
+        assert q2 >= q1
+
+
+class TestQuantizerSchedules:
+    @given(st.floats(0.01, 0.9), st.integers(1, 400))
+    def test_level_quantizer_drift_below_exp_eps(self, eps, level):
+        q = LevelQuantizer(eps)
+        assert q.drift_factor(level) <= math.exp(eps) + 1e-9
+
+    @given(st.floats(0.01, 0.9), st.integers(2, 1 << 30))
+    def test_fixed_quantizer_drift_at_log_depth(self, eps, horizon):
+        q = FixedQuantizer(eps, horizon)
+        depth = max(1, int(math.log2(horizon)))
+        # (1 + eps/log N)**log N <= e**eps.
+        assert q.drift_factor(depth) <= math.exp(eps) + 1e-9
+
+    @given(st.floats(0.01, 0.9), st.floats(0.001, 1e9), st.integers(1, 60))
+    def test_quantize_respects_declared_beta(self, eps, x, level):
+        for q in (LevelQuantizer(eps), FixedQuantizer(eps, 1 << 20)):
+            got = q.quantize(x, level)
+            assert got <= x
+            assert x <= got * (1 + q.beta(level)) + 1e-300

@@ -1,0 +1,127 @@
+"""Property-based tests: histogram engines never violate their contracts.
+
+For arbitrary streams (random arrival patterns, values, gaps) and arbitrary
+query times, every engine must (a) keep its certified bracket around the
+ground truth and (b) respect its structural invariants.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decay import PolynomialDecay, SlidingWindowDecay
+from repro.core.exact import ExactDecayingSum
+from repro.histograms.ceh import CascadedEH
+from repro.histograms.domination import DominationHistogram
+from repro.histograms.eh import ExponentialHistogram
+from repro.histograms.wbmh import WBMH
+
+# A stream is a list of (gap, value) pairs: advance by gap, then add value.
+unit_streams = st.lists(
+    st.tuples(st.integers(0, 20), st.just(1)), min_size=1, max_size=120
+)
+real_streams = st.lists(
+    st.tuples(st.integers(0, 20), st.floats(0.01, 50.0)),
+    min_size=1,
+    max_size=120,
+)
+epsilons = st.sampled_from([0.05, 0.1, 0.25, 0.5])
+
+
+def feed(engine, exact, stream):
+    for gap, value in stream:
+        engine.advance(gap)
+        exact.advance(gap)
+        engine.add(value)
+        exact.add(value)
+
+
+class TestEHProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(unit_streams, epsilons, st.integers(1, 300))
+    def test_bracket_always_contains_truth(self, stream, eps, window):
+        eh = ExponentialHistogram(window, eps)
+        exact = ExactDecayingSum(SlidingWindowDecay(window))
+        feed(eh, exact, stream)
+        est = eh.query()
+        true = exact.query().value
+        assert est.lower - 1e-9 <= true <= est.upper + 1e-9
+        if true > 0:
+            assert abs(est.value - true) / true <= eps + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(unit_streams, epsilons)
+    def test_power_of_two_sizes(self, stream, eps):
+        eh = ExponentialHistogram(None, eps)
+        exact = ExactDecayingSum(PolynomialDecay(1.0))
+        feed(eh, exact, stream)
+        for b in eh.bucket_view():
+            size = int(b.count)
+            assert size >= 1 and size & (size - 1) == 0
+
+
+class TestDominationProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(real_streams, epsilons, st.integers(1, 300))
+    def test_bracket_and_total(self, stream, eps, window):
+        h = DominationHistogram(window, eps)
+        exact = ExactDecayingSum(SlidingWindowDecay(window))
+        feed(h, exact, stream)
+        est = h.query()
+        true = exact.query().value
+        assert est.lower - 1e-9 <= true <= est.upper + 1e-9
+        total = sum(v for _, v in stream)
+        assert h.total_in_buckets <= total + 1e-6
+
+
+class TestCEHProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(unit_streams, epsilons, st.floats(0.1, 3.0))
+    def test_polyd_bracket_and_eps(self, stream, eps, alpha):
+        decay = PolynomialDecay(alpha)
+        ceh = CascadedEH(decay, eps)
+        exact = ExactDecayingSum(decay)
+        feed(ceh, exact, stream)
+        est = ceh.query()
+        true = exact.query().value
+        assert est.lower - 1e-9 <= true <= est.upper + 1e-9
+        if true > 1e-12:
+            assert abs(est.value - true) / true <= eps + 1e-9
+
+
+class TestWBMHProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(real_streams, epsilons, st.floats(0.1, 3.0))
+    def test_polyd_bracket_and_eps(self, stream, eps, alpha):
+        decay = PolynomialDecay(alpha)
+        w = WBMH(decay, eps)
+        exact = ExactDecayingSum(decay)
+        feed(w, exact, stream)
+        est = w.query()
+        true = exact.query().value
+        assert est.lower - 1e-9 <= true <= est.upper * (1 + 1e-9) + 1e-9
+        if true > 1e-12:
+            assert abs(est.value - true) / true <= eps + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(real_streams, st.floats(0.3, 3.0))
+    def test_buckets_cover_disjoint_intervals(self, stream, alpha):
+        w = WBMH(PolynomialDecay(alpha), 0.2)
+        exact = ExactDecayingSum(PolynomialDecay(alpha))
+        feed(w, exact, stream)
+        spans = [(b.start, b.end) for b in w.bucket_view()]
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 < s2  # ordered and disjoint
+
+    @settings(max_examples=40, deadline=None)
+    @given(real_streams, st.floats(0.3, 3.0))
+    def test_total_count_preserved_within_drift(self, stream, alpha):
+        w = WBMH(PolynomialDecay(alpha), 0.2)
+        exact = ExactDecayingSum(PolynomialDecay(alpha))
+        feed(w, exact, stream)
+        total = sum(v for _, v in stream)
+        stored = sum(b.count for b in w.bucket_view())
+        # Quantization only shrinks counts, never below (1 - eps) * total.
+        assert stored <= total + 1e-6
+        assert stored >= total * (1 - 0.2) - 1e-6

@@ -1,0 +1,82 @@
+"""Property tests: the lateness buffer equals the in-order reference.
+
+For any event set and any delivery order that respects the lateness bound,
+the wrapped engine's state at the safe frontier must be identical to an
+engine fed the events in perfect timestamp order.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decay import PolynomialDecay
+from repro.core.exact import ExactDecayingSum
+from repro.streams.lateness import LatenessBuffer
+
+# Events as (time, value); times drawn small so collisions and dense
+# neighbourhoods occur often.
+events_strategy = st.lists(
+    st.tuples(st.integers(0, 120), st.floats(0.1, 5.0)),
+    min_size=1,
+    max_size=80,
+)
+
+
+def bounded_shuffle(events, max_lateness, shuffle_keys):
+    """Delivery order: sort by (time + bounded offset), a valid lateness-L
+    delivery schedule."""
+    keyed = [
+        (t + (k % (max_lateness + 1)), i, t, v)
+        for i, ((t, v), k) in enumerate(zip(events, shuffle_keys))
+    ]
+    keyed.sort()
+    return [(t, v) for _, _, t, v in keyed]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    events_strategy,
+    st.integers(0, 15),
+    st.lists(st.integers(0, 1000), min_size=80, max_size=80),
+)
+def test_buffer_equals_in_order_reference(events, max_lateness, shuffle_keys):
+    decay = PolynomialDecay(1.0)
+    buf = LatenessBuffer(ExactDecayingSum(decay), max_lateness)
+    delivered = bounded_shuffle(events, max_lateness, shuffle_keys)
+    for when, value in delivered:
+        accepted = buf.observe(when, value)
+        assert accepted  # schedule respects the bound by construction
+
+    frontier = buf.frontier
+    reference = ExactDecayingSum(decay)
+    for when, value in sorted(events):
+        if when > frontier:
+            continue
+        if when > reference.time:
+            reference.advance(when - reference.time)
+        reference.add(value)
+    if frontier > reference.time:
+        reference.advance(frontier - reference.time)
+
+    assert buf.too_late_count == 0
+    assert buf.engine.time == frontier
+    assert buf.query().value == pytest.approx(reference.query().value)
+
+
+@settings(max_examples=40, deadline=None)
+@given(events_strategy, st.integers(0, 10))
+def test_watermark_advance_flushes_everything(events, max_lateness):
+    decay = PolynomialDecay(1.0)
+    buf = LatenessBuffer(ExactDecayingSum(decay), max_lateness)
+    for when, value in sorted(events):
+        buf.observe(when, value)
+    horizon = max(t for t, _ in events) + max_lateness + 1
+    buf.advance_watermark(horizon)
+    assert buf.pending() == 0
+    reference = ExactDecayingSum(decay)
+    for when, value in sorted(events):
+        if when > reference.time:
+            reference.advance(when - reference.time)
+        reference.add(value)
+    reference.advance(buf.frontier - reference.time)
+    assert buf.query().value == pytest.approx(reference.query().value)

@@ -1,0 +1,71 @@
+"""Property-based tests for MV/D lists and the decayed sampler."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decay import PolynomialDecay
+from repro.sampling.decayed_sampler import DecayedSampler
+from repro.sampling.mvd import MVDList
+
+# Streams: list of gaps; an item arrives after each gap.
+gap_streams = st.lists(st.integers(0, 10), min_size=1, max_size=150)
+
+
+class TestMVDProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(gap_streams, st.integers(0, 2**31))
+    def test_ranks_strictly_increasing(self, gaps, seed):
+        mvd = MVDList(seed=seed)
+        for g in gaps:
+            mvd.advance(g)
+            mvd.add()
+        ranks = [e.rank for e in mvd.entries()]
+        assert all(a < b for a, b in zip(ranks, ranks[1:]))
+
+    @settings(max_examples=80, deadline=None)
+    @given(gap_streams, st.integers(0, 2**31))
+    def test_last_entry_is_last_item(self, gaps, seed):
+        mvd = MVDList(seed=seed)
+        last_time = 0
+        for g in gaps:
+            mvd.advance(g)
+            mvd.add()
+            last_time = mvd.time
+        assert mvd.entries()[-1].time == last_time
+
+    @settings(max_examples=80, deadline=None)
+    @given(gap_streams, st.integers(0, 2**31), st.integers(1, 200))
+    def test_window_sample_in_window(self, gaps, seed, window):
+        mvd = MVDList(seed=seed)
+        for g in gaps:
+            mvd.advance(g)
+            mvd.add()
+        e = mvd.window_sample(window)
+        if e is not None:
+            assert mvd.time - e.time < window
+
+
+class TestSamplerProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(gap_streams, st.integers(0, 2**20), st.floats(0.2, 3.0))
+    def test_distribution_sums_to_one_and_supported(self, gaps, seed, alpha):
+        s = DecayedSampler(PolynomialDecay(alpha), seed=seed)
+        times = set()
+        for g in gaps:
+            s.advance(g)
+            s.add()
+            times.add(s.time)
+        dist = s.selection_distribution()
+        assert abs(sum(dist.values()) - 1.0) < 1e-9
+        assert set(dist) <= times
+
+    @settings(max_examples=50, deadline=None)
+    @given(gap_streams, st.integers(0, 2**20))
+    def test_sample_returns_observed_item(self, gaps, seed):
+        s = DecayedSampler(PolynomialDecay(1.0), seed=seed)
+        payloads = set()
+        for i, g in enumerate(gaps):
+            s.advance(g)
+            s.add(i)
+            payloads.add(i)
+        assert s.sample().payload in payloads

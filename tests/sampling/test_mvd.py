@@ -1,0 +1,103 @@
+"""Unit tests for MV/D lists (paper section 7.2)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.sampling.mvd import MVDList
+
+
+def build(n_items, seed=0, one_per_tick=True):
+    mvd = MVDList(seed=seed)
+    for i in range(n_items):
+        mvd.add(payload=i)
+        if one_per_tick:
+            mvd.advance(1)
+    return mvd
+
+
+class TestInvariants:
+    def test_ranks_strictly_increasing(self):
+        mvd = build(2000, seed=1)
+        ranks = [e.rank for e in mvd.entries()]
+        assert all(a < b for a, b in zip(ranks, ranks[1:]))
+
+    def test_last_entry_is_most_recent_item(self):
+        mvd = build(100, seed=2)
+        assert mvd.entries()[-1].payload == 99
+
+    def test_first_entry_holds_global_min_rank(self):
+        # The oldest retained entry has the smallest rank ever drawn so
+        # far among retained entries (suffix-minima property).
+        mvd = build(500, seed=3)
+        entries = mvd.entries()
+        assert entries[0].rank == min(e.rank for e in entries)
+
+    def test_expected_size_harmonic(self):
+        sizes = [len(build(2000, seed=s)) for s in range(40)]
+        mean = sum(sizes) / len(sizes)
+        expected = math.log(2000)  # H_n ~ ln n
+        assert expected * 0.5 < mean < expected * 1.8
+
+
+class TestWindowSampling:
+    def test_window_sample_is_min_rank_of_window(self):
+        mvd = MVDList(seed=4)
+        all_items = []
+        for i in range(300):
+            mvd.add(payload=i)
+            # The just-added item is always the list tail; record its rank.
+            all_items.append((i, mvd.entries()[-1].rank))
+            mvd.advance(1)
+        for w in (2, 10, 100, 300):
+            cutoff = mvd.time - w
+            window_items = [(i, r) for i, r in all_items if i > cutoff]
+            best = min(window_items, key=lambda x: x[1])
+            got = mvd.window_sample(w)
+            assert got is not None
+            assert got.payload == best[0]
+
+    def test_window_sample_uniform(self):
+        # Over independent lists, the window selection is uniform. After
+        # the final advance the clock is 10 and items carry ages 1..10, so
+        # window 11 covers all ten items.
+        hits = [0] * 10
+        trials = 4000
+        for s in range(trials):
+            mvd = build(10, seed=s)
+            e = mvd.window_sample(11)
+            hits[e.payload] += 1
+        expected = trials / 10
+        for h in hits:
+            assert abs(h - expected) < 5 * math.sqrt(expected)
+
+    def test_empty_window_returns_none(self):
+        mvd = build(5, seed=5)
+        mvd.advance(100)
+        assert mvd.window_sample(10) is None
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(InvalidParameterError):
+            MVDList(seed=0).window_sample(0)
+
+
+class TestExpiry:
+    def test_expire_older_than(self):
+        mvd = build(100, seed=6)
+        mvd.expire_older_than(20)
+        for e in mvd.entries():
+            assert mvd.time - e.time <= 20
+
+    def test_expire_rejects_negative(self):
+        with pytest.raises(InvalidParameterError):
+            MVDList(seed=0).expire_older_than(-1)
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(InvalidParameterError):
+            MVDList(seed=0).advance(-1)
+
+    def test_items_observed(self):
+        mvd = build(50, seed=7)
+        assert mvd.items_observed == 50

@@ -1,0 +1,72 @@
+"""Unit tests for time-decaying quantiles (paper section 7.2)."""
+
+import random
+
+import pytest
+
+from repro.core.decay import NoDecay, PolynomialDecay, SlidingWindowDecay
+from repro.core.errors import InvalidParameterError
+from repro.sampling.quantiles import DecayedQuantileEstimator
+
+
+class TestMedian:
+    def test_undecayed_median_of_uniform_values(self):
+        est = DecayedQuantileEstimator(NoDecay(), repetitions=61, seed=1)
+        rng = random.Random(2)
+        values = []
+        for _ in range(300):
+            v = rng.uniform(0.0, 100.0)
+            values.append(v)
+            est.add(v)
+            est.advance(1)
+        values.sort()
+        true_median = values[len(values) // 2]
+        got = est.median()
+        # Within the middle 20-quantile band with 61 repetitions.
+        band = values[int(0.35 * len(values))], values[int(0.65 * len(values))]
+        assert band[0] <= got <= band[1], (got, true_median)
+
+    def test_decayed_median_tracks_recent_shift(self):
+        # Values jump from ~10 to ~90; a decayed median must follow the
+        # recent regime while the undecayed median stays in between.
+        decayed = DecayedQuantileEstimator(
+            PolynomialDecay(2.0), repetitions=41, seed=3
+        )
+        plain = DecayedQuantileEstimator(NoDecay(), repetitions=41, seed=4)
+        rng = random.Random(5)
+        for i in range(400):
+            v = rng.uniform(5, 15) if i < 200 else rng.uniform(85, 95)
+            decayed.add(v)
+            plain.add(v)
+            decayed.advance(1)
+            plain.advance(1)
+        assert decayed.median() > 80
+        assert plain.median() < 80
+
+
+class TestQuantiles:
+    def test_quantile_ordering(self):
+        est = DecayedQuantileEstimator(SlidingWindowDecay(100), repetitions=51, seed=6)
+        rng = random.Random(7)
+        for _ in range(150):
+            est.add(rng.uniform(0, 1))
+            est.advance(1)
+        q25 = est.quantile(0.25)
+        q75 = est.quantile(0.75)
+        assert q25 <= est.quantile(0.5) + 0.2
+        assert q25 < q75 + 0.2
+
+    def test_extreme_quantiles(self):
+        est = DecayedQuantileEstimator(NoDecay(), repetitions=21, seed=8)
+        for v in range(50):
+            est.add(float(v))
+            est.advance(1)
+        assert est.quantile(0.0) <= est.quantile(1.0)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            DecayedQuantileEstimator(NoDecay(), repetitions=0)
+        est = DecayedQuantileEstimator(NoDecay(), repetitions=3, seed=9)
+        est.add(1.0)
+        with pytest.raises(InvalidParameterError):
+            est.quantile(1.5)

@@ -1,0 +1,163 @@
+"""Unit tests for time-decaying random selection (paper section 7.2)."""
+
+import math
+
+import pytest
+
+from repro.core.decay import (
+    ExponentialDecay,
+    PolynomialDecay,
+    SlidingWindowDecay,
+)
+from repro.core.errors import EmptyAggregateError, InvalidParameterError
+from repro.sampling.decayed_sampler import DecayedSampler, SamplerPool
+
+
+def fill(sampler, n, payload_fn=lambda t: t):
+    for t in range(n):
+        sampler.add(payload_fn(t))
+        sampler.advance(1)
+    return sampler
+
+
+class TestSelectionDistribution:
+    @pytest.mark.parametrize(
+        "decay",
+        [PolynomialDecay(1.0), PolynomialDecay(2.0), ExponentialDecay(0.1)],
+        ids=lambda d: d.describe(),
+    )
+    def test_mean_distribution_proportional_to_g(self, decay):
+        # Average the per-instance exact selection distribution over many
+        # independent rank draws; it must converge to g(age)/sum g.
+        n, pools = 40, 300
+        agg = {}
+        for i in range(pools):
+            s = fill(DecayedSampler(decay, seed=1000 + i), n)
+            for t, p in s.selection_distribution().items():
+                agg[t] = agg.get(t, 0.0) + p / pools
+        z = sum(decay.weight(n - t) for t in range(n))
+        for t in range(n):
+            expected = decay.weight(n - t) / z
+            got = agg.get(t, 0.0)
+            assert abs(got - expected) < 6 * math.sqrt(expected / pools) + 0.01
+
+    def test_single_instance_distribution_sums_to_one(self):
+        s = fill(DecayedSampler(PolynomialDecay(1.0), seed=5), 30)
+        dist = s.selection_distribution()
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_sample_returns_mvd_entries(self):
+        s = fill(DecayedSampler(PolynomialDecay(1.0), seed=6), 20)
+        for _ in range(20):
+            e = s.sample()
+            assert 0 <= e.payload < 20
+
+    def test_sliding_window_only_samples_in_window(self):
+        s = DecayedSampler(SlidingWindowDecay(10), seed=7)
+        fill(s, 100)
+        for _ in range(50):
+            e = s.sample()
+            assert s.time - e.time < 10
+
+
+class TestEHCountsMode:
+    def test_eh_mode_close_to_exact_mode(self):
+        decay = PolynomialDecay(1.0)
+        n, pools = 30, 250
+        agg = {}
+        for i in range(pools):
+            s = fill(DecayedSampler(decay, counts="eh", epsilon=0.1, seed=i), n)
+            for t, p in s.selection_distribution().items():
+                agg[t] = agg.get(t, 0.0) + p / pools
+        z = sum(decay.weight(n - t) for t in range(n))
+        # Ages are coarsened to bucket ends, so compare cumulative mass of
+        # the recent half against the exact value.
+        got_recent = sum(p for t, p in agg.items() if n - t <= n // 2)
+        exp_recent = sum(decay.weight(n - t) for t in range(n // 2, n)) / z
+        assert abs(got_recent - exp_recent) < 0.1
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            DecayedSampler(PolynomialDecay(1.0), counts="magic")
+
+
+class TestMVDCountsMode:
+    def test_mean_distribution_close_to_g(self):
+        # The footnote-4 configuration: unbiased MV/D window counts in the
+        # mixture. Averaged over independent instances, selection
+        # frequencies track g(age) closely.
+        decay = PolynomialDecay(1.0)
+        n, pools = 30, 250
+        agg = {}
+        for i in range(pools):
+            s = DecayedSampler(decay, counts="mvd", mvd_lists=4, seed=29 + 17 * i)
+            for t in range(n):
+                s.add(t)
+                s.advance(1)
+            for t, p in s.selection_distribution().items():
+                agg[t] = agg.get(t, 0.0) + p / pools
+        z = sum(decay.weight(n - t) for t in range(n))
+        dev = max(abs(agg.get(t, 0.0) - decay.weight(n - t) / z)
+                  for t in range(n))
+        assert dev < 0.06
+
+    def test_storage_stays_sublinear(self):
+        s = DecayedSampler(PolynomialDecay(1.0), counts="mvd", seed=3)
+        for t in range(3000):
+            s.add(t)
+            s.advance(1)
+        assert sum(s._mvd_counts.list_sizes()) < 150
+
+    def test_bounded_support_expiry(self):
+        s = DecayedSampler(SlidingWindowDecay(10), counts="mvd", seed=4)
+        for t in range(200):
+            s.add(t)
+            s.advance(1)
+        e = s.sample()
+        assert s.time - e.time < 10
+
+
+class TestLifecycle:
+    def test_empty_sampler_raises(self):
+        s = DecayedSampler(PolynomialDecay(1.0), seed=1)
+        with pytest.raises(EmptyAggregateError):
+            s.sample()
+
+    def test_expired_window_raises(self):
+        s = DecayedSampler(SlidingWindowDecay(5), seed=2)
+        s.add("x")
+        s.advance(100)
+        with pytest.raises(EmptyAggregateError):
+            s.sample()
+
+    def test_mvd_stays_logarithmic(self):
+        s = fill(DecayedSampler(PolynomialDecay(1.0), seed=3), 3000)
+        assert s.mvd_size() < 60
+
+    def test_sample_many(self):
+        s = fill(DecayedSampler(PolynomialDecay(1.0), seed=4), 10)
+        assert len(s.sample_many(5)) == 5
+        with pytest.raises(InvalidParameterError):
+            s.sample_many(-1)
+
+    def test_exact_mode_expires_bounded_support(self):
+        s = DecayedSampler(SlidingWindowDecay(8), seed=5)
+        fill(s, 200)
+        assert len(s._arrivals) <= 9
+
+
+class TestSamplerPool:
+    def test_pool_gives_independent_samples(self):
+        decay = PolynomialDecay(1.0)
+        pool = SamplerPool(decay, 200, seed=11)
+        for t in range(25):
+            pool.add(t)
+            pool.advance(1)
+        picks = [e.payload for e in pool.sample_each()]
+        # Different members pick different items (correlated draws would
+        # produce a single value).
+        assert len(set(picks)) > 5
+
+    def test_pool_validation(self):
+        with pytest.raises(InvalidParameterError):
+            SamplerPool(PolynomialDecay(1.0), 0)

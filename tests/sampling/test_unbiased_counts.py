@@ -1,0 +1,100 @@
+"""Unit tests for the unbiased MV/D count estimator (§7.2, footnote 4)."""
+
+import math
+import random
+import statistics
+
+import pytest
+
+from repro.core.decay import PolynomialDecay, SlidingWindowDecay
+from repro.core.errors import InvalidParameterError
+from repro.sampling.unbiased_counts import UnbiasedWindowCount
+
+
+def fill(uc, n):
+    for t in range(n):
+        uc.add(t)
+        uc.advance(1)
+    return uc
+
+
+class TestWindowCounts:
+    def test_exactly_unbiased_window_count(self):
+        # Mean of the estimator over many independent instances equals the
+        # true count -- the defining property, within Monte-Carlo noise.
+        n = 64
+        estimates = []
+        for seed in range(800):
+            uc = fill(UnbiasedWindowCount(k=3, seed=seed), n)
+            estimates.append(uc.count_window(n + 1).value)
+        mean = statistics.fmean(estimates)
+        sem = statistics.stdev(estimates) / math.sqrt(len(estimates))
+        assert abs(mean - n) < 4 * sem + 0.5
+
+    def test_more_lists_concentrate(self):
+        n = 100
+        spreads = {}
+        for k in (3, 12):
+            vals = [
+                fill(UnbiasedWindowCount(k=k, seed=s), n).count_window(n + 1).value
+                for s in range(150)
+            ]
+            spreads[k] = statistics.stdev(vals) / n
+        assert spreads[12] < spreads[3]
+        # Theory: rel std ~ 1/sqrt(k-2).
+        assert spreads[12] < 2.0 / math.sqrt(10)
+
+    def test_sub_window_counts(self):
+        uc = fill(UnbiasedWindowCount(k=8, seed=5), 200)
+        # Window 51 covers ages 0..50 -> items t=150..199 (ages 1..50).
+        est = uc.count_window(51)
+        assert 10 < est.value < 200
+
+    def test_empty_window_zero(self):
+        uc = UnbiasedWindowCount(k=2, seed=1)
+        uc.add("x")
+        uc.advance(10)
+        uc.expire_older_than(5)
+        assert uc.count_window(3).value == 0.0
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            UnbiasedWindowCount(k=1)
+        uc = UnbiasedWindowCount(k=2)
+        with pytest.raises(InvalidParameterError):
+            uc.count_window(0)
+
+
+class TestDecayedCounts:
+    @pytest.mark.parametrize(
+        "decay",
+        [PolynomialDecay(1.0), SlidingWindowDecay(40)],
+        ids=lambda d: d.describe(),
+    )
+    def test_decayed_count_unbiased(self, decay):
+        n = 80
+        true = sum(decay.weight(n - t) for t in range(n))
+        estimates = []
+        for seed in range(400):
+            uc = fill(UnbiasedWindowCount(k=4, seed=seed), n)
+            estimates.append(uc.decayed_count(decay).value)
+        mean = statistics.fmean(estimates)
+        sem = statistics.stdev(estimates) / math.sqrt(len(estimates))
+        assert abs(mean - true) < 4 * sem + 0.05 * true
+
+    def test_empty_stream(self):
+        uc = UnbiasedWindowCount(k=2, seed=0)
+        assert uc.decayed_count(PolynomialDecay(1.0)).value == 0.0
+
+
+class TestStorage:
+    def test_logarithmic_entries(self):
+        uc = fill(UnbiasedWindowCount(k=2, seed=7), 5000)
+        assert sum(uc.list_sizes()) < 2 * 4 * math.log(5000)
+
+    def test_storage_report(self):
+        uc = fill(UnbiasedWindowCount(k=3, seed=8), 500)
+        rep = uc.storage_report()
+        assert rep.engine == "mvd-count[k=3]"
+        assert rep.buckets == sum(uc.list_sizes())
+        assert rep.per_stream_bits > 0

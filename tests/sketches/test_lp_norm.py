@@ -1,0 +1,124 @@
+"""Unit tests for the time-decaying L_p norm sketch (paper section 7.1)."""
+
+import random
+
+import pytest
+
+from repro.core.decay import (
+    ExponentialDecay,
+    PolynomialDecay,
+    SlidingWindowDecay,
+)
+from repro.core.errors import EmptyAggregateError, InvalidParameterError
+from repro.sketches.lp_norm import DecayedLpNorm, ExactDecayedVector
+
+
+def run_pair(decay, p, dim=40, steps=400, rows=41, seed=3):
+    exact = ExactDecayedVector(decay, dim)
+    sketch = DecayedLpNorm(decay, p, dim, rows=rows, epsilon=0.05, seed=seed)
+    rng = random.Random(seed)
+    for _ in range(steps):
+        c = rng.randrange(dim)
+        a = rng.uniform(0.5, 2.0)
+        exact.add(c, a)
+        sketch.add(c, a)
+        exact.advance(1)
+        sketch.advance(1)
+    return exact, sketch
+
+
+class TestExactDecayedVector:
+    def test_vector_weights(self):
+        g = PolynomialDecay(1.0)
+        v = ExactDecayedVector(g, 3)
+        v.add(0, 2.0)
+        v.advance(4)
+        v.add(2, 1.0)
+        vec = v.vector()
+        assert vec[0] == pytest.approx(2.0 * g.weight(4))
+        assert vec[1] == 0.0
+        assert vec[2] == pytest.approx(1.0)
+
+    def test_norms(self):
+        v = ExactDecayedVector(PolynomialDecay(1.0), 2)
+        v.add(0, 3.0)
+        v.add(1, 4.0)
+        assert v.norm(2.0) == pytest.approx(5.0)
+        assert v.norm(1.0) == pytest.approx(7.0)
+
+    def test_validation(self):
+        v = ExactDecayedVector(PolynomialDecay(1.0), 2)
+        with pytest.raises(InvalidParameterError):
+            v.add(5, 1.0)
+        with pytest.raises(InvalidParameterError):
+            v.add(0, -1.0)
+        with pytest.raises(InvalidParameterError):
+            v.norm(0.0)
+
+
+class TestSketchAccuracy:
+    @pytest.mark.parametrize("p", [1.0, 1.5, 2.0])
+    def test_norm_estimate_close(self, p):
+        exact, sketch = run_pair(PolynomialDecay(1.0), p)
+        true = exact.norm(p)
+        est = sketch.query()
+        assert est.relative_error_vs(true) < 0.35  # median of 41 rows
+        assert est.lower <= est.value <= est.upper
+
+    def test_works_with_sliding_window_decay(self):
+        exact, sketch = run_pair(SlidingWindowDecay(100), 1.0, steps=300)
+        true = exact.norm(1.0)
+        assert sketch.query().relative_error_vs(true) < 0.35
+
+    def test_works_with_exponential_decay(self):
+        exact, sketch = run_pair(ExponentialDecay(0.02), 1.0, steps=300)
+        true = exact.norm(1.0)
+        assert sketch.query().relative_error_vs(true) < 0.35
+
+    def test_more_rows_concentrate(self):
+        errors = {}
+        for rows in (7, 81):
+            errs = []
+            for seed in range(5):
+                exact, sketch = run_pair(
+                    PolynomialDecay(1.0), 1.0, rows=rows, seed=seed, steps=200
+                )
+                errs.append(sketch.query().relative_error_vs(exact.norm(1.0)))
+            errors[rows] = sum(errs) / len(errs)
+        assert errors[81] < errors[7] + 0.05
+
+
+class TestSketchMechanics:
+    def test_row_values_signed(self):
+        _, sketch = run_pair(PolynomialDecay(1.0), 1.0, steps=100)
+        vals = sketch.row_values()
+        assert any(v < 0 for v in vals) and any(v > 0 for v in vals)
+
+    def test_empty_sketch_norm_zero(self):
+        sketch = DecayedLpNorm(PolynomialDecay(1.0), 1.0, 5, rows=9)
+        assert sketch.query().value == 0.0
+
+    def test_validation(self):
+        sketch = DecayedLpNorm(PolynomialDecay(1.0), 1.0, 5, rows=9)
+        with pytest.raises(InvalidParameterError):
+            sketch.add(5, 1.0)
+        with pytest.raises(InvalidParameterError):
+            sketch.add(0, -1.0)
+        with pytest.raises(InvalidParameterError):
+            sketch.advance(-1)
+        with pytest.raises(InvalidParameterError):
+            DecayedLpNorm(PolynomialDecay(1.0), 1.0, 5, rows=0)
+
+    def test_storage_sublinear_in_dim(self):
+        # o(d) space: the sketch footprint must not scale with dim.
+        small = DecayedLpNorm(PolynomialDecay(1.0), 1.0, 10, rows=9, seed=1)
+        large = DecayedLpNorm(PolynomialDecay(1.0), 1.0, 10_000, rows=9, seed=1)
+        rng = random.Random(0)
+        for sk in (small, large):
+            for _ in range(100):
+                sk.add(rng.randrange(10), 1.0)
+                sk.advance(1)
+        assert (
+            large.storage_report().per_stream_bits
+            <= 1.2 * small.storage_report().per_stream_bits + 64
+        )

@@ -1,0 +1,72 @@
+"""Unit tests for the lower-bound stream families."""
+
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.streams.adversarial import (
+    BurstFamily,
+    spaced_binary_streams,
+    spaced_stream,
+)
+
+
+class TestSpacedStreams:
+    def test_spaced_stream_times(self):
+        items = spaced_stream([1, 0, 1, 1], k=5)
+        assert [i.time for i in items] == [0, 10, 15]
+
+    def test_family_size(self):
+        members = list(spaced_binary_streams(4, k=3))
+        assert len(members) == 16
+        vectors = {bits for bits, _ in members}
+        assert len(vectors) == 16
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(InvalidParameterError):
+            spaced_stream([0, 2], k=1)
+        with pytest.raises(InvalidParameterError):
+            spaced_stream([1], k=0)
+
+
+class TestBurstFamily:
+    def test_slots_grow_with_log_n(self):
+        rs = [BurstFamily(2.0, n=1 << bits).r for bits in (14, 24, 34)]
+        assert rs[0] < rs[1] < rs[2]
+
+    def test_stream_contents(self):
+        bf = BurstFamily(2.0, n=1 << 14)
+        vec = tuple([2] * bf.r)
+        items = bf.stream(vec)
+        assert len(items) == bf.r
+        assert all(i.time < bf.origin for i in items)
+        counts = sorted(i.value for i in items)
+        assert counts == sorted(2 * s.base_count for s in bf.slots)
+
+    def test_decayed_sum_matches_direct_evaluation(self):
+        bf = BurstFamily(1.0, n=1 << 14)
+        vec = tuple([1] * bf.r)
+        t = bf.query_time(bf.slots[0])
+        direct = sum(
+            it.value / (t - it.time) ** 1.0 for it in bf.stream(vec)
+        )
+        assert bf.decayed_sum(vec, t) == pytest.approx(direct)
+
+    def test_rejects_bad_vectors(self):
+        bf = BurstFamily(2.0, n=1 << 14)
+        with pytest.raises(InvalidParameterError):
+            bf.stream([1] * (bf.r + 1))
+        with pytest.raises(InvalidParameterError):
+            bf.stream([3] * bf.r)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(InvalidParameterError):
+            BurstFamily(0.0, n=1 << 14)
+        with pytest.raises(InvalidParameterError):
+            BurstFamily(1.0, n=4)
+        with pytest.raises(InvalidParameterError):
+            BurstFamily(1.0, n=1 << 14, k=2)
+
+    def test_offsets_strictly_increasing(self):
+        bf = BurstFamily(3.0, n=1 << 20)
+        offsets = [s.offset for s in bf.slots]
+        assert offsets == sorted(set(offsets))

@@ -1,0 +1,108 @@
+"""Unit tests for the bounded-lateness watermark buffer."""
+
+import random
+
+import pytest
+
+from repro.core.decay import PolynomialDecay
+from repro.core.errors import InvalidParameterError, TimeOrderError
+from repro.core.exact import ExactDecayingSum
+from repro.streams.lateness import LatenessBuffer
+
+
+def shuffled_trace(length, max_lateness, seed):
+    """In-order trace plus a bounded shuffle: item t delivered within L."""
+    rng = random.Random(seed)
+    events = [(t, rng.uniform(0.5, 2.0)) for t in range(length)
+              if rng.random() < 0.6]
+    delivered = sorted(
+        events, key=lambda e: e[0] + rng.randint(0, max_lateness) * 0.9
+    )
+    return events, delivered
+
+
+class TestOrderingContract:
+    def test_matches_in_order_reference_at_frontier(self):
+        decay = PolynomialDecay(1.0)
+        L = 8
+        events, delivered = shuffled_trace(400, L, seed=3)
+        buf = LatenessBuffer(ExactDecayingSum(decay), max_lateness=L)
+        for when, value in delivered:
+            assert buf.observe(when, value)
+        frontier = buf.frontier
+        reference = ExactDecayingSum(decay)
+        for when, value in sorted(events):
+            if when <= frontier:
+                if when > reference.time:
+                    reference.advance(when - reference.time)
+                reference.add(value)
+        if frontier > reference.time:
+            reference.advance(frontier - reference.time)
+        assert buf.query().value == pytest.approx(reference.query().value)
+        assert buf.too_late_count == 0
+
+    def test_engine_never_sees_regression(self):
+        buf = LatenessBuffer(ExactDecayingSum(PolynomialDecay(1.0)), 5)
+        rng = random.Random(4)
+        times = list(range(100))
+        rng.shuffle(times)
+        # Deliver in a random order but bounded by construction below.
+        for when in sorted(times, key=lambda t: t + rng.randint(0, 5)):
+            buf.observe(when, 1.0)
+        assert buf.engine.time == buf.frontier
+
+    def test_too_late_events_dropped_and_counted(self):
+        buf = LatenessBuffer(ExactDecayingSum(PolynomialDecay(1.0)), 2)
+        buf.observe(100, 1.0)  # watermark 100, frontier 98
+        assert not buf.observe(50, 1.0)
+        assert buf.too_late_count == 1
+        assert buf.observe(99, 1.0)  # within the bound
+
+
+class TestWatermark:
+    def test_frontier_lags_by_bound(self):
+        buf = LatenessBuffer(ExactDecayingSum(PolynomialDecay(1.0)), 10)
+        buf.observe(25, 1.0)
+        assert buf.watermark == 25
+        assert buf.frontier == 15
+        assert buf.pending() == 1  # the event itself sits past the frontier
+
+    def test_explicit_watermark_flushes(self):
+        buf = LatenessBuffer(ExactDecayingSum(PolynomialDecay(1.0)), 10)
+        buf.observe(25, 1.0)
+        buf.advance_watermark(60)
+        assert buf.pending() == 0
+        assert buf.engine.time == 50
+
+    def test_watermark_regression_rejected(self):
+        buf = LatenessBuffer(ExactDecayingSum(PolynomialDecay(1.0)), 1)
+        buf.advance_watermark(10)
+        with pytest.raises(TimeOrderError):
+            buf.advance_watermark(5)
+
+    def test_zero_lateness_is_strict_ordering(self):
+        buf = LatenessBuffer(ExactDecayingSum(PolynomialDecay(1.0)), 0)
+        buf.observe(5, 1.0)
+        assert buf.frontier == 5
+        assert not buf.observe(4, 1.0)
+
+
+class TestValidation:
+    def test_rejects_bad_args(self):
+        with pytest.raises(InvalidParameterError):
+            LatenessBuffer(ExactDecayingSum(PolynomialDecay(1.0)), -1)
+        engine = ExactDecayingSum(PolynomialDecay(1.0))
+        engine.advance(3)
+        with pytest.raises(InvalidParameterError):
+            LatenessBuffer(engine, 1)
+        buf = LatenessBuffer(ExactDecayingSum(PolynomialDecay(1.0)), 1)
+        with pytest.raises(InvalidParameterError):
+            buf.observe(-1, 1.0)
+        with pytest.raises(InvalidParameterError):
+            buf.observe(1, -1.0)
+
+    def test_storage_report_notes_buffer(self):
+        buf = LatenessBuffer(ExactDecayingSum(PolynomialDecay(1.0)), 10)
+        buf.observe(25, 1.0)
+        rep = buf.storage_report()
+        assert rep.notes["lateness_buffer_entries"] == 1.0

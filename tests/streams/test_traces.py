@@ -1,0 +1,67 @@
+"""Unit tests for the Figure 1 failure traces."""
+
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.streams.traces import (
+    MINUTES_PER_HOUR,
+    FailureEvent,
+    LinkTrace,
+    figure1_traces,
+)
+
+
+class TestFailureEvent:
+    def test_end(self):
+        assert FailureEvent(10, 5).end == 15
+
+    def test_rejects_bad_fields(self):
+        with pytest.raises(InvalidParameterError):
+            FailureEvent(-1, 5)
+        with pytest.raises(InvalidParameterError):
+            FailureEvent(0, 0)
+
+
+class TestLinkTrace:
+    def test_items_one_per_down_minute(self):
+        trace = LinkTrace("L", [FailureEvent(2, 3)])
+        assert [(i.time, i.value) for i in trace.items()] == [
+            (2, 1.0), (3, 1.0), (4, 1.0)
+        ]
+
+    def test_multiple_events_sorted(self):
+        trace = LinkTrace("L", [FailureEvent(10, 2), FailureEvent(0, 2)])
+        assert [i.time for i in trace.items()] == [0, 1, 10, 11]
+
+    def test_overlapping_events_rejected(self):
+        trace = LinkTrace("L", [FailureEvent(0, 5), FailureEvent(3, 2)])
+        with pytest.raises(InvalidParameterError):
+            trace.items()
+
+    def test_total_down_minutes(self):
+        trace = LinkTrace("L", [FailureEvent(0, 5), FailureEvent(10, 2)])
+        assert trace.total_down_minutes() == 7
+
+
+class TestFigure1:
+    def test_paper_parameters(self):
+        l1, l2 = figure1_traces()
+        # L1: 5-hour failure starting at 0.
+        assert l1.total_down_minutes() == 300
+        assert l1.events[0].start == 0
+        # L2: 30-minute failure 24h after L1's failure ends.
+        assert l2.total_down_minutes() == 30
+        assert l2.events[0].start == 300 + 24 * MINUTES_PER_HOUR
+
+    def test_severity_ordering(self):
+        # L1's event is 10x more severe; L2's is more recent.
+        l1, l2 = figure1_traces()
+        assert l1.total_down_minutes() == 10 * l2.total_down_minutes()
+        assert l2.events[0].start > l1.events[0].end
+
+    def test_custom_parameters(self):
+        l1, l2 = figure1_traces(
+            l1_duration_minutes=60, gap_hours=1, l2_duration_minutes=10
+        )
+        assert l1.total_down_minutes() == 60
+        assert l2.events[0].start == 120
