@@ -2,13 +2,24 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples clean all
+.PHONY: install test lint typecheck check bench examples clean all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# AST invariant linter (RK001-RK006, docs/STATIC_ANALYSIS.md); stdlib-only.
+# Works from a checkout without `make install` via PYTHONPATH.
+lint:
+	PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) -m repro.lintkit src/repro
+
+# Requires the `lint` extra (pip install -e .[lint]).
+typecheck:
+	MYPYPATH=src $(PYTHON) -m mypy --strict src/repro
+
+check: test lint
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

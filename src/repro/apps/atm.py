@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.core.average import DecayingAverage
-from repro.core.errors import InvalidParameterError
+from repro.core.errors import EmptyAggregateError, InvalidParameterError
 from repro.core.ewma import EwmaRegister
 
 __all__ = ["Circuit", "HoldingPolicy", "PolicyStats"]
@@ -51,7 +51,7 @@ class Circuit:
             return self.averager.value if self.averager.initialized else float("inf")
         try:
             return self.averager.query().value
-        except Exception:
+        except EmptyAggregateError:
             return float("inf")
 
     def _observe(self, idle: float, now: int) -> None:

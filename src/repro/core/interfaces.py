@@ -26,6 +26,8 @@ from typing import TYPE_CHECKING, Protocol, runtime_checkable
 from repro.core.decay import (
     DecayFunction,
     ExponentialDecay,
+    PolyexponentialDecay,
+    PolyExpPolynomialDecay,
     SlidingWindowDecay,
 )
 from repro.core.errors import InvalidParameterError
@@ -74,17 +76,27 @@ def make_decaying_sum(
       Eq. 1).
     * SLIWIN -> :class:`repro.histograms.eh.ExponentialHistogram` wrapped as
       a decaying sum (Theta(log^2 N) bits, Datar et al.).
+    * polyexponential ``a**k exp(-lam a) / k!`` and general
+      ``p(x) exp(-lam x)`` -> the pipelined-register reductions of
+      section 3.4 (:class:`repro.core.ewma.PolyexponentialSum`,
+      :class:`repro.core.ewma.GeneralPolyexpSum`; exact, Theta(k log N)
+      bits).  These weights are not nonincreasing (zero at age 0), so the
+      histogram engines' domination bounds do not apply to them.
     * ratio-nonincreasing decay (POLYD and slower) ->
       :class:`repro.histograms.wbmh.WBMH`
       (O(log D(g) log log N) bits, Lemma 5.1).
     * anything else -> :class:`repro.histograms.ceh.CascadedEH`
-      (O(log^2 N) bits for any decay, Theorem 1).
+      (O(log^2 N) bits for any nonincreasing decay, Theorem 1).
 
     ``horizon_hint`` bounds the age range used for the numerical
     ratio-nonincreasing check on user-defined decay functions.
     """
     # Imported here to keep repro.core free of package-level import cycles.
-    from repro.core.ewma import ExponentialSum
+    from repro.core.ewma import (
+        ExponentialSum,
+        GeneralPolyexpSum,
+        PolyexponentialSum,
+    )
     from repro.histograms.ceh import CascadedEH
     from repro.histograms.eh import SlidingWindowSum
     from repro.histograms.wbmh import WBMH
@@ -95,6 +107,10 @@ def make_decaying_sum(
         return ExponentialSum(decay)
     if isinstance(decay, SlidingWindowDecay):
         return SlidingWindowSum(decay.window, epsilon)
+    if isinstance(decay, PolyexponentialDecay):
+        return PolyexponentialSum(decay)
+    if isinstance(decay, PolyExpPolynomialDecay):
+        return GeneralPolyexpSum(decay)
     horizon = horizon_hint if horizon_hint is not None else 4096
     if decay.is_ratio_nonincreasing(horizon):
         return WBMH(decay, epsilon)

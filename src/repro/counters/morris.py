@@ -22,11 +22,19 @@ from repro.core.errors import InvalidParameterError
 from repro.core.estimate import Estimate
 from repro.storage.model import StorageReport, bits_for_value
 
-__all__ = ["MorrisCounter"]
+__all__ = ["DEFAULT_SEED", "MorrisCounter"]
+
+#: Documented fixed seed used when a caller does not supply one, keeping
+#: counter trajectories replayable by default (same convention as RK002).
+DEFAULT_SEED = 0x5EED
 
 
 class MorrisCounter:
-    """Probabilistic counter holding ``O(log log n)`` bits of state."""
+    """Probabilistic counter holding ``O(log log n)`` bits of state.
+
+    ``seed=None`` selects the documented fixed default seed; pass distinct
+    seeds to get independent counters.
+    """
 
     def __init__(self, accuracy: float = 0.25, *, seed: int | None = None) -> None:
         if not 0 < accuracy < 1:
@@ -38,7 +46,7 @@ class MorrisCounter:
         self.accuracy = float(accuracy)
         self._register = 0
         self._events = 0
-        self._rng = random.Random(seed)
+        self._rng = random.Random(DEFAULT_SEED if seed is None else seed)
 
     @property
     def register(self) -> int:

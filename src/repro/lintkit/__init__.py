@@ -1,0 +1,39 @@
+"""repro.lintkit -- AST-based invariant linter for this repository.
+
+The paper's guarantees only hold if every engine obeys the discrete-time
+``DecayingSum`` protocol: monotone clocks, reproducible randomness,
+certified estimate bounds, bit-level storage accounting.  This package
+enforces those invariants *statically* with six repo-specific rules
+(RK001-RK006) on top of a small rule registry with per-rule path scoping,
+``# lintkit: ignore[RKxxx]`` pragmas, and text/JSON reporters.
+
+Run it as ``python -m repro.lintkit src/repro`` (exit code 1 on any
+violation) or programmatically::
+
+    from repro.lintkit import lint_paths
+    violations = lint_paths(["src/repro"])
+
+The rule catalog lives in ``docs/STATIC_ANALYSIS.md``; stdlib-only, no
+runtime dependencies.
+"""
+
+from repro.lintkit.engine import (
+    FileContext,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.lintkit.registry import Rule, Violation, all_rules, get_rule
+
+__all__ = [
+    "FileContext",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "get_rule",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,86 @@
+"""Command-line front end: ``python -m repro.lintkit [paths...]``.
+
+Exit codes: 0 clean, 1 violations found, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.lintkit.engine import iter_python_files, lint_file
+from repro.lintkit.registry import Violation, all_rules
+from repro.lintkit.reporting import render_json, render_text
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lintkit",
+        description=(
+            "AST-based invariant linter for the decayed-aggregate engines "
+            "(rules RK001-RK006; see docs/STATIC_ANALYSIS.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in all_rules():
+        scope = ", ".join(rule.applies_to) if rule.applies_to else "all files"
+        exempt = f" (exempt: {', '.join(rule.exempt)})" if rule.exempt else ""
+        lines.append(f"{rule.rule_id}  {rule.title}  [scope: {scope}{exempt}]")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = _build_parser()
+    opts = parser.parse_args(argv)
+    if opts.list_rules:
+        print(_list_rules())
+        return 0
+    select = (
+        [s.strip() for s in opts.select.split(",") if s.strip()]
+        if opts.select
+        else None
+    )
+    files = list(iter_python_files([Path(p) for p in opts.paths]))
+    if not files:
+        print(f"error: no python files under {', '.join(opts.paths)}", file=sys.stderr)
+        return 2
+    violations: list[Violation] = []
+    try:
+        for path in files:
+            violations.extend(lint_file(path, select=select))
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    render = render_json if opts.format == "json" else render_text
+    print(render(violations, files_checked=len(files)))
+    return 1 if violations else 0

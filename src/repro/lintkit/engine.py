@@ -1,0 +1,136 @@
+"""Lint driver: file discovery, parsing, rule dispatch, pragma filtering.
+
+The engine is deliberately dependency-free (stdlib ``ast`` only) so it can
+run in any environment the library itself runs in -- including CI images
+without the ``lint`` extra installed.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.lintkit.pragmas import Suppressions, parse_pragmas
+from repro.lintkit.registry import Rule, Violation, all_rules
+
+__all__ = [
+    "FileContext",
+    "iter_python_files",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+]
+
+#: Pseudo-rule id used for files that fail to parse.
+PARSE_ERROR_ID = "RK000"
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to know about one source file."""
+
+    display_path: str
+    parts: tuple[str, ...]
+    source: str
+    tree: ast.Module
+    suppressions: Suppressions
+
+    @classmethod
+    def from_source(cls, source: str, display_path: str) -> "FileContext":
+        """Parse ``source``; ``display_path`` drives scoping and reporting."""
+        tree = ast.parse(source, filename=display_path)
+        return cls(
+            display_path=display_path,
+            parts=tuple(Path(display_path).parts),
+            source=source,
+            tree=tree,
+            suppressions=parse_pragmas(source),
+        )
+
+
+def iter_python_files(paths: Sequence[Path | str]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``*.py`` files."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for child in sorted(path.rglob("*.py")):
+                if not any(part in _SKIP_DIRS for part in child.parts):
+                    yield child
+        elif path.suffix == ".py":
+            yield path
+
+
+def _select(rules: Sequence[Rule] | None, select: Iterable[str] | None) -> list[Rule]:
+    pool = list(rules) if rules is not None else all_rules()
+    if select is None:
+        return pool
+    wanted = {rule_id.upper() for rule_id in select}
+    unknown = wanted - {rule.rule_id for rule in pool}
+    if unknown:
+        raise KeyError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+    return [rule for rule in pool if rule.rule_id in wanted]
+
+
+def lint_source(
+    source: str,
+    display_path: str = "<string>",
+    *,
+    rules: Sequence[Rule] | None = None,
+    select: Iterable[str] | None = None,
+) -> list[Violation]:
+    """Lint a source string as if it lived at ``display_path``.
+
+    The path matters: scoped rules (RK002, RK006) key off its directory
+    components, e.g. ``display_path="sampling/x.py"`` puts the snippet in
+    RK002's scope.  This is the entry point unit tests use.
+    """
+    try:
+        ctx = FileContext.from_source(source, display_path)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                rule_id=PARSE_ERROR_ID,
+                path=display_path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    found: list[Violation] = []
+    for rule in _select(rules, select):
+        if not rule.applicable(ctx.parts):
+            continue
+        for violation in rule.check(ctx):
+            if not ctx.suppressions.is_suppressed(violation.rule_id, violation.line):
+                found.append(violation)
+    found.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    return found
+
+
+def lint_file(
+    path: Path | str,
+    *,
+    rules: Sequence[Rule] | None = None,
+    select: Iterable[str] | None = None,
+) -> list[Violation]:
+    """Lint one file on disk."""
+    path = Path(path)
+    source = path.read_text(encoding="utf-8")
+    return lint_source(source, str(path), rules=rules, select=select)
+
+
+def lint_paths(
+    paths: Sequence[Path | str],
+    *,
+    rules: Sequence[Rule] | None = None,
+    select: Iterable[str] | None = None,
+) -> list[Violation]:
+    """Lint every python file under ``paths``; the main library entry."""
+    found: list[Violation] = []
+    for path in iter_python_files(paths):
+        found.extend(lint_file(path, rules=rules, select=select))
+    return found

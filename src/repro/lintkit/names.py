@@ -1,0 +1,59 @@
+"""Dotted-name resolution helpers shared by the rules.
+
+AST call sites reference modules through whatever aliases the file's
+imports introduced (``import numpy as np`` -> ``np.random.rand``).
+:class:`ImportMap` records those aliases so rules can compare call targets
+against canonical dotted names like ``numpy.random.rand`` or
+``time.time`` regardless of local spelling.
+"""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["ImportMap", "dotted_name", "resolve_call"]
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class ImportMap:
+    """Alias -> canonical dotted module/name map for one module."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.aliases[bound] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    self.aliases[bound] = f"{node.module}.{alias.name}"
+
+    def canonical(self, name: str | None) -> str | None:
+        """Rewrite the leading alias of ``name`` to its canonical form."""
+        if name is None:
+            return None
+        head, _, rest = name.partition(".")
+        if head in self.aliases:
+            head = self.aliases[head]
+        return f"{head}.{rest}" if rest else head
+
+
+def resolve_call(imports: ImportMap, call: ast.Call) -> str | None:
+    """Canonical dotted name of a call target, or ``None`` if dynamic."""
+    return imports.canonical(dotted_name(call.func))

@@ -1,0 +1,83 @@
+"""Suppression pragmas for lintkit.
+
+Two comment forms are recognised:
+
+* ``# lintkit: ignore[RK001]`` / ``# lintkit: ignore[RK001, RK004]`` on a
+  line suppresses those rules for violations reported on that line.
+* ``# lintkit: ignore`` (no bracket) suppresses *all* rules on that line.
+* ``# lintkit: ignore-file[RK003]`` anywhere in a file suppresses the
+  listed rules for the whole file; the bare ``ignore-file`` form
+  suppresses everything (useful for deliberately-bad test fixtures).
+
+Pragmas are matched against the physical line an AST node starts on, so
+put the pragma on the first line of a multi-line statement.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+__all__ = ["Suppressions", "parse_pragmas"]
+
+_PRAGMA_RE = re.compile(
+    r"#\s*lintkit:\s*ignore(?P<scope>-file)?"
+    r"(?:\[(?P<rules>[A-Za-z0-9_,\s]*)\])?"
+)
+
+
+@dataclass
+class Suppressions:
+    """Parsed pragma state for one file."""
+
+    #: rule ids suppressed for the whole file; ``None`` means all rules.
+    file_level: frozenset[str] | None = frozenset()
+    #: line -> rule ids suppressed on that line; ``None`` means all rules.
+    by_line: dict[int, frozenset[str] | None] = field(default_factory=dict)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """Whether ``rule_id`` is suppressed at ``line``."""
+        if self.file_level is None or rule_id in (self.file_level or ()):
+            return True
+        if line in self.by_line:
+            rules = self.by_line[line]
+            return rules is None or rule_id in rules
+        return False
+
+
+def _parse_rule_list(raw: str | None) -> frozenset[str] | None:
+    """``"RK001, RK004"`` -> ids; ``None``/empty bracket -> all rules."""
+    if raw is None:
+        return None
+    ids = frozenset(part.strip().upper() for part in raw.split(",") if part.strip())
+    return ids or None
+
+
+def parse_pragmas(source: str) -> Suppressions:
+    """Scan ``source`` for lintkit pragmas."""
+    file_level: set[str] = set()
+    file_all = False
+    by_line: dict[int, frozenset[str] | None] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        if "lintkit" not in text:
+            continue
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        rules = _parse_rule_list(match.group("rules"))
+        if match.group("scope"):
+            if rules is None:
+                file_all = True
+            else:
+                file_level.update(rules)
+        else:
+            if lineno in by_line and by_line[lineno] is not None and rules is not None:
+                prev = by_line[lineno]
+                assert prev is not None
+                by_line[lineno] = prev | rules
+            else:
+                by_line[lineno] = None if rules is None else rules
+    return Suppressions(
+        file_level=None if file_all else frozenset(file_level),
+        by_line=by_line,
+    )

@@ -1,0 +1,44 @@
+"""Violation reporters: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.lintkit.registry import Violation
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(violations: Sequence[Violation], *, files_checked: int = 0) -> str:
+    """GCC-style ``file:line:col: RKxxx message`` lines plus a summary."""
+    lines = [v.render() for v in violations]
+    if violations:
+        by_rule: dict[str, int] = {}
+        for v in violations:
+            by_rule[v.rule_id] = by_rule.get(v.rule_id, 0) + 1
+        breakdown = ", ".join(f"{k} x{n}" for k, n in sorted(by_rule.items()))
+        lines.append(f"{len(violations)} violation(s) ({breakdown})")
+    else:
+        lines.append(f"ok: {files_checked} file(s), 0 violations")
+    return "\n".join(lines)
+
+
+def render_json(violations: Sequence[Violation], *, files_checked: int = 0) -> str:
+    """Stable JSON document for CI consumption."""
+    return json.dumps(
+        {
+            "files_checked": files_checked,
+            "violations": [
+                {
+                    "rule": v.rule_id,
+                    "path": v.path,
+                    "line": v.line,
+                    "col": v.col,
+                    "message": v.message,
+                }
+                for v in violations
+            ],
+        },
+        indent=2,
+    )

@@ -1,0 +1,20 @@
+"""Rule catalog. Importing this package registers every rule.
+
+| id    | protects                                                        |
+|-------|-----------------------------------------------------------------|
+| RK001 | discrete monotone clocks (paper section 2: T is model time)     |
+| RK002 | reproducible randomness in sketches/sampling/streams            |
+| RK003 | the DecayingSum engine protocol (sections 3-5 guarantees)       |
+| RK004 | no silently-swallowed errors around certified bounds            |
+| RK005 | no exact float comparison on time/age/weight quantities         |
+| RK006 | complete annotations on the core/histograms public surface      |
+"""
+
+from repro.lintkit.rules import (  # noqa: F401  (registration side effects)
+    rk001_wallclock,
+    rk002_rng,
+    rk003_protocol,
+    rk004_excepts,
+    rk005_floateq,
+    rk006_annotations,
+)

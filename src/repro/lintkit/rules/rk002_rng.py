@@ -1,0 +1,152 @@
+"""RK002: randomness in sketches/sampling/streams must be injected + seeded.
+
+The p-stable sketches regenerate their variates from seeds (paper section
+7.1), the MV/D samplers' retained sets are a deterministic function of the
+rank draws (section 7.2), and the stream generators feed benchmarks that
+must replay bit-identically.  All of that dies if code reaches for the
+process-global RNG (``random.random()``, ``numpy.random.rand()``) or
+builds an entropy-seeded generator (``random.Random()`` /
+``numpy.random.default_rng()`` with no seed).  Randomness must flow
+through an explicitly-seeded, locally-owned generator object.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.lintkit.names import ImportMap, resolve_call
+from repro.lintkit.registry import Rule, Violation, register
+
+if TYPE_CHECKING:
+    from repro.lintkit.engine import FileContext
+
+#: ``random.X`` names that are fine: generator classes and helpers that do
+#: not touch the module-global Mersenne Twister state.
+_RANDOM_OK = frozenset({"random.Random", "random.SystemRandom"})
+
+#: ``numpy.random`` members that construct/describe explicit generators.
+_NUMPY_OK = frozenset(
+    {
+        "numpy.random.Generator",
+        "numpy.random.default_rng",
+        "numpy.random.SeedSequence",
+        "numpy.random.PCG64",
+        "numpy.random.PCG64DXSM",
+        "numpy.random.MT19937",
+        "numpy.random.Philox",
+        "numpy.random.SFC64",
+        "numpy.random.BitGenerator",
+    }
+)
+
+#: Constructors whose first argument is the seed.
+_SEEDED_CTORS = frozenset({"random.Random", "numpy.random.default_rng"})
+
+
+def _may_be_none(node: ast.expr) -> bool:
+    """Whether the expression can *evaluate to* a literal ``None``.
+
+    Catches the plain ``None`` argument and value positions of conditional
+    forms like ``None if seed is None else seed + 1``.  A ``None`` inside a
+    condition test (``x if seed is None else y``) is not a hit.
+    """
+    if isinstance(node, ast.Constant):
+        return node.value is None
+    if isinstance(node, ast.IfExp):
+        return _may_be_none(node.body) or _may_be_none(node.orelse)
+    if isinstance(node, ast.BoolOp):
+        return any(_may_be_none(value) for value in node.values)
+    return False
+
+
+@register
+class InjectedRngRule(Rule):
+    rule_id = "RK002"
+    title = "no module-global or unseeded RNG in sketches/sampling/streams"
+    rationale = (
+        "Sketch variates and MV/D ranks must be regenerable from seeds "
+        "(paper sections 7.1-7.2); global or entropy-seeded RNG breaks "
+        "reproducibility and shard merging."
+    )
+    applies_to = ("sketches", "sampling", "streams")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        imports = ImportMap(ctx.tree)
+        yield from self._check_imports(ctx)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call(imports, node)
+            if target is None:
+                continue
+            if target in _SEEDED_CTORS:
+                yield from self._check_seeding(ctx, node, target)
+            elif target.startswith("random.") and target not in _RANDOM_OK:
+                tail = target.split(".", 1)[1]
+                if "." not in tail:  # random.<func>, not rng_instance.method
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"module-global RNG call `{target}()`; draw from an "
+                        "injected, seeded random.Random instead",
+                    )
+            elif target.startswith("numpy.random.") and target not in _NUMPY_OK:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"module-global RNG call `{target}()`; draw from an "
+                    "injected numpy.random.Generator instead",
+                )
+
+    def _check_imports(self, ctx: FileContext) -> Iterator[Violation]:
+        """Flag ``from random import random``-style global-RNG imports."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ImportFrom) or node.level:
+                continue
+            if node.module == "random":
+                for alias in node.names:
+                    if f"random.{alias.name}" not in _RANDOM_OK:
+                        yield self.violation(
+                            ctx,
+                            node,
+                            f"`from random import {alias.name}` binds the "
+                            "module-global RNG; inject a seeded "
+                            "random.Random instead",
+                        )
+            elif node.module == "numpy.random":
+                for alias in node.names:
+                    if f"numpy.random.{alias.name}" not in _NUMPY_OK:
+                        yield self.violation(
+                            ctx,
+                            node,
+                            f"`from numpy.random import {alias.name}` binds "
+                            "the legacy global RNG; use "
+                            "numpy.random.default_rng(seed)",
+                        )
+
+    def _check_seeding(
+        self, ctx: FileContext, node: ast.Call, target: str
+    ) -> Iterator[Violation]:
+        """Flag generator constructors whose seed is absent or ``None``."""
+        seed: ast.expr | None = None
+        if node.args:
+            seed = node.args[0]
+        else:
+            for kw in node.keywords:
+                if kw.arg == "seed":
+                    seed = kw.value
+        if seed is None:
+            yield self.violation(
+                ctx,
+                node,
+                f"`{target}()` without a seed draws OS entropy; pass an "
+                "explicit documented seed",
+            )
+        elif _may_be_none(seed):
+            yield self.violation(
+                ctx,
+                node,
+                f"`{target}(...)` seed expression can be None (OS entropy); "
+                "default to a documented fixed seed instead",
+            )

@@ -1,0 +1,82 @@
+"""RK004: no bare, blanket, or silent exception handlers.
+
+Every estimate the library hands out carries *certified* bounds
+(``Estimate.low <= value <= high``).  A handler that swallows arbitrary
+exceptions can convert a genuine invariant breach (negative counts,
+non-monotone clock) into a silently-wrong number -- the worst possible
+failure mode for a correctness reproduction.  Handlers must name the
+specific exceptions they expect and must do something in the body.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.lintkit.registry import Rule, Violation, register
+
+if TYPE_CHECKING:
+    from repro.lintkit.engine import FileContext
+
+_BLANKET = frozenset({"Exception", "BaseException"})
+
+
+def _handler_type_names(node: ast.ExceptHandler) -> list[str]:
+    types: list[ast.expr] = []
+    if isinstance(node.type, ast.Tuple):
+        types = list(node.type.elts)
+    elif node.type is not None:
+        types = [node.type]
+    names = []
+    for t in types:
+        if isinstance(t, ast.Name):
+            names.append(t.id)
+        elif isinstance(t, ast.Attribute):
+            names.append(t.attr)
+    return names
+
+
+def _is_silent(body: list[ast.stmt]) -> bool:
+    """A body that does literally nothing (``pass`` / ``...``)."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or Ellipsis
+        return False
+    return True
+
+
+@register
+class SilentExceptRule(Rule):
+    rule_id = "RK004"
+    title = "no bare/blanket/silent exception handlers"
+    rationale = (
+        "Swallowed exceptions can turn an invariant breach into a "
+        "silently-uncertified estimate; handlers must be narrow and act."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.violation(
+                    ctx, node, "bare `except:`; name the exceptions you expect"
+                )
+                continue
+            blanket = [n for n in _handler_type_names(node) if n in _BLANKET]
+            if blanket:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"blanket `except {blanket[0]}`; catch the specific "
+                    "repro.core.errors types instead",
+                )
+            elif _is_silent(node.body):
+                yield self.violation(
+                    ctx,
+                    node,
+                    "silent exception handler (body is pass/...); handle, "
+                    "log, or re-raise",
+                )

@@ -1,0 +1,79 @@
+"""RK005: no exact float equality on time-, age-, or weight-named values.
+
+Decay weights are computed through ``exp``/``pow`` chains and ages through
+subtractions of large counters; comparing either against a float literal
+with ``==``/``!=`` is almost always a latent bug (the WBMH merge condition
+and EH bucket-expiry logic depend on *ordered* comparisons precisely to
+avoid this).  Use ``<``/``<=`` bracketing or ``math.isclose`` with an
+explicit tolerance.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import TYPE_CHECKING, Iterator
+
+from repro.lintkit.registry import Rule, Violation, register
+
+if TYPE_CHECKING:
+    from repro.lintkit.engine import FileContext
+
+#: Identifier (or attribute) names that denote time/age/weight quantities.
+_QUANTITY_RE = re.compile(
+    r"(?:^|_)(?:time|timestamp|ts|age|ages|weight|weights|decay|decayed)(?:_|$)",
+    re.IGNORECASE,
+)
+
+
+def _quantity_name(node: ast.expr) -> str | None:
+    """The time/age/weight-ish identifier behind ``node``, if any."""
+    if isinstance(node, ast.Name) and _QUANTITY_RE.search(node.id):
+        return node.id
+    if isinstance(node, ast.Attribute) and _QUANTITY_RE.search(node.attr):
+        return node.attr
+    if isinstance(node, ast.Call):
+        # g.weight(age), decay(x): the *call* yields the quantity.
+        return _quantity_name(node.func)
+    return None
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_float_literal(node.operand)
+    return False
+
+
+@register
+class FloatEqualityRule(Rule):
+    rule_id = "RK005"
+    title = "no float ==/!= on time/age/weight quantities"
+    rationale = (
+        "Decay weights and ages come out of float arithmetic; exact "
+        "equality silently misses by 1 ulp and breaks bucket/merge logic."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            ops = node.ops
+            for i, op in enumerate(ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[i], operands[i + 1]
+                for value, literal in ((left, right), (right, left)):
+                    name = _quantity_name(value)
+                    if name is not None and _is_float_literal(literal):
+                        op_text = "==" if isinstance(op, ast.Eq) else "!="
+                        yield self.violation(
+                            ctx,
+                            node,
+                            f"exact float `{op_text}` on `{name}`; use "
+                            "ordered comparison or math.isclose with an "
+                            "explicit tolerance",
+                        )
+                        break

@@ -38,13 +38,18 @@ from typing import Any
 from repro.core.decay import DecayFunction
 from repro.core.errors import EmptyAggregateError, InvalidParameterError
 from repro.histograms.eh import ExponentialHistogram
-from repro.sampling.mvd import MVDEntry, MVDList
+from repro.sampling.mvd import DEFAULT_SEED, MVDEntry, MVDList
 
 __all__ = ["DecayedSampler", "SamplerPool"]
 
 
 class DecayedSampler:
-    """Random selection weighted by any decay function."""
+    """Random selection weighted by any decay function.
+
+    ``seed=None`` selects the documented fixed default
+    (:data:`repro.sampling.mvd.DEFAULT_SEED`); pass distinct seeds to get
+    independent samplers.
+    """
 
     def __init__(
         self,
@@ -60,7 +65,7 @@ class DecayedSampler:
         self._decay = decay
         self.counts_mode = counts
         self._mvd = MVDList(seed=seed)
-        self._rng = random.Random(None if seed is None else seed + 1)
+        self._rng = random.Random(DEFAULT_SEED + 1 if seed is None else seed + 1)
         self._time = 0
         self._items = 0
         sup = decay.support()

@@ -20,7 +20,11 @@ from typing import Any
 
 from repro.core.errors import InvalidParameterError
 
-__all__ = ["MVDEntry", "MVDList"]
+__all__ = ["DEFAULT_SEED", "MVDEntry", "MVDList"]
+
+#: Documented fixed seed used when a caller does not supply one (RK002):
+#: rank draws must be regenerable, never pulled from OS entropy.
+DEFAULT_SEED = 0x5EED
 
 
 @dataclass(frozen=True, slots=True)
@@ -46,7 +50,7 @@ class MVDList:
         self, *, seed: int | None = None, exponential_ranks: bool = False
     ) -> None:
         self._entries: list[MVDEntry] = []  # arrival order; ranks increasing
-        self._rng = random.Random(seed)
+        self._rng = random.Random(DEFAULT_SEED if seed is None else seed)
         self.exponential_ranks = bool(exponential_ranks)
         self._time = 0
         self._items = 0

@@ -1,0 +1,12 @@
+"""Fixture: RK001 wall-clock reads (deliberately bad -- do not import)."""
+
+import time
+from datetime import datetime
+
+
+def stamp() -> float:
+    return time.time()  # RK001: wall clock
+
+
+def when() -> object:
+    return datetime.now()  # RK001: wall clock

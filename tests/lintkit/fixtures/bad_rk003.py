@@ -1,0 +1,11 @@
+"""Fixture: RK003 incomplete engine (deliberately bad -- do not import)."""
+
+
+class HalfBakedSum:
+    """Marked as an engine by name, but missing most of the protocol."""
+
+    def add(self, value: float = 1.0) -> None:
+        pass
+
+    def query(self) -> float:
+        return 0.0

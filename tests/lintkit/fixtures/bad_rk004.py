@@ -1,0 +1,15 @@
+"""Fixture: RK004 bare/silent excepts (deliberately bad -- do not import)."""
+
+
+def swallow(x: str) -> int:
+    try:
+        return int(x)
+    except:  # noqa: E722  RK004: bare except
+        return 0
+
+
+def quiet(x: str) -> None:
+    try:
+        int(x)
+    except ValueError:
+        pass  # RK004: silent handler

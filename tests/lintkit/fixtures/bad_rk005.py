@@ -1,0 +1,9 @@
+"""Fixture: RK005 float equality on ages (deliberately bad -- do not import)."""
+
+
+def expired(age: float) -> bool:
+    return age == 1.0  # RK005: exact float equality on an age
+
+
+def boosted(weight: float) -> bool:
+    return weight != 0.5  # RK005: exact float inequality on a weight

@@ -1,0 +1,31 @@
+"""Fixture: a fully conforming engine -- must produce zero violations."""
+
+from __future__ import annotations
+
+
+class TinyDecayingSum:
+    """Minimal but complete DecayingSum implementation."""
+
+    def __init__(self) -> None:
+        self._time = 0
+        self._total = 0.0
+
+    @property
+    def time(self) -> int:
+        return self._time
+
+    @property
+    def decay(self) -> object:
+        return None
+
+    def add(self, value: float = 1.0) -> None:
+        self._total += value
+
+    def advance(self, steps: int = 1) -> None:
+        self._time += steps
+
+    def query(self) -> float:
+        return self._total
+
+    def storage_report(self) -> object:
+        return None

@@ -1,0 +1,10 @@
+"""Fixture: RK006 missing annotations (deliberately bad -- do not import)."""
+
+
+def combine(a, b):  # RK006: no parameter or return annotations
+    return a + b
+
+
+class Estimator:
+    def update(self, value) -> None:  # RK006: `value` unannotated
+        self.value = value

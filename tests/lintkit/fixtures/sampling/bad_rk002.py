@@ -1,0 +1,11 @@
+"""Fixture: RK002 global/unseeded RNG (deliberately bad -- do not import)."""
+
+import random
+
+
+def draw() -> float:
+    return random.random()  # RK002: module-global RNG
+
+
+def make_rng() -> random.Random:
+    return random.Random()  # RK002: unseeded

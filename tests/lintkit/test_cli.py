@@ -1,0 +1,79 @@
+"""End-to-end CLI tests: ``python -m repro.lintkit`` over the fixtures."""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).parents[2]
+
+
+def run_lintkit(*args: str) -> subprocess.CompletedProcess[str]:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lintkit", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+
+
+class TestCliOnFixtures:
+    def test_bad_fixtures_fail_with_rule_id_and_location(self):
+        proc = run_lintkit(str(FIXTURES))
+        assert proc.returncode == 1
+        # every seeded rule fires, each with a file:line:col anchor
+        for rule_id in ("RK001", "RK002", "RK003", "RK004", "RK005", "RK006"):
+            assert rule_id in proc.stdout, proc.stdout
+        assert re.search(r"bad_rk001\.py:\d+:\d+: RK001", proc.stdout)
+
+    def test_clean_fixture_exits_zero(self):
+        proc = run_lintkit(str(FIXTURES / "clean"))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 violations" in proc.stdout
+
+    def test_select_limits_rules(self):
+        proc = run_lintkit(str(FIXTURES), "--select", "RK004")
+        assert proc.returncode == 1
+        assert "RK004" in proc.stdout
+        assert "RK001" not in proc.stdout
+
+    def test_json_format_is_machine_readable(self):
+        proc = run_lintkit(str(FIXTURES), "--format", "json")
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert payload["files_checked"] >= 7
+        rules = {v["rule"] for v in payload["violations"]}
+        assert {"RK001", "RK002", "RK003", "RK004", "RK005", "RK006"} <= rules
+        first = payload["violations"][0]
+        assert set(first) == {"rule", "path", "line", "col", "message"}
+
+    def test_list_rules(self):
+        proc = run_lintkit("--list-rules")
+        assert proc.returncode == 0
+        for rule_id in ("RK001", "RK002", "RK003", "RK004", "RK005", "RK006"):
+            assert rule_id in proc.stdout
+
+    def test_unknown_rule_is_usage_error(self):
+        proc = run_lintkit(str(FIXTURES), "--select", "RK999")
+        assert proc.returncode == 2
+        assert "RK999" in proc.stderr
+
+    def test_missing_path_is_usage_error(self):
+        proc = run_lintkit(str(FIXTURES / "does-not-exist"))
+        assert proc.returncode == 2
+
+
+class TestCliOnShippedTree:
+    def test_src_repro_is_clean(self):
+        proc = run_lintkit("src/repro")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 violations" in proc.stdout

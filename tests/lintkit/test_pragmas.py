@@ -1,0 +1,114 @@
+"""Pragma suppression, registry, and engine plumbing tests."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.lintkit import all_rules, get_rule, lint_source
+from repro.lintkit.pragmas import parse_pragmas
+
+RK001_SNIPPET = "import time\nx = time.time()%s\n"
+
+
+class TestLinePragmas:
+    def test_matching_rule_suppressed(self):
+        found = lint_source(
+            RK001_SNIPPET % "  # lintkit: ignore[RK001]", "repro/core/x.py"
+        )
+        assert found == []
+
+    def test_other_rule_not_suppressed(self):
+        found = lint_source(
+            RK001_SNIPPET % "  # lintkit: ignore[RK002]", "repro/core/x.py"
+        )
+        assert [v.rule_id for v in found] == ["RK001"]
+
+    def test_bare_ignore_suppresses_all(self):
+        found = lint_source(RK001_SNIPPET % "  # lintkit: ignore", "repro/core/x.py")
+        assert found == []
+
+    def test_multiple_ids_and_case(self):
+        found = lint_source(
+            RK001_SNIPPET % "  # lintkit: ignore[rk004, RK001]", "repro/core/x.py"
+        )
+        assert found == []
+
+    def test_pragma_on_other_line_does_not_leak(self):
+        source = "# lintkit: ignore[RK001]\nimport time\nx = time.time()\n"
+        found = lint_source(source, "repro/core/x.py")
+        assert [v.rule_id for v in found] == ["RK001"]
+
+
+class TestFilePragmas:
+    def test_ignore_file_with_rule(self):
+        source = "# lintkit: ignore-file[RK001]\nimport time\nx = time.time()\n"
+        assert lint_source(source, "repro/core/x.py") == []
+
+    def test_ignore_file_bare_suppresses_everything(self):
+        source = textwrap.dedent(
+            """
+            # lintkit: ignore-file
+            import time
+
+            def f(a, b):
+                try:
+                    return time.time()
+                except:
+                    pass
+            """
+        )
+        assert lint_source(source, "repro/core/x.py") == []
+
+    def test_parse_pragmas_shapes(self):
+        sup = parse_pragmas(
+            "x = 1  # lintkit: ignore[RK001]\n# lintkit: ignore-file[RK005]\n"
+        )
+        assert sup.by_line[1] == frozenset({"RK001"})
+        assert sup.file_level == frozenset({"RK005"})
+        assert sup.is_suppressed("RK005", 99)
+        assert not sup.is_suppressed("RK002", 2)
+
+
+class TestRegistryAndEngine:
+    def test_all_six_rules_registered(self):
+        ids = [rule.rule_id for rule in all_rules()]
+        assert ids == ["RK001", "RK002", "RK003", "RK004", "RK005", "RK006"]
+
+    def test_rules_carry_catalog_metadata(self):
+        for rule in all_rules():
+            assert rule.title
+            assert rule.rationale
+
+    def test_get_rule_and_unknown_select(self):
+        assert get_rule("RK004").rule_id == "RK004"
+        with pytest.raises(KeyError):
+            lint_source("x = 1\n", "repro/core/x.py", select=["RK999"])
+
+    def test_syntax_error_reported_as_rk000(self):
+        found = lint_source("def f(:\n", "repro/core/x.py")
+        assert [v.rule_id for v in found] == ["RK000"]
+        assert "syntax error" in found[0].message
+
+    def test_violations_sorted_by_location(self):
+        source = textwrap.dedent(
+            """
+            import time
+
+            b = time.time()
+            try:
+                a = 1
+            except:
+                pass
+            """
+        )
+        found = lint_source(source, "repro/core/x.py")
+        assert [v.rule_id for v in found] == ["RK001", "RK004"]
+        assert found[0].line < found[1].line
+
+    def test_render_contains_rule_id_and_location(self):
+        found = lint_source("import time\nx = time.time()\n", "repro/core/x.py")
+        text = found[0].render()
+        assert "repro/core/x.py:2" in text
+        assert "RK001" in text

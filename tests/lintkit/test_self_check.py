@@ -1,0 +1,30 @@
+"""Self-check: the shipped tree must be violation-free, in-process.
+
+This is the programmatic twin of ``python -m repro.lintkit src/repro`` --
+it keeps the invariants enforced by plain ``pytest`` runs even where the
+CLI is never invoked.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import repro
+from repro.lintkit import iter_python_files, lint_paths
+
+SRC = Path(repro.__file__).parent
+
+
+def test_package_root_resolves() -> None:
+    assert (SRC / "core" / "interfaces.py").is_file()
+
+
+def test_tree_has_expected_size() -> None:
+    files = list(iter_python_files([SRC]))
+    assert len(files) > 50  # the whole library, not a subset
+
+
+def test_shipped_tree_is_violation_free() -> None:
+    violations = lint_paths([SRC])
+    details = "\n".join(v.render() for v in violations)
+    assert violations == [], f"lintkit violations in shipped tree:\n{details}"

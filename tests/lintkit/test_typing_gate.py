@@ -1,0 +1,36 @@
+"""The mypy --strict gate, exercised when mypy is installed.
+
+The container used for tier-1 test runs does not ship mypy; CI installs
+the ``lint`` extra and runs this for real (see .github/workflows/ci.yml),
+locally it skips rather than silently passing.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).parents[2]
+
+pytestmark = pytest.mark.skipif(
+    importlib.util.find_spec("mypy") is None,
+    reason="mypy not installed (lint extra); gate runs in CI",
+)
+
+
+def test_mypy_strict_passes_on_src() -> None:
+    env = dict(os.environ)
+    env["MYPYPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--strict", "src/repro"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -1,0 +1,82 @@
+"""Property-based tests: every factory engine satisfies DecayingSum.
+
+The RK003 lint rule enforces the protocol *statically*; these properties
+enforce it *dynamically*: whatever decay function ``make_decaying_sum``
+is handed, the engine it returns must be a structural ``DecayingSum`` and
+its clock must be monotone under any interleaving of ``add``/``advance``.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decay import (
+    ExponentialDecay,
+    LinearDecay,
+    PolyexponentialDecay,
+    PolyExpPolynomialDecay,
+    PolynomialDecay,
+    SlidingWindowDecay,
+)
+from repro.core.interfaces import DecayingSum, make_decaying_sum
+
+decays = st.one_of(
+    st.floats(0.01, 3.0).map(ExponentialDecay),
+    st.integers(1, 200).map(SlidingWindowDecay),
+    st.floats(0.5, 3.0).map(PolynomialDecay),
+    st.integers(50, 500).map(LinearDecay),
+    st.tuples(st.integers(1, 3), st.floats(0.05, 1.0)).map(
+        lambda kl: PolyexponentialDecay(*kl)
+    ),
+    st.tuples(
+        st.lists(st.floats(0.1, 4.0), min_size=1, max_size=3),
+        st.floats(0.05, 1.0),
+    ).map(lambda cl: PolyExpPolynomialDecay(*cl)),
+)
+
+# An op stream interleaves adds (value) and advances (steps). Values are
+# integer counts: the sliding-window engine is a 0/1-or-count EH and
+# rejects fractional items by contract.
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("add"), st.integers(0, 50).map(float)),
+        st.tuples(st.just("advance"), st.integers(0, 25)),
+    ),
+    max_size=80,
+)
+
+
+class TestFactoryEnginesSatisfyProtocol:
+    @settings(max_examples=80, deadline=None)
+    @given(decays)
+    def test_factory_engine_is_a_decaying_sum(self, decay):
+        engine = make_decaying_sum(decay, 0.1)
+        assert isinstance(engine, DecayingSum)
+
+    @settings(max_examples=80, deadline=None)
+    @given(decays, ops)
+    def test_advance_never_decreases_time(self, decay, stream):
+        engine = make_decaying_sum(decay, 0.1)
+        assert engine.time == 0
+        previous = engine.time
+        for op, arg in stream:
+            if op == "add":
+                engine.add(arg)
+            else:
+                engine.advance(arg)
+            assert engine.time >= previous
+            previous = engine.time
+
+    @settings(max_examples=40, deadline=None)
+    @given(decays, ops)
+    def test_protocol_surface_stays_usable(self, decay, stream):
+        """query()/storage_report() keep working at any point in a stream."""
+        engine = make_decaying_sum(decay, 0.1)
+        for op, arg in stream:
+            if op == "add":
+                engine.add(arg)
+            else:
+                engine.advance(arg)
+        est = engine.query()
+        assert est.lower - 1e-9 <= est.value <= est.upper + 1e-9
+        report = engine.storage_report()
+        assert report.total_bits >= 0
