@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint typecheck check bench examples clean all
+.PHONY: install test lint typecheck check bench bench-throughput examples clean all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -23,6 +23,11 @@ check: test lint
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Ingestion-throughput baseline: writes BENCH_throughput.json (repo root).
+bench-throughput:
+	PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) -m repro.benchkit.throughput \
+		--items 20000 --bulk-value 100000 --out BENCH_throughput.json
 
 examples:
 	@for ex in examples/*.py; do \

@@ -4,13 +4,27 @@ The paper notes the CEH estimate can be maintained with constant amortized
 update time; this benchmark measures wall-clock updates/sec of each engine
 on the same Bernoulli stream, plus query latency, so downstream users can
 pick an engine on cost as well as storage.
+
+This file also emits the machine-readable throughput baseline
+``BENCH_throughput.json`` (repo root, schema in
+:mod:`repro.benchkit.throughput`) covering batched vs item-at-a-time
+ingestion on two trace shapes, and asserts the PR's acceptance bar: bulk
+EH insertion of a value-1e5 item at least 100x faster than the seed's
+unary loop.
 """
 
+import pathlib
 import random
 
 import pytest
 
 from repro.benchkit.reporting import format_table
+from repro.benchkit.throughput import (
+    eh_bulk_speedup,
+    format_report,
+    run_suite,
+    write_report,
+)
 from repro.core.decay import (
     ExponentialDecay,
     PolynomialDecay,
@@ -23,6 +37,8 @@ from repro.histograms.eh import ExponentialHistogram
 from repro.histograms.wbmh import WBMH
 
 N = 3000
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 ENGINES = {
     "ewma(EXPD)": lambda: ExponentialSum(ExponentialDecay(0.01)),
@@ -73,3 +89,36 @@ def test_query_latency_table(record_table, benchmark):
         format_table(["engine", "query latency (us)"], rows, precision=1),
     )
     assert all(r[1] < 50_000 for r in rows)
+
+
+def test_eh_bulk_add_speedup_acceptance(record_table, benchmark):
+    """The PR's acceptance bar: value-1e5 bulk add >= 100x the unary loop."""
+
+    def measure():
+        return eh_bulk_speedup(100_000)
+
+    res = benchmark.pedantic(measure, rounds=1, iterations=1)
+    record_table(
+        "PERF-eh-bulk",
+        format_table(
+            ["value", "unary (s)", "bulk (s)", "speedup"],
+            [[res["value"], res["unary_seconds"], res["bulk_seconds"],
+              res["speedup"]]],
+            precision=6,
+        ),
+    )
+    assert res["speedup"] >= 100.0
+
+
+def test_throughput_baseline_json(record_table, benchmark):
+    """Run the full ingestion matrix and emit BENCH_throughput.json."""
+
+    def measure():
+        return run_suite(20_000, bulk_value=100_000, repeats=3)
+
+    report = benchmark.pedantic(measure, rounds=1, iterations=1)
+    record_table("PERF-ingest", format_report(report))
+    write_report(report, REPO_ROOT / "BENCH_throughput.json")
+    modes = {(r["engine"], r["trace"], r["mode"]) for r in report["results"]}
+    assert len(modes) == len(report["results"])  # no duplicate cells
+    assert report["eh_bulk"]["speedup"] >= 100.0

@@ -1,7 +1,18 @@
-"""Benchmark harness utilities: sweep runners and table printers."""
+"""Benchmark harness utilities: sweep runners, throughput, table printers."""
 
 from repro.benchkit.harness import AccuracyResult, growth_exponent, measure_accuracy
 from repro.benchkit.reporting import banner, format_series, format_table, print_table
+from repro.benchkit.throughput import (
+    SCHEMA_VERSION,
+    ThroughputResult,
+    default_engines,
+    default_traces,
+    eh_bulk_speedup,
+    measure_throughput,
+    run_suite,
+    validate_report,
+    write_report,
+)
 
 __all__ = [
     "AccuracyResult",
@@ -11,4 +22,13 @@ __all__ = [
     "print_table",
     "format_series",
     "banner",
+    "SCHEMA_VERSION",
+    "ThroughputResult",
+    "measure_throughput",
+    "default_engines",
+    "default_traces",
+    "eh_bulk_speedup",
+    "run_suite",
+    "validate_report",
+    "write_report",
 ]

@@ -1,0 +1,364 @@
+"""Ingestion-throughput baseline for every decaying-sum engine.
+
+Wall-clock measurement lives in ``benchkit`` by design (RK001: the library
+proper runs on the discrete model clock; measuring real seconds is this
+package's job). The module drives each engine over the same traces twice --
+through the batch path (``ingest``: one ``add_batch`` per distinct arrival
+time) and item-at-a-time (``advance``/``add`` per item) -- and reports
+items/sec for both, plus the headline micro-benchmark of this PR: the
+Exponential Histogram's binary-decomposition bulk insert against the
+retained unary reference loop.
+
+``python -m repro.benchkit.throughput --out BENCH_throughput.json`` writes
+the machine-readable report consumed by CI's throughput smoke job and
+recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence, cast
+
+from repro.benchkit.reporting import format_table
+from repro.core.decay import ExponentialDecay, PolynomialDecay
+from repro.core.errors import InvalidParameterError
+from repro.core.ewma import ExponentialSum
+from repro.core.exact import ExactDecayingSum
+from repro.core.interfaces import DecayingSum
+from repro.histograms.ceh import CascadedEH
+from repro.histograms.eh import ExponentialHistogram, SlidingWindowSum
+from repro.histograms.wbmh import WBMH
+from repro.streams.generators import StreamItem, bernoulli_stream, bursty_stream
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ThroughputResult",
+    "measure_throughput",
+    "default_engines",
+    "default_traces",
+    "eh_bulk_speedup",
+    "run_suite",
+    "validate_report",
+    "write_report",
+    "format_report",
+    "main",
+]
+
+SCHEMA_VERSION = 1
+
+Modes = ("batched", "item")
+
+
+@dataclass(slots=True)
+class ThroughputResult:
+    """Items/sec of one engine over one trace in one ingestion mode."""
+
+    engine: str
+    trace: str
+    mode: str
+    items: int
+    seconds: float
+    items_per_sec: float
+
+
+def measure_throughput(
+    make_engine: Callable[[], DecayingSum],
+    items: Sequence[StreamItem],
+    *,
+    engine_name: str = "engine",
+    trace_name: str = "trace",
+    mode: str = "batched",
+    repeats: int = 1,
+) -> ThroughputResult:
+    """Time one full trace ingestion; returns items/sec.
+
+    ``mode="batched"`` drives :meth:`~repro.core.interfaces.DecayingSum.
+    ingest` (the PR's hot path); ``mode="item"`` replays the trace with one
+    ``advance``/``add`` pair per item (the seed's only option). The two
+    modes leave the engine in bit-identical state, so any throughput gap is
+    pure ingestion overhead. With ``repeats > 1`` each run uses a fresh
+    engine and the *best* run is reported (standard best-of-N to shed
+    warmup and scheduler noise).
+    """
+    if mode not in Modes:
+        raise InvalidParameterError(f"mode must be one of {Modes}, got {mode!r}")
+    if repeats < 1:
+        raise InvalidParameterError("repeats must be >= 1")
+    seconds = float("inf")
+    for _ in range(repeats):
+        engine = make_engine()
+        if mode == "batched":
+            t0 = time.perf_counter()
+            engine.ingest(items)
+            run = time.perf_counter() - t0
+        else:
+            t0 = time.perf_counter()
+            for item in items:
+                if item.time > engine.time:
+                    engine.advance(item.time - engine.time)
+                engine.add(item.value)
+            run = time.perf_counter() - t0
+        seconds = min(seconds, run)
+    return ThroughputResult(
+        engine=engine_name,
+        trace=trace_name,
+        mode=mode,
+        items=len(items),
+        seconds=seconds,
+        items_per_sec=len(items) / max(seconds, 1e-12),
+    )
+
+
+def default_engines(
+    epsilon: float = 0.1,
+) -> Mapping[str, Callable[[], DecayingSum]]:
+    """The five engines named by the acceptance bar, storage-optimal configs."""
+    window = 512
+    return {
+        "exact(POLYD-1)": lambda: ExactDecayingSum(PolynomialDecay(1.0)),
+        "ewma(EXPD-0.01)": lambda: ExponentialSum(ExponentialDecay(0.01)),
+        f"eh(SLIWIN-{window})": lambda: SlidingWindowSum(window, epsilon),
+        "ceh(POLYD-1)": lambda: CascadedEH(PolynomialDecay(1.0), epsilon),
+        "wbmh(POLYD-1)": lambda: WBMH(PolynomialDecay(1.0), epsilon),
+    }
+
+
+def default_traces(n_items: int, *, seed: int = 7) -> Mapping[str, list[StreamItem]]:
+    """Two trace shapes stressing opposite ends of the batch path.
+
+    * ``dense``: ~one unit item per tick (Bernoulli p=0.9) -- batches of
+      size ~1, measuring per-call overhead;
+    * ``bursty``: on/off phases with several same-tick items inside bursts
+      -- the shape ``add_batch`` amortizes over.
+    """
+    if n_items < 1:
+        raise InvalidParameterError("n_items must be >= 1")
+    dense = list(bernoulli_stream(int(n_items / 0.9) + 1, 0.9, seed=seed))[:n_items]
+    burst_src = bursty_stream(
+        1 << 30, on_mean=8, off_mean=24, rate_on=1.0, seed=seed
+    )
+    bursty: list[StreamItem] = []
+    fan = 8
+    for item in burst_src:
+        for _ in range(fan):
+            bursty.append(StreamItem(item.time, 1.0))
+            if len(bursty) >= n_items:
+                break
+        if len(bursty) >= n_items:
+            break
+    return {"dense": dense, "bursty": bursty}
+
+
+def eh_bulk_speedup(
+    value: int = 100_000, *, epsilon: float = 0.1
+) -> dict[str, float]:
+    """Bulk binary-decomposition insert vs the seed's unary loop.
+
+    Inserts one item of the given (large, integer) value into two fresh
+    infinite-window EHs: one through ``add`` (now O(m log v)), one through
+    the retained ``_add_ones_unary`` O(v) reference. Both produce
+    bit-identical structures; the returned ``speedup`` is the acceptance
+    metric (>= 100x for value 1e5).
+    """
+    if value < 1:
+        raise InvalidParameterError("value must be >= 1")
+    bulk = ExponentialHistogram(None, epsilon)
+    t0 = time.perf_counter()
+    bulk.add(float(value))
+    bulk_seconds = time.perf_counter() - t0
+    unary = ExponentialHistogram(None, epsilon)
+    t0 = time.perf_counter()
+    unary._add_ones_unary(value)
+    unary_seconds = time.perf_counter() - t0
+    return {
+        "value": float(value),
+        "bulk_seconds": bulk_seconds,
+        "unary_seconds": unary_seconds,
+        "speedup": unary_seconds / max(bulk_seconds, 1e-12),
+    }
+
+
+def run_suite(
+    n_items: int = 20_000,
+    *,
+    bulk_value: int = 100_000,
+    epsilon: float = 0.1,
+    seed: int = 7,
+    repeats: int = 3,
+) -> dict[str, object]:
+    """Full matrix: every engine x every trace x both modes, plus EH bulk."""
+    engines = default_engines(epsilon)
+    traces = default_traces(n_items, seed=seed)
+    results: list[dict[str, object]] = []
+    for trace_name, items in traces.items():
+        for engine_name, factory in engines.items():
+            for mode in Modes:
+                res = measure_throughput(
+                    factory,
+                    items,
+                    engine_name=engine_name,
+                    trace_name=trace_name,
+                    mode=mode,
+                    repeats=repeats,
+                )
+                results.append(asdict(res))
+    report: dict[str, object] = {
+        "schema_version": SCHEMA_VERSION,
+        "n_items": n_items,
+        "epsilon": epsilon,
+        "seed": seed,
+        "engines": list(engines),
+        "traces": list(traces),
+        "results": results,
+        "eh_bulk": eh_bulk_speedup(bulk_value, epsilon=epsilon),
+    }
+    validate_report(report)
+    return report
+
+
+_RESULT_KEYS = {
+    "engine": str,
+    "trace": str,
+    "mode": str,
+    "items": int,
+    "seconds": float,
+    "items_per_sec": float,
+}
+
+
+def validate_report(report: Mapping[str, object]) -> None:
+    """Schema check for BENCH_throughput.json (shared with the CI smoke job).
+
+    Raises :class:`InvalidParameterError` describing the first violation.
+    """
+    if report.get("schema_version") != SCHEMA_VERSION:
+        raise InvalidParameterError(
+            f"schema_version must be {SCHEMA_VERSION}, "
+            f"got {report.get('schema_version')!r}"
+        )
+    for key in ("n_items", "engines", "traces", "results", "eh_bulk"):
+        if key not in report:
+            raise InvalidParameterError(f"missing top-level key {key!r}")
+    engines = report["engines"]
+    traces = report["traces"]
+    results = report["results"]
+    if not isinstance(engines, list) or not engines:
+        raise InvalidParameterError("engines must be a non-empty list")
+    if not isinstance(traces, list) or len(traces) < 2:
+        raise InvalidParameterError("need >= 2 trace shapes")
+    if not isinstance(results, list) or not results:
+        raise InvalidParameterError("results must be a non-empty list")
+    seen: set[tuple[str, str, str]] = set()
+    for row in results:
+        if not isinstance(row, dict):
+            raise InvalidParameterError(f"result row must be a dict, got {row!r}")
+        for key, kind in _RESULT_KEYS.items():
+            if key not in row:
+                raise InvalidParameterError(f"result row missing {key!r}: {row!r}")
+            if kind is float:
+                ok = isinstance(row[key], (int, float))
+            else:
+                ok = isinstance(row[key], kind)
+            if not ok:
+                raise InvalidParameterError(
+                    f"result field {key!r} must be {kind.__name__}: {row!r}"
+                )
+        if row["mode"] not in Modes:
+            raise InvalidParameterError(f"unknown mode {row['mode']!r}")
+        if not float(row["items_per_sec"]) > 0:
+            raise InvalidParameterError(f"non-positive throughput: {row!r}")
+        seen.add((str(row["engine"]), str(row["trace"]), str(row["mode"])))
+    for engine in engines:
+        for trace in traces:
+            if (str(engine), str(trace), "batched") not in seen:
+                raise InvalidParameterError(
+                    f"missing batched result for {engine!r} on {trace!r}"
+                )
+    eh_bulk = report["eh_bulk"]
+    if not isinstance(eh_bulk, dict):
+        raise InvalidParameterError("eh_bulk must be a dict")
+    for key in ("value", "bulk_seconds", "unary_seconds", "speedup"):
+        if not isinstance(eh_bulk.get(key), (int, float)):
+            raise InvalidParameterError(f"eh_bulk missing numeric {key!r}")
+
+
+def write_report(report: Mapping[str, object], path: str | Path) -> Path:
+    """Validate and write the JSON report; returns the path."""
+    validate_report(report)
+    out = Path(path)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return out
+
+
+def format_report(report: Mapping[str, object]) -> str:
+    """Human-readable table of the suite (printed by the CLI)."""
+    validate_report(report)
+    results = cast("list[dict[str, Any]]", report["results"])
+    rows = [
+        [
+            str(row["engine"]),
+            str(row["trace"]),
+            str(row["mode"]),
+            float(row["items_per_sec"]),
+        ]
+        for row in results
+    ]
+    table = format_table(
+        ["engine", "trace", "mode", "items/sec"], rows, precision=0
+    )
+    eh_bulk = cast("dict[str, float]", report["eh_bulk"])
+    tail = (
+        f"\nEH bulk add of value {eh_bulk['value']:.0f}: "
+        f"{eh_bulk['speedup']:.0f}x faster than the unary loop"
+    )
+    return table + tail
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.benchkit.throughput",
+        description="Measure ingestion throughput of every engine.",
+    )
+    parser.add_argument(
+        "--items", type=int, default=20_000, help="items per trace shape"
+    )
+    parser.add_argument(
+        "--bulk-value",
+        type=int,
+        default=100_000,
+        help="value for the EH bulk-vs-unary micro-benchmark",
+    )
+    parser.add_argument(
+        "--epsilon", type=float, default=0.1, help="engine accuracy knob"
+    )
+    parser.add_argument("--seed", type=int, default=7, help="trace RNG seed")
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N runs per cell"
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="write the JSON report here (validated against the schema)",
+    )
+    args = parser.parse_args(argv)
+    report = run_suite(
+        args.items,
+        bulk_value=args.bulk_value,
+        epsilon=args.epsilon,
+        seed=args.seed,
+        repeats=args.repeats,
+    )
+    print(format_report(report))
+    if args.out is not None:
+        write_report(report, args.out)
+        print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,8 +14,9 @@ experiments, and the polyexponential pipeline of section 3.4: decay by
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Iterable, Sequence
 
+from repro.core.batching import TimedValue, advance_engine_to, ingest_trace
 from repro.core.decay import (
     DecayFunction,
     ExponentialDecay,
@@ -75,12 +76,37 @@ class ExponentialSum:
         self._sum += value
         self._items += 1
 
+    def add_batch(self, values: Sequence[float]) -> None:
+        """Fold a whole batch into the register: one state write per batch.
+
+        The fold keeps the left-to-right accumulation order of sequential
+        ``add`` calls, so the register is bit-identical either way.
+        """
+        for value in values:
+            if value < 0:
+                raise InvalidParameterError(f"value must be >= 0, got {value}")
+        acc = self._sum
+        for value in values:
+            acc += value
+        self._sum = acc
+        self._items += len(values)
+
     def advance(self, steps: int = 1) -> None:
         if steps < 0:
             raise InvalidParameterError(f"steps must be >= 0, got {steps}")
         if steps:
             self._sum *= self._factor**steps
             self._time += steps
+
+    def advance_to(self, when: int) -> None:
+        """Advance the clock to the absolute time ``when >= time``."""
+        advance_engine_to(self, when)
+
+    def ingest(
+        self, items: Iterable[TimedValue], *, until: int | None = None
+    ) -> None:
+        """Consume a time-sorted trace through the batch path."""
+        ingest_trace(self, items, until=until)
 
     def query(self) -> Estimate:
         return Estimate.exact(self._sum)
@@ -140,6 +166,13 @@ class QuantizedExponentialSum(ExponentialSum):
     def add(self, value: float = 1.0) -> None:
         super().add(value)
         self._sum = self._quantize(self._sum)
+
+    def add_batch(self, values: Sequence[float]) -> None:
+        """Quantization after *every* item is part of this engine's
+        contract (it is what Lemma 3.1 accounts), so the batch path is the
+        sequential loop."""
+        for value in values:
+            self.add(value)
 
     def advance(self, steps: int = 1) -> None:
         if steps < 0:
@@ -244,6 +277,18 @@ class PolyexpPipeline:
         self._m[0] += value
         self._items += 1
 
+    def add_batch(self, values: Sequence[float]) -> None:
+        """Fold a batch into ``M_0`` (the only register items touch at age
+        0); bit-identical to sequential ``add`` calls."""
+        for value in values:
+            if value < 0:
+                raise InvalidParameterError(f"value must be >= 0, got {value}")
+        acc = self._m[0]
+        for value in values:
+            acc += value
+        self._m[0] = acc
+        self._items += len(values)
+
     def advance(self, steps: int = 1) -> None:
         if steps < 0:
             raise InvalidParameterError(f"steps must be >= 0, got {steps}")
@@ -311,8 +356,19 @@ class GeneralPolyexpSum:
     def add(self, value: float = 1.0) -> None:
         self._pipe.add(value)
 
+    def add_batch(self, values: Sequence[float]) -> None:
+        self._pipe.add_batch(values)
+
     def advance(self, steps: int = 1) -> None:
         self._pipe.advance(steps)
+
+    def advance_to(self, when: int) -> None:
+        advance_engine_to(self, when)
+
+    def ingest(
+        self, items: Iterable[TimedValue], *, until: int | None = None
+    ) -> None:
+        ingest_trace(self, items, until=until)
 
     def query(self) -> Estimate:
         return Estimate.exact(self._pipe.combine(self._decay.coeffs))
@@ -345,8 +401,19 @@ class PolyexponentialSum:
     def add(self, value: float = 1.0) -> None:
         self._pipe.add(value)
 
+    def add_batch(self, values: Sequence[float]) -> None:
+        self._pipe.add_batch(values)
+
     def advance(self, steps: int = 1) -> None:
         self._pipe.advance(steps)
+
+    def advance_to(self, when: int) -> None:
+        advance_engine_to(self, when)
+
+    def ingest(
+        self, items: Iterable[TimedValue], *, until: int | None = None
+    ) -> None:
+        ingest_trace(self, items, until=until)
 
     def query(self) -> Estimate:
         # g(a) = a**k exp(-lam a)/k! = w_k(a), i.e. exactly M_k.

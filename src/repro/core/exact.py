@@ -10,7 +10,9 @@ grows linearly with elapsed time.
 from __future__ import annotations
 
 from collections import deque
+from typing import Iterable, Sequence
 
+from repro.core.batching import TimedValue, advance_engine_to, ingest_trace
 from repro.core.decay import DecayFunction
 from repro.core.errors import InvalidParameterError
 from repro.core.estimate import Estimate
@@ -58,11 +60,42 @@ class ExactDecayingSum:
         else:
             self._values.append((self._time, value))
 
+    def add_batch(self, values: Sequence[float]) -> None:
+        """Fold a batch into the current tick's slot: one deque write per
+        batch, bit-identical to sequential ``add`` calls."""
+        checked = [float(value) for value in values]
+        for value in checked:
+            if value < 0:
+                raise InvalidParameterError(f"value must be >= 0, got {value}")
+        if not checked:
+            return
+        self._items += len(checked)
+        if self._values and self._values[-1][0] == self._time:
+            acc = self._values[-1][1]
+            for value in checked:
+                acc += value
+            self._values[-1] = (self._time, acc)
+        else:
+            acc = checked[0]
+            for value in checked[1:]:
+                acc += value
+            self._values.append((self._time, acc))
+
     def advance(self, steps: int = 1) -> None:
         if steps < 0:
             raise InvalidParameterError(f"steps must be >= 0, got {steps}")
         self._time += steps
         self._expire()
+
+    def advance_to(self, when: int) -> None:
+        """Advance the clock to the absolute time ``when >= time``."""
+        advance_engine_to(self, when)
+
+    def ingest(
+        self, items: Iterable[TimedValue], *, until: int | None = None
+    ) -> None:
+        """Consume a time-sorted trace through the batch path."""
+        ingest_trace(self, items, until=until)
 
     def query(self) -> Estimate:
         total = 0.0

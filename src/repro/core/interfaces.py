@@ -4,7 +4,12 @@ Every engine (exact, EWMA, EH, CEH, WBMH) follows the same discrete-time
 protocol:
 
 * ``add(value)`` records an item arriving at the current time ``T``.
+* ``add_batch(values)`` records several items at ``T`` with amortized
+  per-bucket (not per-item) work; bit-identical to sequential ``add`` calls.
 * ``advance(steps)`` moves the clock forward.
+* ``advance_to(when)`` jumps the clock to an absolute time (monotone).
+* ``ingest(items)`` consumes a whole time-sorted ``(time, value)`` trace,
+  advancing once per distinct arrival time and batching same-time items.
 * ``query()`` returns an :class:`~repro.core.estimate.Estimate` of the
   decaying sum ``S_g(T) = sum f_i * g(T - t_i)`` over everything observed so
   far, items at the current instant included with weight ``g(0)``.
@@ -21,8 +26,9 @@ everything else.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Iterable, Protocol, Sequence, runtime_checkable
 
+from repro.core.batching import TimedValue
 from repro.core.decay import (
     DecayFunction,
     ExponentialDecay,
@@ -54,8 +60,21 @@ class DecayingSum(Protocol):
     def add(self, value: float = 1.0) -> None:
         """Record an item with the given non-negative value at time ``T``."""
 
+    def add_batch(self, values: Sequence[float]) -> None:
+        """Record several items at time ``T``; bit-identical to sequential
+        ``add`` calls but with amortized per-bucket work."""
+
     def advance(self, steps: int = 1) -> None:
         """Advance the clock by ``steps >= 0`` time units."""
+
+    def advance_to(self, when: int) -> None:
+        """Advance the clock to the absolute time ``when >= T``."""
+
+    def ingest(
+        self, items: Iterable[TimedValue], *, until: int | None = None
+    ) -> None:
+        """Consume a time-sorted ``(time, value)`` trace through the batch
+        path, advancing once per distinct arrival time."""
 
     def query(self) -> Estimate:
         """Estimate ``S_g(T)`` with certified bounds."""

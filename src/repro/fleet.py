@@ -15,8 +15,9 @@ lock-step so WBMH lattices stay mergeable
 
 from __future__ import annotations
 
-from typing import Callable, Hashable
+from typing import Callable, Hashable, Iterable
 
+from repro.core.batching import KeyedTimedValue
 from repro.core.decay import (
     DecayFunction,
     ExponentialDecay,
@@ -102,13 +103,48 @@ class StreamFleet:
         """
         if when is not None:
             self.advance_to(when)
+        self._engine_for(key).add(value)
+
+    def observe_batch(self, items: Iterable[KeyedTimedValue]) -> None:
+        """Record a time-sorted keyed trace through the batch path.
+
+        Items are grouped per key and the shared clock advances once per
+        *distinct* arrival time (not once per item), with each key's
+        same-time values folded into a single ``add_batch`` call -- the
+        fleet-scale ingestion hot path. Bit-identical to the equivalent
+        sequence of :meth:`observe` calls.
+
+        Raises :class:`TimeOrderError` on the first item whose time
+        precedes the fleet clock.
+        """
+        pending: dict[Hashable, list[float]] = {}
+        for item in items:
+            when = item.time
+            if when < self._time:
+                raise TimeOrderError(
+                    f"trace time {when} precedes fleet clock {self._time}; "
+                    "sort the trace or use a LatenessBuffer"
+                )
+            if when > self._time:
+                self._flush(pending)
+                self.advance(when - self._time)
+            pending.setdefault(item.key, []).append(item.value)
+        self._flush(pending)
+
+    def _flush(self, pending: dict[Hashable, list[float]]) -> None:
+        for key, values in pending.items():
+            self._engine_for(key).add_batch(values)
+        pending.clear()
+
+    def _engine_for(self, key: Hashable) -> DecayingSum:
+        """The key's engine, created lazily and caught up to the clock."""
         engine = self._engines.get(key)
         if engine is None:
             engine = self._factory()
             if self._time:
                 engine.advance(self._time)
             self._engines[key] = engine
-        engine.add(value)
+        return engine
 
     def advance(self, steps: int = 1) -> None:
         if steps < 0:

@@ -24,8 +24,9 @@ Two backends are provided:
 
 from __future__ import annotations
 
-from typing import Literal
+from typing import Iterable, Literal, Sequence
 
+from repro.core.batching import TimedValue, advance_engine_to, ingest_trace
 from repro.core.decay import DecayFunction
 from repro.core.errors import InvalidParameterError
 from repro.core.estimate import Estimate
@@ -84,8 +85,21 @@ class CascadedEH:
     def add(self, value: float = 1.0) -> None:
         self._hist.add(value)
 
+    def add_batch(self, values: Sequence[float]) -> None:
+        """Route the batch to the backend's bulk insert (binary
+        decomposition for the EH backend)."""
+        self._hist.add_batch(values)
+
     def advance(self, steps: int = 1) -> None:
         self._hist.advance(steps)
+
+    def advance_to(self, when: int) -> None:
+        advance_engine_to(self, when)
+
+    def ingest(
+        self, items: Iterable[TimedValue], *, until: int | None = None
+    ) -> None:
+        ingest_trace(self, items, until=until)
 
     def query(self) -> Estimate:
         """Evaluate Eq. 4 over the bucket snapshot with certified bounds.

@@ -19,6 +19,8 @@ for at most an ``eps`` fraction of the newer mass -- giving the same
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.core.errors import InvalidParameterError
 from repro.core.estimate import Estimate
 from repro.histograms.buckets import Bucket
@@ -80,6 +82,13 @@ class DominationHistogram:
         if self._since_compact >= self.compact_every:
             self._compact()
             self._since_compact = 0
+
+    def add_batch(self, values: Sequence[float]) -> None:
+        """Sequential adds: domination merging interleaves compaction with
+        arrivals, so batching cannot skip the per-item sweeps without
+        changing the bucket structure."""
+        for value in values:
+            self.add(value)
 
     def advance(self, steps: int = 1) -> None:
         if steps < 0:

@@ -26,7 +26,9 @@ from __future__ import annotations
 import math
 import random
 from collections import Counter
+from typing import Iterable, Sequence
 
+from repro.core.batching import TimedValue, advance_engine_to, ingest_trace
 from repro.core.decay import DecayFunction
 from repro.core.errors import InvalidParameterError, NotApplicableError
 from repro.core.estimate import Estimate
@@ -172,6 +174,13 @@ class ApproxBoundaryCEH:
             self._total += 1
             self._cascade()
 
+    def add_batch(self, values: Sequence[float]) -> None:
+        """Sequential adds: every unit insertion draws fresh randomness for
+        its boundary register, so batching cannot collapse the loop without
+        changing the sampled structure."""
+        for value in values:
+            self.add(value)
+
     def advance(self, steps: int = 1) -> None:
         if steps < 0:
             raise InvalidParameterError(f"steps must be >= 0, got {steps}")
@@ -180,6 +189,16 @@ class ApproxBoundaryCEH:
             b.newest.advance(steps)
         if self._oldest_reg is not None:
             self._oldest_reg.advance(steps)
+
+    def advance_to(self, when: int) -> None:
+        """Advance the clock to the absolute time ``when >= time``."""
+        advance_engine_to(self, when)
+
+    def ingest(
+        self, items: Iterable[TimedValue], *, until: int | None = None
+    ) -> None:
+        """Consume a time-sorted trace through the batch path."""
+        ingest_trace(self, items, until=until)
 
     def query(self) -> Estimate:
         """Decaying count via Eq. 4 over estimated boundary ages.
@@ -234,6 +253,8 @@ class ApproxBoundaryCEH:
             merged = _ABucket(older.size + newer.size, newer.newest)
             self._buckets[run_start : run_start + 2] = [merged]
             self._per_size[size] -= 2
+            if self._per_size[size] == 0:
+                del self._per_size[size]
             self._per_size[size * 2] += 1
             size *= 2
 

@@ -47,8 +47,9 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Iterator, Literal
+from typing import Iterable, Iterator, Literal, Sequence
 
+from repro.core.batching import TimedValue, advance_engine_to, ingest_trace
 from repro.core.decay import DecayFunction
 from repro.core.errors import (
     InvalidParameterError,
@@ -203,6 +204,46 @@ class WBMH:
         else:
             self._live = Bucket(start, end, self._live.count + value)
         self._items += 1
+
+    def add_batch(self, values: Sequence[float]) -> None:
+        """Fold a batch into the live bucket: one bucket write per batch,
+        bit-identical to sequential ``add`` calls (left-to-right sum,
+        zeros skipped)."""
+        checked = [float(value) for value in values]
+        for value in checked:
+            if value < 0:
+                raise InvalidParameterError(f"value must be >= 0, got {value}")
+        count = 0.0
+        have = False
+        nonzero = 0
+        for value in checked:
+            if value == 0:
+                continue
+            if not have:
+                count = (
+                    self._live.count + value
+                    if self._live is not None
+                    else value
+                )
+                have = True
+            else:
+                count += value
+            nonzero += 1
+        if not have:
+            return
+        start, end = self._live_interval()
+        self._live = Bucket(start, end, count)
+        self._items += nonzero
+
+    def advance_to(self, when: int) -> None:
+        """Advance the clock to the absolute time ``when >= time``."""
+        advance_engine_to(self, when)
+
+    def ingest(
+        self, items: Iterable[TimedValue], *, until: int | None = None
+    ) -> None:
+        """Consume a time-sorted trace through the batch path."""
+        ingest_trace(self, items, until=until)
 
     def advance(self, steps: int = 1) -> None:
         if steps < 0:

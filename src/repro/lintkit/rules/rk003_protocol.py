@@ -6,8 +6,9 @@ DecayingSum` protocol.  Because the protocol is structural, a missing
 member only explodes at call time -- possibly deep inside a benchmark.
 This rule makes the contract static: any class *marked* as an engine (by
 name convention or by explicitly listing ``DecayingSum`` as a base) must
-define ``time``, ``decay``, ``add``, ``advance``, ``query`` and
-``storage_report`` in its own body or a base class in the same module.
+define ``time``, ``decay``, ``add``, ``add_batch``, ``advance``,
+``advance_to``, ``ingest``, ``query`` and ``storage_report`` in its own
+body or a base class in the same module.
 """
 
 from __future__ import annotations
@@ -22,7 +23,17 @@ if TYPE_CHECKING:
     from repro.lintkit.engine import FileContext
 
 #: The DecayingSum protocol surface (core/interfaces.py).
-REQUIRED_MEMBERS = ("time", "decay", "add", "advance", "query", "storage_report")
+REQUIRED_MEMBERS = (
+    "time",
+    "decay",
+    "add",
+    "add_batch",
+    "advance",
+    "advance_to",
+    "ingest",
+    "query",
+    "storage_report",
+)
 
 #: Naming conventions that mark a class as a decaying-sum engine.
 _ENGINE_NAME_RE = re.compile(r"(?:Sum|EH|WBMH)$")

@@ -13,10 +13,13 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Iterable
+from typing import Iterable, TypeVar
 
+from repro.core.batching import BatchEngine, ingest_trace
 from repro.core.errors import InvalidParameterError
 from repro.streams.generators import StreamItem
+
+E = TypeVar("E", bound=BatchEngine)
 
 __all__ = [
     "write_csv",
@@ -146,17 +149,12 @@ def read_jsonl(
     return out
 
 
-def replay(items: Iterable[StreamItem], engine, *, until: int | None = None):
-    """Drive an engine with a trace; returns the engine (fluent style)."""
-    for item in items:
-        if item.time < engine.time:
-            raise InvalidParameterError(
-                f"trace time {item.time} precedes engine clock {engine.time}; "
-                "sort the trace or use a LatenessBuffer"
-            )
-        if item.time > engine.time:
-            engine.advance(item.time - engine.time)
-        engine.add(item.value)
-    if until is not None and until > engine.time:
-        engine.advance(until - engine.time)
+def replay(items: Iterable[StreamItem], engine: E, *, until: int | None = None) -> E:
+    """Drive an engine with a trace; returns the engine (fluent style).
+
+    Routes through the engine's batch path (one ``add_batch`` per distinct
+    arrival time); raises :class:`~repro.core.errors.TimeOrderError` on
+    out-of-order items.
+    """
+    ingest_trace(engine, items, until=until)
     return engine

@@ -18,8 +18,11 @@ concretely, the item at index ``t`` has age ``T - t`` where
 
 from __future__ import annotations
 
+from typing import Iterable
+
 import numpy as np
 
+from repro.core.batching import TimedValue
 from repro.core.decay import DecayFunction, ExponentialDecay
 from repro.core.errors import InvalidParameterError
 
@@ -27,6 +30,7 @@ __all__ = [
     "decayed_sum_dense",
     "decayed_sum_trajectory",
     "ewma_scan",
+    "trace_to_dense",
     "window_sum_scan",
 ]
 
@@ -40,6 +44,34 @@ def _validate(values: np.ndarray) -> np.ndarray:
     if np.any(arr < 0) or not np.all(np.isfinite(arr)):
         raise InvalidParameterError("values must be finite and >= 0")
     return arr
+
+
+def trace_to_dense(
+    items: Iterable[TimedValue], *, length: int | None = None
+) -> np.ndarray:
+    """Dense per-tick totals from a sparse ``(time, value)`` trace.
+
+    Bridges engine traces (as consumed by ``ingest``) to the dense kernels
+    below: ``out[t]`` sums the values of every item arriving at tick ``t``.
+    ``length`` pads (or bounds) the array so queries can be taken later
+    than the last arrival; it must cover the trace's last tick.
+    """
+    pairs = [(item.time, item.value) for item in items]
+    for t, v in pairs:
+        if t < 0:
+            raise InvalidParameterError(f"time must be >= 0, got {t}")
+        if v < 0:
+            raise InvalidParameterError(f"value must be >= 0, got {v}")
+    last = max((t for t, _ in pairs), default=-1)
+    n = last + 1 if length is None else length
+    if n < last + 1:
+        raise InvalidParameterError(
+            f"length {n} does not cover the trace's last tick {last}"
+        )
+    out = np.zeros(max(n, 1))
+    for t, v in pairs:
+        out[t] += v
+    return out
 
 
 def decayed_sum_dense(

@@ -6,7 +6,7 @@ import pytest
 
 from repro.benchkit.harness import AccuracyResult, growth_exponent, measure_accuracy
 from repro.core.decay import PolynomialDecay
-from repro.core.errors import InvalidParameterError
+from repro.core.errors import InvalidParameterError, TimeOrderError
 from repro.core.exact import ExactDecayingSum
 from repro.histograms.wbmh import WBMH
 from repro.streams.generators import StreamItem, bernoulli_stream
@@ -51,6 +51,30 @@ class TestMeasureAccuracy:
                 [],
                 query_every=0,
             )
+
+    def test_rejects_unsorted_trace_up_front(self):
+        decay = PolynomialDecay(1.0)
+        items = [StreamItem(5, 1.0), StreamItem(2, 1.0)]
+        with pytest.raises(TimeOrderError):
+            measure_accuracy(lambda: ExactDecayingSum(decay), decay, items)
+
+    def test_rejects_trace_past_the_horizon(self):
+        decay = PolynomialDecay(1.0)
+        items = [StreamItem(0, 1.0), StreamItem(80, 1.0)]
+        with pytest.raises(InvalidParameterError):
+            measure_accuracy(
+                lambda: ExactDecayingSum(decay), decay, items, until=50
+            )
+
+    def test_zero_queries_reports_nan_not_zero(self):
+        # The stream never exceeds min_true, so no query lands; a 0.0 mean
+        # would masquerade as perfect accuracy.
+        decay = PolynomialDecay(1.0)
+        res = measure_accuracy(
+            lambda: ExactDecayingSum(decay), decay, [], until=10
+        )
+        assert res.queries == 0
+        assert math.isnan(res.mean_rel_error)
 
 
 class TestGrowthExponent:

@@ -1,0 +1,142 @@
+"""Unit tests for the throughput baseline module (schema and semantics).
+
+Timing *numbers* are benchmark territory (benchmarks/); tier-1 only checks
+that the machinery measures the right thing: fresh engines per run, valid
+JSON schema, both modes leaving bit-identical engine state.
+"""
+
+import json
+
+import pytest
+
+from repro.benchkit.throughput import (
+    SCHEMA_VERSION,
+    ThroughputResult,
+    default_engines,
+    default_traces,
+    eh_bulk_speedup,
+    measure_throughput,
+    run_suite,
+    validate_report,
+    write_report,
+)
+from repro.core.decay import PolynomialDecay
+from repro.core.errors import InvalidParameterError
+from repro.core.exact import ExactDecayingSum
+
+
+class TestMeasureThroughput:
+    def test_measures_both_modes(self):
+        items = list(default_traces(200)["dense"])
+        for mode in ("batched", "item"):
+            res = measure_throughput(
+                lambda: ExactDecayingSum(PolynomialDecay(1.0)),
+                items,
+                engine_name="exact",
+                trace_name="dense",
+                mode=mode,
+            )
+            assert isinstance(res, ThroughputResult)
+            assert res.items == len(items)
+            assert res.items_per_sec > 0
+            assert res.mode == mode
+
+    def test_modes_leave_identical_engine_state(self):
+        items = list(default_traces(300)["bursty"])
+        engines = {}
+        for mode in ("batched", "item"):
+            captured = []
+
+            def factory():
+                engine = ExactDecayingSum(PolynomialDecay(1.0))
+                captured.append(engine)
+                return engine
+
+            measure_throughput(factory, items, mode=mode)
+            engines[mode] = captured[-1]
+        a, b = engines["batched"], engines["item"]
+        assert a.time == b.time
+        assert a.query().value == b.query().value
+
+    def test_rejects_unknown_mode_and_bad_repeats(self):
+        with pytest.raises(InvalidParameterError):
+            measure_throughput(
+                lambda: ExactDecayingSum(PolynomialDecay(1.0)), [], mode="warp"
+            )
+        with pytest.raises(InvalidParameterError):
+            measure_throughput(
+                lambda: ExactDecayingSum(PolynomialDecay(1.0)), [], repeats=0
+            )
+
+
+class TestDefaults:
+    def test_five_acceptance_engines(self):
+        engines = default_engines()
+        names = " ".join(engines)
+        for token in ("exact", "ewma", "eh", "ceh", "wbmh"):
+            assert token in names
+        for factory in engines.values():
+            engine = factory()
+            engine.add_batch([1.0, 2.0])
+            assert engine.query().value >= 0.0
+
+    def test_two_trace_shapes_with_requested_items(self):
+        traces = default_traces(500)
+        assert len(traces) >= 2
+        for items in traces.values():
+            assert len(items) == 500
+            times = [item.time for item in items]
+            assert times == sorted(times)
+
+    def test_bursty_trace_has_same_tick_batches(self):
+        bursty = default_traces(400)["bursty"]
+        per_tick = {}
+        for item in bursty:
+            per_tick[item.time] = per_tick.get(item.time, 0) + 1
+        assert max(per_tick.values()) > 1
+
+
+class TestEhBulkSpeedup:
+    def test_reports_positive_speedup_fields(self):
+        res = eh_bulk_speedup(5_000)
+        assert res["value"] == 5_000.0
+        assert res["bulk_seconds"] > 0
+        assert res["unary_seconds"] > 0
+        assert res["speedup"] > 1.0
+
+    def test_rejects_non_positive_value(self):
+        with pytest.raises(InvalidParameterError):
+            eh_bulk_speedup(0)
+
+
+class TestReportSchema:
+    def test_suite_report_validates_and_round_trips(self, tmp_path):
+        report = run_suite(300, bulk_value=2_000, repeats=1)
+        assert report["schema_version"] == SCHEMA_VERSION
+        path = write_report(report, tmp_path / "BENCH_throughput.json")
+        loaded = json.loads(path.read_text())
+        validate_report(loaded)
+        assert loaded["n_items"] == 300
+
+    def test_validate_rejects_missing_pieces(self):
+        report = run_suite(100, bulk_value=500, repeats=1)
+        bad = dict(report)
+        bad["schema_version"] = 99
+        with pytest.raises(InvalidParameterError):
+            validate_report(bad)
+        bad = dict(report)
+        del bad["eh_bulk"]
+        with pytest.raises(InvalidParameterError):
+            validate_report(bad)
+        bad = dict(report)
+        bad["results"] = [dict(report["results"][0], items_per_sec=0.0)]
+        with pytest.raises(InvalidParameterError):
+            validate_report(bad)
+        bad = dict(report)
+        bad["results"] = [
+            row
+            for row in report["results"]
+            if not (row["engine"].startswith("wbmh") and row["mode"] == "batched")
+        ]
+        with pytest.raises(InvalidParameterError):
+            validate_report(bad)

@@ -190,3 +190,104 @@ class TestSlidingWindowSumAdapter:
         assert s.decay.window == 64
         assert s.storage_report().engine == "sliwin-eh"
         assert s.query().contains(63)
+
+
+def snapshot(eh):
+    """Full structural state: bucket list, per-size census, running total."""
+    return (
+        [(b.start, b.end, b.count, b.level) for b in eh.bucket_view()],
+        dict(eh._per_size),
+        eh.total_in_buckets,
+    )
+
+
+class TestBulkInsert:
+    """The O(v) -> O(m log v) `add` bugfix (binary-decomposition insert).
+
+    `add(v)` must produce a structure *bit-identical* to the seed's unary
+    loop (retained as `_add_ones_unary` exactly so these tests can
+    differentially verify the rewrite), because the EH merge process is
+    confluent: merges always consume the two oldest buckets of a size.
+    """
+
+    @pytest.mark.parametrize("epsilon", [0.5, 0.1, 0.04])
+    def test_bulk_matches_unary_on_random_streams(self, epsilon):
+        rng = random.Random(42)
+        bulk = ExponentialHistogram(128, epsilon)
+        unary = ExponentialHistogram(128, epsilon)
+        for _ in range(400):
+            v = rng.choice([0, 1, 2, 3, 7, 13, 64, 500])
+            bulk.add(v)
+            unary._add_ones_unary(v)
+            assert snapshot(bulk) == snapshot(unary)
+            steps = rng.randrange(3)
+            bulk.advance(steps)
+            unary.advance(steps)
+            assert snapshot(bulk) == snapshot(unary)
+
+    def test_large_value_single_add(self):
+        eh = ExponentialHistogram(None, 0.1)
+        eh.add(10**6)
+        assert eh.total_in_buckets == 10**6
+        # O(m log v) buckets, not O(v).
+        assert eh.bucket_count() < 400
+        unary = ExponentialHistogram(None, 0.1)
+        unary._add_ones_unary(10**6)
+        assert snapshot(eh) == snapshot(unary)
+
+    def test_bulk_insert_work_is_logarithmic_in_value(self):
+        """Proxy for the >=100x acceptance speedup without wall-clock in
+        tier-1: the rewritten add must touch O(m log v) buckets where the
+        unary loop performed v cascades."""
+        eh = ExponentialHistogram(None, 0.01)
+        eh.add(10**5)
+        assert eh.bucket_count() <= eh.buckets_per_size * (10**5).bit_length() + 1
+
+    def test_add_batch_loops_bulk_add(self):
+        a = ExponentialHistogram(64, 0.1)
+        b = ExponentialHistogram(64, 0.1)
+        a.add_batch([1, 5, 0, 1000])
+        for v in [1, 5, 0, 1000]:
+            b.add(v)
+        assert snapshot(a) == snapshot(b)
+
+    def test_bulk_rejects_fractional_and_negative(self):
+        eh = ExponentialHistogram(64, 0.1)
+        with pytest.raises(InvalidParameterError):
+            eh.add(2.5)
+        with pytest.raises(InvalidParameterError):
+            eh.add(-1)
+        with pytest.raises(InvalidParameterError):
+            eh.add_batch([1, -3])
+
+
+class TestPerSizePruning:
+    """Satellite fix: `_per_size` must not retain zero-count entries."""
+
+    def test_no_zero_entries_after_cascades(self):
+        eh = ExponentialHistogram(None, 0.3)
+        for _ in range(500):
+            eh.add(1)
+        assert all(n > 0 for n in eh._per_size.values())
+
+    def test_no_zero_entries_after_expiry(self):
+        eh = ExponentialHistogram(32, 0.3)
+        for _ in range(300):
+            eh.add(1)
+            eh.advance(1)
+        eh.advance(64)  # expire everything
+        assert eh.bucket_count() == 0
+        assert all(n > 0 for n in eh._per_size.values())
+        assert eh._per_size == {}
+
+    def test_census_matches_buckets_exactly(self):
+        rng = random.Random(9)
+        eh = ExponentialHistogram(64, 0.1)
+        for _ in range(400):
+            eh.add(rng.choice([0, 1, 4]))
+            eh.advance(rng.randrange(2))
+            census = {}
+            for bucket in eh.bucket_view():
+                size = int(bucket.count)
+                census[size] = census.get(size, 0) + 1
+            assert dict(eh._per_size) == census

@@ -160,3 +160,57 @@ class TestShardMerge:
         other.advance(1)
         with pytest.raises(TimeOrderError):
             fleet.absorb(other)
+
+
+class TestObserveBatch:
+    """Keyed batch ingestion: grouped per key, one clock advance per tick."""
+
+    def _random_keyed_trace(self, n, seed):
+        from repro.streams.io import KeyedItem
+
+        rng = random.Random(seed)
+        t = 0
+        items = []
+        for _ in range(n):
+            t += rng.randrange(3)
+            items.append(
+                KeyedItem(rng.choice("abcd"), t, float(rng.randrange(4)))
+            )
+        return items
+
+    @pytest.mark.parametrize(
+        "decay",
+        [ExponentialDecay(0.05), SlidingWindowDecay(64), PolynomialDecay(1.0)],
+    )
+    def test_bit_identical_to_sequential_observe(self, decay):
+        items = self._random_keyed_trace(300, seed=5)
+        sequential = StreamFleet(decay, 0.1)
+        for item in items:
+            sequential.observe(item.key, item.value, when=item.time)
+        batched = StreamFleet(decay, 0.1)
+        batched.observe_batch(items)
+        assert batched.time == sequential.time
+        assert set(batched.keys()) == set(sequential.keys())
+        for key in sequential.keys():
+            a = batched.rating(key)
+            b = sequential.rating(key)
+            assert (a.value, a.lower, a.upper) == (b.value, b.lower, b.upper)
+
+    def test_rejects_time_regress(self):
+        from repro.streams.io import KeyedItem
+
+        fleet = StreamFleet(ExponentialDecay(0.1))
+        fleet.advance(10)
+        with pytest.raises(TimeOrderError):
+            fleet.observe_batch([KeyedItem("a", 3, 1.0)])
+
+    def test_new_keys_join_at_current_clock(self):
+        from repro.streams.io import KeyedItem
+
+        fleet = StreamFleet(SlidingWindowDecay(32), 0.1)
+        fleet.observe_batch(
+            [KeyedItem("old", 0, 1.0), KeyedItem("new", 20, 1.0)]
+        )
+        assert fleet.time == 20
+        for engine in [fleet._engine_for("old"), fleet._engine_for("new")]:
+            assert engine.time == 20

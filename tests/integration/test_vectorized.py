@@ -15,6 +15,7 @@ from repro.vectorized import (
     decayed_sum_dense,
     decayed_sum_trajectory,
     ewma_scan,
+    trace_to_dense,
     window_sum_scan,
 )
 
@@ -125,3 +126,38 @@ class TestWindowScan:
     def test_validation(self):
         with pytest.raises(InvalidParameterError):
             window_sum_scan([1.0], 0)
+
+
+class TestTraceToDense:
+    def test_sums_same_tick_items(self):
+        from repro.streams.generators import StreamItem
+
+        items = [StreamItem(0, 1.0), StreamItem(2, 2.0), StreamItem(2, 3.0)]
+        np.testing.assert_allclose(trace_to_dense(items), [1.0, 0.0, 5.0])
+
+    def test_length_pads_and_bounds(self):
+        from repro.streams.generators import StreamItem
+
+        items = [StreamItem(1, 4.0)]
+        np.testing.assert_allclose(
+            trace_to_dense(items, length=4), [0.0, 4.0, 0.0, 0.0]
+        )
+        with pytest.raises(InvalidParameterError):
+            trace_to_dense(items, length=1)
+
+    def test_bridges_ingest_and_dense_kernels(self):
+        from repro.core.decay import PolynomialDecay as Poly
+        from repro.core.exact import ExactDecayingSum as Exact
+        from repro.streams.generators import bernoulli_stream
+
+        items = list(bernoulli_stream(100, 0.6, seed=4))
+        decay = Poly(1.0)
+        engine = Exact(decay)
+        engine.ingest(items, until=99)
+        dense = trace_to_dense(items, length=100)
+        assert decayed_sum_dense(dense, decay) == pytest.approx(
+            engine.query().value
+        )
+
+    def test_empty_trace_gives_single_zero(self):
+        np.testing.assert_allclose(trace_to_dense([]), [0.0])

@@ -21,8 +21,20 @@ class TinyDecayingSum:
     def add(self, value: float = 1.0) -> None:
         self._total += value
 
+    def add_batch(self, values: list) -> None:
+        for value in values:
+            self.add(value)
+
     def advance(self, steps: int = 1) -> None:
         self._time += steps
+
+    def advance_to(self, when: int) -> None:
+        self._time = when
+
+    def ingest(self, items: list, *, until: int | None = None) -> None:
+        for item in items:
+            self.advance_to(item.time)
+            self.add(item.value)
 
     def query(self) -> float:
         return self._total

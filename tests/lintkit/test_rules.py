@@ -204,7 +204,10 @@ class TestEngineProtocol:
                 @property
                 def decay(self): ...
                 def add(self, value: float = 1.0) -> None: ...
+                def add_batch(self, values) -> None: ...
                 def advance(self, steps: int = 1) -> None: ...
+                def advance_to(self, when: int) -> None: ...
+                def ingest(self, items, *, until=None) -> None: ...
                 def query(self): ...
                 def storage_report(self): ...
             """,
@@ -222,7 +225,10 @@ class TestEngineProtocol:
                 @property
                 def decay(self): ...
                 def add(self, value: float = 1.0) -> None: ...
+                def add_batch(self, values) -> None: ...
                 def advance(self, steps: int = 1) -> None: ...
+                def advance_to(self, when: int) -> None: ...
+                def ingest(self, items, *, until=None) -> None: ...
                 def query(self): ...
                 def storage_report(self): ...
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.decay import PolynomialDecay
-from repro.core.errors import InvalidParameterError
+from repro.core.errors import InvalidParameterError, TimeOrderError
 from repro.core.exact import ExactDecayingSum
 from repro.streams.generators import StreamItem, bernoulli_stream
 from repro.streams.io import (
@@ -108,5 +108,5 @@ class TestReplay:
 
     def test_replay_rejects_unsorted(self):
         engine = ExactDecayingSum(PolynomialDecay(1.0))
-        with pytest.raises(InvalidParameterError):
+        with pytest.raises(TimeOrderError):
             replay([StreamItem(5, 1.0), StreamItem(2, 1.0)], engine)
