@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint typecheck check bench bench-throughput examples clean all
+.PHONY: install test lint typecheck check conformance bench bench-throughput examples clean all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -10,16 +10,23 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# AST invariant linter (RK001-RK006, docs/STATIC_ANALYSIS.md); stdlib-only.
+# AST invariant linter (RK001-RK007, docs/STATIC_ANALYSIS.md); stdlib-only.
 # Works from a checkout without `make install` via PYTHONPATH.
 lint:
 	PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) -m repro.lintkit src/repro
+
+# Oracle-differential + metamorphic fuzzing over every factory engine
+# (docs/CONFORMANCE.md). Exit 1 on any law violation; writes the JSON
+# report and proves the kit catches injected bugs (--self-test).
+conformance:
+	PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) -m repro.conformance \
+		--seeds 50 --engines all --self-test --out CONFORMANCE.json
 
 # Requires the `lint` extra (pip install -e .[lint]).
 typecheck:
 	MYPYPATH=src $(PYTHON) -m mypy --strict src/repro
 
-check: test lint
+check: test lint conformance
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -37,7 +44,7 @@ examples:
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache \
-		benchmarks/results .benchmarks
+		benchmarks/results .benchmarks CONFORMANCE.json coverage.xml
 	find . -name __pycache__ -type d -exec rm -rf {} +
 
 all: install test bench

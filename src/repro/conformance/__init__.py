@@ -1,0 +1,44 @@
+"""Oracle-differential & metamorphic conformance kit.
+
+The test-archetype sibling of :mod:`repro.lintkit`: where lintkit checks
+the *source*, this package checks the *behavior*.  Seeded trace fuzzing
+(:mod:`~repro.conformance.fuzz`) drives every ``make_decaying_sum`` engine
+differentially against :class:`~repro.core.exact.ExactDecayingSum` and
+through a catalog of metamorphic laws (:mod:`~repro.conformance.laws`);
+failures are greedily shrunk (:mod:`~repro.conformance.shrink`) to minimal
+reproducers that join a checked-in regression corpus
+(:mod:`~repro.conformance.corpus`).
+
+Run it as ``python -m repro.conformance --seeds 50 --engines all`` or
+``make conformance``; exit status 1 signals a violation.
+"""
+
+from repro.conformance.corpus import CorpusEntry, load_corpus, replay_entry
+from repro.conformance.engines import EngineSpec, default_specs, resolve_specs
+from repro.conformance.fuzz import fuzz_traces, trace_for_seed
+from repro.conformance.laws import Law, Violation, all_laws, get_law, run_laws
+from repro.conformance.shrink import ShrinkResult, shrink_trace
+from repro.conformance.suite import ConformanceSuite, Finding, RunResult
+from repro.conformance.trace import Trace
+
+__all__ = [
+    "ConformanceSuite",
+    "CorpusEntry",
+    "EngineSpec",
+    "Finding",
+    "Law",
+    "RunResult",
+    "ShrinkResult",
+    "Trace",
+    "Violation",
+    "all_laws",
+    "default_specs",
+    "fuzz_traces",
+    "get_law",
+    "load_corpus",
+    "replay_entry",
+    "resolve_specs",
+    "run_laws",
+    "shrink_trace",
+    "trace_for_seed",
+]

@@ -1,0 +1,143 @@
+"""``python -m repro.conformance`` -- fuzz the engine matrix from the shell.
+
+Exit status is the contract: 0 when every law holds on every fuzzed
+trace, 1 on any violation (the JSON report and the shrunk reproducers
+carry the details), 2 on bad usage.  ``--self-test`` additionally runs
+the mutation smoke check -- deliberately broken engines must be caught --
+so a CI job can prove the kit itself has teeth.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Sequence
+
+from repro.conformance.corpus import entry_from_finding, write_entry
+from repro.conformance.engines import resolve_specs
+from repro.conformance.laws import resolve_laws
+from repro.conformance.mutants import MUTATIONS, mutant_spec
+from repro.conformance.report import build_report, format_report, write_report
+from repro.conformance.suite import ConformanceSuite
+from repro.core.errors import InvalidParameterError
+
+__all__ = ["main"]
+
+
+def _self_test(seeds: int) -> list[str]:
+    """Prove the kit catches injected estimator bugs; returns failures."""
+    problems: list[str] = []
+    specs = resolve_specs("sliwin,polyd-wbmh,expd")
+    for mutation in MUTATIONS:
+        caught = False
+        for name, spec in specs.items():
+            suite = ConformanceSuite(
+                {name: mutant_spec(spec, mutation)}, shrink_budget=500
+            )
+            result = suite.run(seeds)
+            if not result.ok:
+                caught = True
+                worst = min(f.shrunk.n_items for f in result.findings)
+                if worst > 10:
+                    problems.append(
+                        f"mutation {mutation!r} on {name}: smallest "
+                        f"reproducer has {worst} items (> 10)"
+                    )
+                break
+        if not caught:
+            problems.append(
+                f"mutation {mutation!r} escaped the suite entirely"
+            )
+    return problems
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.conformance",
+        description=(
+            "Fuzz every factory engine against the exact oracle and the "
+            "metamorphic law catalog; shrink any failure to a minimal "
+            "reproducer."
+        ),
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=50, help="number of fuzz seeds to run"
+    )
+    parser.add_argument(
+        "--start-seed", type=int, default=0, help="first seed of the range"
+    )
+    parser.add_argument(
+        "--engines",
+        default="all",
+        help="comma-separated engine spec names, or 'all'",
+    )
+    parser.add_argument(
+        "--laws",
+        default="all",
+        help="comma-separated law ids/names (e.g. CL001,batch-split), or 'all'",
+    )
+    parser.add_argument(
+        "--shrink-budget",
+        type=int,
+        default=2000,
+        help="max law re-evaluations per shrink",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="write the JSON report here (validated against the schema)",
+    )
+    parser.add_argument(
+        "--corpus-dir",
+        type=Path,
+        default=None,
+        help="write shrunk reproducers into this directory as corpus entries",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="also verify injected estimator bugs are caught and shrunk",
+    )
+    args = parser.parse_args(argv)
+    if args.seeds < 1:
+        parser.error("--seeds must be >= 1")
+    try:
+        specs = resolve_specs(args.engines)
+        laws = resolve_laws(args.laws)
+    except (InvalidParameterError, KeyError) as exc:
+        parser.error(str(exc))
+    suite = ConformanceSuite(specs, laws, shrink_budget=args.shrink_budget)
+    result = suite.run(args.seeds, start_seed=args.start_seed)
+    report = build_report(result)
+    print(format_report(report))
+    if args.out is not None:
+        write_report(report, args.out)
+        print(f"wrote {args.out}")
+    if args.corpus_dir is not None and result.findings:
+        for finding in result.findings:
+            base = finding.violation.engine.split("+")[0]
+            spec = specs.get(base)
+            if spec is None:
+                continue
+            path = write_entry(
+                entry_from_finding(finding, spec), args.corpus_dir
+            )
+            print(f"wrote reproducer {path}")
+    status = 0 if result.ok else 1
+    if args.self_test:
+        problems = _self_test(seeds=6)
+        if problems:
+            for problem in problems:
+                print(f"self-test FAIL: {problem}")
+            status = 1
+        else:
+            print(
+                f"self-test OK: all {len(MUTATIONS)} injected defects "
+                "caught and shrunk to <= 10 items"
+            )
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,145 @@
+"""The regression corpus: shrunk reproducers that tier-1 replays forever.
+
+Every trace that ever falsified a law gets checked in as one small JSON
+file (conventionally under ``tests/conformance/corpus/``) and replayed on
+every test run, so a fixed bug stays fixed.  An entry records the trace,
+the decay/epsilon cell it fired on (optional -- entries without a decay
+replay against the whole engine matrix), the laws it must satisfy, and a
+human note on what originally broke::
+
+    {
+      "name": "polyexp-routing-pr1",
+      "notes": "factory routed polyexp decay into CascadedEH (PR 1)",
+      "decay": {"family": "polyexp", "k": 2, "lam": 0.1},
+      "epsilon": 0.1,
+      "trace": {"items": [[0, 1.0]], "tail": 3},
+      "laws": ["CL001"]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.conformance.engines import EngineSpec, spec_from_decay_dict
+from repro.conformance.laws import Violation, resolve_laws, run_laws
+from repro.conformance.suite import Finding
+from repro.conformance.trace import Trace
+from repro.core.errors import InvalidParameterError
+
+__all__ = [
+    "CorpusEntry",
+    "load_corpus",
+    "write_entry",
+    "entry_from_finding",
+    "replay_entry",
+]
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One checked-in regression trace."""
+
+    name: str
+    trace: Trace
+    notes: str = ""
+    decay: Mapping[str, Any] | None = None
+    epsilon: float = 0.1
+    laws: tuple[str, ...] | None = None
+
+    def spec(self) -> EngineSpec | None:
+        """The engine cell this entry pins, if it pins one."""
+        if self.decay is None:
+            return None
+        return spec_from_decay_dict(self.decay, self.epsilon, name=self.name)
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "name": self.name,
+            "notes": self.notes,
+            "epsilon": self.epsilon,
+            "trace": self.trace.to_dict(),
+        }
+        if self.decay is not None:
+            data["decay"] = dict(self.decay)
+        if self.laws is not None:
+            data["laws"] = list(self.laws)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CorpusEntry":
+        if "name" not in data or "trace" not in data:
+            raise InvalidParameterError(
+                f"corpus entry needs 'name' and 'trace': {dict(data)!r}"
+            )
+        laws = data.get("laws")
+        return cls(
+            name=str(data["name"]),
+            trace=Trace.from_dict(dict(data["trace"])),
+            notes=str(data.get("notes", "")),
+            decay=data.get("decay"),
+            epsilon=float(data.get("epsilon", 0.1)),
+            laws=tuple(str(law) for law in laws) if laws is not None else None,
+        )
+
+
+def load_corpus(directory: str | Path) -> list[CorpusEntry]:
+    """Every ``*.json`` entry under ``directory``, sorted by file name."""
+    root = Path(directory)
+    entries: list[CorpusEntry] = []
+    for path in sorted(root.glob("*.json")):
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise InvalidParameterError(
+                f"corpus file {path} is not valid JSON: {exc}"
+            ) from exc
+        entries.append(CorpusEntry.from_dict(data))
+    return entries
+
+
+def write_entry(entry: CorpusEntry, directory: str | Path) -> Path:
+    """Write one entry as ``<directory>/<name>.json``; returns the path."""
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    path = root / f"{entry.name}.json"
+    path.write_text(json.dumps(entry.to_dict(), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def entry_from_finding(
+    finding: Finding, spec: EngineSpec, *, name: str | None = None
+) -> CorpusEntry:
+    """Turn a suite finding into a corpus entry pinned to its engine cell."""
+    violation = finding.violation
+    slug = name or (
+        f"{violation.law_id.lower()}-{spec.name}-seed{finding.seed}"
+        if finding.seed is not None
+        else f"{violation.law_id.lower()}-{spec.name}"
+    )
+    return CorpusEntry(
+        name=slug,
+        trace=finding.shrunk,
+        notes=violation.render(),
+        decay=spec.decay_dict(),
+        epsilon=spec.epsilon,
+        laws=(violation.law_id,),
+    )
+
+
+def replay_entry(entry: CorpusEntry) -> list[Violation]:
+    """Re-check one entry against its pinned cell (or nothing to pin).
+
+    Entries with a decay replay their named laws on that exact cell;
+    entries without one return no violations here -- the corpus test
+    sweeps every trace through the whole engine matrix separately.
+    """
+    spec = entry.spec()
+    if spec is None:
+        return []
+    laws = resolve_laws(list(entry.laws) if entry.laws is not None else None)
+    applicable = tuple(law for law in laws if law.applies(spec))
+    return run_laws(spec, entry.trace, applicable)

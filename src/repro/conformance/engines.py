@@ -1,0 +1,185 @@
+"""Engine specifications: what the conformance suite runs laws against.
+
+An :class:`EngineSpec` pins one ``(decay, epsilon)`` cell of the factory
+matrix plus the *capability flags* that decide which metamorphic laws apply
+to it -- whether value scaling by a power of two is bit-exact, whether a
+time shift of the whole trace is bit-exact, whether the decay is
+non-increasing (prefix/advance monotonicity), and whether the engine can be
+checkpointed through :mod:`repro.serialize`.
+
+Flags are *derived*, not declared: the constructor builds one throwaway
+engine via :func:`~repro.core.interfaces.make_decaying_sum` and inspects
+what came back, so the spec table can never drift from the factory routing
+(the exact drift that caused the PR-1 polyexponential bug this kit exists
+to catch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Mapping
+
+from repro.core.decay import (
+    DecayFunction,
+    ExponentialDecay,
+    GaussianDecay,
+    LinearDecay,
+    LogarithmicDecay,
+    PolyexponentialDecay,
+    PolyExpPolynomialDecay,
+    PolynomialDecay,
+    SlidingWindowDecay,
+    TableDecay,
+)
+from repro.core.errors import InvalidParameterError, ReproError
+from repro.core.ewma import ExponentialSum, GeneralPolyexpSum, PolyexponentialSum
+from repro.core.exact import ExactDecayingSum
+from repro.core.interfaces import DecayingSum, make_decaying_sum
+from repro.histograms.wbmh import WBMH
+from repro.serialize import decay_from_dict, decay_to_dict, engine_to_dict
+
+__all__ = [
+    "EngineSpec",
+    "make_spec",
+    "default_specs",
+    "resolve_specs",
+    "spec_from_decay_dict",
+]
+
+#: Engines whose state is a handful of exact float registers: linear in the
+#: stream, so scaling every value by a power of two scales the registers
+#: bit-exactly (power-of-two multiplication only touches the exponent).
+_LINEAR_EXACT = (ExponentialSum, PolyexponentialSum, GeneralPolyexpSum,
+                 ExactDecayingSum)
+
+#: Ages sampled when classifying a decay function as non-increasing.
+_MONOTONE_PROBE = 128
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """One factory engine under test, with derived law-applicability flags."""
+
+    name: str
+    decay: DecayFunction
+    epsilon: float
+    engine_kind: str
+    linear_exact: bool
+    shift_exact: bool
+    nonincreasing: bool
+    serializable: bool
+    factory: Callable[[], DecayingSum] | None = None
+
+    def build(self) -> DecayingSum:
+        """A fresh engine at time 0 (the factory's choice for this decay)."""
+        if self.factory is not None:
+            return self.factory()
+        return make_decaying_sum(self.decay, self.epsilon)
+
+    def oracle(self) -> ExactDecayingSum:
+        """A fresh ground-truth reference over the same decay."""
+        return ExactDecayingSum(self.decay)
+
+    def with_factory(self, factory: Callable[[], DecayingSum]) -> "EngineSpec":
+        """The same cell with a replacement engine builder.
+
+        Used by the mutation smoke tests to substitute a deliberately
+        broken engine; the substitute is opaque, so serialization-dependent
+        laws are switched off.
+        """
+        return replace(self, factory=factory, serializable=False)
+
+    def decay_dict(self) -> dict[str, Any]:
+        """JSON-safe decay description (corpus and report records)."""
+        return decay_to_dict(self.decay)
+
+
+def _is_nonincreasing(decay: DecayFunction) -> bool:
+    """Sampled monotonicity check over the first ``_MONOTONE_PROBE`` ages."""
+    previous = decay.weight(0)
+    for age in range(1, _MONOTONE_PROBE):
+        w = decay.weight(age)
+        if w > previous + 1e-12:
+            return False
+        previous = w
+    return True
+
+
+def make_spec(
+    name: str,
+    decay: DecayFunction,
+    epsilon: float = 0.1,
+    *,
+    factory: Callable[[], DecayingSum] | None = None,
+) -> EngineSpec:
+    """Build a spec, deriving capability flags from the factory's engine."""
+    probe = factory() if factory is not None else make_decaying_sum(decay, epsilon)
+    try:
+        engine_to_dict(probe)
+        serializable = True
+    except (InvalidParameterError, ReproError):
+        serializable = False
+    return EngineSpec(
+        name=name,
+        decay=decay,
+        epsilon=float(epsilon),
+        engine_kind=type(probe).__name__,
+        linear_exact=isinstance(probe, _LINEAR_EXACT),
+        # WBMH seals its live bucket on an absolute-time lattice, so a
+        # shifted trace lands in different lattice cells and the sealed
+        # bucket spans (hence certified brackets) legitimately differ.
+        shift_exact=not isinstance(probe, WBMH),
+        nonincreasing=_is_nonincreasing(decay),
+        serializable=serializable,
+        factory=factory,
+    )
+
+
+def default_specs() -> dict[str, EngineSpec]:
+    """The factory matrix the suite fuzzes: one cell per routing branch.
+
+    Covers every engine class :func:`make_decaying_sum` can return --
+    the EXPD register, the sliding-window EH, WBMH (polynomial and
+    sub-polynomial decay), the cascaded EH (bounded-support, super-
+    exponential, and table decay), and both section 3.4 polyexponential
+    pipelines.
+    """
+    specs = [
+        make_spec("expd", ExponentialDecay(0.05)),
+        make_spec("sliwin", SlidingWindowDecay(64)),
+        make_spec("polyd-wbmh", PolynomialDecay(1.2)),
+        make_spec("logd-wbmh", LogarithmicDecay()),
+        make_spec("linear-ceh", LinearDecay(96)),
+        make_spec("gauss-ceh", GaussianDecay(40.0)),
+        make_spec(
+            "table-ceh",
+            TableDecay([1.0, 0.8, 0.6, 0.4, 0.2], tail=0.1),
+        ),
+        make_spec("polyexp", PolyexponentialDecay(2, 0.1)),
+        make_spec(
+            "polyexppoly", PolyExpPolynomialDecay([1.0, 0.5, 0.25], 0.05)
+        ),
+    ]
+    return {spec.name: spec for spec in specs}
+
+
+def resolve_specs(names: str | list[str] | None) -> dict[str, EngineSpec]:
+    """Select specs by name; ``None``/``"all"`` selects the whole matrix."""
+    specs = default_specs()
+    if names is None or names == "all" or names == ["all"]:
+        return specs
+    wanted = names.split(",") if isinstance(names, str) else list(names)
+    unknown = [n for n in wanted if n not in specs]
+    if unknown:
+        raise InvalidParameterError(
+            f"unknown engine spec(s) {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(specs))}"
+        )
+    return {n: specs[n] for n in wanted}
+
+
+def spec_from_decay_dict(
+    data: Mapping[str, Any], epsilon: float, *, name: str = "corpus"
+) -> EngineSpec:
+    """Rebuild a spec from a corpus record's decay dict + epsilon."""
+    return make_spec(name, decay_from_dict(dict(data)), epsilon)

@@ -1,0 +1,151 @@
+"""Seedable trace fuzzing over the shapes that break decay sketches.
+
+One integer seed maps deterministically to one :class:`Trace`.  The shape
+mix is drawn from the failure literature for sliding-window/decay
+structures and the paper's own lower-bound families:
+
+* ``dense``      -- an arrival on (almost) every tick: maximal bucket
+                    pressure, exercises EH merging depth.
+* ``bursty``     -- geometric on/off phases (the ATM workload of section
+                    1.1): long empty stretches between merge storms.
+* ``spaced``     -- the Lemma 3.1 adversarial lattice, one optional
+                    arrival every ``k`` ticks: worst case for bucket
+                    boundary placement.
+* ``heavy``      -- Zipf-valued arrivals: single items worth more than
+                    the rest of the stream combined (count-rounding
+                    stress for WBMH, carry stress for EH bulk insert).
+* ``late``       -- a cluster, a long quiet gap, then a final straggler
+                    arriving near the end of the support window: expiry
+                    boundary stress.
+* ``edge``       -- hand-built corner traces (empty, single item, value
+                    zero, simultaneous arrivals) cycled by seed.
+
+Everything is driven by ``random.Random(seed)``: no global RNG, no
+entropy, so a failing seed in a CI log reproduces locally forever.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.conformance.trace import Trace
+from repro.core.errors import InvalidParameterError
+from repro.streams.adversarial import spaced_stream
+from repro.streams.generators import bernoulli_stream, bursty_stream, zipf_value_stream
+
+__all__ = ["SHAPES", "trace_for_seed", "fuzz_traces"]
+
+SHAPES = ("dense", "bursty", "spaced", "heavy", "late", "edge")
+
+#: Fuzzed traces stay small: the oracle is O(support) per tick and every
+#: law rebuilds engines, so depth comes from seed count, not trace length.
+_MAX_LEN = 160
+
+_EDGE_TRACES: tuple[tuple[tuple[tuple[int, float], ...], int], ...] = (
+    ((), 16),  # empty stream, queried after a quiet period
+    (((0, 1.0),), 0),  # single item, queried immediately
+    (((0, 1.0),), 200),  # single item, queried long after expiry
+    (((0, 0.0), (1, 0.0), (2, 1.0)), 8),  # zero-valued arrivals
+    (((5, 1.0), (5, 1.0), (5, 3.0)), 12),  # simultaneous arrivals
+    (((0, 1024.0),), 64),  # one heavy item decaying alone
+    (((0, 1.0), (127, 1.0)), 3),  # maximal gap inside one trace
+)
+
+
+def _shape_dense(rng: random.Random, length: int) -> Trace:
+    p = rng.choice((0.8, 0.95, 1.0))
+    items = [
+        (it.time, it.value)
+        for it in bernoulli_stream(length, p, seed=rng.randrange(2**30))
+    ]
+    return Trace.build(items, tail=rng.randrange(0, 32))
+
+
+def _shape_bursty(rng: random.Random, length: int) -> Trace:
+    items = [
+        (it.time, it.value)
+        for it in bursty_stream(
+            length,
+            on_mean=rng.choice((5, 20)),
+            off_mean=rng.choice((10, 60)),
+            rate_on=0.9,
+            seed=rng.randrange(2**30),
+        )
+    ]
+    return Trace.build(items, tail=rng.randrange(0, 48))
+
+
+def _shape_spaced(rng: random.Random, length: int) -> Trace:
+    k = rng.choice((2, 3, 7, 16))
+    n_slots = max(1, length // k)
+    bits = [rng.randrange(2) for _ in range(n_slots)]
+    items = [(it.time, it.value) for it in spaced_stream(bits, k)]
+    return Trace.build(items, tail=rng.randrange(0, 2 * k))
+
+
+def _shape_heavy(rng: random.Random, length: int) -> Trace:
+    items = [
+        (it.time, it.value)
+        for it in zipf_value_stream(
+            length, s=1.2, n_values=5000, seed=rng.randrange(2**30)
+        )
+        if rng.random() < 0.5
+    ]
+    if rng.random() < 0.5 and items:
+        # One whale worth more than the rest of the stream combined.
+        t, _ = items[rng.randrange(len(items))]
+        items = sorted(items + [(t, 10_000.0)])
+    return Trace.build(items, tail=rng.randrange(0, 24))
+
+
+def _shape_late(rng: random.Random, length: int) -> Trace:
+    cluster = [
+        (it.time, it.value)
+        for it in bernoulli_stream(length // 3, 0.7, seed=rng.randrange(2**30))
+    ]
+    gap = rng.choice((40, 90, 150))
+    last = cluster[-1][0] if cluster else 0
+    straggler = (last + gap, float(rng.choice((1, 5, 100))))
+    return Trace.build(cluster + [straggler], tail=rng.randrange(0, 64))
+
+
+def _shape_edge(rng: random.Random, length: int) -> Trace:
+    items, tail = _EDGE_TRACES[rng.randrange(len(_EDGE_TRACES))]
+    return Trace(items=items, tail=tail)
+
+
+_BUILDERS = {
+    "dense": _shape_dense,
+    "bursty": _shape_bursty,
+    "spaced": _shape_spaced,
+    "heavy": _shape_heavy,
+    "late": _shape_late,
+    "edge": _shape_edge,
+}
+
+
+def trace_for_seed(seed: int, *, shape: str | None = None) -> Trace:
+    """The deterministic trace for one fuzz seed.
+
+    With ``shape=None`` the shape itself is part of the seed's draw, so a
+    seed range covers the whole mix; pinning ``shape`` fuzzes one family.
+    """
+    if shape is not None and shape not in _BUILDERS:
+        raise InvalidParameterError(
+            f"unknown shape {shape!r}; known: {', '.join(SHAPES)}"
+        )
+    rng = random.Random(seed)
+    chosen = shape if shape is not None else SHAPES[rng.randrange(len(SHAPES))]
+    length = rng.randrange(8, _MAX_LEN)
+    return _BUILDERS[chosen](rng, length)
+
+
+def fuzz_traces(
+    n_seeds: int, *, start_seed: int = 0, shape: str | None = None
+) -> Iterator[tuple[int, Trace]]:
+    """``(seed, trace)`` pairs for ``n_seeds`` consecutive seeds."""
+    if n_seeds < 0:
+        raise InvalidParameterError("n_seeds must be >= 0")
+    for seed in range(start_seed, start_seed + n_seeds):
+        yield seed, trace_for_seed(seed, shape=shape)

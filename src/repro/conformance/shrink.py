@@ -1,0 +1,172 @@
+"""Greedy trace shrinking: from a failing fuzz case to a minimal reproducer.
+
+Given a trace on which some law fails, the shrinker searches for the
+smallest trace that *still* fails, using four deterministic passes run to
+a fixed point (ddmin-style):
+
+1. **chunk removal** -- drop halves, then quarters, ... of the items;
+2. **tail reduction** -- shrink the trailing quiet period toward zero;
+3. **value simplification** -- pull each value toward 1 (binary search);
+4. **time compression** -- close the gaps between consecutive arrivals.
+
+Every candidate is re-checked with the same pure law predicate, so the
+result is exactly as trustworthy as the original failure.  An evaluation
+budget bounds the worst case; shrinking is best-effort and always returns
+a trace that fails (at worst, the input itself).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.conformance.trace import Trace
+from repro.core.errors import InvalidParameterError
+
+__all__ = ["ShrinkResult", "shrink_trace"]
+
+#: Predicate: True when the trace still reproduces the failure.
+FailsFn = Callable[[Trace], bool]
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """The outcome of one shrink run."""
+
+    trace: Trace
+    evaluations: int
+    improved: bool
+
+    def describe(self) -> str:
+        status = "shrunk" if self.improved else "irreducible"
+        return f"{status} to {self.trace.describe()} in {self.evaluations} evals"
+
+
+class _Budget:
+    """Counts predicate evaluations; trips quietly when exhausted."""
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.used = 0
+
+    def spent(self) -> bool:
+        return self.used >= self.limit
+
+    def check(self, fails: FailsFn, trace: Trace) -> bool:
+        if self.spent():
+            return False
+        self.used += 1
+        try:
+            return fails(trace)
+        except InvalidParameterError:
+            # A degenerate candidate (e.g. empty after removal) that the
+            # trace or engine constructor rejects is simply not smaller.
+            return False
+
+
+def _cost(trace: Trace) -> tuple[int, int, float]:
+    """Lexicographic size: fewer items, shorter span, smaller mass."""
+    return (trace.n_items, trace.end_time, trace.total_value())
+
+
+def _shrink_items(trace: Trace, fails: FailsFn, budget: _Budget) -> Trace:
+    """ddmin: remove progressively smaller chunks of items."""
+    items = list(trace.items)
+    chunk = max(1, len(items) // 2)
+    while chunk >= 1 and not budget.spent():
+        start = 0
+        while start < len(items) and not budget.spent():
+            candidate_items = items[:start] + items[start + chunk:]
+            candidate = Trace(items=tuple(candidate_items), tail=trace.tail)
+            if budget.check(fails, candidate):
+                items = candidate_items
+            else:
+                start += chunk
+        chunk //= 2
+    return Trace(items=tuple(items), tail=trace.tail)
+
+
+def _shrink_tail(trace: Trace, fails: FailsFn, budget: _Budget) -> Trace:
+    """Binary-search the trailing quiet period toward zero."""
+    lo, hi = 0, trace.tail  # invariant: tail=hi fails; tail<lo may not
+    while lo < hi and not budget.spent():
+        mid = (lo + hi) // 2
+        candidate = Trace(items=trace.items, tail=mid)
+        if budget.check(fails, candidate):
+            hi = mid
+        else:
+            lo = mid + 1
+    return Trace(items=trace.items, tail=hi)
+
+
+def _shrink_values(trace: Trace, fails: FailsFn, budget: _Budget) -> Trace:
+    """Pull each value toward 1 (then toward 0) while still failing."""
+    items = list(trace.items)
+    for i, (t, v) in enumerate(items):
+        if budget.spent():
+            break
+        for target in (0.0, 1.0, v // 2):
+            if target >= v:
+                continue
+            candidate_items = list(items)
+            candidate_items[i] = (t, float(target))
+            candidate = Trace(items=tuple(candidate_items), tail=trace.tail)
+            if budget.check(fails, candidate):
+                items = candidate_items
+                break
+    return Trace(items=tuple(items), tail=trace.tail)
+
+
+def _shrink_times(trace: Trace, fails: FailsFn, budget: _Budget) -> Trace:
+    """Close inter-arrival gaps: slide each suffix earlier in time."""
+    items = list(trace.items)
+    for i in range(len(items)):
+        if budget.spent():
+            break
+        earlier = items[i - 1][0] if i > 0 else 0
+        gap = items[i][0] - earlier
+        if gap <= 0:
+            continue
+        for new_gap in (0, 1, gap // 2):
+            if new_gap >= gap:
+                continue
+            delta = gap - new_gap
+            candidate_items = items[:i] + [
+                (t - delta, v) for t, v in items[i:]
+            ]
+            candidate = Trace(items=tuple(candidate_items), tail=trace.tail)
+            if budget.check(fails, candidate):
+                items = candidate_items
+                break
+    return Trace(items=tuple(items), tail=trace.tail)
+
+
+_PASSES = (_shrink_items, _shrink_tail, _shrink_values, _shrink_times)
+
+
+def shrink_trace(
+    trace: Trace, fails: FailsFn, *, max_evaluations: int = 2000
+) -> ShrinkResult:
+    """Greedily minimize ``trace`` under the constraint ``fails(trace)``.
+
+    ``fails`` must be pure and deterministic (the conformance laws are,
+    by RK007); the input trace itself must fail, or the result is just the
+    input marked unimproved.
+    """
+    if max_evaluations < 1:
+        raise InvalidParameterError("max_evaluations must be >= 1")
+    budget = _Budget(max_evaluations)
+    if not budget.check(fails, trace):
+        return ShrinkResult(trace=trace, evaluations=budget.used, improved=False)
+    current = trace
+    while not budget.spent():
+        before = _cost(current)
+        for shrink_pass in _PASSES:
+            current = shrink_pass(current, fails, budget)
+        if _cost(current) >= before:
+            break
+    return ShrinkResult(
+        trace=current,
+        evaluations=budget.used,
+        improved=_cost(current) < _cost(trace),
+    )

@@ -1,0 +1,176 @@
+"""The conformance suite: fuzz -> check -> shrink, as a library.
+
+:class:`ConformanceSuite` binds an engine matrix (specs) to a law catalog
+and runs seeded traces through every applicable ``(spec, law)`` cell.  On
+a violation it greedily shrinks the trace to a minimal reproducer (same
+law, same spec, re-checked at every step) and records a
+:class:`Finding` carrying both the original and shrunk traces -- exactly
+what gets written to the regression corpus and the JSON report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.conformance.engines import EngineSpec, default_specs
+from repro.conformance.fuzz import trace_for_seed
+from repro.conformance.laws import Law, Violation, all_laws
+from repro.conformance.shrink import shrink_trace
+from repro.conformance.trace import Trace
+
+__all__ = ["Finding", "RunResult", "ConformanceSuite"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One falsified ``(engine, law)`` cell with its minimal reproducer."""
+
+    seed: int | None
+    violation: Violation
+    trace: Trace
+    shrunk: Trace
+    shrink_evaluations: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "law": self.violation.law_id,
+            "engine": self.violation.engine,
+            "message": self.violation.message,
+            "time": self.violation.time,
+            "details": dict(self.violation.details),
+            "trace": self.trace.to_dict(),
+            "shrunk": self.shrunk.to_dict(),
+            "shrink_evaluations": self.shrink_evaluations,
+        }
+
+
+@dataclass
+class RunResult:
+    """Everything one suite run learned."""
+
+    engines: list[str]
+    laws: list[str]
+    seeds: int
+    start_seed: int
+    cases: int = 0
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def describe(self) -> str:
+        verdict = (
+            "all laws hold"
+            if self.ok
+            else f"{len(self.findings)} violation(s)"
+        )
+        return (
+            f"{self.cases} (engine, law, trace) cells over "
+            f"{self.seeds} seed(s) x {len(self.engines)} engine(s): {verdict}"
+        )
+
+
+class ConformanceSuite:
+    """Differential + metamorphic checking over the factory engine matrix."""
+
+    def __init__(
+        self,
+        specs: Mapping[str, EngineSpec] | None = None,
+        laws: Iterable[Law] | None = None,
+        *,
+        shrink_budget: int = 2000,
+    ) -> None:
+        self.specs = dict(specs) if specs is not None else default_specs()
+        self.laws = tuple(laws) if laws is not None else all_laws()
+        self.shrink_budget = shrink_budget
+
+    def check_trace(
+        self, trace: Trace, *, seed: int | None = None
+    ) -> tuple[int, list[Finding]]:
+        """Run every applicable ``(spec, law)`` cell on one trace.
+
+        Returns ``(cells_checked, findings)``.  Each falsified cell is
+        shrunk immediately; a cell that passes contributes no finding.
+        """
+        cells = 0
+        findings: list[Finding] = []
+        for spec in self.specs.values():
+            for law in self.laws:
+                if not law.applies(spec):
+                    continue
+                cells += 1
+                violations = law.check(spec, trace)
+                if violations:
+                    findings.append(
+                        self._shrink_finding(spec, law, trace, violations[0], seed)
+                    )
+        return cells, findings
+
+    def _shrink_finding(
+        self,
+        spec: EngineSpec,
+        law: Law,
+        trace: Trace,
+        violation: Violation,
+        seed: int | None,
+    ) -> Finding:
+        def still_fails(candidate: Trace) -> bool:
+            return any(
+                v.law_id == law.law_id for v in law.check(spec, candidate)
+            )
+
+        result = shrink_trace(
+            trace, still_fails, max_evaluations=self.shrink_budget
+        )
+        # Report the violation as it manifests on the *shrunk* trace (the
+        # message on the original can reference times that no longer exist).
+        final = next(
+            (
+                v
+                for v in law.check(spec, result.trace)
+                if v.law_id == law.law_id
+            ),
+            violation,
+        )
+        return Finding(
+            seed=seed,
+            violation=final,
+            trace=trace,
+            shrunk=result.trace,
+            shrink_evaluations=result.evaluations,
+        )
+
+    def run(self, n_seeds: int, *, start_seed: int = 0) -> RunResult:
+        """Fuzz ``n_seeds`` consecutive seeds through the whole matrix."""
+        result = RunResult(
+            engines=sorted(self.specs),
+            laws=[law.law_id for law in self.laws],
+            seeds=n_seeds,
+            start_seed=start_seed,
+        )
+        for seed in range(start_seed, start_seed + n_seeds):
+            trace = trace_for_seed(seed)
+            cells, findings = self.check_trace(trace, seed=seed)
+            result.cases += cells
+            result.findings.extend(findings)
+        return result
+
+    def run_traces(
+        self, traces: Iterable[tuple[str, Trace]]
+    ) -> RunResult:
+        """Check explicit ``(name, trace)`` pairs (corpus replay path)."""
+        named = list(traces)
+        result = RunResult(
+            engines=sorted(self.specs),
+            laws=[law.law_id for law in self.laws],
+            seeds=len(named),
+            start_seed=0,
+        )
+        for _, trace in named:
+            cells, findings = self.check_trace(trace)
+            result.cases += cells
+            result.findings.extend(findings)
+        return result

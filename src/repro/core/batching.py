@@ -120,5 +120,11 @@ def ingest_trace(
             engine.advance(when - engine.time)
         values = [item.value for item in group]
         engine.add_batch(values)
-    if until is not None and until > engine.time:
-        engine.advance(until - engine.time)
+    if until is not None:
+        if until < engine.time:
+            raise TimeOrderError(
+                f"until={until} precedes the clock after replay "
+                f"({engine.time}); clocks are monotone"
+            )
+        if until > engine.time:
+            engine.advance(until - engine.time)

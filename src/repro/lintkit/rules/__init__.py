@@ -8,6 +8,8 @@
 | RK004 | no silently-swallowed errors around certified bounds            |
 | RK005 | no exact float comparison on time/age/weight quantities         |
 | RK006 | complete annotations on the core/histograms public surface      |
+| RK007 | pure conformance laws (deterministic fuzzing + trustworthy      |
+|       | shrinking in repro.conformance)                                 |
 """
 
 from repro.lintkit.rules import (  # noqa: F401  (registration side effects)
@@ -17,4 +19,5 @@ from repro.lintkit.rules import (  # noqa: F401  (registration side effects)
     rk004_excepts,
     rk005_floateq,
     rk006_annotations,
+    rk007_pure_laws,
 )

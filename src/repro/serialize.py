@@ -2,7 +2,8 @@
 
 A deployment maintaining millions of per-customer summaries (paper
 section 1.1) has to survive restarts. This module serializes the
-*deterministic* engines -- EWMA, exact, EH, domination, CEH, WBMH -- to
+*deterministic* engines -- EWMA, polyexponential pipelines, exact, EH,
+domination, CEH, WBMH -- to
 plain dicts (JSON-compatible) and restores them to bit-identical state:
 a restored engine continues the stream exactly as the original would.
 
@@ -37,7 +38,7 @@ from repro.core.decay import (
     TableDecay,
 )
 from repro.core.errors import InvalidParameterError
-from repro.core.ewma import ExponentialSum
+from repro.core.ewma import ExponentialSum, GeneralPolyexpSum, PolyexponentialSum
 from repro.core.exact import ExactDecayingSum
 from repro.counters.approx_float import FixedQuantizer, LevelQuantizer
 from repro.histograms.buckets import Bucket
@@ -134,6 +135,20 @@ def engine_to_dict(engine: Any) -> dict[str, Any]:
             "sum": engine._sum,
             "items": engine._items,
         }
+    if isinstance(engine, (PolyexponentialSum, GeneralPolyexpSum)):
+        # Section 3.4 pipeline engines: the full state is the k + 1 moment
+        # registers plus the clock; the decay dict pins k / lam / coeffs.
+        return {
+            "version": _FORMAT_VERSION,
+            "engine": (
+                "polyexp" if isinstance(engine, PolyexponentialSum)
+                else "polyexppoly"
+            ),
+            "decay": decay_to_dict(engine.decay),
+            "time": engine._pipe._time,
+            "moments": list(engine._pipe._m),
+            "items": engine._pipe._items,
+        }
     if isinstance(engine, ExactDecayingSum):
         return {
             "version": _FORMAT_VERSION,
@@ -227,6 +242,31 @@ def engine_from_dict(data: dict[str, Any]) -> Any:
         engine._sum = float(data["sum"])
         engine._items = int(data["items"])
         return engine
+    if kind in ("polyexp", "polyexppoly"):
+        decay = decay_from_dict(data["decay"])
+        pipe_engine: PolyexponentialSum | GeneralPolyexpSum
+        if kind == "polyexp":
+            if not isinstance(decay, PolyexponentialDecay):
+                raise InvalidParameterError(
+                    f"polyexp snapshot carries decay {type(decay).__name__}"
+                )
+            pipe_engine = PolyexponentialSum(decay)
+        else:
+            if not isinstance(decay, PolyExpPolynomialDecay):
+                raise InvalidParameterError(
+                    f"polyexppoly snapshot carries decay {type(decay).__name__}"
+                )
+            pipe_engine = GeneralPolyexpSum(decay)
+        moments = [float(m) for m in data["moments"]]
+        if len(moments) != pipe_engine._pipe.k + 1:
+            raise InvalidParameterError(
+                f"snapshot has {len(moments)} moments, pipeline needs "
+                f"{pipe_engine._pipe.k + 1}"
+            )
+        pipe_engine._pipe._m = moments
+        pipe_engine._pipe._time = int(data["time"])
+        pipe_engine._pipe._items = int(data["items"])
+        return pipe_engine
     if kind == "exact":
         engine = ExactDecayingSum(decay_from_dict(data["decay"]))
         engine._time = int(data["time"])

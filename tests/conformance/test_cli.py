@@ -1,0 +1,56 @@
+"""End-to-end CLI tests: ``python -m repro.conformance`` as CI runs it."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.conformance.report import validate_report
+
+REPO_ROOT = Path(__file__).parents[2]
+
+
+def run_conformance(*args: str) -> subprocess.CompletedProcess[str]:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.conformance", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+
+
+class TestCli:
+    def test_clean_run_exits_zero_and_writes_report(self, tmp_path) -> None:
+        out = tmp_path / "CONFORMANCE.json"
+        proc = run_conformance(
+            "--seeds", "3", "--engines", "expd,sliwin", "--out", str(out)
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "OK: all laws hold" in proc.stdout
+        report = json.loads(out.read_text())
+        validate_report(report)
+        assert report["engines"] == ["expd", "sliwin"]
+        assert report["seeds"] == 3
+
+    def test_law_filter(self) -> None:
+        proc = run_conformance(
+            "--seeds", "2", "--engines", "expd", "--laws", "CL001,CL002"
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "laws=CL001,CL002" in proc.stdout
+
+    def test_unknown_engine_is_a_usage_error(self) -> None:
+        proc = run_conformance("--seeds", "1", "--engines", "warp-drive")
+        assert proc.returncode == 2
+        assert "warp-drive" in proc.stderr
+
+    def test_bad_seed_count_is_a_usage_error(self) -> None:
+        proc = run_conformance("--seeds", "0")
+        assert proc.returncode == 2

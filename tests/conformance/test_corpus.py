@@ -1,0 +1,55 @@
+"""Tier-1 regression-corpus replay: every checked-in trace, forever.
+
+Two layers:
+
+* pinned replay -- each entry that names a decay cell re-runs its recorded
+  laws on exactly that cell (:func:`repro.conformance.corpus.replay_entry`);
+* matrix sweep -- every corpus trace additionally runs through the whole
+  engine matrix under the full law catalog, so a reproducer found on one
+  engine keeps guarding all of them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.conformance.corpus import CorpusEntry, load_corpus, replay_entry
+from repro.conformance.suite import ConformanceSuite
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+ENTRIES = load_corpus(CORPUS_DIR)
+
+
+def test_corpus_is_seeded() -> None:
+    assert len(ENTRIES) >= 10, "regression corpus must hold >= 10 traces"
+    names = {entry.name for entry in ENTRIES}
+    # The PR-1 factory-routing bug shapes must stay in the corpus.
+    assert "polyexp-routing-pr1" in names
+    assert "polyexppoly-routing-pr1" in names
+
+
+def test_corpus_entries_are_wellformed() -> None:
+    for entry in ENTRIES:
+        assert entry.name, "entry needs a name"
+        assert entry.notes, f"{entry.name}: entry needs a human note"
+        # Round-trip through the JSON dict form is the identity.
+        assert CorpusEntry.from_dict(entry.to_dict()) == entry
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=lambda e: e.name)
+def test_pinned_replay(entry: CorpusEntry) -> None:
+    violations = replay_entry(entry)
+    assert not violations, "\n".join(v.render() for v in violations)
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=lambda e: e.name)
+def test_matrix_sweep(entry: CorpusEntry) -> None:
+    suite = ConformanceSuite(shrink_budget=200)
+    cells, findings = suite.check_trace(entry.trace)
+    assert cells > 0
+    assert not findings, "\n".join(
+        f.violation.render() for f in findings
+    )

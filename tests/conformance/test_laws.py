@@ -1,0 +1,145 @@
+"""Unit tests of the law catalog: applicability, detection, soundness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conformance.engines import default_specs, make_spec
+from repro.conformance.laws import (
+    Violation,
+    all_laws,
+    get_law,
+    resolve_laws,
+    run_laws,
+)
+from repro.conformance.mutants import mutant_spec
+from repro.conformance.trace import Trace
+from repro.core.decay import SlidingWindowDecay
+from repro.core.interfaces import make_decaying_sum
+
+SPECS = default_specs()
+
+SAMPLE = Trace.build([(0, 2), (3, 1), (3, 4), (9, 1)], tail=5)
+
+
+class TestCatalog:
+    def test_ids_are_unique_and_ordered(self) -> None:
+        ids = [law.law_id for law in all_laws()]
+        assert ids == sorted(set(ids))
+        assert ids[0] == "CL001"
+
+    def test_lookup_by_id_and_name(self) -> None:
+        assert get_law("CL002") is get_law("batch-split")
+        with pytest.raises(KeyError):
+            get_law("CL999")
+
+    def test_resolve_laws(self) -> None:
+        assert resolve_laws("all") == all_laws()
+        assert [law.law_id for law in resolve_laws("CL001,CL003")] == [
+            "CL001",
+            "CL003",
+        ]
+
+
+class TestApplicability:
+    def test_time_shift_skips_wbmh(self) -> None:
+        law = get_law("CL003")
+        assert not law.applies(SPECS["polyd-wbmh"])
+        assert law.applies(SPECS["sliwin"])
+        assert law.applies(SPECS["expd"])
+
+    def test_scale_linearity_only_register_engines(self) -> None:
+        law = get_law("CL004")
+        linear = {name for name, s in SPECS.items() if law.applies(s)}
+        assert linear == {"expd", "polyexp", "polyexppoly"}
+
+    def test_monotone_skips_nonmonotone_decay(self) -> None:
+        law = get_law("CL005")
+        # Polyexponential weight rises from g(0)=0 to a peak: not monotone.
+        assert not law.applies(SPECS["polyexp"])
+        assert law.applies(SPECS["sliwin"])
+        assert law.applies(SPECS["polyd-wbmh"])
+
+
+class TestLawsHoldOnHealthyEngines:
+    @pytest.mark.parametrize("name", sorted(SPECS), ids=str)
+    def test_sample_trace_clean(self, name: str) -> None:
+        violations = run_laws(SPECS[name], SAMPLE)
+        assert not violations, "\n".join(v.render() for v in violations)
+
+
+class TestDetection:
+    def test_biased_query_caught_by_oracle_law(self) -> None:
+        spec = mutant_spec(SPECS["sliwin"], "biased-query")
+        violations = get_law("CL001").check(spec, SAMPLE)
+        assert violations
+        assert violations[0].law_id == "CL001"
+        assert violations[0].engine == spec.name
+
+    def test_wide_bracket_caught_by_width_check(self) -> None:
+        spec = mutant_spec(SPECS["expd"], "wide-bracket")
+        violations = get_law("CL001").check(spec, SAMPLE)
+        assert violations
+        assert "width" in violations[0].message
+
+    def test_dropped_batch_item_caught_by_batch_split(self) -> None:
+        spec = mutant_spec(SPECS["sliwin"], "dropped-batch-item")
+        violations = get_law("CL002").check(spec, SAMPLE)
+        assert violations
+        assert violations[0].law_id == "CL002"
+
+    def test_crash_reported_as_violation_not_raised(self) -> None:
+        # The PR-1 routing bug: polyexp decay inside CEH inverts the
+        # bracket and query() raises -- CL001 must fold that into a
+        # Violation instead of blowing up the suite. The trace is the
+        # shrunk reproducer checked in as corpus entry
+        # ``polyexp-routing-pr1``.
+        from repro.core.decay import PolyexponentialDecay
+        from repro.histograms.ceh import CascadedEH
+
+        decay = PolyexponentialDecay(2, 0.1)
+        spec = make_spec("misrouted", decay).with_factory(
+            lambda: CascadedEH(decay, 0.1)
+        )
+        trace = Trace.build([(0, 1)] + [(1, 1)] * 11, tail=2)
+        violations = get_law("CL001").check(spec, trace)
+        assert violations
+        assert "crash" in violations[0].message
+
+
+class TestUnsortedRejection:
+    def test_law_passes_on_engines_that_reject(self) -> None:
+        law = get_law("CL007")
+        for name in sorted(SPECS):
+            assert not law.check(SPECS[name], SAMPLE), name
+
+    def test_law_fires_on_engine_that_accepts_disorder(self) -> None:
+        class _Tolerant:
+            """Engine facade that silently sorts disordered input."""
+
+            def __init__(self) -> None:
+                self._inner = make_decaying_sum(SlidingWindowDecay(64), 0.1)
+
+            def __getattr__(self, attr: str):
+                return getattr(self._inner, attr)
+
+            def ingest(self, items, *, until=None):
+                ordered = sorted(items, key=lambda it: it.time)
+                self._inner.ingest(ordered, until=until)
+
+        spec = SPECS["sliwin"].with_factory(_Tolerant)
+        violations = get_law("CL007").check(spec, SAMPLE)
+        assert any("out-of-order" in v.message for v in violations)
+
+    def test_vacuous_on_single_time_traces(self) -> None:
+        law = get_law("CL007")
+        single = Trace.build([(4, 1), (4, 2)], tail=2)
+        # Only the advance_to half of the law can run; it must still pass.
+        assert not law.check(SPECS["expd"], single)
+
+
+class TestViolationRendering:
+    def test_render_includes_law_engine_and_time(self) -> None:
+        v = Violation("CL001", "sliwin", "bracket misses truth", time=7)
+        text = v.render()
+        assert "CL001" in text and "sliwin" in text and "t=7" in text

@@ -1,0 +1,50 @@
+"""Acceptance gate: the kit must catch injected estimator bugs.
+
+Each registered mutation wraps a healthy factory engine with a known
+defect; the suite must (a) detect every one of them within a small seed
+budget and (b) shrink the failing trace to a reproducer of at most 10
+items -- the ISSUE's acceptance bar for the shrinking machinery.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conformance.engines import default_specs
+from repro.conformance.mutants import MUTATIONS, mutant_spec, mutant_specs
+from repro.conformance.suite import ConformanceSuite
+
+SPECS = default_specs()
+
+#: Cells the smoke test injects bugs into: one EH, one WBMH, one register.
+TARGETS = ("sliwin", "polyd-wbmh", "expd")
+
+
+@pytest.mark.parametrize("mutation", sorted(MUTATIONS), ids=str)
+def test_mutation_is_caught_and_shrunk(mutation: str) -> None:
+    caught = False
+    for target in TARGETS:
+        spec = mutant_spec(SPECS[target], mutation)
+        suite = ConformanceSuite({spec.name: spec}, shrink_budget=500)
+        result = suite.run(6)
+        if result.ok:
+            continue
+        caught = True
+        smallest = min(f.shrunk.n_items for f in result.findings)
+        assert smallest <= 10, (
+            f"{mutation} on {target}: smallest reproducer has "
+            f"{smallest} items"
+        )
+        # The shrunk trace must still fail: re-check it from scratch.
+        finding = min(result.findings, key=lambda f: f.shrunk.n_items)
+        _, refound = suite.check_trace(finding.shrunk)
+        assert refound, "shrunk reproducer no longer fails"
+    assert caught, f"mutation {mutation!r} escaped the suite"
+
+
+def test_mutant_specs_cover_all_mutations() -> None:
+    mutants = mutant_specs(SPECS["sliwin"])
+    assert set(mutants) == set(MUTATIONS)
+    for name, spec in mutants.items():
+        assert name in spec.name
+        assert not spec.serializable, "mutants must opt out of CL006"

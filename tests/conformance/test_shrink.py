@@ -1,0 +1,70 @@
+"""Unit tests of the greedy shrinker on synthetic predicates."""
+
+from __future__ import annotations
+
+from repro.conformance.shrink import shrink_trace
+from repro.conformance.trace import Trace
+
+BIG = Trace.build(
+    [(t, 3) for t in range(0, 60, 2)], tail=40
+)
+
+
+class TestShrinking:
+    def test_shrinks_to_single_item(self) -> None:
+        # Failure: "any item present at all" -- minimum is one item.
+        result = shrink_trace(BIG, lambda tr: tr.n_items >= 1)
+        assert result.improved
+        assert result.trace.n_items == 1
+        assert result.trace.tail == 0
+        # Times compressed to the origin, value pulled toward zero.
+        assert result.trace.items[0][0] == 0
+        assert result.trace.items[0][1] == 0.0
+
+    def test_respects_item_count_constraint(self) -> None:
+        result = shrink_trace(BIG, lambda tr: tr.n_items >= 7)
+        assert result.trace.n_items == 7
+
+    def test_respects_mass_constraint(self) -> None:
+        result = shrink_trace(BIG, lambda tr: tr.total_value() >= 10)
+        assert result.trace.total_value() >= 10
+        # 3-valued items: 4 items x 3 = 12 is the reachable minimum
+        # (value simplification can only move toward 0/1/half).
+        assert result.trace.n_items <= 4
+
+    def test_non_failing_input_is_returned_unimproved(self) -> None:
+        result = shrink_trace(BIG, lambda tr: False)
+        assert not result.improved
+        assert result.trace == BIG
+        assert result.evaluations == 1
+
+    def test_deterministic(self) -> None:
+        a = shrink_trace(BIG, lambda tr: tr.end_time >= 20)
+        b = shrink_trace(BIG, lambda tr: tr.end_time >= 20)
+        assert a.trace == b.trace
+        assert a.evaluations == b.evaluations
+
+    def test_budget_is_respected(self) -> None:
+        calls = 0
+
+        def fails(tr: Trace) -> bool:
+            nonlocal calls
+            calls += 1
+            return tr.n_items >= 1
+
+        result = shrink_trace(BIG, fails, max_evaluations=25)
+        assert result.evaluations <= 25
+        assert calls <= 25
+        # Whatever came back must still fail.
+        assert result.trace.n_items >= 1
+
+    def test_result_still_fails_predicate(self) -> None:
+        predicate = lambda tr: tr.n_items >= 2 and tr.tail >= 5  # noqa: E731
+        result = shrink_trace(BIG, predicate)
+        assert predicate(result.trace)
+        assert result.trace.n_items == 2
+        assert result.trace.tail == 5
+
+    def test_describe_mentions_outcome(self) -> None:
+        result = shrink_trace(BIG, lambda tr: tr.n_items >= 1)
+        assert "shrunk" in result.describe()

@@ -1,0 +1,68 @@
+"""Fuzz generator determinism + a clean small-seed suite run (tier-1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conformance.engines import default_specs, resolve_specs
+from repro.conformance.fuzz import SHAPES, fuzz_traces, trace_for_seed
+from repro.conformance.report import build_report, validate_report
+from repro.conformance.suite import ConformanceSuite
+from repro.core.errors import InvalidParameterError
+
+
+class TestFuzzGenerator:
+    def test_deterministic_per_seed(self) -> None:
+        for seed in range(30):
+            assert trace_for_seed(seed) == trace_for_seed(seed)
+
+    def test_traces_are_valid_and_varied(self) -> None:
+        sizes = set()
+        for seed, trace in fuzz_traces(40):
+            sizes.add(trace.n_items)
+            # Construction re-validates: sorted, non-negative ints.
+            assert trace.end_time >= 0
+        assert len(sizes) > 5, "fuzzed traces should vary in size"
+
+    def test_shape_pinning(self) -> None:
+        for shape in SHAPES:
+            trace_for_seed(3, shape=shape)  # must not raise
+        with pytest.raises(InvalidParameterError):
+            trace_for_seed(3, shape="nope")
+
+    def test_edge_shape_covers_empty_trace(self) -> None:
+        empties = [
+            trace
+            for seed in range(40)
+            if (trace := trace_for_seed(seed, shape="edge")).n_items == 0
+        ]
+        assert empties, "edge shape must include the empty trace"
+
+
+class TestSuiteRun:
+    def test_small_fuzz_run_is_clean(self) -> None:
+        suite = ConformanceSuite()
+        result = suite.run(6)
+        assert result.ok, "\n".join(
+            f.violation.render() for f in result.findings
+        )
+        assert result.cases > 0
+        assert result.engines == sorted(default_specs())
+        assert "all laws hold" in result.describe()
+
+    def test_engine_subset(self) -> None:
+        suite = ConformanceSuite(resolve_specs("expd,sliwin"))
+        result = suite.run(4)
+        assert result.ok
+        assert result.engines == ["expd", "sliwin"]
+
+    def test_report_roundtrip(self) -> None:
+        result = ConformanceSuite(resolve_specs("expd")).run(3)
+        report = build_report(result)
+        validate_report(report)
+        assert report["ok"] is True
+        assert report["findings"] == []
+
+    def test_unknown_engine_rejected(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            resolve_specs("expd,warp-drive")

@@ -1,0 +1,77 @@
+"""Satellite: the batch path rejects disordered time on *every* engine.
+
+``ingest`` with out-of-order timestamps must raise
+:class:`~repro.core.errors.TimeOrderError` (never silently mis-weight),
+``advance_to`` must refuse to move the clock backwards, and genuinely
+late data has a sanctioned route: :class:`repro.streams.lateness.
+LatenessBuffer` re-orders bounded lateness in front of any engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conformance.engines import default_specs
+from repro.core.errors import TimeOrderError
+from repro.streams.generators import StreamItem
+from repro.streams.lateness import LatenessBuffer
+
+SPECS = default_specs()
+
+DISORDERED = [
+    StreamItem(4, 1.0),
+    StreamItem(9, 2.0),
+    StreamItem(6, 1.0),  # out of order
+]
+
+
+@pytest.mark.parametrize("name", sorted(SPECS), ids=str)
+class TestEveryEngineRejectsDisorder:
+    def test_ingest_unsorted_raises(self, name: str) -> None:
+        engine = SPECS[name].build()
+        with pytest.raises(TimeOrderError):
+            engine.ingest(DISORDERED)
+
+    def test_ingest_before_clock_raises(self, name: str) -> None:
+        engine = SPECS[name].build()
+        engine.advance(10)
+        with pytest.raises(TimeOrderError):
+            engine.ingest([StreamItem(4, 1.0)])
+
+    def test_ingest_until_before_last_item_raises(self, name: str) -> None:
+        engine = SPECS[name].build()
+        with pytest.raises(TimeOrderError):
+            engine.ingest([StreamItem(8, 1.0)], until=5)
+
+    def test_advance_to_backwards_raises(self, name: str) -> None:
+        engine = SPECS[name].build()
+        engine.advance(7)
+        with pytest.raises(TimeOrderError):
+            engine.advance_to(3)
+
+    def test_advance_to_current_time_is_noop(self, name: str) -> None:
+        engine = SPECS[name].build()
+        engine.advance(7)
+        engine.advance_to(7)
+        assert engine.time == 7
+
+
+@pytest.mark.parametrize("name", sorted(SPECS), ids=str)
+def test_lateness_buffer_is_the_sanctioned_route(name: str) -> None:
+    """Disordered events through a LatenessBuffer match an in-order run."""
+    events = [(3, 1.0), (1, 2.0), (5, 1.0), (2, 4.0), (8, 1.0)]
+    buffered = LatenessBuffer(SPECS[name].build(), max_lateness=7)
+    for when, value in events:
+        assert buffered.observe(when, value)
+    buffered.advance_watermark(20)  # frontier 13: everything is complete
+    reference = SPECS[name].build()
+    reference.ingest(
+        [StreamItem(t, v) for t, v in sorted(events)],
+        until=buffered.frontier,
+    )
+    est_b, est_r = buffered.query(), reference.query()
+    assert (est_b.value, est_b.lower, est_b.upper) == (
+        est_r.value,
+        est_r.lower,
+        est_r.upper,
+    )

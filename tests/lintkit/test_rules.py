@@ -453,3 +453,146 @@ class TestPublicAnnotations:
             "RK006",
         )
         assert found == []
+
+
+# --------------------------------------------------------------------- RK007
+
+
+class TestPureLaws:
+    PATH = "repro/conformance/laws.py"
+
+    def test_wall_clock_in_law_flagged(self):
+        found = _lint(
+            """
+            import time
+
+            def check(spec, trace):
+                return time.time()
+            """,
+            self.PATH,
+            "RK007",
+        )
+        assert _ids(found) == ["RK007"]
+        assert "wall-clock" in found[0].message
+
+    def test_global_rng_flagged(self):
+        found = _lint(
+            """
+            import random
+
+            def check(spec, trace):
+                return random.random() < 0.5
+            """,
+            self.PATH,
+            "RK007",
+        )
+        assert _ids(found) == ["RK007"]
+        assert "module-global RNG" in found[0].message
+
+    def test_unseeded_random_instance_flagged(self):
+        found = _lint(
+            """
+            import random
+
+            def check(spec, trace):
+                rng = random.Random()
+                return rng.random()
+            """,
+            self.PATH,
+            "RK007",
+        )
+        assert _ids(found) == ["RK007"]
+        assert "seed" in found[0].message
+
+    def test_seeded_random_instance_ok(self):
+        found = _lint(
+            """
+            import random
+
+            def check(spec, trace):
+                rng = random.Random(1234)
+                return rng.random()
+            """,
+            self.PATH,
+            "RK007",
+        )
+        assert found == []
+
+    def test_trace_attribute_assignment_flagged(self):
+        found = _lint(
+            """
+            def check(spec, trace):
+                trace.tail = 0
+                return []
+            """,
+            self.PATH,
+            "RK007",
+        )
+        assert _ids(found) == ["RK007"]
+        assert "assigns into its trace argument" in found[0].message
+
+    def test_trace_subscript_and_augassign_flagged(self):
+        found = _lint(
+            """
+            def check(spec, trace):
+                trace.items[0] = (0, 1.0)
+                trace.tail += 1
+                return []
+            """,
+            self.PATH,
+            "RK007",
+        )
+        assert _ids(found) == ["RK007", "RK007"]
+
+    def test_trace_mutating_method_flagged(self):
+        found = _lint(
+            """
+            def check(spec, trace):
+                trace.items.append((0, 1.0))
+                return []
+            """,
+            self.PATH,
+            "RK007",
+        )
+        assert _ids(found) == ["RK007"]
+        assert ".append()" in found[0].message
+
+    def test_object_setattr_escape_hatch_flagged(self):
+        found = _lint(
+            """
+            def check(spec, trace):
+                object.__setattr__(trace, "tail", 0)
+                return []
+            """,
+            self.PATH,
+            "RK007",
+        )
+        assert _ids(found) == ["RK007"]
+
+    def test_pure_law_ok(self):
+        found = _lint(
+            """
+            def check(spec, trace):
+                shifted = trace.shifted(7)
+                local = list(trace.items)
+                local.append((99, 1.0))
+                return [shifted, local]
+            """,
+            self.PATH,
+            "RK007",
+        )
+        assert found == []
+
+    def test_scoped_to_laws_files_only(self):
+        impure = """
+            import time
+
+            def check(spec, trace):
+                trace.tail = 0
+                return time.time()
+            """
+        assert _lint(impure, "repro/conformance/shrink.py", "RK007") == []
+        assert _lint(impure, "repro/core/laws.py", "RK007") == []
+        assert _ids(
+            _lint(impure, "repro/conformance/laws_extra.py", "RK007")
+        ) == ["RK007", "RK007"]
