@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint typecheck check conformance bench bench-throughput examples clean all
+.PHONY: install test lint typecheck check conformance bench bench-throughput bench-compare examples clean all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -35,6 +35,13 @@ bench:
 bench-throughput:
 	PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) -m repro.benchkit.throughput \
 		--items 20000 --bulk-value 100000 --out BENCH_throughput.json
+
+# Regression gate: fresh measurement vs the checked-in baseline. Fails
+# (exit 1) when any (engine, trace, mode) cell drops more than 30%.
+bench-compare: bench-throughput
+	PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) -m repro.benchkit.regress \
+		--baseline benchmarks/baselines/BENCH_throughput.json \
+		--fresh BENCH_throughput.json
 
 examples:
 	@for ex in examples/*.py; do \

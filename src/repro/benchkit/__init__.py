@@ -1,6 +1,7 @@
 """Benchmark harness utilities: sweep runners, throughput, table printers."""
 
 from repro.benchkit.harness import AccuracyResult, growth_exponent, measure_accuracy
+from repro.benchkit.regress import CellDiff, compare_reports, load_report
 from repro.benchkit.reporting import banner, format_series, format_table, print_table
 from repro.benchkit.throughput import (
     SCHEMA_VERSION,
@@ -9,8 +10,10 @@ from repro.benchkit.throughput import (
     default_traces,
     eh_bulk_speedup,
     measure_throughput,
+    numpy_dense_baseline,
     run_suite,
     validate_report,
+    wbmh_advance_speedup,
     write_report,
 )
 
@@ -28,7 +31,12 @@ __all__ = [
     "default_engines",
     "default_traces",
     "eh_bulk_speedup",
+    "wbmh_advance_speedup",
+    "numpy_dense_baseline",
     "run_suite",
     "validate_report",
     "write_report",
+    "CellDiff",
+    "compare_reports",
+    "load_report",
 ]

@@ -1,0 +1,217 @@
+"""Throughput-regression gate: diff a fresh report against a baseline.
+
+The checked-in reference lives at ``benchmarks/baselines/
+BENCH_throughput.json``; CI regenerates a fresh report on every push and
+this module compares the two cell by cell. A cell is one
+``(engine, trace, mode)`` throughput measurement; the gate fails when any
+cell's fresh items/sec drops more than the threshold (default 30%) below
+the baseline, or when a baseline cell disappears from the fresh report.
+New cells in the fresh report are reported but never fail the gate, so
+adding engines or traces does not require touching the baseline first.
+
+Wall-clock derived numbers live in ``benchkit`` by design: RK001 exempts
+this package precisely so the library proper stays on the model clock.
+
+Usage::
+
+    python -m repro.benchkit.regress \
+        --baseline benchmarks/baselines/BENCH_throughput.json \
+        --fresh BENCH_throughput.json [--threshold 0.3]
+
+Exit status 0 when every cell holds, 1 on any regression (the offending
+cells are listed on stdout).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping, Sequence, cast
+
+from repro.benchkit.reporting import format_table
+from repro.core.errors import InvalidParameterError
+
+__all__ = [
+    "CellDiff",
+    "load_report",
+    "compare_reports",
+    "format_diff",
+    "main",
+]
+
+DEFAULT_THRESHOLD = 0.3
+
+Cell = tuple[str, str, str]
+
+
+@dataclass(slots=True)
+class CellDiff:
+    """One (engine, trace, mode) cell compared across the two reports."""
+
+    engine: str
+    trace: str
+    mode: str
+    baseline_ips: float | None
+    fresh_ips: float | None
+    #: fresh / baseline; None when either side is missing.
+    ratio: float | None
+    #: True when this cell alone makes the gate fail.
+    regressed: bool
+
+
+def load_report(path: str | Path) -> dict[str, Any]:
+    """Read and structurally sanity-check one report file.
+
+    Full schema validation is the writer's job
+    (:func:`repro.benchkit.throughput.validate_report`); the comparison
+    only needs the results matrix, so older-schema baselines remain
+    comparable after a schema bump.
+    """
+    p = Path(path)
+    if not p.is_file():
+        raise InvalidParameterError(f"no report at {p}")
+    try:
+        report = json.loads(p.read_text())
+    except json.JSONDecodeError as exc:
+        raise InvalidParameterError(f"{p} is not valid JSON: {exc}") from exc
+    if not isinstance(report, dict) or not isinstance(
+        report.get("results"), list
+    ):
+        raise InvalidParameterError(f"{p} has no results matrix")
+    return cast("dict[str, Any]", report)
+
+
+def _cells(report: Mapping[str, Any]) -> dict[Cell, float]:
+    cells: dict[Cell, float] = {}
+    for row in report["results"]:
+        if not isinstance(row, dict):
+            raise InvalidParameterError(f"malformed result row: {row!r}")
+        try:
+            key = (str(row["engine"]), str(row["trace"]), str(row["mode"]))
+            ips = float(row["items_per_sec"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise InvalidParameterError(
+                f"malformed result row: {row!r}"
+            ) from exc
+        if not ips > 0:
+            raise InvalidParameterError(f"non-positive throughput: {row!r}")
+        cells[key] = ips
+    return cells
+
+
+def compare_reports(
+    baseline: Mapping[str, Any],
+    fresh: Mapping[str, Any],
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> list[CellDiff]:
+    """Cell-by-cell diff; a cell regresses when fresh < (1 - threshold) *
+    baseline, or when it exists in the baseline but not in the fresh run."""
+    if not 0 < threshold < 1:
+        raise InvalidParameterError(
+            f"threshold must be in (0, 1), got {threshold}"
+        )
+    base_cells = _cells(baseline)
+    fresh_cells = _cells(fresh)
+    diffs: list[CellDiff] = []
+    for key in sorted(set(base_cells) | set(fresh_cells)):
+        engine, trace, mode = key
+        base_ips = base_cells.get(key)
+        fresh_ips = fresh_cells.get(key)
+        if base_ips is None or fresh_ips is None:
+            # A vanished cell fails the gate (coverage shrank); a new cell
+            # is informational only.
+            diffs.append(
+                CellDiff(
+                    engine,
+                    trace,
+                    mode,
+                    base_ips,
+                    fresh_ips,
+                    ratio=None,
+                    regressed=fresh_ips is None,
+                )
+            )
+            continue
+        ratio = fresh_ips / base_ips
+        diffs.append(
+            CellDiff(
+                engine,
+                trace,
+                mode,
+                base_ips,
+                fresh_ips,
+                ratio=ratio,
+                regressed=ratio < 1.0 - threshold,
+            )
+        )
+    return diffs
+
+
+def format_diff(diffs: Sequence[CellDiff], *, threshold: float) -> str:
+    """Human-readable comparison table plus a one-line verdict."""
+    rows = []
+    for d in diffs:
+        rows.append(
+            [
+                d.engine,
+                d.trace,
+                d.mode,
+                "-" if d.baseline_ips is None else f"{d.baseline_ips:,.0f}",
+                "-" if d.fresh_ips is None else f"{d.fresh_ips:,.0f}",
+                "-" if d.ratio is None else f"{d.ratio:.2f}",
+                "REGRESSED" if d.regressed else "ok",
+            ]
+        )
+    table = format_table(
+        ["engine", "trace", "mode", "baseline", "fresh", "ratio", "verdict"],
+        rows,
+    )
+    bad = [d for d in diffs if d.regressed]
+    if bad:
+        verdict = (
+            f"\nFAIL: {len(bad)} cell(s) regressed more than "
+            f"{threshold:.0%} below the baseline"
+        )
+    else:
+        verdict = f"\nOK: every cell within {threshold:.0%} of the baseline"
+    return table + verdict
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.benchkit.regress",
+        description="Fail when fresh throughput regresses past the baseline.",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        required=True,
+        help="checked-in reference BENCH_throughput.json",
+    )
+    parser.add_argument(
+        "--fresh",
+        type=Path,
+        required=True,
+        help="freshly measured BENCH_throughput.json",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="maximum tolerated per-cell drop as a fraction (default 0.3)",
+    )
+    args = parser.parse_args(argv)
+    diffs = compare_reports(
+        load_report(args.baseline),
+        load_report(args.fresh),
+        threshold=args.threshold,
+    )
+    print(format_diff(diffs, threshold=args.threshold))
+    return 1 if any(d.regressed for d in diffs) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

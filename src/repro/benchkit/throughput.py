@@ -10,14 +10,19 @@ Exponential Histogram's binary-decomposition bulk insert against the
 retained unary reference loop.
 
 ``python -m repro.benchkit.throughput --out BENCH_throughput.json`` writes
-the machine-readable report consumed by CI's throughput smoke job and
-recorded in EXPERIMENTS.md.
+the machine-readable report diffed against ``benchmarks/baselines/`` by
+:mod:`repro.benchkit.regress` (CI's ``bench-compare`` job) and recorded in
+EXPERIMENTS.md. Schema v2 adds per-cell batched/item speedup ratios, the
+host Python version, the WBMH sparse-advance micro-benchmark, and the
+numpy brute-force dense baseline with per-engine headroom.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import platform
+import random
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -41,6 +46,8 @@ __all__ = [
     "default_engines",
     "default_traces",
     "eh_bulk_speedup",
+    "wbmh_advance_speedup",
+    "numpy_dense_baseline",
     "run_suite",
     "validate_report",
     "write_report",
@@ -48,7 +55,7 @@ __all__ = [
     "main",
 ]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 Modes = ("batched", "item")
 
@@ -182,6 +189,86 @@ def eh_bulk_speedup(
     }
 
 
+def wbmh_advance_speedup(
+    *,
+    epsilon: float = 0.1,
+    lam: float = 0.0001,
+    n_events: int = 200,
+    max_gap: int = 20_000,
+    seed: int = 7,
+) -> dict[str, float]:
+    """Closed-form clock skip vs unit-step ``advance`` on a sparse trace.
+
+    A slowly-decaying EXPD lattice (seal width ``ln(ratio)/lam`` ticks)
+    is driven over arrivals separated by large gaps, once with a single
+    ``advance(gap)`` per arrival (the event-driven skip) and once with
+    ``gap`` unit steps (the pre-optimization per-tick cadence, still what
+    a caller gets by stepping the model clock manually). Both runs end in
+    bit-identical engines; ``speedup`` is the acceptance metric for the
+    sparse-stream advance path (>= 5x).
+    """
+    if n_events < 1 or max_gap < 2:
+        raise InvalidParameterError("need n_events >= 1 and max_gap >= 2")
+    rng = random.Random(seed)
+    gaps = [rng.randint(max_gap // 10, max_gap) for _ in range(n_events)]
+    skip_engine = WBMH(ExponentialDecay(lam), epsilon)
+    t0 = time.perf_counter()
+    for gap in gaps:
+        skip_engine.advance(gap)
+        skip_engine.add(1.0)
+    skip_seconds = time.perf_counter() - t0
+    unit_engine = WBMH(ExponentialDecay(lam), epsilon)
+    t0 = time.perf_counter()
+    for gap in gaps:
+        for _ in range(gap):
+            unit_engine.advance(1)
+        unit_engine.add(1.0)
+    unit_seconds = time.perf_counter() - t0
+    if skip_engine.bucket_view() != unit_engine.bucket_view():
+        raise InvalidParameterError(
+            "advance(gap) and unit-step replay diverged -- kernel bug"
+        )
+    return {
+        "lam": lam,
+        "total_ticks": float(sum(gaps)),
+        "n_events": float(n_events),
+        "skip_seconds": skip_seconds,
+        "unit_seconds": unit_seconds,
+        "speedup": unit_seconds / max(skip_seconds, 1e-12),
+    }
+
+
+def numpy_dense_baseline(
+    items: Sequence[StreamItem], *, repeats: int = 3
+) -> dict[str, float]:
+    """Brute-force numpy evaluation of the dense trace (POLYD-1).
+
+    :func:`repro.vectorized.decayed_sum_dense` answers a single query by
+    weighting every tick of the densified trace -- the Omega(N) baseline
+    the engines are competing with. Reported as items/sec over the same
+    trace so the matrix rows divide directly into an engine-vs-numpy
+    headroom figure.
+    """
+    from repro.vectorized import decayed_sum_dense, trace_to_dense
+
+    if repeats < 1:
+        raise InvalidParameterError("repeats must be >= 1")
+    decay = PolynomialDecay(1.0)
+    seconds = float("inf")
+    value = 0.0
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        dense = trace_to_dense(items)
+        value = decayed_sum_dense(dense, decay)
+        seconds = min(seconds, time.perf_counter() - t0)
+    return {
+        "items": float(len(items)),
+        "seconds": seconds,
+        "items_per_sec": len(items) / max(seconds, 1e-12),
+        "query_value": value,
+    }
+
+
 def run_suite(
     n_items: int = 20_000,
     *,
@@ -189,11 +276,15 @@ def run_suite(
     epsilon: float = 0.1,
     seed: int = 7,
     repeats: int = 3,
+    advance_events: int = 200,
+    advance_max_gap: int = 20_000,
 ) -> dict[str, object]:
-    """Full matrix: every engine x every trace x both modes, plus EH bulk."""
+    """Full matrix: every engine x every trace x both modes, plus the EH
+    bulk, WBMH sparse-advance, and numpy brute-force side benches."""
     engines = default_engines(epsilon)
     traces = default_traces(n_items, seed=seed)
     results: list[dict[str, object]] = []
+    cells: dict[tuple[str, str, str], float] = {}
     for trace_name, items in traces.items():
         for engine_name, factory in engines.items():
             for mode in Modes:
@@ -206,15 +297,43 @@ def run_suite(
                     repeats=repeats,
                 )
                 results.append(asdict(res))
+                cells[(engine_name, trace_name, mode)] = res.items_per_sec
+    speedups: list[dict[str, object]] = []
+    for trace_name in traces:
+        for engine_name in engines:
+            batched = cells[(engine_name, trace_name, "batched")]
+            item = cells[(engine_name, trace_name, "item")]
+            speedups.append(
+                {
+                    "engine": engine_name,
+                    "trace": trace_name,
+                    "batched_over_item": batched / max(item, 1e-12),
+                }
+            )
+    numpy_baseline = numpy_dense_baseline(traces["dense"], repeats=repeats)
+    headroom = {
+        engine_name: float(numpy_baseline["items_per_sec"])
+        / max(cells[(engine_name, "dense", "batched")], 1e-12)
+        for engine_name in engines
+    }
     report: dict[str, object] = {
         "schema_version": SCHEMA_VERSION,
+        "python_version": platform.python_version(),
         "n_items": n_items,
         "epsilon": epsilon,
         "seed": seed,
         "engines": list(engines),
         "traces": list(traces),
         "results": results,
+        "speedups": speedups,
         "eh_bulk": eh_bulk_speedup(bulk_value, epsilon=epsilon),
+        "wbmh_advance": wbmh_advance_speedup(
+            epsilon=epsilon,
+            seed=seed,
+            n_events=advance_events,
+            max_gap=advance_max_gap,
+        ),
+        "numpy_baseline": {**numpy_baseline, "headroom": headroom},
     }
     validate_report(report)
     return report
@@ -240,9 +359,21 @@ def validate_report(report: Mapping[str, object]) -> None:
             f"schema_version must be {SCHEMA_VERSION}, "
             f"got {report.get('schema_version')!r}"
         )
-    for key in ("n_items", "engines", "traces", "results", "eh_bulk"):
+    for key in (
+        "python_version",
+        "n_items",
+        "engines",
+        "traces",
+        "results",
+        "speedups",
+        "eh_bulk",
+        "wbmh_advance",
+        "numpy_baseline",
+    ):
         if key not in report:
             raise InvalidParameterError(f"missing top-level key {key!r}")
+    if not isinstance(report["python_version"], str):
+        raise InvalidParameterError("python_version must be a string")
     engines = report["engines"]
     traces = report["traces"]
     results = report["results"]
@@ -278,12 +409,44 @@ def validate_report(report: Mapping[str, object]) -> None:
                 raise InvalidParameterError(
                     f"missing batched result for {engine!r} on {trace!r}"
                 )
+    speedups = report["speedups"]
+    if not isinstance(speedups, list):
+        raise InvalidParameterError("speedups must be a list")
+    ratio_cells = set()
+    for row in speedups:
+        if not isinstance(row, dict) or not isinstance(
+            row.get("batched_over_item"), (int, float)
+        ):
+            raise InvalidParameterError(f"malformed speedup row: {row!r}")
+        ratio_cells.add((str(row.get("engine")), str(row.get("trace"))))
+    for engine in engines:
+        for trace in traces:
+            if (str(engine), str(trace)) not in ratio_cells:
+                raise InvalidParameterError(
+                    f"missing speedup row for {engine!r} on {trace!r}"
+                )
     eh_bulk = report["eh_bulk"]
     if not isinstance(eh_bulk, dict):
         raise InvalidParameterError("eh_bulk must be a dict")
     for key in ("value", "bulk_seconds", "unary_seconds", "speedup"):
         if not isinstance(eh_bulk.get(key), (int, float)):
             raise InvalidParameterError(f"eh_bulk missing numeric {key!r}")
+    wbmh_advance = report["wbmh_advance"]
+    if not isinstance(wbmh_advance, dict):
+        raise InvalidParameterError("wbmh_advance must be a dict")
+    for key in ("total_ticks", "skip_seconds", "unit_seconds", "speedup"):
+        if not isinstance(wbmh_advance.get(key), (int, float)):
+            raise InvalidParameterError(f"wbmh_advance missing numeric {key!r}")
+    numpy_baseline = report["numpy_baseline"]
+    if not isinstance(numpy_baseline, dict):
+        raise InvalidParameterError("numpy_baseline must be a dict")
+    for key in ("items", "seconds", "items_per_sec"):
+        if not isinstance(numpy_baseline.get(key), (int, float)):
+            raise InvalidParameterError(
+                f"numpy_baseline missing numeric {key!r}"
+            )
+    if not isinstance(numpy_baseline.get("headroom"), dict):
+        raise InvalidParameterError("numpy_baseline missing headroom dict")
 
 
 def write_report(report: Mapping[str, object], path: str | Path) -> Path:
@@ -310,12 +473,31 @@ def format_report(report: Mapping[str, object]) -> str:
     table = format_table(
         ["engine", "trace", "mode", "items/sec"], rows, precision=0
     )
+    speedups = cast("list[dict[str, Any]]", report["speedups"])
+    ratio_rows = [
+        [
+            str(row["engine"]),
+            str(row["trace"]),
+            float(row["batched_over_item"]),
+        ]
+        for row in speedups
+    ]
+    ratio_table = format_table(
+        ["engine", "trace", "batched/item"], ratio_rows, precision=2
+    )
     eh_bulk = cast("dict[str, float]", report["eh_bulk"])
+    wbmh_advance = cast("dict[str, float]", report["wbmh_advance"])
+    numpy_baseline = cast("dict[str, Any]", report["numpy_baseline"])
     tail = (
+        f"\nPython {report['python_version']}"
         f"\nEH bulk add of value {eh_bulk['value']:.0f}: "
         f"{eh_bulk['speedup']:.0f}x faster than the unary loop"
+        f"\nWBMH sparse advance over {wbmh_advance['total_ticks']:.0f} "
+        f"ticks: {wbmh_advance['speedup']:.1f}x faster than unit steps"
+        f"\nnumpy brute-force dense baseline: "
+        f"{float(numpy_baseline['items_per_sec']):,.0f} items/sec"
     )
-    return table + tail
+    return "\n".join([table, "", ratio_table]) + tail
 
 
 def main(argv: Sequence[str] | None = None) -> int:

@@ -22,8 +22,6 @@ brackets by even one ulp.
 
 from __future__ import annotations
 
-from itertools import groupby
-from operator import attrgetter
 from typing import Hashable, Iterable, Protocol, Sequence
 
 from repro.core.errors import TimeOrderError
@@ -72,6 +70,8 @@ class BatchEngine(Protocol):
 
     def advance(self, steps: int = 1) -> None: ...
 
+    def add(self, value: float = 1.0) -> None: ...
+
     def add_batch(self, values: Sequence[float]) -> None: ...
 
 
@@ -98,28 +98,50 @@ def ingest_trace(
     """Replay a time-sorted ``(time, value)`` trace through the batch path.
 
     Consecutive items sharing an arrival time are folded into a single
-    ``add_batch`` call and the clock advances once per *distinct* arrival
-    time, so the per-item work is amortized over each batch instead of
-    being paid per call.  ``until`` advances the clock past the last item
-    (for queries "later on").
+    ``add_batch`` call (a lone item goes through ``add``, which is
+    bit-identical by the batch contract) and the clock advances once per
+    *distinct* arrival time, so the per-item work is amortized over each
+    batch instead of being paid per call.  ``until`` advances the clock
+    past the last item (for queries "later on").
 
     Raises :class:`TimeOrderError` on the first out-of-order item; pair
     unordered traces with :class:`~repro.streams.lateness.LatenessBuffer`
     or sort them first.
     """
-    # groupby runs the grouping loop in C; the Python-level work is one
-    # iteration per *distinct* arrival time, which is what makes this the
-    # ingestion hot path rather than a prettier spelling of the item loop.
-    for when, group in groupby(items, key=attrgetter("time")):
-        if when < engine.time:
-            raise TimeOrderError(
-                f"trace time {when} precedes engine clock {engine.time}; "
-                "sort the trace or use a LatenessBuffer"
-            )
-        if when > engine.time:
-            engine.advance(when - engine.time)
-        values = [item.value for item in group]
-        engine.add_batch(values)
+    # Hand-rolled lookahead loop instead of itertools.groupby: the engine
+    # clock is tracked in a local int (``advance`` moves it by exactly the
+    # requested steps, a protocol invariant), singleton groups -- the common
+    # case on dense traces -- go through ``add`` without materializing a
+    # one-element list, and each item's attributes are read exactly once.
+    # This is the ingestion hot path; batched mode must beat the bare
+    # advance/add item loop, so every per-item allocation here counts.
+    now = engine.time
+    advance = engine.advance
+    add = engine.add
+    add_batch = engine.add_batch
+    it = iter(items)
+    item = next(it, None)
+    while item is not None:
+        when = item.time
+        if when != now:
+            if when < now:
+                raise TimeOrderError(
+                    f"trace time {when} precedes engine clock {now}; "
+                    "sort the trace or use a LatenessBuffer"
+                )
+            advance(when - now)
+            now = when
+        value = item.value
+        item = next(it, None)
+        if item is None or item.time != when:
+            add(value)
+            continue
+        values = [value, item.value]
+        item = next(it, None)
+        while item is not None and item.time == when:
+            values.append(item.value)
+            item = next(it, None)
+        add_batch(values)
     if until is not None:
         if until < engine.time:
             raise TimeOrderError(

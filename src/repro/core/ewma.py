@@ -81,15 +81,18 @@ class ExponentialSum:
 
         The fold keeps the left-to-right accumulation order of sequential
         ``add`` calls, so the register is bit-identical either way.
+        Validation shares the fold loop (one pass, no intermediate list);
+        the register is only written once the whole batch has passed.
         """
+        acc = self._sum
+        n = 0
         for value in values:
             if value < 0:
                 raise InvalidParameterError(f"value must be >= 0, got {value}")
-        acc = self._sum
-        for value in values:
             acc += value
+            n += 1
         self._sum = acc
-        self._items += len(values)
+        self._items += n
 
     def advance(self, steps: int = 1) -> None:
         if steps < 0:
@@ -279,15 +282,17 @@ class PolyexpPipeline:
 
     def add_batch(self, values: Sequence[float]) -> None:
         """Fold a batch into ``M_0`` (the only register items touch at age
-        0); bit-identical to sequential ``add`` calls."""
+        0); bit-identical to sequential ``add`` calls. One pass: validation
+        rides the fold loop and the register is written once at the end."""
+        acc = self._m[0]
+        n = 0
         for value in values:
             if value < 0:
                 raise InvalidParameterError(f"value must be >= 0, got {value}")
-        acc = self._m[0]
-        for value in values:
             acc += value
+            n += 1
         self._m[0] = acc
-        self._items += len(values)
+        self._items += n
 
     def advance(self, steps: int = 1) -> None:
         if steps < 0:

@@ -62,24 +62,35 @@ class ExactDecayingSum:
 
     def add_batch(self, values: Sequence[float]) -> None:
         """Fold a batch into the current tick's slot: one deque write per
-        batch, bit-identical to sequential ``add`` calls."""
-        checked = [float(value) for value in values]
-        for value in checked:
+        batch, bit-identical to sequential ``add`` calls.
+
+        Single pass: validation and the left-to-right fold share one loop
+        over a local accumulator, and nothing is written to the engine
+        until the whole batch has been checked."""
+        it = iter(values)
+        first = next(it, None)
+        if first is None:
+            return
+        if first < 0:
+            raise InvalidParameterError(f"value must be >= 0, got {first}")
+        tail = self._values
+        if tail and tail[-1][0] == self._time:
+            acc = tail[-1][1] + first
+            fresh = False
+        else:
+            acc = float(first)
+            fresh = True
+        n = 1
+        for value in it:
             if value < 0:
                 raise InvalidParameterError(f"value must be >= 0, got {value}")
-        if not checked:
-            return
-        self._items += len(checked)
-        if self._values and self._values[-1][0] == self._time:
-            acc = self._values[-1][1]
-            for value in checked:
-                acc += value
-            self._values[-1] = (self._time, acc)
+            acc += value
+            n += 1
+        self._items += n
+        if fresh:
+            tail.append((self._time, acc))
         else:
-            acc = checked[0]
-            for value in checked[1:]:
-                acc += value
-            self._values.append((self._time, acc))
+            tail[-1] = (self._time, acc)
 
     def advance(self, steps: int = 1) -> None:
         if steps < 0:

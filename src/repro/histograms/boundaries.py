@@ -42,6 +42,12 @@ class RegionSchedule:
         self._limit = _AGE_CAP if sup is None else min(_AGE_CAP, sup)
         # Regions as (start, end) pairs, ends inclusive; grown on demand.
         self._regions: list[tuple[int, int]] = []
+        # (young_age, span) -> region index (or None) for merge scheduling.
+        # The walk outcome is a pure function of these two numbers, and the
+        # WBMH lattice is stream-independent, so pairs at equivalent lattice
+        # positions recur with identical keys -- the hit rate is what turns
+        # the per-pair region walk into an O(1) lookup.
+        self._merge_memo: dict[tuple[int, int], int | None] = {}
         self._extend_one()  # region 0 always exists
 
     @property
@@ -119,6 +125,47 @@ class RegionSchedule:
                 return None
             self._extend_one()
         return self._regions[index]
+
+    def merge_region_index(self, young_age: int, span: int) -> int | None:
+        """First region that can hold a merged pair, or ``None`` for never.
+
+        A sealed pair with young endpoint age ``young_age`` and endpoint
+        ``span = young_end - old_start`` fits region ``i = [s_i, e_i]`` at
+        some present-or-future time iff the region is wide enough
+        (``e_i - s_i >= span``) and not already behind the pair
+        (``e_i >= young_age + span``). The answer depends only on
+        ``(young_age, span)`` -- never on absolute times -- so it is
+        memoized; :class:`WBMH`'s merge scheduler turns the cached index
+        back into an absolute fire time.
+        """
+        key = (young_age, span)
+        memo = self._merge_memo
+        if key in memo:
+            return memo[key]
+        if young_age < 0 or span < 0:
+            raise InvalidParameterError("ages and spans must be >= 0")
+        result: int | None = None
+        if young_age <= self._limit:
+            idx = self.index_of(young_age)
+            regions = self._regions
+            need_end = young_age + span
+            while True:
+                if idx >= len(regions):
+                    if regions[-1][1] >= self._limit:
+                        break
+                    self._extend_one()
+                    continue
+                s, e = regions[idx]
+                if e - s >= span and e >= need_end:
+                    result = idx
+                    break
+                idx += 1
+        else:
+            # Pair already past the decay support: it expires, never merges.
+            while self._regions[-1][1] < self._limit:
+                self._extend_one()
+        memo[key] = result
+        return result
 
     def starts(self, upto_age: int) -> list[int]:
         """Region start ages covering ``[0, upto_age]`` (for inspection)."""

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Iterable, Literal, Sequence
 
-from repro.core.batching import TimedValue, advance_engine_to, ingest_trace
+from repro.core.batching import TimedValue, advance_engine_to
 from repro.core.decay import DecayFunction
 from repro.core.errors import InvalidParameterError
 from repro.core.estimate import Estimate
@@ -99,7 +99,10 @@ class CascadedEH:
     def ingest(
         self, items: Iterable[TimedValue], *, until: int | None = None
     ) -> None:
-        ingest_trace(self, items, until=until)
+        # Forward straight to the backend histogram: its clock is this
+        # engine's clock, so the replay is identical minus the adapter hop
+        # on every per-item advance/add call.
+        self._hist.ingest(items, until=until)
 
     def query(self) -> Estimate:
         """Evaluate Eq. 4 over the bucket snapshot with certified bounds.

@@ -167,6 +167,10 @@ class WBMH:
         else:
             self._quantizer = LevelQuantizer(count_eps)
         self._seal_width = self.schedule.first_width
+        # Support is consulted on every expiry check; decay implementations
+        # may compute it, so pin the answer once (decay functions are
+        # immutable by contract).
+        self._support = decay.support()
         self._time = 0
         self._head: _Node | None = None  # oldest sealed bucket
         self._tail: _Node | None = None  # newest sealed bucket
@@ -208,23 +212,24 @@ class WBMH:
     def add_batch(self, values: Sequence[float]) -> None:
         """Fold a batch into the live bucket: one bucket write per batch,
         bit-identical to sequential ``add`` calls (left-to-right sum,
-        zeros skipped)."""
-        checked = [float(value) for value in values]
-        for value in checked:
-            if value < 0:
-                raise InvalidParameterError(f"value must be >= 0, got {value}")
+        zeros skipped).
+
+        Single fused pass: validation and the fold share one loop over a
+        local accumulator, the live interval is computed exactly once per
+        batch, and the live bucket is only written after the whole batch
+        has been checked (nothing mutates on a mid-batch rejection).
+        """
         count = 0.0
         have = False
         nonzero = 0
-        for value in checked:
+        live = self._live
+        for value in values:
+            if value < 0:
+                raise InvalidParameterError(f"value must be >= 0, got {value}")
             if value == 0:
                 continue
             if not have:
-                count = (
-                    self._live.count + value
-                    if self._live is not None
-                    else value
-                )
+                count = live.count + value if live is not None else value
                 have = True
             else:
                 count += value
@@ -248,16 +253,55 @@ class WBMH:
     def advance(self, steps: int = 1) -> None:
         if steps < 0:
             raise InvalidParameterError(f"steps must be >= 0, got {steps}")
-        for _ in range(steps):
-            prev_interval = self._live_interval()
-            self._time += 1
-            if self._live_interval() != prev_interval:
-                self._seal()
-            if self.merge_strategy == "scan":
+        if self.merge_strategy == "scan":
+            # Paper-faithful reference: one sweep per tick.
+            for _ in range(steps):
+                prev_interval = self._live_interval()
+                self._time += 1
+                if self._live_interval() != prev_interval:
+                    self._seal()
                 self._merge_scan()
-            else:
+                self._expire()
+            return
+        # Event-driven fast path for the scheduled strategy. Between
+        # events, a tick does nothing observable: no seal (the lattice
+        # boundary is every ``seal_width`` ticks), no merge (the heap top
+        # is the earliest possible fire time, and merges only push fire
+        # times at or after the current clock), and no expiry (the head's
+        # expiry tick is ``head.end + support + 1``, and merges only grow
+        # ``head.end``). So the clock can jump straight to the next event,
+        # bit-identical to the per-tick loop. Stale heap entries with fire
+        # times at or before the clock (rescheduled merges, ``absorb``)
+        # clamp the jump to one tick, exactly when the per-tick loop would
+        # service them.
+        target = self._time + steps
+        w = self._seal_width
+        heap = self._merge_heap
+        sup = self._support
+        t = self._time
+        while t < target:
+            nxt = target
+            boundary = (t // w + 1) * w
+            if boundary < nxt:
+                nxt = boundary
+            if heap and heap[0][0] < nxt:
+                nxt = heap[0][0]
+            if sup is not None:
+                head = self._head
+                if head is not None:
+                    expiry = head.bucket.end + sup + 1
+                    if expiry < nxt:
+                        nxt = expiry
+            if nxt <= t:
+                nxt = t + 1
+            self._time = t = nxt
+            if not t % w:
+                self._seal()
+            if heap and heap[0][0] <= t:
                 self._merge_scheduled()
-            self._expire()
+            head = self._head
+            if sup is not None and head is not None and t - head.bucket.end > sup:
+                self._expire()
 
     def query(self) -> Estimate:
         """Certified-bracket estimate of ``S_g(T)``.
@@ -533,27 +577,27 @@ class WBMH:
 
         The merge window for region ``[s, e]`` is
         ``[right.end + s, left.start + e]``: the pair's young age must have
-        reached ``s`` while its old age has not passed ``e``. Windows are a
-        pure function of the (fixed) pair endpoints, so this needs
-        computing only once per pair.
+        reached ``s`` while its old age has not passed ``e``. Which region
+        first admits the pair depends only on the pair's current young age
+        and its endpoint span, so the region walk is delegated to the
+        schedule's memoized :meth:`RegionSchedule.merge_region_index`; only
+        the translation back to an absolute fire time happens here.
         """
         right = left.next
         if right is None:
             return _NEVER
         young_ref = right.bucket.end
         old_ref = left.bucket.start
-        idx = self.schedule.index_of(max(0, self._time - young_ref))
-        for _ in range(100_000):
-            region = self.schedule.region_at(idx)
-            if region is None:
-                return _NEVER
-            s, e = region
-            lo = young_ref + s
-            hi = old_ref + e
-            if hi >= max(lo, self._time):
-                return max(lo, self._time)
-            idx += 1
-        return _NEVER
+        age = self._time - young_ref
+        if age < 0:
+            age = 0
+        idx = self.schedule.merge_region_index(age, young_ref - old_ref)
+        if idx is None:
+            return _NEVER
+        region = self.schedule.region_at(idx)
+        assert region is not None  # memo only stores real region indices
+        fire = young_ref + region[0]
+        return fire if fire > self._time else self._time
 
     def _push_pair(self, left: _Node) -> None:
         t = self._pair_fire_time(left)
@@ -579,7 +623,7 @@ class WBMH:
     # -------------------------------------------------------------- expiry
 
     def _expire(self) -> None:
-        sup = self._decay.support()
+        sup = self._support
         if sup is None:
             return
         while self._head is not None and self._time - self._head.bucket.end > sup:

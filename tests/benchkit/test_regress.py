@@ -1,0 +1,197 @@
+"""Unit tests for the throughput-regression gate (repro.benchkit.regress).
+
+The gate's contract: compare a fresh BENCH_throughput.json against the
+checked-in baseline cell by cell, fail (exit 1) when any cell drops more
+than the threshold, pass otherwise. The end-to-end behaviour -- including
+that an injected 50% slowdown actually flips the exit status -- is pinned
+through a real subprocess, since that is exactly how CI invokes it.
+"""
+
+import copy
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.benchkit.regress import (
+    DEFAULT_THRESHOLD,
+    compare_reports,
+    format_diff,
+    load_report,
+    main,
+)
+from repro.core.errors import InvalidParameterError
+from repro.lintkit import lint_source
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def small_report() -> dict:
+    """A minimal results matrix; regress ignores every other field."""
+    rows = []
+    for engine in ("eh", "wbmh"):
+        for trace in ("dense", "bursty"):
+            for mode in ("batched", "item"):
+                rows.append(
+                    {
+                        "engine": engine,
+                        "trace": trace,
+                        "mode": mode,
+                        "items": 1000,
+                        "seconds": 0.01,
+                        "items_per_sec": 100_000.0,
+                    }
+                )
+    return {"schema_version": 2, "results": rows}
+
+
+class TestCompareReports:
+    def test_identical_reports_pass(self):
+        diffs = compare_reports(small_report(), small_report())
+        assert diffs and not any(d.regressed for d in diffs)
+        assert all(d.ratio == 1.0 for d in diffs)
+
+    def test_injected_50_percent_slowdown_fails(self):
+        fresh = small_report()
+        fresh["results"][0]["items_per_sec"] = 50_000.0
+        diffs = compare_reports(small_report(), fresh)
+        bad = [d for d in diffs if d.regressed]
+        assert len(bad) == 1
+        assert bad[0].ratio == pytest.approx(0.5)
+
+    def test_drop_inside_threshold_passes(self):
+        fresh = small_report()
+        for row in fresh["results"]:
+            row["items_per_sec"] = 80_000.0  # -20%, under the 30% gate
+        diffs = compare_reports(small_report(), fresh)
+        assert not any(d.regressed for d in diffs)
+
+    def test_vanished_cell_fails_new_cell_passes(self):
+        fresh = small_report()
+        dropped = fresh["results"].pop(0)
+        fresh["results"].append(
+            dict(dropped, engine="brand-new-engine")
+        )
+        diffs = compare_reports(small_report(), fresh)
+        bad = [d for d in diffs if d.regressed]
+        assert len(bad) == 1
+        assert bad[0].fresh_ips is None  # the vanished one
+        new = [d for d in diffs if d.baseline_ips is None]
+        assert len(new) == 1 and not new[0].regressed
+
+    def test_threshold_validation(self):
+        with pytest.raises(InvalidParameterError):
+            compare_reports(small_report(), small_report(), threshold=0.0)
+        with pytest.raises(InvalidParameterError):
+            compare_reports(small_report(), small_report(), threshold=1.0)
+
+    def test_malformed_rows_rejected(self):
+        bad = small_report()
+        bad["results"][0] = {"engine": "eh"}
+        with pytest.raises(InvalidParameterError):
+            compare_reports(bad, small_report())
+        bad = small_report()
+        bad["results"][0]["items_per_sec"] = 0.0
+        with pytest.raises(InvalidParameterError):
+            compare_reports(small_report(), bad)
+
+
+class TestLoadReport:
+    def test_missing_file_and_bad_json(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            load_report(tmp_path / "nope.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(InvalidParameterError):
+            load_report(bad)
+        no_results = tmp_path / "empty.json"
+        no_results.write_text("{}")
+        with pytest.raises(InvalidParameterError):
+            load_report(no_results)
+
+    def test_older_schema_baseline_still_comparable(self, tmp_path):
+        """Schema bumps must not orphan checked-in baselines: the
+        comparison only reads the results matrix."""
+        old = small_report()
+        old["schema_version"] = 1
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps(old))
+        assert load_report(path)["schema_version"] == 1
+
+
+class TestMainInProcess:
+    def _write(self, tmp_path, name, report):
+        path = tmp_path / name
+        path.write_text(json.dumps(report))
+        return path
+
+    def test_exit_0_on_clean_and_1_on_regression(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", small_report())
+        fresh_report = small_report()
+        clean = self._write(tmp_path, "clean.json", fresh_report)
+        assert main(["--baseline", str(base), "--fresh", str(clean)]) == 0
+        assert "OK" in capsys.readouterr().out
+        slow = copy.deepcopy(fresh_report)
+        slow["results"][3]["items_per_sec"] = 50_000.0
+        slowed = self._write(tmp_path, "slow.json", slow)
+        assert main(["--baseline", str(base), "--fresh", str(slowed)]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+
+class TestSubprocessEndToEnd:
+    def test_injected_50_percent_slowdown_flips_exit_status(self, tmp_path):
+        """Drive the gate exactly as CI does: `python -m
+        repro.benchkit.regress` against two report files, one with a 50%
+        slowdown injected into a single cell."""
+        base = tmp_path / "baseline.json"
+        base.write_text(json.dumps(small_report()))
+        slow_report = small_report()
+        slow_report["results"][0]["items_per_sec"] *= 0.5
+        fresh = tmp_path / "fresh.json"
+        fresh.write_text(json.dumps(slow_report))
+
+        def run(fresh_path):
+            return subprocess.run(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.benchkit.regress",
+                    "--baseline",
+                    str(base),
+                    "--fresh",
+                    str(fresh_path),
+                ],
+                capture_output=True,
+                text=True,
+                cwd=REPO_ROOT,
+            )
+
+        ok = run(base)
+        assert ok.returncode == 0, ok.stderr
+        assert "OK" in ok.stdout
+        bad = run(fresh)
+        assert bad.returncode == 1, bad.stderr
+        assert "REGRESSED" in bad.stdout
+
+
+class TestFormatDiff:
+    def test_table_lists_every_cell(self):
+        diffs = compare_reports(small_report(), small_report())
+        out = format_diff(diffs, threshold=DEFAULT_THRESHOLD)
+        assert out.count("ok") >= len(diffs)
+        assert "30%" in out
+
+
+class TestWallClockExemption:
+    def test_regress_module_is_rk001_exempt(self):
+        """RK001 bans wall-clock reads in the library proper but exempts
+        ``benchkit``; the regression gate lives there on purpose. Lint the
+        real shipped sources to pin the allowlist."""
+        for rel in ("benchkit/regress.py", "benchkit/throughput.py"):
+            path = REPO_ROOT / "src" / "repro" / rel
+            found = lint_source(
+                path.read_text(), f"repro/{rel}", select=["RK001"]
+            )
+            assert found == [], rel

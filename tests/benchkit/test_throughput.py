@@ -16,8 +16,10 @@ from repro.benchkit.throughput import (
     default_traces,
     eh_bulk_speedup,
     measure_throughput,
+    numpy_dense_baseline,
     run_suite,
     validate_report,
+    wbmh_advance_speedup,
     write_report,
 )
 from repro.core.decay import PolynomialDecay
@@ -111,7 +113,7 @@ class TestEhBulkSpeedup:
 
 class TestReportSchema:
     def test_suite_report_validates_and_round_trips(self, tmp_path):
-        report = run_suite(300, bulk_value=2_000, repeats=1)
+        report = run_suite(300, bulk_value=2_000, repeats=1, advance_events=5, advance_max_gap=500)
         assert report["schema_version"] == SCHEMA_VERSION
         path = write_report(report, tmp_path / "BENCH_throughput.json")
         loaded = json.loads(path.read_text())
@@ -119,7 +121,7 @@ class TestReportSchema:
         assert loaded["n_items"] == 300
 
     def test_validate_rejects_missing_pieces(self):
-        report = run_suite(100, bulk_value=500, repeats=1)
+        report = run_suite(100, bulk_value=500, repeats=1, advance_events=5, advance_max_gap=500)
         bad = dict(report)
         bad["schema_version"] = 99
         with pytest.raises(InvalidParameterError):
@@ -140,3 +142,71 @@ class TestReportSchema:
         ]
         with pytest.raises(InvalidParameterError):
             validate_report(bad)
+
+
+class TestSchemaV2Fields:
+    def test_report_carries_ratios_and_python_version(self):
+        import platform
+
+        report = run_suite(
+            200, bulk_value=500, repeats=1, advance_events=5,
+            advance_max_gap=500,
+        )
+        assert report["python_version"] == platform.python_version()
+        cells = {
+            (r["engine"], r["trace"]): r["batched_over_item"]
+            for r in report["speedups"]
+        }
+        for engine in report["engines"]:
+            for trace in report["traces"]:
+                assert cells[(engine, trace)] > 0
+        for key in ("total_ticks", "skip_seconds", "unit_seconds", "speedup"):
+            assert report["wbmh_advance"][key] > 0
+        numpy_baseline = report["numpy_baseline"]
+        assert numpy_baseline["items_per_sec"] > 0
+        assert set(numpy_baseline["headroom"]) == set(report["engines"])
+
+    def test_validate_rejects_missing_v2_pieces(self):
+        report = run_suite(
+            100, bulk_value=500, repeats=1, advance_events=5,
+            advance_max_gap=500,
+        )
+        for key in ("python_version", "speedups", "wbmh_advance",
+                    "numpy_baseline"):
+            bad = dict(report)
+            del bad[key]
+            with pytest.raises(InvalidParameterError):
+                validate_report(bad)
+        bad = dict(report)
+        bad["speedups"] = []
+        with pytest.raises(InvalidParameterError):
+            validate_report(bad)
+
+
+class TestWbmhAdvanceSpeedup:
+    def test_states_identical_and_fields_positive(self):
+        res = wbmh_advance_speedup(n_events=5, max_gap=500)
+        assert res["total_ticks"] > 0
+        assert res["skip_seconds"] > 0
+        assert res["unit_seconds"] > 0
+        assert res["speedup"] > 0
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(InvalidParameterError):
+            wbmh_advance_speedup(n_events=0)
+        with pytest.raises(InvalidParameterError):
+            wbmh_advance_speedup(max_gap=1)
+
+
+class TestNumpyDenseBaseline:
+    def test_matches_exact_engine(self):
+        items = list(default_traces(300)["dense"])
+        res = numpy_dense_baseline(items, repeats=1)
+        engine = ExactDecayingSum(PolynomialDecay(1.0))
+        engine.ingest(items)
+        assert res["query_value"] == pytest.approx(engine.query().value)
+        assert res["items_per_sec"] > 0
+
+    def test_rejects_bad_repeats(self):
+        with pytest.raises(InvalidParameterError):
+            numpy_dense_baseline(list(default_traces(50)["dense"]), repeats=0)

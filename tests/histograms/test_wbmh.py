@@ -221,3 +221,43 @@ class TestEdgeCases:
             w.add(-1.0)
         with pytest.raises(InvalidParameterError):
             w.advance(-1)
+
+
+class TestAddBatchSinglePass:
+    def test_10k_batch_does_one_interval_check(self):
+        """The fused ``add_batch`` loop touches the lattice interval exactly
+        once per batch, however large -- the regression this pins is the
+        old double iteration (one validation pass, one fold pass, each
+        consulting the schedule)."""
+        w = WBMH(PolynomialDecay(1.0), 0.1)
+        calls = 0
+        real = w._live_interval
+
+        def counting():
+            nonlocal calls
+            calls += 1
+            return real()
+
+        w._live_interval = counting  # type: ignore[method-assign]
+        w.add_batch([1.0] * 10_000)
+        assert calls == 1
+        assert w.bucket_count() == 1
+        assert w.query().value == 10_000.0
+
+    def test_batch_matches_sequential_adds(self):
+        batched = WBMH(PolynomialDecay(1.0), 0.1)
+        sequential = WBMH(PolynomialDecay(1.0), 0.1)
+        values = [0.0, 1.5, 2.0, 0.0, 3.25]
+        batched.add_batch(values)
+        for v in values:
+            sequential.add(v)
+        assert batched.bucket_view() == sequential.bucket_view()
+        assert batched._items == sequential._items
+
+    def test_batch_rejects_negative_without_mutation(self):
+        w = WBMH(PolynomialDecay(1.0), 0.1)
+        w.add(2.0)
+        before = w.bucket_view()
+        with pytest.raises(InvalidParameterError):
+            w.add_batch([1.0, -0.5])
+        assert w.bucket_view() == before
