@@ -10,7 +10,7 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# AST invariant linter (RK001-RK007, docs/STATIC_ANALYSIS.md); stdlib-only.
+# AST invariant linter (RK001-RK008, docs/STATIC_ANALYSIS.md); stdlib-only.
 # Works from a checkout without `make install` via PYTHONPATH.
 lint:
 	PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) -m repro.lintkit src/repro

@@ -9,6 +9,16 @@ the baseline, or when a baseline cell disappears from the fresh report.
 New cells in the fresh report are reported but never fail the gate, so
 adding engines or traces does not require touching the baseline first.
 
+Schema v3 reports also carry a ``scaling`` section; on top of the
+cell-by-cell diff the gate checks the shard-parallel speedup bar: the
+best 4-shard pool ingest must reach ``MIN_SHARD_SPEEDUP`` (2.5x) over
+the single-process batched baseline.  The bar only applies when the
+*fresh* report was measured on a runner with at least
+``MIN_CORES_FOR_SPEEDUP_GATE`` (4) cores -- a pool cannot beat serial on
+a starved runner, so on smaller machines the check is skipped with a
+message rather than failed.  Reports without a ``scaling`` section
+(schema v2 baselines) skip the check the same way.
+
 Wall-clock derived numbers live in ``benchkit`` by design: RK001 exempts
 this package precisely so the library proper stays on the model clock.
 
@@ -37,11 +47,17 @@ __all__ = [
     "CellDiff",
     "load_report",
     "compare_reports",
+    "check_shard_speedup",
     "format_diff",
     "main",
 ]
 
 DEFAULT_THRESHOLD = 0.3
+#: The 4-shard pool must beat single-process batched by this factor...
+MIN_SHARD_SPEEDUP = 2.5
+#: ...but only on runners with at least this many cores.
+MIN_CORES_FOR_SPEEDUP_GATE = 4
+SPEEDUP_GATE_SHARDS = 4
 
 Cell = tuple[str, str, str]
 
@@ -150,6 +166,57 @@ def compare_reports(
     return diffs
 
 
+def check_shard_speedup(
+    fresh: Mapping[str, Any],
+    *,
+    min_speedup: float = MIN_SHARD_SPEEDUP,
+    min_cores: int = MIN_CORES_FOR_SPEEDUP_GATE,
+    shards: int = SPEEDUP_GATE_SHARDS,
+) -> tuple[bool, str]:
+    """The shard-parallel speedup bar: ``(passed, message)``.
+
+    ``passed`` is True whenever the gate does not fail -- including every
+    skip path (no ``scaling`` section, runner below ``min_cores``, no
+    ``shards``-shard rows measured).  The headline number is the *best*
+    speedup across engines at the gated shard count: the bar certifies
+    that the pool machinery can scale, not that every engine does (WBMH
+    serialization cost is legitimately heavier than EWMA's two floats).
+    """
+    scaling = fresh.get("scaling")
+    if not isinstance(scaling, dict):
+        return True, "shard-speedup gate skipped: no scaling section"
+    try:
+        cpu_count = int(scaling["cpu_count"])
+        rows = [
+            (str(r["engine"]), int(r["shards"]), float(r["speedup_vs_serial"]))
+            for r in scaling["rows"]
+        ]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise InvalidParameterError(
+            f"malformed scaling section: {scaling!r}"
+        ) from exc
+    if cpu_count < min_cores:
+        return True, (
+            f"shard-speedup gate skipped: runner has {cpu_count} core(s), "
+            f"needs >= {min_cores}"
+        )
+    gated = [(eng, sp) for eng, k, sp in rows if k == shards]
+    if not gated:
+        return True, (
+            f"shard-speedup gate skipped: no {shards}-shard rows measured"
+        )
+    best_engine, best = max(gated, key=lambda pair: pair[1])
+    if best >= min_speedup:
+        return True, (
+            f"shard-speedup gate OK: {best_engine} reached {best:.2f}x "
+            f"at {shards} shards (bar {min_speedup:.1f}x)"
+        )
+    return False, (
+        f"shard-speedup gate FAIL: best {shards}-shard speedup is "
+        f"{best:.2f}x ({best_engine}), below the {min_speedup:.1f}x bar"
+    )
+
+
 def format_diff(diffs: Sequence[CellDiff], *, threshold: float) -> str:
     """Human-readable comparison table plus a one-line verdict."""
     rows = []
@@ -204,13 +271,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="maximum tolerated per-cell drop as a fraction (default 0.3)",
     )
     args = parser.parse_args(argv)
+    fresh = load_report(args.fresh)
     diffs = compare_reports(
         load_report(args.baseline),
-        load_report(args.fresh),
+        fresh,
         threshold=args.threshold,
     )
     print(format_diff(diffs, threshold=args.threshold))
-    return 1 if any(d.regressed for d in diffs) else 0
+    speedup_ok, message = check_shard_speedup(fresh)
+    print(message)
+    if any(d.regressed for d in diffs) or not speedup_ok:
+        return 1
+    return 0
 
 
 if __name__ == "__main__":

@@ -30,6 +30,13 @@ CL006     serialize-roundtrip   snapshot -> restore mid-stream, continue
 CL007     unsorted-rejection    out-of-order ``ingest`` raises
                                 ``TimeOrderError``; ``advance_to`` refuses
                                 to move the clock backwards
+CL008     merge-split           splitting the trace round-robin across K
+                                shards, ingesting each separately, and
+                                folding with ``merge`` agrees with serial
+                                replay: bit-identical for the exact engine
+                                on integer values, ~1 ulp for the float
+                                registers, bracket-sound within the composed
+                                ``K * epsilon`` budget for histogram engines
 ========  ====================  =============================================
 
 Laws report findings as :class:`Violation` values (empty list = law holds).
@@ -47,7 +54,7 @@ from typing import ClassVar, Iterable, Mapping
 
 from repro.conformance.engines import EngineSpec
 from repro.conformance.trace import Trace
-from repro.core.errors import ReproError, TimeOrderError
+from repro.core.errors import NotApplicableError, ReproError, TimeOrderError
 from repro.core.estimate import Estimate
 from repro.core.interfaces import DecayingSum
 from repro.serialize import engine_from_dict, engine_to_dict
@@ -537,6 +544,179 @@ class UnsortedRejectionLaw(Law):
         return found
 
 
+class MergeSplitLaw(Law):
+    """CL008: sharded ingest + ``merge`` is consistent with serial replay.
+
+    The linearity of ``S_g(T)`` means any partition of the trace can be
+    summarised shard-by-shard and folded back together.  The agreement
+    contract is tiered by engine family:
+
+    * ``ExactDecayingSum`` on integer-valued traces -- bit-identical
+      triplets (integer sums are exact in floats, so fold order cannot
+      matter);
+    * other register engines (and exact on fractional values) -- equal
+      within ~1 ulp per component (float addition is commutative but not
+      associative; the shard fold visits items in a different order);
+    * histogram engines -- the merged bracket must contain the exact
+      oracle sum and stay within the *composed* error budget
+      ``K * epsilon`` (each shard contributes its own straddling mass),
+      plus an additive ``2K`` for the per-shard integer bucket boundary.
+
+    Round-robin splitting keeps every shard trace time-sorted and puts
+    items in every shard, so each per-shard engine exercises the same
+    code paths serial replay does.
+    """
+
+    law_id = "CL008"
+    name = "merge-split"
+    description = (
+        "round-robin shard ingest folded with merge() agrees with serial "
+        "replay: bit-identical (exact engine, integer values), ~1 ulp "
+        "(float registers), or bracket-sound within K * epsilon "
+        "(histograms)"
+    )
+
+    #: Shard counts probed; small primes so the round-robin interleave
+    #: never aligns with the power-of-two bucket structure.
+    shard_counts = (2, 3)
+
+    #: Per-component relative slack for float-register fold-order drift.
+    _REL = 1e-12
+
+    def check(self, spec: EngineSpec, trace: Trace) -> list[Violation]:
+        serial = spec.build()
+        oracle = spec.oracle()
+        try:
+            _drive(serial, trace)
+            _drive(oracle, trace)
+        except _ENGINE_FAULTS as exc:
+            return [
+                self.violation(spec, f"engine crashed during replay: {exc!r}")
+            ]
+        serial_triplet = _triplet(serial.query())
+        true = oracle.query().value
+        items = trace.stream_items()
+        integer_values = all(v == int(v) for _, v in trace.items)
+        for shards in self.shard_counts:
+            merged = spec.build()
+            try:
+                merged.ingest(items[0::shards], until=trace.end_time)
+                for index in range(1, shards):
+                    shard = spec.build()
+                    shard.ingest(items[index::shards], until=trace.end_time)
+                    merged.merge(shard)
+            except NotApplicableError:
+                # Engine family without a structural merge (randomized
+                # state); the sharding facade combines answers instead.
+                return []
+            except _ENGINE_FAULTS as exc:
+                return [
+                    self.violation(
+                        spec,
+                        f"shard ingest/merge crashed at K={shards}: {exc!r}",
+                    )
+                ]
+            found = self._compare(
+                spec, shards, merged, serial_triplet, true, integer_values
+            )
+            if found:
+                return found
+        return []
+
+    def _compare(
+        self,
+        spec: EngineSpec,
+        shards: int,
+        merged: DecayingSum,
+        serial_triplet: tuple[float, float, float],
+        true: float,
+        integer_values: bool,
+    ) -> list[Violation]:
+        try:
+            est = merged.query()
+        except _ENGINE_FAULTS as exc:
+            return [
+                self.violation(
+                    spec, f"merged query() crashed at K={shards}: {exc!r}"
+                )
+            ]
+        merged_triplet = _triplet(est)
+        if spec.linear_exact:
+            if spec.engine_kind == "ExactDecayingSum" and integer_values:
+                if merged_triplet != serial_triplet:
+                    return [
+                        self.violation(
+                            spec,
+                            f"K={shards} merge of the exact engine is not "
+                            f"bit-identical: {merged_triplet} != "
+                            f"{serial_triplet}",
+                            time=merged.time,
+                        )
+                    ]
+                return []
+            for got, want in zip(merged_triplet, serial_triplet):
+                if abs(got - want) > self._REL * max(1.0, abs(want)):
+                    return [
+                        self.violation(
+                            spec,
+                            f"K={shards} merged register answer {got:.17g} "
+                            f"drifts from serial {want:.17g} beyond fold-"
+                            f"order slack",
+                            time=merged.time,
+                            details={"got": got, "want": want},
+                        )
+                    ]
+            return []
+        # Histogram engines: soundness against the oracle under the
+        # composed budget, not equality with the serial bracket.
+        slack = 1e-9 * max(1.0, est.upper)
+        if not (est.lower - slack <= true <= est.upper + slack):
+            return [
+                self.violation(
+                    spec,
+                    f"K={shards} merged bracket [{est.lower:g}, "
+                    f"{est.upper:g}] misses the exact sum {true:g}",
+                    time=merged.time,
+                    details={
+                        "true": true, "lower": est.lower, "upper": est.upper,
+                    },
+                )
+            ]
+        if not (est.lower <= est.value <= est.upper):
+            return [
+                self.violation(
+                    spec,
+                    f"K={shards} merged estimate {est.value:g} escapes its "
+                    f"own bracket [{est.lower:g}, {est.upper:g}]",
+                    time=merged.time,
+                )
+            ]
+        width = est.upper - est.lower
+        cap = 2.0 * shards * spec.epsilon * est.upper + 2.0 * shards + slack
+        if width > cap:
+            return [
+                self.violation(
+                    spec,
+                    f"K={shards} merged bracket width {width:g} exceeds the "
+                    f"composed budget {cap:g} "
+                    f"(K * eps = {shards * spec.epsilon:g})",
+                    time=merged.time,
+                    details={"width": width, "cap": cap},
+                )
+            ]
+        budget = getattr(merged, "effective_epsilon", None)
+        if budget is not None and budget > shards * spec.epsilon + 1e-12:
+            return [
+                self.violation(
+                    spec,
+                    f"K={shards} composed effective_epsilon {budget:g} "
+                    f"exceeds K * eps = {shards * spec.epsilon:g}",
+                    time=merged.time,
+                )
+            ]
+        return []
+
+
 _CATALOG: tuple[Law, ...] = (
     OracleBracketLaw(),
     BatchSplitLaw(),
@@ -545,6 +725,7 @@ _CATALOG: tuple[Law, ...] = (
     AdvanceMonotoneLaw(),
     SerializeRoundTripLaw(),
     UnsortedRejectionLaw(),
+    MergeSplitLaw(),
 )
 
 

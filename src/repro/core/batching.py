@@ -42,6 +42,8 @@ class TimedValue(Protocol):
     :class:`~repro.streams.io.KeyedItem` both match.
     """
 
+    __slots__ = ()
+
     @property
     def time(self) -> int: ...
 
@@ -51,6 +53,8 @@ class TimedValue(Protocol):
 
 class KeyedTimedValue(TimedValue, Protocol):
     """A trace item tagged with the stream it belongs to (fleet traces)."""
+
+    __slots__ = ()
 
     @property
     def key(self) -> Hashable: ...
@@ -64,6 +68,8 @@ class BatchEngine(Protocol):
     :class:`~repro.histograms.domination.DominationHistogram`) can share the
     same helpers even though they carry no decay function.
     """
+
+    __slots__ = ()
 
     @property
     def time(self) -> int: ...

@@ -23,8 +23,17 @@ from repro.core.decay import (
     PolyexponentialDecay,
     PolyExpPolynomialDecay,
 )
-from repro.core.errors import EmptyAggregateError, InvalidParameterError
+from repro.core.errors import (
+    EmptyAggregateError,
+    InvalidParameterError,
+    TimeOrderError,
+)
 from repro.core.estimate import Estimate
+from repro.core.merging import (
+    align_merge_clocks,
+    require_merge_operand,
+    require_same_decay,
+)
 from repro.storage.model import StorageReport
 
 __all__ = [
@@ -52,6 +61,8 @@ def _expd_register_bits(lam: float, time: int, items: int, mantissa_bits: int) -
 
 class ExponentialSum:
     """EXPD decaying sum via the single-register recurrence (paper Eq. 1)."""
+
+    __slots__ = ("_decay", "_factor", "_sum", "_time", "_items")
 
     def __init__(self, decay: ExponentialDecay) -> None:
         if not isinstance(decay, ExponentialDecay):
@@ -127,11 +138,23 @@ class ExponentialSum:
         if other._decay.lam != self._decay.lam:
             raise InvalidParameterError("absorb requires the same decay rate")
         if other._time != self._time:
-            from repro.core.errors import TimeOrderError
-
             raise TimeOrderError(
                 f"clock mismatch: {self._time} vs {other._time}"
             )
+        self._sum += other._sum
+        self._items += other._items
+
+    def merge(self, other: "ExponentialSum") -> None:
+        """Fold another EXPD register into this one by addition.
+
+        ``S_EXPD`` is linear in the stream, so the union stream's register
+        is the sum of the shard registers.  Unequal clocks are aligned by
+        advancing the younger operand (a pure ``factor**steps`` scale)
+        first; ``absorb`` remains the stricter equal-clock primitive.
+        """
+        require_merge_operand(self, other)
+        require_same_decay(self._decay, other._decay)
+        align_merge_clocks(self, other)
         self._sum += other._sum
         self._items += other._items
 
@@ -153,11 +176,15 @@ class QuantizedExponentialSum(ExponentialSum):
     fixed ``(1 +- eps)``.
     """
 
+    __slots__ = ("mantissa_bits", "_extra_ops")
+
     def __init__(self, decay: ExponentialDecay, mantissa_bits: int) -> None:
         super().__init__(decay)
         if mantissa_bits < 1:
             raise InvalidParameterError("mantissa_bits must be >= 1")
         self.mantissa_bits = int(mantissa_bits)
+        # Quantizations not accounted by time/items: one per merge.
+        self._extra_ops = 0
 
     def _quantize(self, x: float) -> float:
         if x == 0.0:
@@ -184,11 +211,31 @@ class QuantizedExponentialSum(ExponentialSum):
             self._sum = self._quantize(self._sum * self._factor)
             self._time += 1
 
+    def merge(self, other: "ExponentialSum") -> None:
+        """Register addition followed by one re-quantization.
+
+        The extra truncation is charged to the error budget through
+        ``_extra_ops`` so the certified upper bound stays sound.
+        """
+        if not isinstance(other, QuantizedExponentialSum):
+            raise InvalidParameterError(
+                "can only merge another QuantizedExponentialSum"
+            )
+        if other.mantissa_bits != self.mantissa_bits:
+            raise InvalidParameterError(
+                "cannot merge registers of different mantissa widths"
+            )
+        super().merge(other)
+        self._extra_ops += 1 + other._extra_ops
+        self._sum = self._quantize(self._sum)
+
     def query(self) -> Estimate:
         # Each quantization multiplies the stored value by (1 - delta) with
         # 0 <= delta < 2**-mantissa_bits; after `ops` operations the true sum
-        # lies within [stored, stored / (1 - u)**ops].
-        ops = self._time + self._items
+        # lies within [stored, stored / (1 - u)**ops].  The merged-in
+        # operand's own quantizations are dominated by the same count once
+        # its items and extra merge ops are folded in.
+        ops = self._time + self._items + self._extra_ops
         u = 2.0**-self.mantissa_bits
         if u * ops >= 1.0:
             upper = math.inf if self._sum > 0 else 0.0
@@ -212,6 +259,8 @@ class EwmaRegister:
     ATM holding times, gateway ratings): one observation per update, with the
     contribution of an observation made ``T`` updates ago scaled by ``w**T``.
     """
+
+    __slots__ = ("w", "_value", "updates")
 
     def __init__(self, w: float, initial: float | None = None) -> None:
         if not 0 < w < 1:
@@ -251,6 +300,8 @@ class PolyexpPipeline:
     so ``k + 1`` registers suffice for any decay ``p_k(x) exp(-lam x)`` --
     the section 3.4 reduction.
     """
+
+    __slots__ = ("k", "lam", "_factor", "_m", "_inv_fact", "_time", "_items")
 
     def __init__(self, k: int, lam: float) -> None:
         if k < 0:
@@ -308,6 +359,22 @@ class PolyexpPipeline:
             self._m = nxt
             self._time += 1
 
+    def merge(self, other: "PolyexpPipeline") -> None:
+        """Elementwise moment addition (each ``M_j`` is linear in the
+        stream).  Requires identical pipeline shape and equal clocks; the
+        engine wrappers align clocks before delegating here."""
+        if other.k != self.k or other.lam != self.lam:
+            raise InvalidParameterError(
+                "cannot merge pipelines of different shape"
+            )
+        if other._time != self._time:
+            raise TimeOrderError(
+                f"clock mismatch: {self._time} vs {other._time}"
+            )
+        for j in range(self.k + 1):
+            self._m[j] += other._m[j]
+        self._items += other._items
+
     def combine(self, poly_coeffs: Sequence[float]) -> float:
         """Decaying sum under ``g(a) = (sum_j c_j a**j) exp(-lam a)``.
 
@@ -341,6 +408,8 @@ class GeneralPolyexpSum:
     ``sum_j c_j * j! * M_j``. Exact up to float arithmetic, constant work
     per tick, Theta(k log N) bits.
     """
+
+    __slots__ = ("_decay", "_pipe")
 
     def __init__(self, decay: PolyExpPolynomialDecay) -> None:
         if not isinstance(decay, PolyExpPolynomialDecay):
@@ -378,6 +447,13 @@ class GeneralPolyexpSum:
     def query(self) -> Estimate:
         return Estimate.exact(self._pipe.combine(self._decay.coeffs))
 
+    def merge(self, other: "GeneralPolyexpSum") -> None:
+        """Moment-register addition after clock alignment (§3.4 linearity)."""
+        require_merge_operand(self, other)
+        require_same_decay(self._decay, other._decay)
+        align_merge_clocks(self, other)
+        self._pipe.merge(other._pipe)
+
     def storage_report(self) -> StorageReport:
         report = self._pipe.storage_report()
         report.engine = f"polyexp-poly[deg={len(self._decay.coeffs) - 1}]"
@@ -386,6 +462,8 @@ class GeneralPolyexpSum:
 
 class PolyexponentialSum:
     """Decaying sum under :class:`PolyexponentialDecay` via the pipeline."""
+
+    __slots__ = ("_decay", "_pipe")
 
     def __init__(self, decay: PolyexponentialDecay) -> None:
         if not isinstance(decay, PolyexponentialDecay):
@@ -423,6 +501,13 @@ class PolyexponentialSum:
     def query(self) -> Estimate:
         # g(a) = a**k exp(-lam a)/k! = w_k(a), i.e. exactly M_k.
         return Estimate.exact(self._pipe.moments()[self._decay.k])
+
+    def merge(self, other: "PolyexponentialSum") -> None:
+        """Moment-register addition after clock alignment (§3.4 linearity)."""
+        require_merge_operand(self, other)
+        require_same_decay(self._decay, other._decay)
+        align_merge_clocks(self, other)
+        self._pipe.merge(other._pipe)
 
     def storage_report(self) -> StorageReport:
         return self._pipe.storage_report()

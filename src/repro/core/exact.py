@@ -16,6 +16,11 @@ from repro.core.batching import TimedValue, advance_engine_to, ingest_trace
 from repro.core.decay import DecayFunction
 from repro.core.errors import InvalidParameterError
 from repro.core.estimate import Estimate
+from repro.core.merging import (
+    align_merge_clocks,
+    require_merge_operand,
+    require_same_decay,
+)
 from repro.storage.model import StorageReport, bits_for_value
 
 __all__ = ["ExactDecayingSum"]
@@ -29,6 +34,8 @@ class ExactDecayingSum:
     retained prefix is the window itself -- exactly the paper's observation
     that exact SLIWIN counting needs Omega(N) storage.
     """
+
+    __slots__ = ("_decay", "_time", "_values", "_items")
 
     def __init__(self, decay: DecayFunction) -> None:
         self._decay = decay
@@ -107,6 +114,49 @@ class ExactDecayingSum:
     ) -> None:
         """Consume a time-sorted trace through the batch path."""
         ingest_trace(self, items, until=until)
+
+    def merge(self, other: "ExactDecayingSum") -> None:
+        """Fold ``other``'s retained per-time totals into this engine.
+
+        The union stream's ``f(t)`` is the sum of the operands' per-time
+        totals, so the merged deque is the two-pointer merge of the two
+        time-sorted deques with same-time slots added.  For integer-valued
+        traces this is *bit-identical* to a serial replay of the union:
+        each slot's total is a sum of integers, which float addition
+        computes exactly in any order.  Unequal clocks are aligned by
+        advancing the younger operand first (expiry included).
+        """
+        require_merge_operand(self, other)
+        require_same_decay(self._decay, other._decay)
+        align_merge_clocks(self, other)
+        if not other._values:
+            return
+        merged: deque[tuple[int, float]] = deque()
+        # Deque indexing is O(distance-from-end); materialize once so the
+        # two-pointer sweep stays linear.
+        a, b = list(self._values), list(other._values)
+        i = j = 0
+        while i < len(a) and j < len(b):
+            ta, va = a[i]
+            tb, vb = b[j]
+            if ta < tb:
+                merged.append((ta, va))
+                i += 1
+            elif tb < ta:
+                merged.append((tb, vb))
+                j += 1
+            else:
+                merged.append((ta, va + vb))
+                i += 1
+                j += 1
+        while i < len(a):
+            merged.append(a[i])
+            i += 1
+        while j < len(b):
+            merged.append(b[j])
+            j += 1
+        self._values = merged
+        self._items += other._items
 
     def query(self) -> Estimate:
         total = 0.0

@@ -16,6 +16,11 @@ protocol:
 * ``storage_report()`` returns the bit-level storage accounting
   (:class:`~repro.storage.model.StorageReport`) that the paper's bounds are
   measured against.
+* ``merge(other)`` folds another summary of the *same* engine type and decay
+  into this one, as if this engine had observed the union of both streams --
+  the linearity property behind shard-parallel ingestion
+  (:mod:`repro.parallel`).  Register engines merge exactly; histogram
+  engines compose their error budgets (see :mod:`repro.core.merging`).
 
 The factory :func:`make_decaying_sum` picks the best engine for a given
 decay family, mirroring the paper's guidance: the single-register recurrence
@@ -49,6 +54,8 @@ __all__ = ["DecayingSum", "make_decaying_sum"]
 class DecayingSum(Protocol):
     """Protocol implemented by every decaying-sum engine."""
 
+    __slots__ = ()
+
     @property
     def time(self) -> int:
         """Current clock value ``T`` (starts at 0)."""
@@ -81,6 +88,14 @@ class DecayingSum(Protocol):
 
     def storage_report(self) -> "StorageReport":
         """Bit-level storage accounting for the paper's bounds."""
+
+    def merge(self, other: "DecayingSum") -> None:
+        """Fold ``other`` (same engine type and decay) into this summary.
+
+        Afterwards this engine summarises the union of both streams as of
+        the common clock ``max(self.time, other.time)``; the younger
+        operand is advanced to that clock first.  Exact for register
+        engines, error-budget-composing for histogram engines."""
 
 
 def make_decaying_sum(

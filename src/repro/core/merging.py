@@ -1,0 +1,91 @@
+"""Shared helpers for the ``merge`` member of the DecayingSum protocol.
+
+Because the decaying sum ``S_g(T) = sum f_i * g(T - t_i)`` is *linear* in
+the items, the union of two streams can be summarised by merging two
+independently-maintained summaries -- the structural property behind the
+paper's section 1.1 fleet deployment and the merge-and-reduce technique of
+the Braverman-Lang-Ullah-Zhou follow-up (PAPERS.md).  Every factory engine
+therefore implements ``merge(other)``:
+
+* **register engines** (``ExactDecayingSum``, the EXPD recurrence, the
+  section 3.4 polyexponential pipelines) merge by *register addition* --
+  exact up to float associativity, and bit-exact for the integer-valued
+  exact engine;
+* **histogram engines** (EH, CEH, domination) merge by *bucket interleave*
+  with an explicit error-budget composition rule
+  (:func:`repro.histograms.domination.compose_merge_epsilon`);
+* **WBMH** merges through its lattice ``absorb`` after clock alignment.
+
+The helpers here implement the two merge preconditions shared by every
+engine: operand compatibility (same engine type, same decay/parameters)
+and clock alignment (the *younger* operand is advanced to the older
+operand's clock, so the merged summary answers queries at
+``max(self.time, other.time)``).  When the clocks are already equal --
+the lock-step sharding case -- ``align_merge_clocks`` never mutates
+either operand.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.batching import BatchEngine
+from repro.core.errors import InvalidParameterError
+
+if TYPE_CHECKING:
+    from repro.core.decay import DecayFunction
+
+__all__ = [
+    "require_merge_operand",
+    "require_same_decay",
+    "align_merge_clocks",
+]
+
+
+def require_merge_operand(a: object, b: object) -> None:
+    """Reject self-merge and cross-engine merges.
+
+    Merging is defined between two summaries *of the same engine type*:
+    register layouts, bucket disciplines and error budgets only compose
+    within one algorithm family.
+    """
+    if a is b:
+        raise InvalidParameterError("cannot merge an engine with itself")
+    if type(a) is not type(b):
+        raise InvalidParameterError(
+            f"cannot merge {type(a).__name__} with {type(b).__name__}; "
+            "merge operands must be the same engine type"
+        )
+
+
+def require_same_decay(a: "DecayFunction", b: "DecayFunction") -> None:
+    """Require both operands to maintain the same decay function.
+
+    Structural check: same class and same ``describe()`` parameter string.
+    Two summaries under different decays have no common ``S_g``.
+    """
+    if a is b:
+        return
+    if type(a) is not type(b) or a.describe() != b.describe():
+        raise InvalidParameterError(
+            f"cannot merge summaries of different decays: "
+            f"{a.describe()} vs {b.describe()}"
+        )
+
+
+def align_merge_clocks(a: BatchEngine, b: BatchEngine) -> int:
+    """Advance the younger operand so both clocks read ``max(Ta, Tb)``.
+
+    Decaying-sum clocks are monotone, so the only lossless alignment is
+    forward: the younger summary ages its items (expiring and re-weighting
+    exactly as live ``advance`` would), after which both summaries describe
+    their streams *as of the same instant* and can be folded.  Equal clocks
+    -- the lock-step sharded case -- leave both operands untouched.
+    Returns the common clock.
+    """
+    t = max(a.time, b.time)
+    if a.time < t:
+        a.advance(t - a.time)
+    if b.time < t:
+        b.advance(t - b.time)
+    return t

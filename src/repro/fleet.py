@@ -26,6 +26,7 @@ from repro.core.decay import (
 from repro.core.errors import InvalidParameterError, TimeOrderError
 from repro.core.estimate import Estimate
 from repro.core.interfaces import DecayingSum
+from repro.core.merging import require_same_decay
 from repro.histograms.boundaries import RegionSchedule
 from repro.histograms.wbmh import WBMH
 from repro.storage.model import StorageReport
@@ -207,6 +208,50 @@ class StreamFleet:
                         f"engine {type(mine).__name__} does not support absorb"
                     )
                 absorb(engine)
+
+    def merge(self, other: "StreamFleet") -> None:
+        """Fold another fleet's keys into this one via engine ``merge``.
+
+        Generalizes :meth:`absorb` to every engine family: the younger
+        fleet is advanced to the common clock first, then each shared key
+        merges engine-to-engine and unseen keys adopt the other fleet's
+        engine outright.  ``other`` is consumed (its engines may be
+        mutated by clock alignment and adopted by reference).
+        """
+        if other is self:
+            raise InvalidParameterError("cannot merge a fleet into itself")
+        require_same_decay(self._decay, other._decay)
+        if other._time > self._time:
+            self.advance(other._time - self._time)
+        elif self._time > other._time:
+            other.advance(self._time - other._time)
+        for key, engine in other._engines.items():
+            mine = self._engines.get(key)
+            if mine is None:
+                self._engines[key] = engine
+            else:
+                mine.merge(engine)
+
+    def adopt(self, key: Hashable, engine: DecayingSum) -> None:
+        """Install an externally-built engine for ``key``.
+
+        The restore half of the process-pool backfill path
+        (:func:`repro.parallel.executor.parallel_fleet_ingest`): workers
+        ship per-key engines back as checkpoints and the parent adopts
+        them at the common clock.  The engine must already sit at the
+        fleet clock; a key that is already present merges engine-to-
+        engine instead of being replaced.
+        """
+        if engine.time != self._time:
+            raise TimeOrderError(
+                f"adopted engine clock {engine.time} != fleet clock "
+                f"{self._time}; advance it first"
+            )
+        mine = self._engines.get(key)
+        if mine is None:
+            self._engines[key] = engine
+        else:
+            mine.merge(engine)
 
     def storage_report(self) -> StorageReport:
         """Fleet-level accounting: shared bits counted once.

@@ -12,10 +12,11 @@ merge rule.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.core.errors import InvalidParameterError
 
-__all__ = ["Bucket", "merge_buckets"]
+__all__ = ["Bucket", "merge_buckets", "union_buckets", "interleave_buckets"]
 
 
 @dataclass(slots=True)
@@ -68,3 +69,46 @@ def merge_buckets(older: Bucket, newer: Bucket) -> Bucket:
         count=older.count + newer.count,
         level=max(older.level, newer.level) + 1,
     )
+
+
+def union_buckets(a: Bucket, b: Bucket) -> Bucket:
+    """Merge two buckets whose spans may *overlap*.
+
+    Histograms produced by a shard merge (:meth:`ExponentialHistogram.merge`)
+    interleave two bucket lists, so a later in-structure merge can pair
+    buckets whose time intervals overlap.  The union span
+    ``[min(starts), max(ends)]`` covers every absorbed item, keeping the
+    certified bracket sound; for the classic disjoint case it degenerates to
+    exactly :func:`merge_buckets`'s span, bit for bit.
+    """
+    return Bucket(
+        start=a.start if a.start <= b.start else b.start,
+        end=a.end if a.end >= b.end else b.end,
+        count=a.count + b.count,
+        level=max(a.level, b.level) + 1,
+    )
+
+
+def interleave_buckets(
+    a: Sequence[Bucket], b: Sequence[Bucket]
+) -> list[Bucket]:
+    """Two-pointer merge of two end-sorted bucket lists.
+
+    The result is sorted by ``(end, start)`` -- the order every histogram's
+    expiry and query walks rely on.  Counts and spans are untouched: the
+    union structure simply carries both operands' buckets side by side.
+    """
+    out: list[Bucket] = []
+    i = j = 0
+    na, nb = len(a), len(b)
+    while i < na and j < nb:
+        x, y = a[i], b[j]
+        if (x.end, x.start) <= (y.end, y.start):
+            out.append(x)
+            i += 1
+        else:
+            out.append(y)
+            j += 1
+    out.extend(a[i:])
+    out.extend(b[j:])
+    return out

@@ -30,6 +30,7 @@ from repro.core.batching import TimedValue, advance_engine_to
 from repro.core.decay import DecayFunction
 from repro.core.errors import InvalidParameterError
 from repro.core.estimate import Estimate
+from repro.core.merging import require_merge_operand, require_same_decay
 from repro.histograms.domination import DominationHistogram
 from repro.histograms.eh import ExponentialHistogram
 from repro.storage.model import StorageReport
@@ -41,6 +42,15 @@ Backend = Literal["eh", "domination"]
 
 class CascadedEH:
     """Decaying sum under any decay function, via one EH (Theorem 1)."""
+
+    __slots__ = (
+        "_decay",
+        "epsilon",
+        "estimator",
+        "backend",
+        "_hist",
+        "_q_cache",
+    )
 
     def __init__(
         self,
@@ -68,6 +78,10 @@ class CascadedEH:
         else:
             raise InvalidParameterError(f"unknown backend {backend!r}")
         self.backend = backend
+        # Memo of the Eq. 4 walk, keyed by the backend's mutation
+        # generation; any write or clock move through *this* adapter or the
+        # backend itself bumps the generation and invalidates it.
+        self._q_cache: tuple[int, Estimate] | None = None
 
     @property
     def time(self) -> int:
@@ -112,7 +126,15 @@ class CascadedEH:
         ``[count * g(T - start), count * g(T - end)]``. Ages beyond the decay
         support get weight zero automatically, which handles the bucket that
         straddles the support boundary.
+
+        Memoised per backend mutation generation: between writes the cached
+        (immutable) :class:`Estimate` is returned without re-walking the
+        bucket list.
         """
+        gen = self._hist._gen
+        cached = self._q_cache
+        if cached is not None and cached[0] == gen:
+            return cached[1]
         now = self._hist.time
         g = self._decay.weight
         upper = 0.0
@@ -128,7 +150,9 @@ class CascadedEH:
             value = lower
         else:
             value = 0.5 * (upper + lower)
-        return Estimate(value=value, lower=lower, upper=upper)
+        est = Estimate(value=value, lower=lower, upper=upper)
+        self._q_cache = (gen, est)
+        return est
 
     def query_decay(self, other: DecayFunction) -> Estimate:
         """Answer for a *different* decay function from the same structure.
@@ -151,6 +175,29 @@ class CascadedEH:
             upper += b.count * other.weight(now - b.end)
             lower += b.count * other.weight(now - b.start)
         return Estimate(value=0.5 * (upper + lower), lower=lower, upper=upper)
+
+    def merge(self, other: "CascadedEH") -> None:
+        """Merge another cascaded histogram over the same decay and backend.
+
+        Delegates to the backend histogram's bucket-interleave merge (which
+        aligns clocks and composes the error budgets); the Eq. 4 bracket
+        stays sound because it is evaluated from actual bucket spans,
+        whatever their interleaving.
+        """
+        require_merge_operand(self, other)
+        require_same_decay(self._decay, other._decay)
+        if self.backend != other.backend:
+            raise InvalidParameterError(
+                f"cannot merge backends {self.backend!r} and {other.backend!r}"
+            )
+        # Backend types match because decay+backend match, so mypy narrowing
+        # aside, this is EH-with-EH or domination-with-domination.
+        self._hist.merge(other._hist)  # type: ignore[arg-type]
+
+    @property
+    def effective_epsilon(self) -> float:
+        """Composed error budget of the backend histogram."""
+        return self._hist.effective_epsilon
 
     def storage_report(self) -> StorageReport:
         report = self._hist.storage_report()

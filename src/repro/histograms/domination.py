@@ -19,14 +19,52 @@ for at most an ``eps`` fraction of the newer mass -- giving the same
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterable, Sequence
 
+from repro.core.batching import TimedValue, advance_engine_to, ingest_trace
 from repro.core.errors import InvalidParameterError
 from repro.core.estimate import Estimate
-from repro.histograms.buckets import Bucket
+from repro.core.merging import align_merge_clocks, require_merge_operand
+from repro.histograms.buckets import Bucket, interleave_buckets
 from repro.storage.model import StorageReport, bits_for_value, float_register_bits
 
-__all__ = ["DominationHistogram"]
+__all__ = [
+    "DominationHistogram",
+    "compose_merge_epsilon",
+    "widen_merged_estimate",
+]
+
+
+def compose_merge_epsilon(eps_a: float, eps_b: float) -> float:
+    """Error budget of a merged histogram: straddling masses *add*.
+
+    Each operand certifies that any window answer is off by at most an
+    ``eps`` fraction of its own newer mass.  The union structure carries
+    both operands' buckets, so a boundary can straddle one (post-compaction,
+    several) bucket *per operand*: the merged structure's straddling
+    uncertainty is bounded by the sum of the budgets.  Merging K shards
+    pairwise therefore costs ``K * eps`` -- the explicit composition rule
+    CL008 and the sharding facade account against.
+    """
+    if eps_a <= 0 or eps_b <= 0:
+        raise InvalidParameterError("epsilon budgets must be positive")
+    return eps_a + eps_b
+
+
+def widen_merged_estimate(a: Estimate, b: Estimate) -> Estimate:
+    """Sum two certified brackets (the Estimate-widening merge rule).
+
+    The decaying sum of a union stream is the sum of the operands' sums, so
+    interval arithmetic gives the certified bracket of the union: endpoints
+    add.  This is how shard answers compose *without* touching bucket
+    structure -- the facade's fallback for engines whose state cannot be
+    merged structurally (e.g. randomized-boundary summaries).
+    """
+    return Estimate(
+        value=a.value + b.value,
+        lower=a.lower + b.lower,
+        upper=a.upper + b.upper,
+    )
 
 
 class DominationHistogram:
@@ -36,6 +74,18 @@ class DominationHistogram:
     as a single newest-to-oldest pass after every ``compact_every`` arrivals
     (amortizing the O(buckets) sweep).
     """
+
+    __slots__ = (
+        "window",
+        "epsilon",
+        "compact_every",
+        "effective_epsilon",
+        "_buckets",
+        "_time",
+        "_total",
+        "_since_compact",
+        "_gen",
+    )
 
     def __init__(
         self,
@@ -53,10 +103,16 @@ class DominationHistogram:
         self.window = window
         self.epsilon = float(epsilon)
         self.compact_every = int(compact_every)
+        #: Composed error budget: starts at ``epsilon`` and grows by
+        #: :func:`compose_merge_epsilon` with every shard merge.
+        self.effective_epsilon = float(epsilon)
         self._buckets: list[Bucket] = []  # oldest first
         self._time = 0
         self._total = 0.0
         self._since_compact = 0
+        # Mutation generation: bumped by every state change so cached
+        # queries (CEH's per-tick memo) can detect staleness in O(1).
+        self._gen = 0
 
     @property
     def time(self) -> int:
@@ -71,6 +127,7 @@ class DominationHistogram:
             raise InvalidParameterError(f"value must be >= 0, got {value}")
         if value == 0:
             return
+        self._gen += 1
         if self._buckets and self._buckets[-1].end == self._time:
             last = self._buckets[-1]
             self._buckets[-1] = Bucket(last.start, last.end, last.count + value,
@@ -93,8 +150,52 @@ class DominationHistogram:
     def advance(self, steps: int = 1) -> None:
         if steps < 0:
             raise InvalidParameterError(f"steps must be >= 0, got {steps}")
+        if steps:
+            self._gen += 1
         self._time += steps
         self._expire()
+
+    def advance_to(self, when: int) -> None:
+        """Advance the clock to the absolute time ``when >= time``."""
+        advance_engine_to(self, when)
+
+    def ingest(
+        self, items: Iterable[TimedValue], *, until: int | None = None
+    ) -> None:
+        """Consume a time-sorted trace through the batch path."""
+        ingest_trace(self, items, until=until)
+
+    def merge(self, other: "DominationHistogram") -> None:
+        """Interleave another domination histogram's buckets into this one.
+
+        Clocks are aligned by advancing the younger operand; the two
+        end-sorted bucket lists are merged two-pointer style and one
+        compaction sweep restores the bucket-count bound.  The straddling
+        uncertainty of the union is bounded by the *sum* of the operands'
+        budgets (:func:`compose_merge_epsilon`), tracked in
+        ``effective_epsilon``.  Merging with an empty operand leaves the
+        structure (budget included) bit-identical.
+        """
+        require_merge_operand(self, other)
+        if self.window != other.window:
+            raise InvalidParameterError(
+                f"cannot merge windows {self.window} and {other.window}"
+            )
+        align_merge_clocks(self, other)
+        if not other._buckets:
+            return
+        self._gen += 1
+        if self._buckets:
+            self.effective_epsilon = compose_merge_epsilon(
+                self.effective_epsilon, other.effective_epsilon
+            )
+            self._buckets = interleave_buckets(self._buckets, other._buckets)
+        else:
+            self.effective_epsilon = other.effective_epsilon
+            self._buckets = list(other._buckets)
+        self._total += other._total
+        self._compact()
+        self._since_compact = 0
 
     def query(self) -> Estimate:
         if self.window is None:
@@ -111,20 +212,31 @@ class DominationHistogram:
             )
         cutoff = self._time - w
         total = 0.0
-        boundary: Bucket | None = None
+        straddle = 0.0
+        contributed = False
+        # Newest first; the list is end-sorted so the first bucket at or
+        # past the cutoff ends the walk.  A freshly-built histogram has at
+        # most one straddler (disjoint spans); a shard-merged one can carry
+        # one straddler per operand, so *every* contributing bucket whose
+        # start falls outside the window is summed into the slack.
         for b in reversed(self._buckets):
             if b.end <= cutoff:
                 break
             total += b.count
-            boundary = b
-        if boundary is None:
+            contributed = True
+            if b.start <= cutoff:
+                straddle += b.count
+        if not contributed:
             return Estimate.exact(0.0)
-        if boundary.start > cutoff:
+        if straddle == 0.0:
             return Estimate.exact(total)
-        # Straddling merged bucket: its in-window portion is unknown within
-        # (0, count]; a single-timestamp bucket never straddles.
-        c = boundary.count
-        return Estimate(value=total - c / 2.0, lower=total - c, upper=total)
+        # Straddling merged buckets: each one's in-window portion is unknown
+        # within (0, count]; a single-timestamp bucket never straddles.
+        return Estimate(
+            value=total - straddle / 2.0,
+            lower=total - straddle,
+            upper=total,
+        )
 
     def bucket_view(self) -> list[Bucket]:
         """Snapshot of live buckets, oldest first (consumed by CEH)."""
@@ -166,8 +278,12 @@ class DominationHistogram:
         while i >= 0:
             older = buckets[i]
             if older.count + current.count <= eps * suffix:
+                # Union span: post-merge lists can hold overlapping buckets,
+                # where ``older`` (earlier end) may start *after* ``current``;
+                # min() keeps the bracket sound and is bit-identical for the
+                # classic disjoint case.
                 current = Bucket(
-                    start=older.start,
+                    start=min(older.start, current.start),
                     end=current.end,
                     count=older.count + current.count,
                     level=max(older.level, current.level) + 1,

@@ -37,7 +37,13 @@ from repro.core.batching import TimedValue, advance_engine_to, ingest_trace
 from repro.core.decay import DecayFunction, SlidingWindowDecay
 from repro.core.errors import InvalidParameterError
 from repro.core.estimate import Estimate
-from repro.histograms.buckets import Bucket
+from repro.core.merging import (
+    align_merge_clocks,
+    require_merge_operand,
+    require_same_decay,
+)
+from repro.histograms.buckets import Bucket, interleave_buckets
+from repro.histograms.domination import compose_merge_epsilon
 from repro.storage.model import StorageReport, bits_for_value
 
 __all__ = ["ExponentialHistogram", "SlidingWindowSum"]
@@ -56,6 +62,19 @@ class ExponentialHistogram:
     Theorem 1) use this mode, with ``N`` equal to elapsed time.
     """
 
+    __slots__ = (
+        "window",
+        "epsilon",
+        "buckets_per_size",
+        "effective_epsilon",
+        "_buckets",
+        "_per_size",
+        "_time",
+        "_total",
+        "_gen",
+        "_q_cache",
+    )
+
     def __init__(self, window: int | None, epsilon: float) -> None:
         if window is not None and window < 1:
             raise InvalidParameterError(f"window must be >= 1, got {window}")
@@ -66,10 +85,18 @@ class ExponentialHistogram:
         # At most m+1 buckets of each size; m = ceil(1/eps) bounds the
         # straddling error by 1/(m+1) <= eps.
         self.buckets_per_size = math.ceil(1.0 / epsilon)
+        #: Composed error budget: ``epsilon`` until the first shard merge,
+        #: then grown by :func:`~repro.histograms.domination.
+        #: compose_merge_epsilon` per merge.
+        self.effective_epsilon = float(epsilon)
         self._buckets: list[Bucket] = []  # oldest first; sizes non-increasing
         self._per_size: Counter[int] = Counter()
         self._time = 0
         self._total = 0  # sum of bucket counts (ints: powers of two)
+        # Mutation generation (bumped by every state change) and the
+        # per-generation memo of the full-window answer.
+        self._gen = 0
+        self._q_cache: tuple[int, Estimate] | None = None
 
     @property
     def time(self) -> int:
@@ -102,6 +129,7 @@ class ExponentialHistogram:
         if count == 1:
             # Fast path: one unary insert IS the cascade process -- no need
             # for the flattened simulation's run bookkeeping.
+            self._gen += 1
             t = self._time
             self._buckets.append(Bucket(t, t, 1))
             self._total += 1
@@ -111,6 +139,7 @@ class ExponentialHistogram:
             if n > self.buckets_per_size + 1:
                 self._cascade()
         elif count:
+            self._gen += 1
             self._bulk_insert(count)
 
     def add_batch(self, values: Sequence[float]) -> None:
@@ -135,6 +164,7 @@ class ExponentialHistogram:
             total += int(value)
         if not total:
             return
+        self._gen += 1
         if total <= _UNARY_CUTOVER:
             # Small totals: the literal unary process beats the flattened
             # simulation's fixed setup cost (cutover measured empirically;
@@ -156,6 +186,8 @@ class ExponentialHistogram:
     def advance(self, steps: int = 1) -> None:
         if steps < 0:
             raise InvalidParameterError(f"steps must be >= 0, got {steps}")
+        if steps:
+            self._gen += 1
         self._time += steps
         # Expiry guard: only walk the bucket list when the oldest bucket
         # can actually have left the window.
@@ -176,10 +208,22 @@ class ExponentialHistogram:
         ingest_trace(self, items, until=until)
 
     def query(self) -> Estimate:
-        """Estimate the count over the full window (ages ``0..W-1``)."""
+        """Estimate the count over the full window (ages ``0..W-1``).
+
+        Memoised per mutation generation: query-heavy workloads between
+        writes hit the cached :class:`Estimate` (immutable, so sharing is
+        safe) instead of re-walking the bucket list.  Any ``add``,
+        ``advance`` or ``merge`` invalidates the memo by bumping ``_gen``.
+        """
+        cached = self._q_cache
+        if cached is not None and cached[0] == self._gen:
+            return cached[1]
         if self.window is None:
-            return Estimate.exact(float(self._total))
-        return self.query_window(self.window)
+            est = Estimate.exact(float(self._total))
+        else:
+            est = self.query_window(self.window)
+        self._q_cache = (self._gen, est)
+        return est
 
     def query_window(self, w: int) -> Estimate:
         """Estimate the count of items with age ``< w`` (paper Lemma 4.1)."""
@@ -191,26 +235,74 @@ class ExponentialHistogram:
             )
         cutoff = self._time - w  # items with arrival time > cutoff are inside
         total = 0
-        boundary: Bucket | None = None
-        for b in reversed(self._buckets):  # newest first
+        straddle = 0
+        n_straddle = 0
+        # Newest first; the bucket list is end-sorted, so the first bucket
+        # ending at or before the cutoff terminates the walk.  In a
+        # freshly-built EH bucket spans are disjoint and only the oldest
+        # contributing bucket can straddle the boundary; after a shard
+        # merge (interleaved spans) each operand contributes at most one
+        # straddler, so every contributing bucket is tested.
+        for b in reversed(self._buckets):
             if b.end <= cutoff:
                 break
-            total += int(b.count)
-            boundary = b
-        if boundary is None:
+            c = int(b.count)
+            total += c
+            if b.start <= cutoff:
+                straddle += c
+                n_straddle += 1
+        if total == 0:
             return Estimate.exact(0.0)
-        if boundary.start > cutoff:
-            # Oldest contributing bucket lies entirely inside the window, so
+        if n_straddle == 0:
+            # Every contributing bucket lies entirely inside the window, so
             # the sum is exact: expiry only drops buckets with no item inside
             # any window w <= W.
             return Estimate.exact(float(total))
-        # Straddling bucket: at least its newest item (arrival b.end) is in.
-        c = int(boundary.count)
+        # Straddling buckets: each contributes at least its newest item
+        # (arrival b.end > cutoff), so at least one unit per straddler is
+        # certainly inside.  For the single-straddler (classic) case this is
+        # exactly the textbook ``[total - c + 1, total]`` bracket.
         return Estimate(
-            value=float(total) - c / 2.0,
-            lower=float(total - c + 1),
+            value=float(total) - straddle / 2.0,
+            lower=float(total - straddle + n_straddle),
             upper=float(total),
         )
+
+    def merge(self, other: "ExponentialHistogram") -> None:
+        """Bucket-interleave merge of another EH over the same window.
+
+        Clocks are aligned by advancing the younger operand (expiry
+        included); the two end-sorted bucket lists are then merged
+        two-pointer style, the size census is recomputed from the union
+        list, and the error budgets compose additively
+        (:func:`~repro.histograms.domination.compose_merge_epsilon`).
+
+        The union list keeps both operands' buckets verbatim, so every
+        certified bracket stays sound; what is *lost* is the classic EH
+        size-run invariant (sizes need not be non-increasing oldest-first
+        any more), which is why the cascade/bulk-insert machinery merges by
+        union span and re-sorts when an insert disturbs end order.  Merging
+        with an empty operand is a bit-identical no-op, budget included.
+        """
+        require_merge_operand(self, other)
+        if self.window != other.window:
+            raise InvalidParameterError(
+                f"cannot merge windows {self.window} and {other.window}"
+            )
+        align_merge_clocks(self, other)
+        if not other._buckets:
+            return
+        self._gen += 1
+        if self._buckets:
+            self.effective_epsilon = compose_merge_epsilon(
+                self.effective_epsilon, other.effective_epsilon
+            )
+            self._buckets = interleave_buckets(self._buckets, other._buckets)
+        else:
+            self.effective_epsilon = other.effective_epsilon
+            self._buckets = list(other._buckets)
+        self._per_size = Counter(int(b.count) for b in self._buckets)
+        self._total += other._total
 
     def bucket_view(self) -> list[Bucket]:
         """Snapshot of live buckets, oldest first (consumed by CEH)."""
@@ -276,10 +368,13 @@ class ExponentialHistogram:
             full_pairs = min(carries, len(queue) // 2)
             for pair in range(full_pairs):
                 older, newer = queue[2 * pair], queue[2 * pair + 1]
+                # Union span (min/max): identical to the classic disjoint
+                # merge on fresh histograms, sound on shard-merged ones
+                # where adjacent spans may overlap.
                 explicit.append(
                     Bucket(
-                        start=older.start,
-                        end=newer.end,
+                        start=min(older.start, newer.start),
+                        end=max(older.end, newer.end),
                         count=older.count + newer.count,
                         level=max(older.level, newer.level) + 1,
                     )
@@ -316,9 +411,18 @@ class ExponentialHistogram:
             rep = remaining
             template = Bucket(now, now, template.count * 2, template.level + 1)
             size *= 2
-        self._buckets = buckets[:idx] + [
+        out = buckets[:idx] + [
             bucket for run in reversed(processed) for bucket in run
         ]
+        # A shard-merged list can violate the size-run ordering this
+        # reassembly assumes; restore the end-sort invariant (expiry and
+        # the query walks rely on it).  Freshly-built histograms always
+        # pass the check, so the classic path stays bit-identical.
+        if any(
+            (a.end, a.start) > (b.end, b.start) for a, b in zip(out, out[1:])
+        ):
+            out.sort(key=lambda b: (b.end, b.start))
+        self._buckets = out
 
     def _add_ones_unary(self, count: int) -> None:
         """The pre-batching O(count) unary insert (reference only).
@@ -353,9 +457,14 @@ class ExponentialHistogram:
             run_start = len(buckets) - below - n_here
             older = buckets[run_start]
             newer = buckets[run_start + 1]
+            # Union span (min/max): bit-identical to the classic disjoint
+            # merge on fresh histograms; on shard-merged lists the census
+            # may pair overlapping buckets, and the union span keeps their
+            # bracket sound.  End-sortedness is preserved: the merged end
+            # is the pair's larger end, at the pair's position.
             merged = Bucket(
-                start=older.start,
-                end=newer.end,
+                start=min(older.start, newer.start),
+                end=max(older.end, newer.end),
                 count=older.count + newer.count,
                 level=max(older.level, newer.level) + 1,
             )
@@ -396,6 +505,8 @@ class SlidingWindowSum:
     :class:`ExponentialHistogram`.
     """
 
+    __slots__ = ("_decay", "_eh")
+
     def __init__(self, window: int, epsilon: float) -> None:
         self._decay = SlidingWindowDecay(window)
         self._eh = ExponentialHistogram(window, epsilon)
@@ -435,6 +546,17 @@ class SlidingWindowSum:
 
     def query(self) -> Estimate:
         return self._eh.query()
+
+    def merge(self, other: "SlidingWindowSum") -> None:
+        """Delegate to the substrate EH's bucket-interleave merge."""
+        require_merge_operand(self, other)
+        require_same_decay(self._decay, other._decay)
+        self._eh.merge(other._eh)
+
+    @property
+    def effective_epsilon(self) -> float:
+        """Composed error budget of the substrate EH."""
+        return self._eh.effective_epsilon
 
     def storage_report(self) -> StorageReport:
         report = self._eh.storage_report()

@@ -225,6 +225,21 @@ class ApproxBoundaryCEH:
         value = min(max(value, lower), upper)
         return Estimate(value=value, lower=lower, upper=upper)
 
+    def merge(self, other: "ApproxBoundaryCEH") -> None:
+        """Structural merge is undefined for randomized boundaries.
+
+        Each operand's bucket ages are private random walks; interleaving
+        them has no seed from which the merged registers could be
+        regenerated, and the telescoped bracket of :meth:`query` assumes
+        one stream's ordering.  Shard deployments should combine *answers*
+        instead (:func:`repro.histograms.domination.widen_merged_estimate`),
+        which the sharding facade does automatically.
+        """
+        raise NotApplicableError(
+            "ApproxBoundaryCEH state is randomized and cannot be merged; "
+            "combine query() brackets instead"
+        )
+
     def bucket_count(self) -> int:
         return len(self._buckets)
 

@@ -57,6 +57,11 @@ from repro.core.errors import (
     TimeOrderError,
 )
 from repro.core.estimate import Estimate
+from repro.core.merging import (
+    align_merge_clocks,
+    require_merge_operand,
+    require_same_decay,
+)
 from repro.counters.approx_float import FixedQuantizer, LevelQuantizer
 from repro.histograms.boundaries import RegionSchedule
 from repro.histograms.buckets import Bucket
@@ -365,6 +370,21 @@ class WBMH:
         spans = [(b.start, b.end) for b in self._iter_buckets()]
         spans.reverse()
         return spans
+
+    def merge(self, other: "WBMH") -> None:
+        """Clock-aligned :meth:`absorb`: the younger operand advances first.
+
+        The sealing lattice is a function of (decay, ratio, clock) alone --
+        never of the stream -- so once the younger operand's clock catches
+        up (sealing and merging exactly as live ticks would), the two
+        lattices coincide and the strict equal-clock ``absorb`` applies.
+        Costs at most one extra quantization level per bucket, which the
+        level-indexed drift factors already price into the bracket.
+        """
+        require_merge_operand(self, other)
+        require_same_decay(self._decay, other._decay)
+        align_merge_clocks(self, other)
+        self.absorb(other)
 
     def absorb(self, other: "WBMH") -> None:
         """Merge another WBMH over the same configuration into this one.

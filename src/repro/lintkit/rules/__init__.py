@@ -10,6 +10,8 @@
 | RK006 | complete annotations on the core/histograms public surface      |
 | RK007 | pure conformance laws (deterministic fuzzing + trustworthy      |
 |       | shrinking in repro.conformance)                                 |
+| RK008 | the shard-parallelism boundary (concurrency imports only in     |
+|       | repro.parallel; engines stay pure functions of the trace)       |
 """
 
 from repro.lintkit.rules import (  # noqa: F401  (registration side effects)
@@ -20,4 +22,5 @@ from repro.lintkit.rules import (  # noqa: F401  (registration side effects)
     rk005_floateq,
     rk006_annotations,
     rk007_pure_laws,
+    rk008_parallelism,
 )

@@ -7,8 +7,8 @@ member only explodes at call time -- possibly deep inside a benchmark.
 This rule makes the contract static: any class *marked* as an engine (by
 name convention or by explicitly listing ``DecayingSum`` as a base) must
 define ``time``, ``decay``, ``add``, ``add_batch``, ``advance``,
-``advance_to``, ``ingest``, ``query`` and ``storage_report`` in its own
-body or a base class in the same module.
+``advance_to``, ``ingest``, ``query``, ``merge`` and ``storage_report``
+in its own body or a base class in the same module.
 """
 
 from __future__ import annotations
@@ -32,6 +32,7 @@ REQUIRED_MEMBERS = (
     "advance_to",
     "ingest",
     "query",
+    "merge",
     "storage_report",
 )
 

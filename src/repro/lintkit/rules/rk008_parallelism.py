@@ -1,0 +1,59 @@
+"""RK008: concurrency primitives live only in ``repro.parallel``.
+
+The merge algebra makes shard-parallelism a *boundary* concern: workers
+run ordinary single-threaded engines and the fold happens at the edge
+(:mod:`repro.parallel`).  An engine or law that imports
+``multiprocessing``, ``concurrent.futures``, or ``threading`` directly
+would smuggle scheduling nondeterminism into code whose answers must be
+a pure function of the trace -- replay determinism (RK002) and the
+conformance kit's shrinking both depend on that.  This rule keeps the
+allowlist honest: any process- or thread-level machinery added outside
+the ``parallel`` package is a lint failure, not a code-review judgement
+call.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lintkit.registry import Rule, Violation, register
+
+#: Top-level module names whose import marks concurrency machinery.
+_BANNED_ROOTS = frozenset(
+    {"multiprocessing", "concurrent", "threading", "_thread"}
+)
+
+
+def _root(module: str) -> str:
+    return module.split(".", 1)[0]
+
+
+@register
+class ParallelismBoundaryRule(Rule):
+    rule_id = "RK008"
+    title = "concurrency imports only inside repro.parallel"
+    rationale = (
+        "Engines must stay pure functions of the trace; process/thread "
+        "machinery belongs at the shard boundary (repro.parallel), where "
+        "the merge algebra makes the fold order irrelevant."
+    )
+    exempt = ("parallel",)
+
+    def check(self, ctx) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                names = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                names = [node.module]
+            else:
+                continue
+            for name in names:
+                if _root(name) in _BANNED_ROOTS:
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"concurrency import `{name}` outside repro.parallel; "
+                        "ship work to the pool via repro.parallel and merge "
+                        "the summaries instead",
+                    )

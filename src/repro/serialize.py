@@ -169,6 +169,7 @@ def engine_to_dict(engine: Any) -> dict[str, Any]:
             "engine": "eh",
             "window": engine.window,
             "epsilon": engine.epsilon,
+            "effective_epsilon": engine.effective_epsilon,
             "time": engine.time,
             "buckets": _buckets_out(engine.bucket_view()),
         }
@@ -178,6 +179,7 @@ def engine_to_dict(engine: Any) -> dict[str, Any]:
             "engine": "domination",
             "window": engine.window,
             "epsilon": engine.epsilon,
+            "effective_epsilon": engine.effective_epsilon,
             "compact_every": engine.compact_every,
             "time": engine.time,
             "buckets": _buckets_out(engine.bucket_view()),
@@ -288,6 +290,10 @@ def engine_from_dict(data: dict[str, Any]) -> Any:
         for b in target._buckets:
             target._per_size[int(b.count)] += 1
         target._total = sum(int(b.count) for b in target._buckets)
+        # Older (pre-merge) snapshots carry no composed budget.
+        target.effective_epsilon = float(
+            data.get("effective_epsilon", data["epsilon"])
+        )
         return wrapper if wrapper is not None else target
     if kind == "domination":
         engine = DominationHistogram(
@@ -299,6 +305,9 @@ def engine_from_dict(data: dict[str, Any]) -> Any:
         engine._buckets = _buckets_in(data["buckets"])
         engine._total = sum(b.count for b in engine._buckets)
         engine._since_compact = int(data["since_compact"])
+        engine.effective_epsilon = float(
+            data.get("effective_epsilon", data["epsilon"])
+        )
         return engine
     if kind == "ceh":
         engine = CascadedEH(

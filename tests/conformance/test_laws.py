@@ -138,6 +138,79 @@ class TestUnsortedRejection:
         assert not law.check(SPECS["expd"], single)
 
 
+class TestMergeSplit:
+    def test_in_catalog_and_resolvable(self) -> None:
+        law = get_law("CL008")
+        assert law is get_law("merge-split")
+        assert law in all_laws()
+
+    def test_holds_across_matrix(self) -> None:
+        law = get_law("CL008")
+        for name in sorted(SPECS):
+            violations = law.check(SPECS[name], SAMPLE)
+            assert not violations, "\n".join(v.render() for v in violations)
+
+    def test_detects_lossy_merge(self) -> None:
+        class _LossyMerge:
+            """Engine whose merge silently discards the other operand."""
+
+            def __init__(self) -> None:
+                self._inner = make_decaying_sum(SlidingWindowDecay(64), 0.1)
+
+            def __getattr__(self, attr: str):
+                return getattr(self._inner, attr)
+
+            def merge(self, other) -> None:
+                pass  # drops every item the other shard ingested
+
+        spec = SPECS["sliwin"].with_factory(_LossyMerge)
+        # Enough same-window mass that losing a shard breaks containment.
+        trace = Trace.build([(t, 3) for t in range(30)], tail=0)
+        violations = get_law("CL008").check(spec, trace)
+        assert violations
+        assert "misses the exact sum" in violations[0].message
+
+    def test_exact_engine_must_be_bit_identical(self) -> None:
+        from repro.core.decay import LinearDecay
+        from repro.core.exact import ExactDecayingSum as _BaseExact
+
+        decay = LinearDecay(200)
+
+        class ExactDecayingSum(_BaseExact):
+            """Merge-perturbing mutant; the name makes the derived
+            ``engine_kind`` match the real exact engine, which is what
+            routes CL008 onto its bit-identity tier."""
+
+            def merge(self, other) -> None:
+                super().merge(other)
+                if self._values:
+                    t, v = self._values[-1]
+                    self._values[-1] = (t, v + 1e-9)
+
+        spec = make_spec(
+            "drifting", decay, factory=lambda: ExactDecayingSum(decay)
+        )
+        violations = get_law("CL008").check(spec, SAMPLE)
+        assert violations
+        assert "not bit-identical" in violations[0].message
+
+    def test_not_applicable_merge_passes_vacuously(self) -> None:
+        from repro.core.errors import NotApplicableError
+
+        class _Unmergeable:
+            def __init__(self) -> None:
+                self._inner = make_decaying_sum(SlidingWindowDecay(64), 0.1)
+
+            def __getattr__(self, attr: str):
+                return getattr(self._inner, attr)
+
+            def merge(self, other) -> None:
+                raise NotApplicableError("randomized state")
+
+        spec = SPECS["sliwin"].with_factory(_Unmergeable)
+        assert not get_law("CL008").check(spec, SAMPLE)
+
+
 class TestViolationRendering:
     def test_render_includes_law_engine_and_time(self) -> None:
         v = Violation("CL001", "sliwin", "bracket misses truth", time=7)

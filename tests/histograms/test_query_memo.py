@@ -1,0 +1,140 @@
+"""Differential tests of the EH/CEH query memo against the uncached walk.
+
+``ExponentialHistogram.query`` and ``CascadedEH.query`` memoise their
+bucket walk keyed on the backend's mutation generation; these tests pin
+the cache's two obligations: a hit must be bit-identical to what an
+uncached evaluation would produce (checked against a serialize-cloned
+engine, whose cache starts empty), and every mutating entry point --
+unary add, bulk add, batch add, advance, merge -- must invalidate it.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.decay import LinearDecay, PolynomialDecay, SlidingWindowDecay
+from repro.histograms.ceh import CascadedEH
+from repro.histograms.eh import ExponentialHistogram, SlidingWindowSum
+from repro.serialize import engine_from_dict, engine_to_dict
+
+
+def _triplet(est):
+    return est.value, est.lower, est.upper
+
+
+def _fresh_answer(engine):
+    """The uncached answer: a serialize clone starts with an empty memo."""
+    return _triplet(engine_from_dict(engine_to_dict(engine)).query())
+
+
+class TestEHMemo:
+    def test_repeated_query_returns_cached_object(self) -> None:
+        eh = ExponentialHistogram(64, 0.1)
+        eh.add_batch([3.0, 1.0, 2.0])
+        first = eh.query()
+        assert eh.query() is first
+
+    @pytest.mark.parametrize("window", [None, 48], ids=["infinite", "windowed"])
+    def test_cached_answer_matches_uncached_walk(self, window) -> None:
+        rng = random.Random(5)
+        eh = ExponentialHistogram(window, 0.1)
+        for _ in range(300):
+            eh.add(float(rng.randint(1, 4)))
+            if rng.random() < 0.4:
+                eh.advance(rng.randint(1, 3))
+            assert _triplet(eh.query()) == _fresh_answer(eh)
+            # Second query is the cache hit; it must not drift either.
+            assert _triplet(eh.query()) == _fresh_answer(eh)
+
+    def test_every_mutator_invalidates(self) -> None:
+        eh = ExponentialHistogram(32, 0.1)
+        eh.add(2.0)
+        mutations = [
+            lambda: eh.add(1.0),
+            lambda: eh.add(3.0),  # bulk path (count > 1 decomposition)
+            lambda: eh.add_batch([1.0, 1.0, 2.0]),
+            lambda: eh.advance(2),
+        ]
+        for mutate in mutations:
+            stale = eh.query()
+            mutate()
+            fresh = eh.query()
+            assert fresh is not stale
+            assert _triplet(fresh) == _fresh_answer(eh)
+
+    def test_zero_step_advance_keeps_cache(self) -> None:
+        eh = ExponentialHistogram(32, 0.1)
+        eh.add(2.0)
+        cached = eh.query()
+        eh.advance(0)
+        assert eh.query() is cached
+
+    def test_merge_invalidates(self) -> None:
+        a = ExponentialHistogram(32, 0.1)
+        b = ExponentialHistogram(32, 0.1)
+        a.add_batch([1.0, 2.0])
+        b.add_batch([4.0])
+        stale = a.query()
+        a.merge(b)
+        fresh = a.query()
+        assert fresh is not stale
+        assert _triplet(fresh) == _fresh_answer(a)
+
+
+class TestCEHMemo:
+    @pytest.mark.parametrize(
+        "backend", ["eh", "domination"], ids=["eh", "domination"]
+    )
+    def test_cached_answer_matches_uncached_walk(self, backend) -> None:
+        rng = random.Random(9)
+        ceh = CascadedEH(LinearDecay(80), 0.1, backend=backend)
+        for _ in range(200):
+            if backend == "eh":
+                ceh.add(float(rng.randint(1, 3)))
+            else:
+                ceh.add(rng.uniform(0.1, 3.0))
+            if rng.random() < 0.4:
+                ceh.advance(rng.randint(1, 2))
+            assert _triplet(ceh.query()) == _fresh_answer(ceh)
+
+    def test_repeated_query_returns_cached_object(self) -> None:
+        ceh = CascadedEH(PolynomialDecay(1.2), 0.1)
+        ceh.add_batch([1.0, 2.0, 1.0])
+        first = ceh.query()
+        assert ceh.query() is first
+
+    def test_backend_mutation_invalidates_adapter_cache(self) -> None:
+        # Writes that bypass the adapter and hit the backend histogram
+        # directly must still invalidate (the memo keys on the backend's
+        # generation, not on adapter-level call counting).
+        ceh = CascadedEH(LinearDecay(50), 0.1)
+        ceh.add(2.0)
+        stale = ceh.query()
+        ceh.histogram.add(3.0)
+        fresh = ceh.query()
+        assert fresh is not stale
+        assert _triplet(fresh) == _fresh_answer(ceh)
+
+    def test_merge_invalidates(self) -> None:
+        a = CascadedEH(LinearDecay(60), 0.1)
+        b = CascadedEH(LinearDecay(60), 0.1)
+        a.add_batch([1.0, 1.0])
+        b.add(2.0)
+        stale = a.query()
+        a.merge(b)
+        fresh = a.query()
+        assert fresh is not stale
+        assert _triplet(fresh) == _fresh_answer(a)
+
+
+class TestSlidingWindowSumMemo:
+    def test_wrapper_inherits_backend_memo(self) -> None:
+        sw = SlidingWindowSum(48, 0.1)
+        sw.add_batch([2.0, 1.0])
+        first = sw.query()
+        assert sw.query() is first
+        sw.advance(3)
+        assert sw.query() is not first
+        assert _triplet(sw.query()) == _fresh_answer(sw)

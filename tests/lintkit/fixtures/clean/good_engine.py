@@ -39,5 +39,8 @@ class TinyDecayingSum:
     def query(self) -> float:
         return self._total
 
+    def merge(self, other: "TinyDecayingSum") -> None:
+        self._total += other._total
+
     def storage_report(self) -> object:
         return None

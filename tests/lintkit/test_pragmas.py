@@ -72,10 +72,11 @@ class TestFilePragmas:
 
 
 class TestRegistryAndEngine:
-    def test_all_seven_rules_registered(self):
+    def test_full_catalog_registered(self):
         ids = [rule.rule_id for rule in all_rules()]
         assert ids == [
             "RK001", "RK002", "RK003", "RK004", "RK005", "RK006", "RK007",
+            "RK008",
         ]
 
     def test_rules_carry_catalog_metadata(self):

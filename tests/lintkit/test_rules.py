@@ -209,12 +209,37 @@ class TestEngineProtocol:
                 def advance_to(self, when: int) -> None: ...
                 def ingest(self, items, *, until=None) -> None: ...
                 def query(self): ...
+                def merge(self, other) -> None: ...
                 def storage_report(self): ...
             """,
             "repro/core/x.py",
             "RK003",
         )
         assert found == []
+
+    def test_engine_without_merge_flagged(self):
+        # The mergeable-summaries surface is part of the protocol: an
+        # engine missing only `merge` cannot ride the shard pool.
+        found = _lint(
+            """
+            class AlmostSum:
+                @property
+                def time(self) -> int: ...
+                @property
+                def decay(self): ...
+                def add(self, value: float = 1.0) -> None: ...
+                def add_batch(self, values) -> None: ...
+                def advance(self, steps: int = 1) -> None: ...
+                def advance_to(self, when: int) -> None: ...
+                def ingest(self, items, *, until=None) -> None: ...
+                def query(self): ...
+                def storage_report(self): ...
+            """,
+            "repro/core/x.py",
+            "RK003",
+        )
+        assert _ids(found) == ["RK003"]
+        assert "merge" in found[0].message
 
     def test_members_inherited_from_local_base_ok(self):
         found = _lint(
@@ -230,6 +255,7 @@ class TestEngineProtocol:
                 def advance_to(self, when: int) -> None: ...
                 def ingest(self, items, *, until=None) -> None: ...
                 def query(self): ...
+                def merge(self, other) -> None: ...
                 def storage_report(self): ...
 
             class QuantizedSum(BaseSum):
@@ -596,3 +622,64 @@ class TestPureLaws:
         assert _ids(
             _lint(impure, "repro/conformance/laws_extra.py", "RK007")
         ) == ["RK007", "RK007"]
+
+
+# --------------------------------------------------------------------- RK008
+
+
+class TestParallelismBoundary:
+    def test_multiprocessing_import_flagged(self):
+        found = _lint(
+            "import multiprocessing\n",
+            "repro/core/x.py",
+            "RK008",
+        )
+        assert _ids(found) == ["RK008"]
+        assert "repro.parallel" in found[0].message
+
+    def test_concurrent_futures_from_import_flagged(self):
+        found = _lint(
+            "from concurrent.futures import ProcessPoolExecutor\n",
+            "repro/histograms/x.py",
+            "RK008",
+        )
+        assert _ids(found) == ["RK008"]
+
+    def test_threading_and_thread_flagged(self):
+        found = _lint(
+            """
+            import threading
+            import _thread
+            """,
+            "repro/conformance/x.py",
+            "RK008",
+        )
+        assert _ids(found) == ["RK008", "RK008"]
+
+    def test_parallel_package_is_exempt(self):
+        source = """
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+            """
+        assert _lint(source, "repro/parallel/executor.py", "RK008") == []
+
+    def test_prefix_lookalike_module_not_flagged(self):
+        # `concurrency_notes` shares a prefix with `concurrent` but is not
+        # the banned root module.
+        found = _lint(
+            "import concurrency_notes\n",
+            "repro/core/x.py",
+            "RK008",
+        )
+        assert found == []
+
+    def test_shipped_executor_is_the_only_concurrency_site(self):
+        # Pin the allowlist against the real tree: lint every shipped
+        # source file and demand zero RK008 violations (the one legit
+        # import site lives under the exempt parallel/ component).
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
+        for path in sorted(root.rglob("*.py")):
+            rel = path.relative_to(root.parent).as_posix()
+            assert lint_source(path.read_text(), rel, select=["RK008"]) == [], rel

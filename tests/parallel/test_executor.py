@@ -1,0 +1,201 @@
+"""Process-pool ingestion: pool answers vs serial replay, fleet adoption."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.decay import (
+    ExponentialDecay,
+    PolynomialDecay,
+    SlidingWindowDecay,
+)
+from repro.core.errors import InvalidParameterError
+from repro.core.exact import ExactDecayingSum
+from repro.core.interfaces import make_decaying_sum
+from repro.fleet import StreamFleet
+from repro.parallel import parallel_fleet_ingest, parallel_ingest
+from repro.streams.generators import StreamItem
+from repro.streams.io import KeyedItem
+
+# Pool tests pay process spawn cost; keep the traces small and the shard
+# counts low -- correctness here, scale in benchmarks/.
+TRACE_N = 400
+
+
+def _trace(seed: int):
+    rng = random.Random(seed)
+    items, t = [], 0
+    for _ in range(TRACE_N):
+        t += rng.choice([0, 1, 1, 2])
+        items.append(StreamItem(t, float(rng.randint(1, 4))))
+    return items, t + 2
+
+
+def _keyed_trace(seed: int):
+    rng = random.Random(seed)
+    keys = ["alpha", "beta", "gamma", "delta"]
+    items, t = [], 0
+    for _ in range(TRACE_N):
+        t += rng.choice([0, 1, 1])
+        items.append(KeyedItem(rng.choice(keys), t, float(rng.randint(1, 3))))
+    return items, t + 2, keys
+
+
+class TestParallelIngest:
+    @pytest.mark.parametrize(
+        "decay",
+        [ExponentialDecay(0.05), SlidingWindowDecay(64), PolynomialDecay(1.2)],
+        ids=lambda d: d.describe(),
+    )
+    def test_pool_answer_brackets_serial_truth(self, decay) -> None:
+        items, end = _trace(21)
+        merged = parallel_ingest(decay, items, epsilon=0.1, shards=2, end=end)
+        oracle = ExactDecayingSum(decay)
+        oracle.ingest(items, until=end)
+        true = oracle.query().value
+        est = merged.query()
+        slack = 1e-9 * max(1.0, est.upper)
+        assert est.lower - slack <= true <= est.upper + slack
+        assert merged.time == end
+
+    def test_register_engine_matches_serial_within_ulps(self) -> None:
+        decay = ExponentialDecay(0.05)
+        items, end = _trace(22)
+        merged = parallel_ingest(decay, items, epsilon=0.1, shards=2, end=end)
+        serial = make_decaying_sum(decay, 0.1)
+        serial.ingest(items, until=end)
+        assert merged.query().value == pytest.approx(
+            serial.query().value, rel=1e-12
+        )
+
+    def test_single_shard_is_serial_and_bit_identical(self) -> None:
+        decay = SlidingWindowDecay(48)
+        items, end = _trace(23)
+        merged = parallel_ingest(decay, items, epsilon=0.1, shards=1, end=end)
+        serial = make_decaying_sum(decay, 0.1)
+        serial.ingest(items, until=end)
+        a, b = merged.query(), serial.query()
+        assert (a.value, a.lower, a.upper) == (b.value, b.lower, b.upper)
+
+    def test_empty_trace_yields_fresh_engine(self) -> None:
+        engine = parallel_ingest(
+            ExponentialDecay(0.1), [], epsilon=0.1, shards=4, end=7
+        )
+        assert engine.time == 7
+        assert engine.query().value == 0.0
+
+    def test_rejects_bad_parameters(self) -> None:
+        items, end = _trace(24)
+        with pytest.raises(InvalidParameterError):
+            parallel_ingest(ExponentialDecay(0.1), items, shards=0)
+        with pytest.raises(InvalidParameterError):
+            parallel_ingest(
+                ExponentialDecay(0.1), items, shards=2, end=items[0].time - 1
+            )
+
+
+class TestParallelFleetIngest:
+    @pytest.mark.parametrize(
+        "decay",
+        [ExponentialDecay(0.1), SlidingWindowDecay(50)],
+        ids=lambda d: d.describe(),
+    )
+    def test_pool_fleet_matches_serial_fleet(self, decay) -> None:
+        items, end, keys = _keyed_trace(31)
+        serial = StreamFleet(decay, 0.1)
+        serial.observe_batch(items)
+        serial.advance_to(end)
+        pooled = parallel_fleet_ingest(
+            decay, items, epsilon=0.1, shards=2, end=end
+        )
+        assert sorted(pooled.keys()) == sorted(serial.keys())
+        assert pooled.time == end
+        for key in keys:
+            assert pooled.rating(key).value == pytest.approx(
+                serial.rating(key).value, rel=1e-9
+            )
+
+    def test_rankings_survive_the_pool(self) -> None:
+        items, end, _ = _keyed_trace(32)
+        decay = ExponentialDecay(0.05)
+        serial = StreamFleet(decay, 0.1)
+        serial.observe_batch(items)
+        serial.advance_to(end)
+        pooled = parallel_fleet_ingest(
+            decay, items, epsilon=0.1, shards=2, end=end
+        )
+        assert [k for k, _ in pooled.top(3)] == [k for k, _ in serial.top(3)]
+
+    def test_single_shard_no_pool(self) -> None:
+        items, end, keys = _keyed_trace(33)
+        pooled = parallel_fleet_ingest(
+            ExponentialDecay(0.1), items, epsilon=0.1, shards=1, end=end
+        )
+        assert sorted(pooled.keys()) == sorted(
+            {item.key for item in items}
+        )
+
+
+class TestFleetMergeAndAdopt:
+    def test_fleet_merge_generalizes_absorb(self) -> None:
+        decay = SlidingWindowDecay(40)
+        items, end, keys = _keyed_trace(41)
+        serial = StreamFleet(decay, 0.1)
+        serial.observe_batch(items)
+        serial.advance_to(end)
+        # Key-partition by hand, merge the two half-fleets.
+        left = StreamFleet(decay, 0.1)
+        right = StreamFleet(decay, 0.1)
+        for item in items:
+            target = left if item.key < "c" else right
+            target.observe(item.key, item.value, when=item.time)
+        left.advance_to(end)
+        right.advance_to(end)
+        left.merge(right)
+        for key in keys:
+            got = left.rating(key)
+            want = serial.rating(key)
+            assert got.lower <= want.value <= got.upper or (
+                got.value == pytest.approx(want.value, rel=1e-9)
+            )
+
+    def test_merge_advances_younger_fleet(self) -> None:
+        decay = ExponentialDecay(0.1)
+        a = StreamFleet(decay, 0.1)
+        b = StreamFleet(decay, 0.1)
+        a.observe("x", 2.0, when=10)
+        b.observe("y", 3.0)  # still at t=0 after this add... advance below
+        b.advance_to(4)
+        a.merge(b)
+        assert a.time == 10
+        # y's mass decayed from t=4 to t=10 during alignment.
+        assert a.rating("y").value == pytest.approx(
+            3.0 * decay.weight(10 - 0), rel=1e-9
+        )
+
+    def test_adopt_requires_clock_alignment(self) -> None:
+        from repro.core.errors import TimeOrderError
+        from repro.core.ewma import ExponentialSum
+
+        fleet = StreamFleet(ExponentialDecay(0.1), 0.1)
+        fleet.advance(5)
+        engine = ExponentialSum(ExponentialDecay(0.1))
+        with pytest.raises(TimeOrderError):
+            fleet.adopt("k", engine)
+        engine.advance(5)
+        engine.add(2.0)
+        fleet.adopt("k", engine)
+        assert fleet.rating("k").value == pytest.approx(2.0)
+
+    def test_adopt_existing_key_merges(self) -> None:
+        from repro.core.ewma import ExponentialSum
+
+        decay = ExponentialDecay(0.1)
+        fleet = StreamFleet(decay, 0.1)
+        fleet.observe("k", 1.0)
+        extra = ExponentialSum(decay)
+        extra.add(2.0)
+        fleet.adopt("k", extra)
+        assert fleet.rating("k").value == pytest.approx(3.0)

@@ -1,0 +1,233 @@
+"""ShardedDecayingSum: routing, memoised snapshot, merge, fallbacks."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.decay import (
+    ExponentialDecay,
+    LinearDecay,
+    NoDecay,
+    PolynomialDecay,
+    SlidingWindowDecay,
+)
+from repro.core.errors import (
+    InvalidParameterError,
+    NotApplicableError,
+    TimeOrderError,
+)
+from repro.core.exact import ExactDecayingSum
+from repro.core.interfaces import make_decaying_sum
+from repro.histograms.matias import ApproxBoundaryCEH
+from repro.parallel import ShardedDecayingSum, shard_of
+from repro.streams.generators import StreamItem
+
+DECAYS = [
+    ExponentialDecay(0.05),
+    SlidingWindowDecay(64),
+    PolynomialDecay(1.2),
+    LinearDecay(100),
+    NoDecay(),
+]
+
+
+def _trace(seed: int, n: int = 800):
+    rng = random.Random(seed)
+    items, t = [], 0
+    for _ in range(n):
+        t += rng.choice([0, 0, 1, 1, 2])
+        items.append(StreamItem(t, float(rng.randint(1, 5))))
+    return items, t + 3
+
+
+class TestShardOf:
+    def test_deterministic_and_in_range(self) -> None:
+        for key in ["alpha", 42, ("a", 7), None]:
+            idx = shard_of(key, 5)
+            assert 0 <= idx < 5
+            assert idx == shard_of(key, 5)
+
+    def test_rejects_nonpositive_shards(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            shard_of("k", 0)
+
+
+class TestConstruction:
+    def test_rejects_bad_parameters(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            ShardedDecayingSum(NoDecay(), 0.1, shards=0)
+        with pytest.raises(InvalidParameterError):
+            ShardedDecayingSum(NoDecay(), 1.5)
+
+    def test_factory_decay_must_match(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            ShardedDecayingSum(
+                SlidingWindowDecay(64),
+                0.1,
+                factory=lambda: make_decaying_sum(SlidingWindowDecay(32), 0.1),
+            )
+
+
+class TestQueryAgainstOracle:
+    @pytest.mark.parametrize("decay", DECAYS, ids=lambda d: d.describe())
+    @pytest.mark.parametrize("shards", [1, 3, 4])
+    def test_bracket_contains_exact_sum(self, decay, shards) -> None:
+        items, end = _trace(3)
+        facade = ShardedDecayingSum(decay, 0.1, shards=shards)
+        facade.ingest(items, until=end)
+        oracle = ExactDecayingSum(decay)
+        oracle.ingest(items, until=end)
+        true = oracle.query().value
+        est = facade.query()
+        slack = 1e-9 * max(1.0, est.upper)
+        assert est.lower - slack <= true <= est.upper + slack
+        assert facade.time == end
+
+    def test_round_robin_balances_items(self) -> None:
+        facade = ShardedDecayingSum(NoDecay(), 0.1, shards=4)
+        for _ in range(10):
+            facade.add(1.0)
+        totals = [r.query().value for r in facade.shard_view()]
+        assert sorted(totals) == [2.0, 2.0, 3.0, 3.0]
+
+    def test_add_batch_matches_add_loop(self) -> None:
+        batched = ShardedDecayingSum(NoDecay(), 0.1, shards=3)
+        looped = ShardedDecayingSum(NoDecay(), 0.1, shards=3)
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        batched.add_batch(values)
+        for v in values:
+            looped.add(v)
+        for a, b in zip(batched.shard_view(), looped.shard_view()):
+            assert a.query().value == b.query().value
+
+    def test_keyed_routing_is_sticky(self) -> None:
+        facade = ShardedDecayingSum(NoDecay(), 0.1, shards=4)
+        for _ in range(6):
+            facade.add_keyed("customer-7", 1.0)
+        populated = [
+            r.query().value for r in facade.shard_view() if r.query().value
+        ]
+        assert populated == [6.0]
+
+
+class TestSnapshotMemo:
+    def test_snapshot_reused_between_queries(self) -> None:
+        items, end = _trace(4, n=200)
+        facade = ShardedDecayingSum(SlidingWindowDecay(64), 0.1, shards=4)
+        facade.ingest(items, until=end)
+        facade.query()
+        snapshot = facade._merged
+        facade.query()
+        assert facade._merged is snapshot
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda f: f.add(1.0),
+            lambda f: f.add_keyed("k", 1.0),
+            lambda f: f.add_batch([1.0, 2.0]),
+            lambda f: f.advance(1),
+        ],
+        ids=["add", "add_keyed", "add_batch", "advance"],
+    )
+    def test_writes_invalidate_snapshot(self, mutate) -> None:
+        facade = ShardedDecayingSum(SlidingWindowDecay(64), 0.1, shards=3)
+        facade.add_batch([2.0, 1.0, 1.0])
+        facade.query()
+        snapshot = facade._merged
+        mutate(facade)
+        facade.query()
+        assert facade._merged is not snapshot
+
+    def test_snapshot_does_not_touch_replicas(self) -> None:
+        # Merging the snapshot must clone: replica states stay intact and
+        # a later query after more writes is still correct.
+        facade = ShardedDecayingSum(SlidingWindowDecay(32), 0.1, shards=2)
+        facade.add_batch([3.0, 2.0])
+        before = [r.query().value for r in facade.shard_view()]
+        facade.query()
+        assert [r.query().value for r in facade.shard_view()] == before
+
+
+class TestFacadeMerge:
+    def test_merges_shardwise_and_aligns_clocks(self) -> None:
+        items_a, end_a = _trace(5, n=300)
+        items_b, _ = _trace(6, n=300)
+        a = ShardedDecayingSum(ExponentialDecay(0.05), 0.1, shards=3)
+        b = ShardedDecayingSum(ExponentialDecay(0.05), 0.1, shards=3)
+        a.ingest(items_a, until=end_a)
+        b.ingest(items_b)
+        a.merge(b)
+        assert a.time == max(end_a, b.time)
+        combined = sorted(items_a + items_b, key=lambda it: it.time)
+        oracle = ExactDecayingSum(ExponentialDecay(0.05))
+        oracle.ingest(combined, until=a.time)
+        assert a.query().value == pytest.approx(
+            oracle.query().value, rel=1e-9
+        )
+
+    def test_rejects_mismatched_operands(self) -> None:
+        a = ShardedDecayingSum(NoDecay(), 0.1, shards=2)
+        with pytest.raises(InvalidParameterError):
+            a.merge(a)
+        with pytest.raises(InvalidParameterError):
+            a.merge(ShardedDecayingSum(NoDecay(), 0.1, shards=3))
+        with pytest.raises(InvalidParameterError):
+            a.merge(ShardedDecayingSum(ExponentialDecay(0.1), 0.1, shards=2))
+
+    def test_clock_only_moves_forward(self) -> None:
+        facade = ShardedDecayingSum(NoDecay(), 0.1, shards=2)
+        facade.advance(5)
+        with pytest.raises(TimeOrderError):
+            facade.advance_to(2)
+
+
+class TestUnmergeableFallback:
+    def _facade(self, shards: int = 3) -> ShardedDecayingSum:
+        decay = PolynomialDecay(1.0)
+        return ShardedDecayingSum(
+            decay,
+            0.2,
+            shards=shards,
+            factory=lambda: ApproxBoundaryCEH(decay, 0.2, seed=11),
+        )
+
+    def test_falls_back_to_widened_answers(self) -> None:
+        facade = self._facade()
+        for i in range(120):
+            facade.add(1.0)
+            if i % 3 == 0:
+                facade.advance(1)
+        est = facade.query()
+        assert est.lower <= est.value <= est.upper
+        assert not facade._mergeable
+
+    def test_merged_engine_raises_not_applicable(self) -> None:
+        facade = self._facade()
+        facade.add(1.0)
+        with pytest.raises(NotApplicableError):
+            facade.merged_engine()
+
+
+class TestBudgetAndStorage:
+    def test_effective_epsilon_composes_across_shards(self) -> None:
+        items, end = _trace(8, n=400)
+        facade = ShardedDecayingSum(SlidingWindowDecay(64), 0.1, shards=4)
+        facade.ingest(items, until=end)
+        assert facade.effective_epsilon == pytest.approx(0.4)
+
+    def test_register_engines_keep_their_epsilon(self) -> None:
+        facade = ShardedDecayingSum(ExponentialDecay(0.1), 0.1, shards=4)
+        facade.add_batch([1.0, 2.0, 3.0, 4.0])
+        assert facade.effective_epsilon == pytest.approx(0.1)
+
+    def test_storage_report_aggregates_replicas(self) -> None:
+        facade = ShardedDecayingSum(SlidingWindowDecay(64), 0.1, shards=3)
+        facade.add_batch([1.0] * 30)
+        report = facade.storage_report()
+        assert report.engine == "sharded[3]"
+        assert report.buckets == sum(
+            r.storage_report().buckets for r in facade.shard_view()
+        )

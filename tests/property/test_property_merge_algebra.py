@@ -1,0 +1,193 @@
+"""Property: ``merge`` is a commutative monoid action on summaries.
+
+Linearity of the decayed sum makes shard order irrelevant in exact
+arithmetic; these properties pin down how much of that survives floats,
+per engine family:
+
+* *merge-with-empty is the identity* -- bit-identical triplets for every
+  factory engine (adding zero registers, interleaving with an empty
+  bucket list, and absorbing an all-zero lattice are all structural
+  no-ops);
+* *commutativity* -- bit-identical for the register engines (IEEE float
+  addition commutes), bracket-sound against the exact oracle for the
+  histogram engines (their bucket interleavings may legitimately differ
+  by operand order, but every interleaving must still contain the true
+  sum);
+* *associativity* -- bit-identical for the exact engine on integer
+  values (integer sums are exact in floats up to 2**53), within ~1 ulp
+  for the other register engines (their registers hold *decayed* floats,
+  and float addition does not associate), bracket-sound for the
+  histogram engines.
+
+Traces are integer-valued throughout: the sliding-window EH rejects
+fractional counts by contract, and integers are what make the register
+tier's bit-identity claims exact rather than approximate.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decay import (
+    ExponentialDecay,
+    GaussianDecay,
+    LinearDecay,
+    LogarithmicDecay,
+    PolyexponentialDecay,
+    PolyExpPolynomialDecay,
+    PolynomialDecay,
+    SlidingWindowDecay,
+    TableDecay,
+)
+from repro.core.exact import ExactDecayingSum
+from repro.core.ewma import ExponentialSum, GeneralPolyexpSum, PolyexponentialSum
+from repro.core.interfaces import make_decaying_sum
+from repro.serialize import engine_from_dict, engine_to_dict
+from repro.streams.generators import StreamItem
+
+# One strategy arm per make_decaying_sum routing branch (the nine cells
+# of the conformance matrix): EXPD register, sliding-window EH, WBMH
+# (polynomial and logarithmic), cascaded EH (linear, gaussian, table),
+# and both section 3.4 pipelines.
+decays = st.one_of(
+    st.floats(0.01, 2.0).map(ExponentialDecay),
+    st.integers(4, 128).map(SlidingWindowDecay),
+    st.floats(0.6, 2.5).map(PolynomialDecay),
+    st.just(LogarithmicDecay()),
+    st.integers(40, 300).map(LinearDecay),
+    st.floats(10.0, 80.0).map(GaussianDecay),
+    st.just(TableDecay([1.0, 0.8, 0.6, 0.4, 0.2], tail=0.1)),
+    st.tuples(st.integers(1, 3), st.floats(0.05, 1.0)).map(
+        lambda kl: PolyexponentialDecay(*kl)
+    ),
+    st.tuples(
+        st.lists(st.floats(0.1, 3.0), min_size=1, max_size=3),
+        st.floats(0.05, 1.0),
+    ).map(lambda cl: PolyExpPolynomialDecay(*cl)),
+)
+
+# Sparse integer-valued trace: (gap, value) pairs, cumulated to times.
+trace_steps = st.lists(
+    st.tuples(st.integers(0, 6), st.integers(1, 9)), max_size=30
+)
+
+_REGISTER_ENGINES = (
+    ExactDecayingSum,
+    ExponentialSum,
+    PolyexponentialSum,
+    GeneralPolyexpSum,
+)
+
+
+def _materialize(steps):
+    items = []
+    t = 0
+    for gap, value in steps:
+        t += gap
+        items.append(StreamItem(t, float(value)))
+    return items
+
+
+def _build(decay, items, end):
+    engine = make_decaying_sum(decay, 0.1)
+    engine.ingest(items, until=end)
+    return engine
+
+
+def _clone(engine):
+    return engine_from_dict(engine_to_dict(engine))
+
+
+def _triplet(engine):
+    est = engine.query()
+    return est.value, est.lower, est.upper
+
+
+def _oracle_value(decay, items, end):
+    oracle = ExactDecayingSum(decay)
+    oracle.ingest(items, until=end)
+    return oracle.query().value
+
+
+def _end_time(*traces):
+    return max((it.time for trace in traces for it in trace), default=0) + 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(decays, trace_steps)
+def test_merge_with_empty_is_identity(decay, steps):
+    items = _materialize(steps)
+    end = _end_time(items)
+    engine = _build(decay, items, end)
+    before = _triplet(engine)
+    empty = make_decaying_sum(decay, 0.1)
+    engine.merge(empty)
+    assert _triplet(engine) == before
+    assert engine.time == end
+
+
+@settings(max_examples=60, deadline=None)
+@given(decays, trace_steps)
+def test_empty_merge_absorbs_the_stream(decay, steps):
+    # The mirror identity: folding a populated engine into a fresh one
+    # must reproduce the populated engine's answer (registers add onto
+    # zero; empty histograms adopt the other's buckets wholesale).
+    items = _materialize(steps)
+    end = _end_time(items)
+    engine = _build(decay, items, end)
+    want = _triplet(engine)
+    empty = make_decaying_sum(decay, 0.1)
+    empty.merge(engine)
+    assert _triplet(empty) == want
+
+
+@settings(max_examples=60, deadline=None)
+@given(decays, trace_steps, trace_steps)
+def test_merge_commutes(decay, steps_a, steps_b):
+    items_a = _materialize(steps_a)
+    items_b = _materialize(steps_b)
+    end = _end_time(items_a, items_b)
+    a = _build(decay, items_a, end)
+    b = _build(decay, items_b, end)
+    ab = _clone(a)
+    ab.merge(_clone(b))
+    ba = _clone(b)
+    ba.merge(_clone(a))
+    if isinstance(a, _REGISTER_ENGINES):
+        assert _triplet(ab) == _triplet(ba)
+    else:
+        true = _oracle_value(decay, sorted(
+            items_a + items_b, key=lambda it: it.time
+        ), end)
+        for merged in (ab, ba):
+            est = merged.query()
+            slack = 1e-9 * max(1.0, est.upper)
+            assert est.lower - slack <= true <= est.upper + slack
+            assert est.lower <= est.value <= est.upper
+
+
+@settings(max_examples=40, deadline=None)
+@given(decays, trace_steps, trace_steps, trace_steps)
+def test_merge_associates(decay, steps_a, steps_b, steps_c):
+    items = [_materialize(s) for s in (steps_a, steps_b, steps_c)]
+    end = _end_time(*items)
+    a, b, c = (_build(decay, part, end) for part in items)
+    left = _clone(a)
+    left.merge(_clone(b))
+    left.merge(_clone(c))
+    right_tail = _clone(b)
+    right_tail.merge(_clone(c))
+    right = _clone(a)
+    right.merge(right_tail)
+    if isinstance(a, ExactDecayingSum):
+        assert _triplet(left) == _triplet(right)
+    elif isinstance(a, _REGISTER_ENGINES):
+        for got, want in zip(_triplet(left), _triplet(right)):
+            assert abs(got - want) <= 1e-12 * max(1.0, abs(want))
+    else:
+        true = _oracle_value(decay, sorted(
+            items[0] + items[1] + items[2], key=lambda it: it.time
+        ), end)
+        for merged in (left, right):
+            est = merged.query()
+            slack = 1e-9 * max(1.0, est.upper)
+            assert est.lower - slack <= true <= est.upper + slack
