@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint typecheck check conformance bench bench-throughput bench-compare examples clean all
+.PHONY: install test lint lint-baseline typecheck check conformance bench bench-throughput bench-compare examples clean all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -10,10 +10,19 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# AST invariant linter (RK001-RK008, docs/STATIC_ANALYSIS.md); stdlib-only.
+# AST invariant linter (full RK001-RK012 rule set, including the
+# whole-program call-graph/taint rules; docs/STATIC_ANALYSIS.md);
+# stdlib-only. src/repro must be clean outright; benchmarks/ and
+# examples/ lint against the checked-in baseline of accepted findings.
 # Works from a checkout without `make install` via PYTHONPATH.
 lint:
-	PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) -m repro.lintkit src/repro
+	PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) -m repro.lintkit \
+		src/repro benchmarks examples --baseline lint-baseline.json
+
+# Re-record the accepted-finding baseline after a reviewed change.
+lint-baseline:
+	PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) -m repro.lintkit \
+		src/repro benchmarks examples --write-baseline lint-baseline.json
 
 # Oracle-differential + metamorphic fuzzing over every factory engine
 # (docs/CONFORMANCE.md). Exit 1 on any law violation; writes the JSON

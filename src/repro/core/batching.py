@@ -95,7 +95,7 @@ def advance_engine_to(engine: BatchEngine, when: int) -> None:
         engine.advance(when - engine.time)
 
 
-def ingest_trace(
+def ingest_trace(  # lintkit: hot
     engine: BatchEngine,
     items: Iterable[TimedValue],
     *,

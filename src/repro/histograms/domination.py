@@ -122,7 +122,7 @@ class DominationHistogram:
     def total_in_buckets(self) -> float:
         return self._total
 
-    def add(self, value: float = 1.0) -> None:
+    def add(self, value: float = 1.0) -> None:  # lintkit: hot
         if value < 0:
             raise InvalidParameterError(f"value must be >= 0, got {value}")
         if value == 0:

@@ -107,7 +107,7 @@ class ExponentialHistogram:
         """Sum of all bucket counts (upper bound on the window count)."""
         return self._total
 
-    def add(self, value: float = 1.0) -> None:
+    def add(self, value: float = 1.0) -> None:  # lintkit: hot
         """Record ``value`` ones at the current time.
 
         Non-integral or negative values are rejected: the classic EH is a
@@ -142,7 +142,7 @@ class ExponentialHistogram:
             self._gen += 1
             self._bulk_insert(count)
 
-    def add_batch(self, values: Sequence[float]) -> None:
+    def add_batch(self, values: Sequence[float]) -> None:  # lintkit: hot
         """Record several counts at the current time.
 
         Bit-identical to sequential :meth:`add` calls. All items in the
@@ -437,7 +437,7 @@ class ExponentialHistogram:
             self._total += 1
             self._cascade()
 
-    def _cascade(self) -> None:
+    def _cascade(self) -> None:  # lintkit: hot
         """Merge the two oldest buckets of any size exceeding m+1 copies.
 
         Bucket sizes are non-increasing from oldest to newest, so buckets of

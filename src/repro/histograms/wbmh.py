@@ -214,7 +214,7 @@ class WBMH:
             self._live = Bucket(start, end, self._live.count + value)
         self._items += 1
 
-    def add_batch(self, values: Sequence[float]) -> None:
+    def add_batch(self, values: Sequence[float]) -> None:  # lintkit: hot
         """Fold a batch into the live bucket: one bucket write per batch,
         bit-identical to sequential ``add`` calls (left-to-right sum,
         zeros skipped).

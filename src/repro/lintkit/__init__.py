@@ -1,14 +1,28 @@
-"""repro.lintkit -- AST-based invariant linter for this repository.
+"""repro.lintkit -- static analysis for this repository's invariants.
 
 The paper's guarantees only hold if every engine obeys the discrete-time
 ``DecayingSum`` protocol: monotone clocks, reproducible randomness,
 certified estimate bounds, bit-level storage accounting.  This package
-enforces those invariants *statically* with six repo-specific rules
-(RK001-RK006) on top of a small rule registry with per-rule path scoping,
-``# lintkit: ignore[RKxxx]`` pragmas, and text/JSON reporters.
+enforces those invariants *statically* with twelve repo-specific rules:
+
+* **per-file rules** (RK001-RK008, RK011) -- classic AST walks over one
+  file at a time;
+* **whole-program rules** (RK009, RK010, RK012) -- built on an
+  import-resolved symbol table, call graph, and taint fixpoint
+  (:mod:`repro.lintkit.graph`, :mod:`repro.lintkit.dataflow`), so they
+  see facts that span modules: a memo bump deleted three calls below the
+  public surface, a wall-clock read laundered through an exempt helper,
+  an engine attribute the checkpoint codec forgot.
+
+Every file is parsed exactly once into a shared :class:`FileContext`
+pool that feeds both rule kinds.  Suppression pragmas
+(``# lintkit: ignore[RKxxx]``, also honoured on decorator lines),
+markers (``# lintkit: hot``, ``# lintkit: not-serialized``), and
+check-in-able suppression baselines (``--baseline`` /
+``--write-baseline``) control adoption.
 
 Run it as ``python -m repro.lintkit src/repro`` (exit code 1 on any
-violation) or programmatically::
+violation, 2 on usage errors) or programmatically::
 
     from repro.lintkit import lint_paths
     violations = lint_paths(["src/repro"])
@@ -17,23 +31,44 @@ The rule catalog lives in ``docs/STATIC_ANALYSIS.md``; stdlib-only, no
 runtime dependencies.
 """
 
+from repro.lintkit.baseline import apply_baseline, load_baseline, write_baseline
+from repro.lintkit.dataflow import Taint, TaintAnalysis
 from repro.lintkit.engine import (
     FileContext,
     iter_python_files,
+    lint_contexts,
     lint_file,
     lint_paths,
     lint_source,
+    load_contexts,
 )
-from repro.lintkit.registry import Rule, Violation, all_rules, get_rule
+from repro.lintkit.graph import ProjectContext, ProjectGraph
+from repro.lintkit.registry import (
+    ProjectRule,
+    Rule,
+    Violation,
+    all_rules,
+    get_rule,
+)
 
 __all__ = [
     "FileContext",
+    "ProjectContext",
+    "ProjectGraph",
+    "ProjectRule",
     "Rule",
+    "Taint",
+    "TaintAnalysis",
     "Violation",
     "all_rules",
+    "apply_baseline",
     "get_rule",
     "iter_python_files",
+    "lint_contexts",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "load_baseline",
+    "load_contexts",
+    "write_baseline",
 ]

@@ -1,0 +1,103 @@
+"""Suppression baselines for incremental lint adoption.
+
+Turning a new rule on over an old tree (or over ``benchmarks/`` and
+``examples/``, which legitimately read wall clocks) floods the report
+with pre-existing findings.  A *baseline* freezes those: ``--write-
+baseline`` records every current finding's fingerprint, and later runs
+with ``--baseline`` subtract matching findings, so only *new* violations
+fail the build.
+
+Fingerprints are ``rule|path|message`` -- deliberately line-free so that
+unrelated edits shifting a finding up or down the file do not un-baseline
+it.  Identical findings are counted: if a file holds three baselined
+``RK001`` hits with the same message and a fourth appears, exactly one
+(new) violation survives filtering.  The file is sorted, versioned JSON,
+built for checking in next to the workflow that consumes it.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Sequence
+
+from repro.lintkit.registry import Violation
+
+__all__ = [
+    "BaselineError",
+    "fingerprint",
+    "write_baseline",
+    "load_baseline",
+    "apply_baseline",
+]
+
+_FORMAT_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """A baseline file is unreadable or structurally invalid."""
+
+
+def fingerprint(violation: Violation) -> str:
+    """Stable, line-number-free identity of a finding."""
+    return f"{violation.rule_id}|{violation.path}|{violation.message}"
+
+
+def write_baseline(path: Path | str, violations: Sequence[Violation]) -> int:
+    """Record every finding in ``violations``; returns the entry count."""
+    counts = Counter(fingerprint(v) for v in violations)
+    document = {
+        "version": _FORMAT_VERSION,
+        "entries": {key: counts[key] for key in sorted(counts)},
+    }
+    Path(path).write_text(
+        json.dumps(document, indent=2) + "\n", encoding="utf-8"
+    )
+    return sum(counts.values())
+
+
+def load_baseline(path: Path | str) -> Counter[str]:
+    """Parse a baseline file into fingerprint counts."""
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    if (
+        not isinstance(document, dict)
+        or document.get("version") != _FORMAT_VERSION
+        or not isinstance(document.get("entries"), dict)
+    ):
+        raise BaselineError(
+            f"baseline {path} is not a version-{_FORMAT_VERSION} "
+            "lintkit baseline"
+        )
+    counts: Counter[str] = Counter()
+    for key, value in document["entries"].items():
+        if not isinstance(key, str) or not isinstance(value, int) or value < 1:
+            raise BaselineError(f"baseline {path}: bad entry {key!r}")
+        counts[key] = value
+    return counts
+
+
+def apply_baseline(
+    violations: Sequence[Violation], baseline: Counter[str]
+) -> tuple[list[Violation], int]:
+    """Drop findings covered by ``baseline``.
+
+    Returns ``(surviving, suppressed_count)``.  Matching is per
+    fingerprint with multiplicity: the first ``n`` findings sharing a
+    baselined fingerprint are dropped, any excess survives (they are new
+    occurrences of an old pattern).
+    """
+    budget = Counter(baseline)
+    surviving: list[Violation] = []
+    suppressed = 0
+    for violation in violations:
+        key = fingerprint(violation)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            suppressed += 1
+        else:
+            surviving.append(violation)
+    return surviving, suppressed

@@ -10,8 +10,14 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
-from repro.lintkit.engine import iter_python_files, lint_file
-from repro.lintkit.registry import Violation, all_rules
+from repro.lintkit.baseline import (
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lintkit.engine import lint_contexts, load_contexts
+from repro.lintkit.registry import ProjectRule, Rule, all_rules
 from repro.lintkit.reporting import render_json, render_text
 
 __all__ = ["main"]
@@ -22,7 +28,8 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.lintkit",
         description=(
             "AST-based invariant linter for the decayed-aggregate engines "
-            "(rules RK001-RK006; see docs/STATIC_ANALYSIS.md)"
+            "(file rules RK001-RK008 plus whole-program rules RK009-RK012; "
+            "see docs/STATIC_ANALYSIS.md)"
         ),
     )
     parser.add_argument(
@@ -43,6 +50,23 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to run (default: all)",
     )
     parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help=(
+            "suppression baseline to subtract from the findings "
+            "(see --write-baseline); only new violations fail the run"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help=(
+            "record every current finding into FILE and exit 0; check the "
+            "file in and pass it back via --baseline for incremental "
+            "adoption"
+        ),
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalog and exit",
@@ -55,8 +79,30 @@ def _list_rules() -> str:
     for rule in all_rules():
         scope = ", ".join(rule.applies_to) if rule.applies_to else "all files"
         exempt = f" (exempt: {', '.join(rule.exempt)})" if rule.exempt else ""
-        lines.append(f"{rule.rule_id}  {rule.title}  [scope: {scope}{exempt}]")
+        kind = "project" if isinstance(rule, ProjectRule) else "file"
+        lines.append(
+            f"{rule.rule_id}  {rule.title}  [{kind}; scope: {scope}{exempt}]"
+        )
     return "\n".join(lines)
+
+
+def _resolve_selection(raw: str | None) -> list[Rule] | None:
+    """Validate ``--select`` up front, before any file is read.
+
+    Raises ``KeyError`` for unknown rule ids and ``ValueError`` for a
+    selection that names no rules at all -- silently linting with an
+    empty rule set would report a misleading "0 violations".
+    """
+    if raw is None:
+        return None
+    wanted = [s.strip().upper() for s in raw.split(",") if s.strip()]
+    if not wanted:
+        raise ValueError(f"--select {raw!r} names no rules")
+    pool = {rule.rule_id: rule for rule in all_rules()}
+    unknown = sorted(set(wanted) - set(pool))
+    if unknown:
+        raise KeyError(f"unknown rule id(s): {', '.join(unknown)}")
+    return [pool[rule_id] for rule_id in sorted(set(wanted))]
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -65,22 +111,45 @@ def main(argv: Sequence[str] | None = None) -> int:
     if opts.list_rules:
         print(_list_rules())
         return 0
-    select = (
-        [s.strip() for s in opts.select.split(",") if s.strip()]
-        if opts.select
-        else None
-    )
-    files = list(iter_python_files([Path(p) for p in opts.paths]))
-    if not files:
-        print(f"error: no python files under {', '.join(opts.paths)}", file=sys.stderr)
-        return 2
-    violations: list[Violation] = []
     try:
-        for path in files:
-            violations.extend(lint_file(path, select=select))
-    except KeyError as exc:
+        rules = _resolve_selection(opts.select)
+    except (KeyError, ValueError) as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
-    render = render_json if opts.format == "json" else render_text
-    print(render(violations, files_checked=len(files)))
+    baseline = None
+    if opts.baseline:
+        try:
+            baseline = load_baseline(opts.baseline)
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    contexts, errors = load_contexts([Path(p) for p in opts.paths])
+    if not contexts and not errors:
+        print(f"error: no python files under {', '.join(opts.paths)}", file=sys.stderr)
+        return 2
+    violations = lint_contexts(contexts, rules=rules)
+    violations.extend(errors)
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    if opts.write_baseline:
+        count = write_baseline(opts.write_baseline, violations)
+        print(
+            f"baseline: wrote {count} finding(s) from "
+            f"{len(contexts)} file(s) to {opts.write_baseline}"
+        )
+        return 0
+    suppressed = 0
+    if baseline is not None:
+        violations, suppressed = apply_baseline(violations, baseline)
+    if opts.format == "json":
+        print(
+            render_json(
+                violations,
+                files_checked=len(contexts),
+                baselined=suppressed,
+            )
+        )
+    else:
+        print(render_text(violations, files_checked=len(contexts)))
+        if suppressed:
+            print(f"({suppressed} baselined finding(s) suppressed)")
     return 1 if violations else 0

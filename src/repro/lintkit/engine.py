@@ -3,6 +3,13 @@
 The engine is deliberately dependency-free (stdlib ``ast`` only) so it can
 run in any environment the library itself runs in -- including CI images
 without the ``lint`` extra installed.
+
+Every linted file is parsed exactly once into a :class:`FileContext`;
+the resulting pool feeds both rule kinds: per-file rules
+(:class:`~repro.lintkit.registry.Rule`) see one context at a time, and
+whole-program rules (:class:`~repro.lintkit.registry.ProjectRule`) see
+the pool wrapped in a :class:`~repro.lintkit.graph.ProjectContext`
+carrying the import-resolved symbol table and call graph.
 """
 
 from __future__ import annotations
@@ -12,8 +19,13 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
-from repro.lintkit.pragmas import Suppressions, parse_pragmas
-from repro.lintkit.registry import Rule, Violation, all_rules
+from repro.lintkit.graph import ProjectContext, module_name_for
+from repro.lintkit.pragmas import (
+    Suppressions,
+    bind_decorator_pragmas,
+    parse_pragmas,
+)
+from repro.lintkit.registry import ProjectRule, Rule, Violation, all_rules
 
 __all__ = [
     "FileContext",
@@ -21,6 +33,7 @@ __all__ = [
     "lint_source",
     "lint_file",
     "lint_paths",
+    "lint_contexts",
 ]
 
 #: Pseudo-rule id used for files that fail to parse.
@@ -38,17 +51,24 @@ class FileContext:
     source: str
     tree: ast.Module
     suppressions: Suppressions
+    #: Dotted module name the file would import as (drives the project
+    #: graph's intra-repo import resolution).
+    module: str = ""
 
     @classmethod
     def from_source(cls, source: str, display_path: str) -> "FileContext":
         """Parse ``source``; ``display_path`` drives scoping and reporting."""
         tree = ast.parse(source, filename=display_path)
+        parts = tuple(Path(display_path).parts)
+        suppressions = parse_pragmas(source)
+        bind_decorator_pragmas(suppressions, tree)
         return cls(
             display_path=display_path,
-            parts=tuple(Path(display_path).parts),
+            parts=parts,
             source=source,
             tree=tree,
-            suppressions=parse_pragmas(source),
+            suppressions=suppressions,
+            module=module_name_for(parts),
         )
 
 
@@ -75,6 +95,59 @@ def _select(rules: Sequence[Rule] | None, select: Iterable[str] | None) -> list[
     return [rule for rule in pool if rule.rule_id in wanted]
 
 
+def _parse_error(display_path: str, exc: SyntaxError) -> Violation:
+    return Violation(
+        rule_id=PARSE_ERROR_ID,
+        path=display_path,
+        line=exc.lineno or 1,
+        col=(exc.offset or 1) - 1,
+        message=f"syntax error: {exc.msg}",
+    )
+
+
+def lint_contexts(
+    contexts: Sequence[FileContext],
+    *,
+    rules: Sequence[Rule] | None = None,
+    select: Iterable[str] | None = None,
+) -> list[Violation]:
+    """Run the rule set over an already-parsed pool of file contexts.
+
+    Per-file rules run against each context whose path they accept;
+    project rules run once against the pooled :class:`ProjectContext`.
+    Violations from either kind are filtered through the pragma table of
+    the file they anchor to, then sorted by location.
+    """
+    chosen = _select(rules, select)
+    file_rules = [r for r in chosen if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in chosen if isinstance(r, ProjectRule)]
+    found: list[Violation] = []
+    for ctx in contexts:
+        for rule in file_rules:
+            if not rule.applicable(ctx.parts):
+                continue
+            for violation in rule.check(ctx):
+                if not ctx.suppressions.is_suppressed(
+                    violation.rule_id, violation.line
+                ):
+                    found.append(violation)
+    if project_rules:
+        project = ProjectContext(contexts)
+        for rule in project_rules:
+            for violation in rule.check_project(project):
+                ctx_for = project.by_path.get(violation.path)
+                if ctx_for is not None and (
+                    not rule.applicable(ctx_for.parts)
+                    or ctx_for.suppressions.is_suppressed(
+                        violation.rule_id, violation.line
+                    )
+                ):
+                    continue
+                found.append(violation)
+    found.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    return found
+
+
 def lint_source(
     source: str,
     display_path: str = "<string>",
@@ -86,29 +159,16 @@ def lint_source(
 
     The path matters: scoped rules (RK002, RK006) key off its directory
     components, e.g. ``display_path="sampling/x.py"`` puts the snippet in
-    RK002's scope.  This is the entry point unit tests use.
+    RK002's scope.  This is the entry point unit tests use.  Project
+    rules see a one-file project (cross-module facts involving only this
+    file still fire; anything needing a second module cannot).
     """
     try:
         ctx = FileContext.from_source(source, display_path)
     except SyntaxError as exc:
-        return [
-            Violation(
-                rule_id=PARSE_ERROR_ID,
-                path=display_path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
-                message=f"syntax error: {exc.msg}",
-            )
-        ]
-    found: list[Violation] = []
-    for rule in _select(rules, select):
-        if not rule.applicable(ctx.parts):
-            continue
-        for violation in rule.check(ctx):
-            if not ctx.suppressions.is_suppressed(violation.rule_id, violation.line):
-                found.append(violation)
-    found.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
-    return found
+        _select(rules, select)  # surface unknown rule ids first
+        return [_parse_error(display_path, exc)]
+    return lint_contexts([ctx], rules=rules, select=select)
 
 
 def lint_file(
@@ -123,6 +183,25 @@ def lint_file(
     return lint_source(source, str(path), rules=rules, select=select)
 
 
+def load_contexts(
+    paths: Sequence[Path | str],
+) -> tuple[list[FileContext], list[Violation]]:
+    """Parse every python file under ``paths`` exactly once.
+
+    Returns the context pool plus RK000 parse-error violations for any
+    files that failed to parse (those files are excluded from the pool).
+    """
+    contexts: list[FileContext] = []
+    errors: list[Violation] = []
+    for path in iter_python_files(paths):
+        source = path.read_text(encoding="utf-8")
+        try:
+            contexts.append(FileContext.from_source(source, str(path)))
+        except SyntaxError as exc:
+            errors.append(_parse_error(str(path), exc))
+    return contexts, errors
+
+
 def lint_paths(
     paths: Sequence[Path | str],
     *,
@@ -130,7 +209,8 @@ def lint_paths(
     select: Iterable[str] | None = None,
 ) -> list[Violation]:
     """Lint every python file under ``paths``; the main library entry."""
-    found: list[Violation] = []
-    for path in iter_python_files(paths):
-        found.extend(lint_file(path, rules=rules, select=select))
+    contexts, errors = load_contexts(paths)
+    found = lint_contexts(contexts, rules=rules, select=select)
+    found.extend(errors)
+    found.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
     return found

@@ -10,20 +10,40 @@ Two comment forms are recognised:
   suppresses everything (useful for deliberately-bad test fixtures).
 
 Pragmas are matched against the physical line an AST node starts on, so
-put the pragma on the first line of a multi-line statement.
+put the pragma on the first line of a multi-line statement.  Decorated
+definitions are the exception: a ``def``/``class`` node's ``lineno`` is
+the ``def``/``class`` line, yet the natural place for the pragma is next
+to (or above, on) a decorator -- so the engine also honours pragmas
+placed on any decorator line of the same definition
+(:func:`bind_decorator_pragmas`).
+
+Two *marker* comments (not suppressions) also live here:
+
+* ``# lintkit: hot`` on a ``def`` line (or a decorator line of it) opts
+  the function into RK011's allocation-free-loop contract;
+* ``# lintkit: not-serialized`` on an ``__init__`` assignment documents
+  an attribute as deliberately absent from checkpoints (RK012).
 """
 
 from __future__ import annotations
 
+import ast
 import re
 from dataclasses import dataclass, field
 
-__all__ = ["Suppressions", "parse_pragmas"]
+__all__ = [
+    "Suppressions",
+    "parse_pragmas",
+    "bind_decorator_pragmas",
+    "marker_lines",
+]
 
 _PRAGMA_RE = re.compile(
     r"#\s*lintkit:\s*ignore(?P<scope>-file)?"
     r"(?:\[(?P<rules>[A-Za-z0-9_,\s]*)\])?"
 )
+
+_MARKER_RE = re.compile(r"#\s*lintkit:\s*(?P<word>hot|not-serialized)\b")
 
 
 @dataclass
@@ -43,6 +63,17 @@ class Suppressions:
             rules = self.by_line[line]
             return rules is None or rule_id in rules
         return False
+
+    def _absorb_line(self, source_line: int, target_line: int) -> None:
+        """Make ``target_line`` also suppressed by ``source_line``'s pragma."""
+        if source_line not in self.by_line:
+            return
+        incoming = self.by_line[source_line]
+        existing = self.by_line.get(target_line, frozenset())
+        if incoming is None or existing is None:
+            self.by_line[target_line] = None
+        else:
+            self.by_line[target_line] = existing | incoming
 
 
 def _parse_rule_list(raw: str | None) -> frozenset[str] | None:
@@ -81,3 +112,38 @@ def parse_pragmas(source: str) -> Suppressions:
         file_level=None if file_all else frozenset(file_level),
         by_line=by_line,
     )
+
+
+def bind_decorator_pragmas(suppressions: Suppressions, tree: ast.Module) -> None:
+    """Attach pragmas written on decorator lines to their definition.
+
+    A decorated ``FunctionDef``/``AsyncFunctionDef``/``ClassDef`` reports
+    violations at its ``def``/``class`` line, but the pragma naturally
+    sits on the first decorator line (where the statement visually
+    starts).  This folds every decorator line's pragma into the
+    definition line's entry, so both placements work.
+    """
+    for node in ast.walk(tree):
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        for decorator in node.decorator_list:
+            for line in range(
+                decorator.lineno,
+                (decorator.end_lineno or decorator.lineno) + 1,
+            ):
+                suppressions._absorb_line(line, node.lineno)
+
+
+def marker_lines(source: str, word: str) -> frozenset[int]:
+    """Physical lines carrying the ``# lintkit: <word>`` marker comment."""
+    found: set[int] = set()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        if "lintkit" not in text:
+            continue
+        match = _MARKER_RE.search(text)
+        if match is not None and match.group("word") == word:
+            found.add(lineno)
+    return frozenset(found)
+

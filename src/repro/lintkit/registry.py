@@ -6,6 +6,14 @@ protects.  Rules register themselves at import time via :func:`register`;
 the engine iterates :func:`all_rules` and calls :meth:`Rule.check` on every
 file whose path the rule's scope accepts.
 
+Two rule kinds share the registry: classic per-file rules (subclass
+:class:`Rule`, implement :meth:`Rule.check` against one
+:class:`~repro.lintkit.engine.FileContext`) and whole-program rules
+(subclass :class:`ProjectRule`, implement :meth:`ProjectRule.
+check_project` against the shared :class:`~repro.lintkit.graph.
+ProjectContext` -- symbol table, call graph, taint lattice).  The engine
+parses every file exactly once into a context pool both kinds consume.
+
 Scoping is path-part based so it works no matter where the tree is checked
 out: ``applies_to=("sampling",)`` makes a rule fire only on files that have
 a ``sampling`` directory component, and ``exempt=("benchkit",)`` skips any
@@ -21,8 +29,16 @@ from typing import TYPE_CHECKING, ClassVar, Iterator
 
 if TYPE_CHECKING:
     from repro.lintkit.engine import FileContext
+    from repro.lintkit.graph import ProjectContext
 
-__all__ = ["Violation", "Rule", "register", "all_rules", "get_rule"]
+__all__ = [
+    "Violation",
+    "Rule",
+    "ProjectRule",
+    "register",
+    "all_rules",
+    "get_rule",
+]
 
 
 @dataclass(frozen=True)
@@ -34,10 +50,17 @@ class Violation:
     line: int
     col: int
     message: str
+    #: Call-graph witness for whole-program findings: qualified hops from
+    #: the flagged function down to the sink (``a.f``, ``b.g``,
+    #: ``time.time``).  Empty for per-file rules.
+    evidence: tuple[str, ...] = ()
 
     def render(self) -> str:
         """``file:line:col: RKxxx message`` -- the canonical text form."""
-        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+        base = f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+        if self.evidence:
+            return f"{base} [{' -> '.join(self.evidence)}]"
+        return base
 
 
 class Rule(ABC):
@@ -67,7 +90,14 @@ class Rule(ABC):
     def check(self, ctx: "FileContext") -> Iterator[Violation]:
         """Yield every violation of this rule in ``ctx``."""
 
-    def violation(self, ctx: "FileContext", node: ast.AST, message: str) -> Violation:
+    def violation(
+        self,
+        ctx: "FileContext",
+        node: ast.AST,
+        message: str,
+        *,
+        evidence: tuple[str, ...] = (),
+    ) -> Violation:
         """Build a :class:`Violation` anchored at ``node``."""
         return Violation(
             rule_id=self.rule_id,
@@ -75,7 +105,32 @@ class Rule(ABC):
             line=getattr(node, "lineno", 1),
             col=getattr(node, "col_offset", 0),
             message=message,
+            evidence=evidence,
         )
+
+
+class ProjectRule(Rule):
+    """Base class for whole-program rules.
+
+    Subclasses implement :meth:`check_project` over the shared
+    :class:`~repro.lintkit.graph.ProjectContext` (parsed-file pool,
+    symbol table, call graph) and yield violations anchored anywhere in
+    the project.  ``applies_to``/``exempt`` scoping still applies, but
+    per *reported file*: the engine consults :meth:`Rule.applicable`
+    against each violation's path, and rule implementations are expected
+    to scope themselves when the cross-module fact spans scopes (that is
+    the point of a project rule).
+
+    :meth:`check` is inherited for interface compatibility and yields
+    nothing -- project rules only see whole projects.
+    """
+
+    def check(self, ctx: "FileContext") -> Iterator[Violation]:
+        return iter(())
+
+    @abstractmethod
+    def check_project(self, project: "ProjectContext") -> Iterator[Violation]:
+        """Yield every violation of this rule across ``project``."""
 
 
 _REGISTRY: dict[str, Rule] = {}

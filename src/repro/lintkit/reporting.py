@@ -1,9 +1,16 @@
-"""Violation reporters: human text and machine JSON."""
+"""Violation reporters: human text and machine JSON.
+
+Whole-program findings carry call-graph evidence chains; both reporters
+surface them (text inline as ``[a.f -> b.g -> time.time]``, JSON as an
+``evidence`` array) so a violation names the *path* to the sink, not
+just the endpoint.  Per-file findings omit the field entirely, keeping
+the JSON schema backward-compatible for existing CI consumers.
+"""
 
 from __future__ import annotations
 
 import json
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.lintkit.registry import Violation
 
@@ -24,21 +31,29 @@ def render_text(violations: Sequence[Violation], *, files_checked: int = 0) -> s
     return "\n".join(lines)
 
 
-def render_json(violations: Sequence[Violation], *, files_checked: int = 0) -> str:
+def render_json(
+    violations: Sequence[Violation],
+    *,
+    files_checked: int = 0,
+    baselined: int = 0,
+) -> str:
     """Stable JSON document for CI consumption."""
-    return json.dumps(
-        {
-            "files_checked": files_checked,
-            "violations": [
-                {
-                    "rule": v.rule_id,
-                    "path": v.path,
-                    "line": v.line,
-                    "col": v.col,
-                    "message": v.message,
-                }
-                for v in violations
-            ],
-        },
-        indent=2,
-    )
+    rows: list[dict[str, Any]] = []
+    for v in violations:
+        row: dict[str, Any] = {
+            "rule": v.rule_id,
+            "path": v.path,
+            "line": v.line,
+            "col": v.col,
+            "message": v.message,
+        }
+        if v.evidence:
+            row["evidence"] = list(v.evidence)
+        rows.append(row)
+    document: dict[str, Any] = {
+        "files_checked": files_checked,
+        "violations": rows,
+    }
+    if baselined:
+        document["baselined"] = baselined
+    return json.dumps(document, indent=2)

@@ -1,0 +1,228 @@
+"""Shared class-state analyses for the whole-program rules.
+
+RK009 (memo soundness) and RK012 (serialization completeness) both
+reason about the same facts: which ``self._*`` attributes a method
+mutates, which attribute is the generation-keyed memo, and which
+attributes a method touches transitively through ``self`` calls.  The
+helpers here keep that logic in one place; they operate on
+:class:`~repro.lintkit.graph.ClassInfo` models and stdlib AST nodes
+only.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lintkit.graph import ClassInfo, ProjectGraph
+
+__all__ = [
+    "GEN_ATTR",
+    "gen_bump_in",
+    "gen_memo_attrs",
+    "method_mutations",
+    "self_calls",
+    "closure_of",
+    "expand_attr_coverage",
+]
+
+#: The generation-counter attribute the memoising engines share.
+GEN_ATTR = "_gen"
+
+#: Method names on list/dict/set/deque/Counter receivers that mutate the
+#: receiver in place.
+_MUTATORS = frozenset(
+    {
+        "append", "appendleft", "extend", "extendleft", "insert", "pop",
+        "popleft", "popitem", "remove", "clear", "update", "setdefault",
+        "sort", "reverse", "add", "discard", "subtract",
+    }
+)
+
+_FuncNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """``X`` when ``node`` is exactly ``self.X``, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _reads_gen_attr(expr: ast.expr, aliases: set[str]) -> bool:
+    """Whether ``expr`` reads a ``._gen`` attribute or a local alias of one."""
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Attribute) and node.attr == GEN_ATTR:
+            return True
+        if isinstance(node, ast.Name) and node.id in aliases:
+            return True
+    return False
+
+
+def gen_memo_attrs(cls: ClassInfo) -> frozenset[str]:
+    """Attributes holding the generation-keyed memo.
+
+    An attribute is the memo when some method assigns it a value that
+    embeds a read of ``._gen`` (directly, as in ``self._q_cache =
+    (self._gen, est)``, or through a local alias, as in ``gen =
+    self._hist._gen; self._q_cache = (gen, est)``).  Writing the memo is
+    *not* a state mutation -- the memo only ever caches a pure function
+    of the state it is keyed on.
+    """
+    memo: set[str] = set()
+    for method in cls.methods.values():
+        aliases: set[str] = set()
+        for stmt in ast.walk(method):
+            if not isinstance(stmt, ast.Assign):
+                continue
+            if (
+                len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and _reads_gen_attr(stmt.value, aliases)
+            ):
+                aliases.add(stmt.targets[0].id)
+                continue
+            for target in stmt.targets:
+                attr = _self_attr(target)
+                if attr is not None and _reads_gen_attr(stmt.value, aliases):
+                    memo.add(attr)
+    return frozenset(memo)
+
+
+def gen_bump_in(method: _FuncNode) -> bool:
+    """Whether ``method`` writes ``self._gen`` (bump or reset)."""
+    for stmt in ast.walk(method):
+        if isinstance(stmt, ast.AugAssign):
+            if _self_attr(stmt.target) == GEN_ATTR:
+                return True
+        elif isinstance(stmt, ast.Assign):
+            if any(_self_attr(t) == GEN_ATTR for t in stmt.targets):
+                return True
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            if _self_attr(stmt.target) == GEN_ATTR:
+                return True
+    return False
+
+
+def _aliased_attr(node: ast.expr, aliases: dict[str, str]) -> str | None:
+    """Attribute named by ``self.X`` or by a local alias of ``self.X``."""
+    attr = _self_attr(node)
+    if attr is not None:
+        return attr
+    if isinstance(node, ast.Name):
+        return aliases.get(node.id)
+    return None
+
+
+def method_mutations(method: _FuncNode) -> dict[str, int]:
+    """``{attr: first line}`` of ``self`` attributes ``method`` mutates.
+
+    Catches direct stores (``self.x = v``, ``self.x += v``), subscript
+    stores and deletes (``self.x[k] = v``, ``del self.x[:n]``), and
+    in-place container calls (``self.x.append(v)``) -- including all
+    three through a local alias taken from a plain ``name = self.x``
+    read, the idiom the kernel hot loops use.
+    """
+    aliases: dict[str, str] = {}
+    mutated: dict[str, int] = {}
+
+    def note(attr: str | None, lineno: int) -> None:
+        if attr is not None and attr not in mutated:
+            mutated[attr] = lineno
+
+    for stmt in ast.walk(method):
+        if isinstance(stmt, ast.Assign):
+            if (
+                len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+            ):
+                source = _self_attr(stmt.value)
+                if source is not None:
+                    aliases[stmt.targets[0].id] = source
+            for target in stmt.targets:
+                note(_self_attr(target), stmt.lineno)
+                if isinstance(target, ast.Subscript):
+                    note(_aliased_attr(target.value, aliases), stmt.lineno)
+        elif isinstance(stmt, ast.AugAssign):
+            note(_self_attr(stmt.target), stmt.lineno)
+            if isinstance(stmt.target, ast.Subscript):
+                note(_aliased_attr(stmt.target.value, aliases), stmt.lineno)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            note(_self_attr(stmt.target), stmt.lineno)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, (ast.Subscript, ast.Attribute)):
+                    inner = (
+                        target.value
+                        if isinstance(target, ast.Subscript)
+                        else target
+                    )
+                    note(_aliased_attr(inner, aliases), stmt.lineno)
+                    if isinstance(target, ast.Attribute):
+                        note(_self_attr(target), stmt.lineno)
+        elif isinstance(stmt, ast.Call):
+            func = stmt.func
+            if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+                note(_aliased_attr(func.value, aliases), stmt.lineno)
+    return mutated
+
+
+def self_calls(method: _FuncNode) -> set[str]:
+    """Names of methods invoked as ``self.m(...)`` inside ``method``."""
+    out: set[str] = set()
+    for node in ast.walk(method):
+        if isinstance(node, ast.Call):
+            attr = _self_attr(node.func)
+            if attr is not None:
+                out.add(attr)
+    return out
+
+
+def closure_of(
+    graph: ProjectGraph, cls: ClassInfo, name: str
+) -> Iterator[tuple[str, _FuncNode]]:
+    """``(name, node)`` for ``name`` and every method it reaches via
+    ``self`` calls, resolved through project-known bases."""
+    seen: set[str] = set()
+    queue = [name]
+    while queue:
+        current = queue.pop(0)
+        if current in seen:
+            continue
+        seen.add(current)
+        found = graph.lookup_method(cls, current)
+        if found is None:
+            continue
+        _, node = found
+        yield current, node
+        for callee in sorted(self_calls(node)):
+            if callee not in seen:
+                queue.append(callee)
+
+
+def expand_attr_coverage(
+    graph: ProjectGraph, cls: ClassInfo, names: set[str]
+) -> set[str]:
+    """Close a set of accessed member names over trivial indirection.
+
+    A serializer that reads ``engine.time`` or calls
+    ``engine.bucket_view()`` covers the attributes those members touch
+    (``_time``, ``_buckets``); this follows each accessed name that is a
+    method or property of ``cls`` and collects every ``self.X`` it reads
+    or writes, recursively through further ``self`` calls.
+    """
+    covered: set[str] = set()
+    for name in names:
+        covered.add(name)
+        if graph.lookup_method(cls, name) is None:
+            continue
+        for _, node in closure_of(graph, cls, name):
+            for stmt in ast.walk(node):
+                attr = _self_attr(stmt) if isinstance(stmt, ast.expr) else None
+                if attr is not None:
+                    covered.add(attr)
+    return covered

@@ -1,0 +1,81 @@
+"""RK009: mutations of ``_gen``-memoised engine state must bump ``_gen``.
+
+The hot-path engines (EH, domination) memoise their query answer keyed on
+a mutation-generation counter: ``query()`` caches ``(self._gen, answer)``
+and every state mutation bumps ``self._gen`` to invalidate it.  The
+contract is easy to break silently -- add a mutating method, forget the
+bump, and ``query()`` returns stale answers only when the cache happens
+to be warm, which no unit test reliably catches.
+
+This whole-program rule enforces the contract structurally: in any class
+whose persistent state includes ``_gen``, every *public* method whose
+intra-class call closure mutates persistent ``self`` state must bump
+``_gen`` somewhere in that closure.  Writing the memo attribute itself
+(the one assigned a value embedding a ``_gen`` read) does not count as a
+mutation, and private helpers are judged through their public callers --
+``_cascade`` need not bump because ``add`` does.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lintkit.registry import ProjectRule, Violation, register
+from repro.lintkit.rules._classstate import (
+    GEN_ATTR,
+    closure_of,
+    gen_bump_in,
+    gen_memo_attrs,
+    method_mutations,
+)
+
+
+@register
+class MemoSoundnessRule(ProjectRule):
+    rule_id = "RK009"
+    title = "state mutations in _gen-memoised engines must bump _gen"
+    rationale = (
+        "query() memoises on the generation counter; a mutating method "
+        "that skips the bump serves stale cached answers, violating the "
+        "paper's deterministic-estimate guarantees only when the cache "
+        "is warm."
+    )
+
+    def check_project(self, project) -> Iterator[Violation]:
+        graph = project.graph
+        for module_name in sorted(graph.modules):
+            info = graph.modules[module_name]
+            for cls_name in sorted(info.classes):
+                cls = info.classes[cls_name]
+                if GEN_ATTR not in cls.state_attrs():
+                    continue
+                exempt = gen_memo_attrs(cls) | {GEN_ATTR}
+                for method_name in sorted(cls.methods):
+                    if method_name.startswith("_"):
+                        continue  # private helpers judged via public callers
+                    mutated: dict[str, int] = {}
+                    bumped = False
+                    closure: list[str] = []
+                    for name, node in closure_of(graph, cls, method_name):
+                        closure.append(f"{cls.qualname}.{name}")
+                        if gen_bump_in(node):
+                            bumped = True
+                        for attr, lineno in method_mutations(node).items():
+                            if attr not in exempt:
+                                mutated.setdefault(attr, lineno)
+                    if bumped or not mutated:
+                        continue
+                    attrs = ", ".join(f"self.{a}" for a in sorted(mutated))
+                    yield Violation(
+                        rule_id=self.rule_id,
+                        path=info.ctx.display_path,
+                        line=cls.methods[method_name].lineno,
+                        col=cls.methods[method_name].col_offset,
+                        message=(
+                            f"{cls.name}.{method_name} mutates memoised "
+                            f"state ({attrs}) but its call closure never "
+                            f"bumps self.{GEN_ATTR}; the query memo goes "
+                            "stale"
+                        ),
+                        evidence=tuple(closure),
+                    )

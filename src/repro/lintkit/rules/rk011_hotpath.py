@@ -1,0 +1,103 @@
+"""RK011: no per-iteration allocation in ``# lintkit: hot`` loops.
+
+The batch-ingestion kernels (``ingest_trace``, the EH cascade, the
+``add_batch`` fast paths) earn their throughput by keeping loop bodies
+allocation-free: local alias loads, integer arithmetic, and in-place
+container mutation only.  A drive-by "cleanup" that rewrites a hand
+counted loop into a comprehension, or hoists a check into a closure,
+silently costs the constant factors the benchmarks advertise.
+
+Functions opt in with a ``# lintkit: hot`` marker on the ``def`` line, a
+decorator line, or the line directly above the definition.  Inside any
+loop of a marked function the rule flags:
+
+* comprehensions and generator expressions (one fresh object per
+  evaluation, plus a frame for the implicit function);
+* ``list()``/``dict()``/``set()``/``frozenset()``/``tuple()`` container
+  constructions (literal displays like ``[a, b]`` stay allowed -- they
+  compile to direct ``BUILD_LIST``-style opcodes and are how the kernels
+  emit pairs);
+* ``lambda`` and nested ``def`` (closure allocation per iteration).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lintkit.pragmas import marker_lines
+from repro.lintkit.registry import Rule, Violation, register
+
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+_CONTAINER_CTORS = frozenset({"list", "dict", "set", "frozenset", "tuple"})
+_LOOPS = (ast.For, ast.AsyncFor, ast.While)
+_DEFS = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _marker_span(node: ast.FunctionDef | ast.AsyncFunctionDef) -> range:
+    """Physical lines where a ``hot`` marker binds to this definition."""
+    start = min(
+        [node.lineno] + [dec.lineno for dec in node.decorator_list]
+    )
+    end = node.body[0].lineno - 1 if node.body else node.lineno
+    return range(start - 1, end + 1)
+
+
+def _allocation(node: ast.AST) -> str | None:
+    """Describe the per-iteration allocation ``node`` performs, if any."""
+    if isinstance(node, _COMPREHENSIONS):
+        return "comprehension/generator expression"
+    if isinstance(node, ast.Lambda):
+        return "lambda (closure allocation)"
+    if isinstance(node, _DEFS):
+        return "nested function definition (closure allocation)"
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _CONTAINER_CTORS
+    ):
+        return f"{node.func.id}() construction"
+    return None
+
+
+@register
+class HotPathAllocationRule(Rule):
+    rule_id = "RK011"
+    title = "no allocation inside loops of `# lintkit: hot` functions"
+    rationale = (
+        "The kernels' advertised constant factors depend on "
+        "allocation-free loop bodies; comprehensions, container "
+        "constructors, and closures allocate per iteration."
+    )
+
+    def check(self, ctx) -> Iterator[Violation]:
+        hot = marker_lines(ctx.source, "hot")
+        if not hot:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, _DEFS) and any(
+                line in hot for line in _marker_span(node)
+            ):
+                yield from self._check_hot(ctx, node)
+
+    def _check_hot(
+        self, ctx, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Violation]:
+        seen: set[int] = set()
+        for loop in ast.walk(fn):
+            if not isinstance(loop, _LOOPS):
+                continue
+            for stmt in loop.body + loop.orelse:
+                for inner in ast.walk(stmt):
+                    if id(inner) in seen:
+                        continue
+                    seen.add(id(inner))
+                    what = _allocation(inner)
+                    if what is not None:
+                        yield self.violation(
+                            ctx,
+                            inner,
+                            f"{what} inside a loop of hot function "
+                            f"`{fn.name}`; hoist it out of the loop or "
+                            "rewrite allocation-free",
+                        )

@@ -1,0 +1,345 @@
+"""RK012: checkpoint round-trips must cover every engine attribute.
+
+``repro.serialize`` promises bit-identical restore: a snapshot taken
+mid-stream continues exactly as the original engine would.  The failure
+mode is always the same -- someone adds an attribute to an engine (or a
+key to one side of the codec) and forgets the other side, and the loss
+only shows up as drift long after the restore.
+
+This whole-program rule cross-checks three things for the module that
+defines both ``engine_to_dict`` and ``engine_from_dict``:
+
+* **attribute coverage** -- every persistent attribute (``__slots__``
+  union ``__init__`` assignments) of each engine class named in an
+  ``isinstance`` branch must be accounted for: accessed by either codec
+  side (directly or through a property/method the codec calls),
+  rebuilt by the constructor from its parameters, part of the ``_gen``
+  memo machinery (RK009's concern, deliberately not snapshotted), or
+  explicitly waived with ``# lintkit: not-serialized`` on its
+  ``__init__`` assignment line;
+* **read keys exist** -- every ``data["k"]`` a restore branch requires
+  must be written by the matching serialize branch (``.get`` reads have
+  defaults and are exempt);
+* **written keys are restored** -- every key a serialize branch emits
+  (beyond the ``version``/``engine`` envelope) must be consumed by a
+  matching restore branch.
+
+Branches delegating to ``engine_to_dict`` recursively (the
+``sliwin-sum`` wrapper) emit keys this parser cannot enumerate, so the
+read-keys check is skipped where a delegating branch matches.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.lintkit.graph import ClassInfo, ModuleInfo, ProjectGraph, _dotted
+from repro.lintkit.pragmas import marker_lines
+from repro.lintkit.registry import ProjectRule, Violation, register
+from repro.lintkit.rules._classstate import (
+    GEN_ATTR,
+    expand_attr_coverage,
+    gen_memo_attrs,
+)
+
+#: Envelope keys every snapshot carries; not state, never "unrestored".
+_ENVELOPE = frozenset({"version", "engine"})
+
+
+@dataclass
+class _ToBranch:
+    """One ``isinstance(engine, ...)`` branch of ``engine_to_dict``."""
+
+    lineno: int
+    classes: list[ClassInfo] = field(default_factory=list)
+    kinds: set[str] = field(default_factory=set)
+    keys_written: set[str] = field(default_factory=set)
+    attrs: set[str] = field(default_factory=set)
+    delegated: bool = False
+
+
+@dataclass
+class _FromBranch:
+    """One ``kind == "..."`` branch of ``engine_from_dict``."""
+
+    lineno: int
+    kinds: set[str] = field(default_factory=set)
+    keys_read: set[str] = field(default_factory=set)
+    keys_get: set[str] = field(default_factory=set)
+    attrs: set[str] = field(default_factory=set)
+
+
+def _str_constants(expr: ast.expr) -> set[str]:
+    return {
+        n.value
+        for n in ast.walk(expr)
+        if isinstance(n, ast.Constant) and isinstance(n.value, str)
+    }
+
+
+def _first_param(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> str | None:
+    args = fn.args.posonlyargs + fn.args.args
+    return args[0].arg if args else None
+
+
+def _collect_dict_literal(node: ast.Dict, branch: _ToBranch) -> None:
+    for key, value in zip(node.keys, node.values):
+        if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+            continue
+        branch.keys_written.add(key.value)
+        if key.value == "engine":
+            branch.kinds |= _str_constants(value)
+
+
+def _parse_to_branch(
+    graph: ProjectGraph,
+    info: ModuleInfo,
+    stmt: ast.If,
+    param: str,
+    codec_name: str,
+) -> _ToBranch | None:
+    test = stmt.test
+    if not (
+        isinstance(test, ast.Call)
+        and isinstance(test.func, ast.Name)
+        and test.func.id == "isinstance"
+        and len(test.args) == 2
+    ):
+        return None
+    branch = _ToBranch(lineno=stmt.lineno)
+    class_exprs = (
+        test.args[1].elts
+        if isinstance(test.args[1], ast.Tuple)
+        else [test.args[1]]
+    )
+    for expr in class_exprs:
+        dotted = _dotted(expr)
+        if dotted is None:
+            continue
+        cls = graph.class_named(graph.resolve(info.name, dotted))
+        if cls is not None:
+            branch.classes.append(cls)
+    returned: ast.expr | None = None
+    for node in stmt.body:
+        for inner in ast.walk(node):
+            if isinstance(inner, ast.Return) and returned is None:
+                returned = inner.value
+            elif isinstance(inner, ast.Attribute):
+                if isinstance(inner.value, ast.Name) and inner.value.id == param:
+                    branch.attrs.add(inner.attr)
+            elif (
+                isinstance(inner, ast.Call)
+                and _dotted(inner.func) is not None
+                and _dotted(inner.func).split(".")[-1] == codec_name
+            ):
+                branch.delegated = True
+    if isinstance(returned, ast.Dict):
+        _collect_dict_literal(returned, branch)
+    elif isinstance(returned, ast.Name):
+        # ``out = {...}`` / ``out["k"] = v`` style: gather the literal
+        # assigned to the returned name plus subscript stores on it.
+        var = returned.id
+        for node in stmt.body:
+            for inner in ast.walk(node):
+                if not isinstance(inner, ast.Assign):
+                    continue
+                for target in inner.targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id == var
+                        and isinstance(inner.value, ast.Dict)
+                    ):
+                        _collect_dict_literal(inner.value, branch)
+                    elif (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == var
+                        and isinstance(target.slice, ast.Constant)
+                        and isinstance(target.slice.value, str)
+                    ):
+                        branch.keys_written.add(target.slice.value)
+                        if target.slice.value == "engine":
+                            branch.kinds |= _str_constants(inner.value)
+    return branch
+
+
+def _parse_from_branch(stmt: ast.If, param: str) -> _FromBranch | None:
+    test = stmt.test
+    if not (
+        isinstance(test, ast.Compare)
+        and len(test.ops) == 1
+        and isinstance(test.ops[0], (ast.Eq, ast.In))
+        and isinstance(test.left, ast.Name)
+    ):
+        return None
+    kinds = _str_constants(test.comparators[0])
+    if not kinds:
+        return None
+    branch = _FromBranch(lineno=stmt.lineno, kinds=kinds)
+    for node in stmt.body:
+        for inner in ast.walk(node):
+            if (
+                isinstance(inner, ast.Subscript)
+                and isinstance(inner.value, ast.Name)
+                and isinstance(inner.slice, ast.Constant)
+                and isinstance(inner.slice.value, str)
+            ):
+                if inner.value.id == param:
+                    branch.keys_read.add(inner.slice.value)
+            elif isinstance(inner, ast.Call):
+                func = inner.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "get"
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == param
+                    and inner.args
+                    and isinstance(inner.args[0], ast.Constant)
+                    and isinstance(inner.args[0].value, str)
+                ):
+                    branch.keys_get.add(inner.args[0].value)
+            elif isinstance(inner, ast.Attribute):
+                if (
+                    isinstance(inner.value, ast.Name)
+                    and inner.value.id != param
+                ):
+                    branch.attrs.add(inner.attr)
+    return branch
+
+
+@register
+class SerializationCompletenessRule(ProjectRule):
+    rule_id = "RK012"
+    title = "checkpoint codec covers every persistent engine attribute"
+    rationale = (
+        "Restore must be bit-identical (a restored engine continues the "
+        "stream exactly); an attribute or key missing from one codec "
+        "side silently drops state and surfaces as drift, not an error."
+    )
+
+    def check_project(self, project) -> Iterator[Violation]:
+        graph = project.graph
+        for module_name in sorted(graph.modules):
+            info = graph.modules[module_name]
+            to_fn = info.functions.get("engine_to_dict")
+            from_fn = info.functions.get("engine_from_dict")
+            if to_fn is None or from_fn is None:
+                continue
+            yield from self._check_codec(graph, info, to_fn, from_fn)
+
+    def _check_codec(
+        self,
+        graph: ProjectGraph,
+        info: ModuleInfo,
+        to_fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        from_fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterator[Violation]:
+        to_param = _first_param(to_fn) or "engine"
+        from_param = _first_param(from_fn) or "data"
+        to_branches = [
+            b
+            for stmt in to_fn.body
+            if isinstance(stmt, ast.If)
+            and (b := _parse_to_branch(graph, info, stmt, to_param, to_fn.name))
+            is not None
+        ]
+        from_branches = [
+            b
+            for stmt in from_fn.body
+            if isinstance(stmt, ast.If)
+            and (b := _parse_from_branch(stmt, from_param)) is not None
+        ]
+        path = info.ctx.display_path
+        for tb in to_branches:
+            matching = [fb for fb in from_branches if fb.kinds & tb.kinds]
+            restored = set().union(
+                *(fb.keys_read | fb.keys_get for fb in matching)
+            ) if matching else set()
+            if matching:
+                for key in sorted(tb.keys_written - _ENVELOPE - restored):
+                    yield Violation(
+                        rule_id=self.rule_id,
+                        path=path,
+                        line=tb.lineno,
+                        col=0,
+                        message=(
+                            f"snapshot key '{key}' written for kind(s) "
+                            f"{self._kinds(tb.kinds)} is never restored by "
+                            f"{from_fn.name}; the round-trip drops it"
+                        ),
+                    )
+            from_attrs: set[str] = set()
+            for fb in matching:
+                from_attrs |= fb.attrs
+            for cls in tb.classes:
+                yield from self._check_coverage(
+                    graph, cls, tb, from_attrs, path
+                )
+        for fb in from_branches:
+            matching_to = [tb for tb in to_branches if fb.kinds & tb.kinds]
+            if not matching_to or any(tb.delegated for tb in matching_to):
+                continue
+            written = set().union(*(tb.keys_written for tb in matching_to))
+            for key in sorted(fb.keys_read - written - _ENVELOPE):
+                yield Violation(
+                    rule_id=self.rule_id,
+                    path=path,
+                    line=fb.lineno,
+                    col=0,
+                    message=(
+                        f"{from_fn.name} requires snapshot key '{key}' for "
+                        f"kind(s) {self._kinds(fb.kinds)} but "
+                        f"{to_fn.name} never writes it; restore raises "
+                        "KeyError on every real snapshot"
+                    ),
+                )
+
+    def _check_coverage(
+        self,
+        graph: ProjectGraph,
+        cls: ClassInfo,
+        tb: _ToBranch,
+        from_attrs: set[str],
+        path: str,
+    ) -> Iterator[Violation]:
+        covered = expand_attr_coverage(graph, cls, tb.attrs | from_attrs)
+        covered |= cls.ctor_covered
+        covered |= gen_memo_attrs(cls)
+        covered.add(GEN_ATTR)
+        covered |= self._waived(graph, cls)
+        for attr in sorted(cls.state_attrs() - covered):
+            anchor = cls.init_attr_lines.get(attr)
+            yield Violation(
+                rule_id=self.rule_id,
+                path=path,
+                line=tb.lineno,
+                col=0,
+                message=(
+                    f"{cls.name}.{attr} is persistent state the checkpoint "
+                    "codec neither writes nor restores; serialize it or "
+                    "mark its __init__ assignment `# lintkit: "
+                    "not-serialized`"
+                ),
+                evidence=(
+                    f"{cls.qualname}.{attr}"
+                    + (f" (line {anchor})" if anchor else ""),
+                ),
+            )
+
+    @staticmethod
+    def _kinds(kinds: set[str]) -> str:
+        return ", ".join(f'"{k}"' for k in sorted(kinds))
+
+    def _waived(self, graph: ProjectGraph, cls: ClassInfo) -> set[str]:
+        """Attrs whose ``__init__`` line carries ``# lintkit: not-serialized``."""
+        module = graph.modules.get(cls.module)
+        if module is None:
+            return set()
+        marked = marker_lines(module.ctx.source, "not-serialized")
+        return {
+            attr
+            for attr, line in cls.init_attr_lines.items()
+            if line in marked
+        }

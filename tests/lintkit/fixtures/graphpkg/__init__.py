@@ -1,0 +1,13 @@
+"""Fixture package for the project-graph golden tests.
+
+Deliberately exercises the three resolution features the graph layer
+claims: absolute intra-package imports, re-exports through ``__init__``
+(``exported_helper`` is ``util.helper`` under another name), and
+relative imports.  Lint-clean on purpose so the CLI fixture runs are
+unaffected.
+"""
+
+from graphpkg.engine import Engine
+from .util import helper as exported_helper
+
+__all__ = ["Engine", "exported_helper"]

@@ -1,0 +1,24 @@
+"""Class fixture: inheritance, self-dispatch, re-export consumption."""
+
+from . import exported_helper
+from .util import wrapper
+
+
+class Base:
+    def shared(self) -> int:
+        return 1
+
+
+class Engine(Base):
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self._scale = size * 2
+        self._items: list[str] = []
+
+    def run(self) -> int:
+        self.step()
+        return self.shared()
+
+    def step(self) -> str:
+        self._items.append(exported_helper())
+        return wrapper()

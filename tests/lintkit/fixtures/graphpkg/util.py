@@ -1,0 +1,11 @@
+"""Leaf helpers: one external sink, one internal wrapper over it."""
+
+import os
+
+
+def helper() -> str:
+    return os.getcwd()
+
+
+def wrapper() -> str:
+    return helper()

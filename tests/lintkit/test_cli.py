@@ -65,11 +65,106 @@ class TestCliOnFixtures:
     def test_unknown_rule_is_usage_error(self):
         proc = run_lintkit(str(FIXTURES), "--select", "RK999")
         assert proc.returncode == 2
+        assert "unknown rule" in proc.stderr
         assert "RK999" in proc.stderr
+
+    def test_unknown_rule_mixed_with_known_names_the_bad_id(self):
+        proc = run_lintkit(str(FIXTURES), "--select", "RK001,RK777")
+        assert proc.returncode == 2
+        assert "unknown rule" in proc.stderr
+        assert "RK777" in proc.stderr
+        assert "RK001" not in proc.stderr  # only the bad id is named
+
+    def test_empty_selection_is_usage_error(self):
+        # `--select ,` used to silently lint with zero rules and exit 0.
+        proc = run_lintkit(str(FIXTURES), "--select", ",")
+        assert proc.returncode == 2
+        assert "names no rules" in proc.stderr
 
     def test_missing_path_is_usage_error(self):
         proc = run_lintkit(str(FIXTURES / "does-not-exist"))
         assert proc.returncode == 2
+
+
+class TestBaselines:
+    def test_write_then_apply_round_trip(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        proc = run_lintkit(str(FIXTURES), "--write-baseline", str(baseline))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "baseline: wrote" in proc.stdout
+        assert baseline.is_file()
+        # With every current finding baselined, the same run passes...
+        proc = run_lintkit(str(FIXTURES), "--baseline", str(baseline))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "baselined finding(s) suppressed" in proc.stdout
+        # ...and is reported in the JSON document too.
+        proc = run_lintkit(
+            str(FIXTURES), "--baseline", str(baseline), "--format", "json"
+        )
+        payload = json.loads(proc.stdout)
+        assert payload["violations"] == []
+        assert payload["baselined"] > 0
+
+    def test_new_violation_survives_baseline(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        run_lintkit(str(FIXTURES), "--write-baseline", str(baseline))
+        extra = tmp_path / "fresh.py"
+        extra.write_text("import time\nx = time.time()\n", encoding="utf-8")
+        proc = run_lintkit(
+            str(FIXTURES), str(extra), "--baseline", str(baseline)
+        )
+        assert proc.returncode == 1
+        assert "fresh.py" in proc.stdout
+        assert "RK001" in proc.stdout
+
+    def test_corrupt_baseline_is_usage_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        proc = run_lintkit(str(FIXTURES), "--baseline", str(bad))
+        assert proc.returncode == 2
+        assert "baseline" in proc.stderr
+
+
+class TestEvidenceReporting:
+    SRC_A = (
+        "from repro.benchkit.timers import stamp\n"
+        "def ingest():\n"
+        "    return stamp()\n"
+    )
+    SRC_B = "import time\ndef stamp():\n    return time.time()\n"
+
+    def _project(self, tmp_path):
+        root = tmp_path / "src" / "repro"
+        (root / "core").mkdir(parents=True)
+        (root / "benchkit").mkdir()
+        (root / "core" / "trace.py").write_text(self.SRC_A, encoding="utf-8")
+        (root / "benchkit" / "timers.py").write_text(
+            self.SRC_B, encoding="utf-8"
+        )
+        return tmp_path / "src"
+
+    def test_json_rows_carry_evidence_chains(self, tmp_path):
+        proc = run_lintkit(
+            str(self._project(tmp_path)), "--select", "RK010",
+            "--format", "json",
+        )
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        payload = json.loads(proc.stdout)
+        [row] = payload["violations"]
+        assert row["rule"] == "RK010"
+        assert row["evidence"] == [
+            "repro.core.trace.ingest",
+            "repro.benchkit.timers.stamp",
+            "time.time",
+        ]
+
+    def test_text_mode_renders_chain_inline(self, tmp_path):
+        proc = run_lintkit(str(self._project(tmp_path)), "--select", "RK010")
+        assert proc.returncode == 1
+        assert (
+            "[repro.core.trace.ingest -> repro.benchkit.timers.stamp"
+            " -> time.time]" in proc.stdout
+        )
 
 
 class TestCliOnShippedTree:

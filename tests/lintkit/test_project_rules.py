@@ -1,0 +1,505 @@
+"""Tests for the whole-program rules RK009-RK012.
+
+Two layers: synthetic micro-projects (assembled in memory via
+``FileContext.from_source``) pin each rule's contract, and *mutant*
+tests run the rules over the real shipped tree with one invariant
+deliberately broken -- deleting a ``_gen`` bump from ``eh.py``, dropping
+a field from ``serialize.py`` -- proving the rules catch exactly the
+regressions they were built for.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lintkit.engine import FileContext, lint_contexts
+
+REPO_SRC = Path(__file__).parents[2] / "src"
+
+
+def lint_project(files: dict[str, str], select: list[str]):
+    contexts = [
+        FileContext.from_source(textwrap.dedent(source), path)
+        for path, source in files.items()
+    ]
+    return lint_contexts(contexts, select=select)
+
+
+def load_tree(mutate: dict[str, tuple[str, str]] | None = None):
+    """Contexts for the real ``src/repro`` tree, optionally mutated.
+
+    ``mutate`` maps a path suffix to an ``(old, new)`` source rewrite;
+    the old text must occur exactly once past any ``anchor:`` prefix.
+    """
+    mutate = dict(mutate or {})
+    contexts = []
+    for path in sorted((REPO_SRC / "repro").rglob("*.py")):
+        rel = str(path.relative_to(REPO_SRC.parent))
+        source = path.read_text(encoding="utf-8")
+        for suffix, (old, new) in list(mutate.items()):
+            if rel.endswith(suffix):
+                assert old in source, f"mutation anchor missing in {rel}"
+                source = source.replace(old, new, 1)
+                del mutate[suffix]
+        contexts.append(FileContext.from_source(source, rel))
+    assert not mutate, f"unused mutations: {list(mutate)}"
+    return contexts
+
+
+# --------------------------------------------------------------- RK009
+
+
+ENGINE_TEMPLATE = """
+class Engine:
+    def __init__(self, size):
+        self._size = size
+        self._state = []
+        self._gen = 0
+        self._cache = None
+
+    def query(self):
+        if self._cache is not None and self._cache[0] == self._gen:
+            return self._cache[1]
+        answer = len(self._state)
+        self._cache = (self._gen, answer)
+        return answer
+
+{methods}
+"""
+
+
+class TestRK009Synthetic:
+    def _lint(self, methods: str):
+        source = ENGINE_TEMPLATE.format(methods=textwrap.indent(methods, "    "))
+        return lint_project({"src/repro/core/e.py": source}, ["RK009"])
+
+    def test_public_mutation_without_bump_fires(self):
+        found = self._lint(
+            "def push(self, x):\n"
+            "    self._state.append(x)\n"
+        )
+        assert [v.rule_id for v in found] == ["RK009"]
+        assert "push" in found[0].message
+        assert "_state" in found[0].message
+
+    def test_bump_in_same_method_is_clean(self):
+        found = self._lint(
+            "def push(self, x):\n"
+            "    self._gen += 1\n"
+            "    self._state.append(x)\n"
+        )
+        assert found == []
+
+    def test_bump_anywhere_in_call_closure_counts(self):
+        found = self._lint(
+            "def push(self, x):\n"
+            "    self._push_impl(x)\n"
+            "def _push_impl(self, x):\n"
+            "    self._gen += 1\n"
+            "    self._state.append(x)\n"
+        )
+        assert found == []
+
+    def test_private_helper_judged_via_public_caller(self):
+        # _compact mutates without bumping, but its only public caller
+        # bumps -- exactly the EH _cascade pattern; must stay clean.
+        found = self._lint(
+            "def push(self, x):\n"
+            "    self._gen += 1\n"
+            "    self._state.append(x)\n"
+            "    self._compact()\n"
+            "def _compact(self):\n"
+            "    self._state.sort()\n"
+        )
+        assert found == []
+
+    def test_memo_write_is_not_a_mutation(self):
+        # query() assigns self._cache in the shared template; it must not
+        # itself demand a bump.
+        found = self._lint("")
+        assert found == []
+
+    def test_alias_mutation_detected(self):
+        found = self._lint(
+            "def push(self, x):\n"
+            "    state = self._state\n"
+            "    state.append(x)\n"
+        )
+        assert [v.rule_id for v in found] == ["RK009"]
+
+    def test_classes_without_gen_are_out_of_scope(self):
+        found = lint_project(
+            {
+                "src/repro/core/plain.py": """
+                class Plain:
+                    def __init__(self):
+                        self._state = []
+
+                    def push(self, x):
+                        self._state.append(x)
+                """
+            },
+            ["RK009"],
+        )
+        assert found == []
+
+
+class TestRK009Mutants:
+    def test_shipped_tree_is_clean(self):
+        assert lint_contexts(load_tree(), select=["RK009"]) == []
+
+    def test_deleting_merge_bump_fires(self):
+        # eh.py's merge() bumps _gen exactly once; delete it and RK009
+        # must flag merge (its closure mutates buckets with no bump).
+        contexts = load_tree(
+            {
+                "histograms/eh.py": (
+                    "        self._gen += 1\n        if self._buckets:",
+                    "        if self._buckets:",
+                )
+            }
+        )
+        found = lint_contexts(contexts, select=["RK009"])
+        assert len(found) == 1
+        assert found[0].rule_id == "RK009"
+        assert "merge" in found[0].message
+        assert found[0].path.endswith("histograms/eh.py")
+
+    def test_deleting_advance_bump_fires(self):
+        contexts = load_tree(
+            {
+                "histograms/domination.py": (
+                    "        if steps:\n            self._gen += 1\n",
+                    "",
+                )
+            }
+        )
+        found = lint_contexts(contexts, select=["RK009"])
+        assert any(
+            v.rule_id == "RK009" and "advance" in v.message for v in found
+        ), [v.render() for v in found]
+
+
+# --------------------------------------------------------------- RK010
+
+
+class TestRK010:
+    FILES = {
+        "src/repro/benchkit/timers.py": """
+        import time
+
+        def stamp():
+            return time.time()
+        """,
+        "src/repro/core/trace.py": """
+        from repro.benchkit.timers import stamp
+
+        def ingest():
+            return stamp()
+        """,
+    }
+
+    def test_exempt_helper_crossing_fires_with_chain(self):
+        found = lint_project(self.FILES, ["RK010"])
+        assert [v.rule_id for v in found] == ["RK010"]
+        v = found[0]
+        assert v.path == "src/repro/core/trace.py"
+        assert v.evidence == (
+            "repro.core.trace.ingest",
+            "repro.benchkit.timers.stamp",
+            "time.time",
+        )
+        assert "time.time" in v.message
+        assert "[repro.core.trace.ingest -> " in v.render()
+
+    def test_direct_calls_left_to_per_file_rules(self):
+        found = lint_project(
+            {
+                "src/repro/core/trace.py": """
+                import time
+
+                def ingest():
+                    return time.time()
+                """
+            },
+            ["RK010"],
+        )
+        assert found == []  # RK001 territory, not RK010
+
+    def test_exempt_caller_is_not_flagged(self):
+        files = dict(self.FILES)
+        files["src/repro/benchkit/driver.py"] = """
+        from repro.benchkit.timers import stamp
+
+        def measure():
+            return stamp()
+        """
+        found = lint_project(files, ["RK010"])
+        assert {v.path for v in found} == {"src/repro/core/trace.py"}
+
+    def test_concurrency_label_binds_engines_not_drivers(self):
+        files = {
+            "src/repro/parallel/executor.py": """
+            import multiprocessing
+
+            def fan_out():
+                return multiprocessing.Pool()
+            """,
+            "src/repro/histograms/bad.py": """
+            from repro.parallel.executor import fan_out
+
+            def merge_all():
+                return fan_out()
+            """,
+            "src/repro/benchkit/driver.py": """
+            from repro.parallel.executor import fan_out
+
+            def bench():
+                return fan_out()
+            """,
+        }
+        found = lint_project(files, ["RK010"])
+        assert [v.path for v in found] == ["src/repro/histograms/bad.py"]
+
+    def test_pragma_suppresses_at_crossing_line(self):
+        files = dict(self.FILES)
+        files["src/repro/core/trace.py"] = """
+        from repro.benchkit.timers import stamp
+
+        def ingest():
+            return stamp()  # lintkit: ignore[RK010]
+        """
+        assert lint_project(files, ["RK010"]) == []
+
+    def test_shipped_tree_is_clean(self):
+        assert lint_contexts(load_tree(), select=["RK010"]) == []
+
+
+# --------------------------------------------------------------- RK011
+
+
+class TestRK011:
+    def test_shipped_tree_is_clean(self):
+        assert lint_contexts(load_tree(), select=["RK011"]) == []
+
+    def test_shipped_kernels_are_marked_hot(self):
+        from repro.lintkit.pragmas import marker_lines
+
+        eh = (REPO_SRC / "repro" / "histograms" / "eh.py").read_text()
+        batching = (REPO_SRC / "repro" / "core" / "batching.py").read_text()
+        assert marker_lines(eh, "hot")
+        assert marker_lines(batching, "hot")
+
+    def test_unmarked_function_unconstrained(self):
+        found = lint_project(
+            {
+                "src/repro/core/k.py": """
+                def cold(xs):
+                    return [x * 2 for x in xs]
+                """
+            },
+            ["RK011"],
+        )
+        assert found == []
+
+    def test_marker_on_decorator_line(self):
+        found = lint_project(
+            {
+                "src/repro/core/k.py": """
+                import functools
+
+                @functools.cache  # lintkit: hot
+                def kernel(xs):
+                    out = 0
+                    for x in xs:
+                        out += sum(y for y in x)
+                    return out
+                """
+            },
+            ["RK011"],
+        )
+        assert [v.rule_id for v in found] == ["RK011"]
+        assert "generator expression" in found[0].message
+
+    def test_literal_displays_allowed(self):
+        found = lint_project(
+            {
+                "src/repro/core/k.py": """
+                def kernel(items):  # lintkit: hot
+                    pairs = []
+                    for item in items:
+                        pairs.append([item, item * 2])
+                    return pairs
+                """
+            },
+            ["RK011"],
+        )
+        assert found == []
+
+    def test_container_ctor_and_closure_flagged(self):
+        found = lint_project(
+            {
+                "src/repro/core/k.py": """
+                def kernel(items):  # lintkit: hot
+                    out = []
+                    for item in items:
+                        seen = set()
+                        key = lambda v: v
+                        out.append(seen)
+                    return out
+                """
+            },
+            ["RK011"],
+        )
+        assert sorted(v.line for v in found) == [5, 6]
+        messages = " ".join(v.message for v in found)
+        assert "set() construction" in messages
+        assert "closure allocation" in messages
+
+    def test_allocation_outside_loop_allowed(self):
+        found = lint_project(
+            {
+                "src/repro/core/k.py": """
+                def kernel(items):  # lintkit: hot
+                    out = list(items)
+                    squares = [x * x for x in items]
+                    for i, item in enumerate(items):
+                        out[i] = squares[i]
+                    return out
+                """
+            },
+            ["RK011"],
+        )
+        assert found == []
+
+
+# --------------------------------------------------------------- RK012
+
+
+class TestRK012Mutants:
+    def test_shipped_tree_is_clean(self):
+        assert lint_contexts(load_tree(), select=["RK012"]) == []
+
+    def test_dropping_serialized_field_fires(self):
+        # The ISSUE mutant: remove one field from the ewma writer branch.
+        contexts = load_tree(
+            {"repro/serialize.py": ('            "items": engine._items,\n', "")}
+        )
+        found = lint_contexts(contexts, select=["RK012"])
+        assert found, "RK012 must flag the dropped 'items' field"
+        assert all(v.rule_id == "RK012" for v in found)
+        assert any(
+            "'items'" in v.message and "never writes" in v.message
+            for v in found
+        ), [v.render() for v in found]
+
+    def test_dropping_restore_assignment_fires(self):
+        contexts = load_tree(
+            {
+                "repro/serialize.py": (
+                    '        engine._since_compact = int(data["since_compact"])\n',
+                    "",
+                )
+            }
+        )
+        found = lint_contexts(contexts, select=["RK012"])
+        assert any(
+            v.rule_id == "RK012" and "'since_compact'" in v.message
+            for v in found
+        ), [v.render() for v in found]
+
+
+class TestRK012Synthetic:
+    CODEC = """
+    from repro.core.widget import Widget
+
+    def engine_to_dict(engine):
+        if isinstance(engine, Widget):
+            return {{
+                "version": 1,
+                "engine": "widget",
+                {to_fields}
+            }}
+        raise TypeError(engine)
+
+    def engine_from_dict(data):
+        kind = data.get("engine")
+        if kind == "widget":
+            engine = Widget({ctor_args})
+            {from_fields}
+            return engine
+        raise KeyError(kind)
+    """
+
+    WIDGET = """
+    class Widget:
+        def __init__(self, size):
+            self.size = size
+            self._count = 0{marker}
+
+        @property
+        def count(self):
+            return self._count
+    """
+
+    def _lint(self, to_fields, ctor_args, from_fields, marker=""):
+        files = {
+            "src/repro/core/widget.py": self.WIDGET.format(marker=marker),
+            "src/repro/serialize.py": self.CODEC.format(
+                to_fields=to_fields,
+                ctor_args=ctor_args,
+                from_fields=from_fields,
+            ),
+        }
+        return lint_project(files, ["RK012"])
+
+    def test_complete_codec_is_clean(self):
+        found = self._lint(
+            '"size": engine.size,\n                "count": engine.count,',
+            'data["size"]',
+            'engine._count = data["count"]',
+        )
+        assert found == []
+
+    def test_uncovered_attribute_fires(self):
+        found = self._lint('"size": engine.size,', 'data["size"]', "pass")
+        assert [v.rule_id for v in found] == ["RK012"]
+        assert "Widget._count" in found[0].message
+
+    def test_not_serialized_marker_waives_attribute(self):
+        found = self._lint(
+            '"size": engine.size,',
+            'data["size"]',
+            "pass",
+            marker="  # lintkit: not-serialized",
+        )
+        assert found == []
+
+    def test_property_access_covers_backing_attr(self):
+        # Writing engine.count (a property over _count) covers _count on
+        # the serialize side even if restore rebuilds it another way.
+        found = self._lint(
+            '"size": engine.size,\n                "count": engine.count,',
+            'data["size"]',
+            'engine._count = data["count"]',
+        )
+        assert found == []
+
+    def test_unrestored_key_fires(self):
+        found = self._lint(
+            '"size": engine.size,\n                "count": engine.count,',
+            'data["size"]',
+            "engine._count = 0",
+        )
+        assert any("'count'" in v.message and "never restored" in v.message
+                   for v in found), [v.render() for v in found]
+
+
+@pytest.mark.parametrize("rule", ["RK009", "RK010", "RK012"])
+def test_project_rules_tolerate_single_file_projects(rule):
+    # lint_source-style one-file pools must not crash the project rules.
+    found = lint_project({"src/repro/core/tiny.py": "x = 1\n"}, [rule])
+    assert found == []
