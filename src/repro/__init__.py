@@ -30,14 +30,19 @@ from repro.core import (
     Estimate,
     EwmaRegister,
     ExactDecayingSum,
+    ExactForwardSum,
     ExponentialDecay,
     ExponentialSum,
+    ForwardDecay,
+    ForwardDecayAverage,
+    ForwardDecaySum,
     GaussianDecay,
     InvalidParameterError,
     LinearDecay,
     LogarithmicDecay,
     NoDecay,
     NotApplicableError,
+    OutOfOrderPolicy,
     PolyexpPipeline,
     PolyexponentialDecay,
     GeneralPolyexpSum,
@@ -102,6 +107,11 @@ __all__ = [
     "PolyexponentialSum",
     "GeneralPolyexpSum",
     "DecayingAverage",
+    "ForwardDecay",
+    "ForwardDecaySum",
+    "ForwardDecayAverage",
+    "ExactForwardSum",
+    "OutOfOrderPolicy",
     "ExponentialHistogram",
     "SlidingWindowSum",
     "DominationHistogram",

@@ -19,6 +19,12 @@ a starved runner, so on smaller machines the check is skipped with a
 message rather than failed.  Reports without a ``scaling`` section
 (schema v2 baselines) skip the check the same way.
 
+Reports carrying a forward-decay cell also face the forward-ingest bar
+(:func:`check_forward_fastest`): the O(1)-per-item forward register's
+batched throughput must stay within ``MIN_FORWARD_RATIO`` of the slower
+of the exact and EXPD reference registers on every shared trace shape.
+Reports without a forward cell skip it with a message.
+
 Wall-clock derived numbers live in ``benchkit`` by design: RK001 exempts
 this package precisely so the library proper stays on the model clock.
 
@@ -48,6 +54,7 @@ __all__ = [
     "load_report",
     "compare_reports",
     "check_shard_speedup",
+    "check_forward_fastest",
     "format_diff",
     "main",
 ]
@@ -58,6 +65,12 @@ MIN_SHARD_SPEEDUP = 2.5
 #: ...but only on runners with at least this many cores.
 MIN_CORES_FOR_SPEEDUP_GATE = 4
 SPEEDUP_GATE_SHARDS = 4
+#: The O(1)-per-item forward-decay register must keep up with the slower
+#: of the exact/ewma register cells on batched ingest.  The generous
+#: factor absorbs timer noise on loaded runners (the same build has
+#: measured 0.86x and 1.01x minutes apart); a genuine hot-path
+#: regression lands far below it (the pre-optimized loop sat at 0.45x).
+MIN_FORWARD_RATIO = 0.75
 
 Cell = tuple[str, str, str]
 
@@ -217,6 +230,68 @@ def check_shard_speedup(
     )
 
 
+def check_forward_fastest(
+    fresh: Mapping[str, Any],
+    *,
+    min_ratio: float = MIN_FORWARD_RATIO,
+) -> tuple[bool, str]:
+    """The forward-decay ingest bar: ``(passed, message)``.
+
+    Forward decay is the one engine family with genuinely O(1) per-item
+    ingest and no compaction, so on every trace shape its batched
+    throughput must reach the exact/ewma reference tier -- the *slower*
+    of the exact POLYD oracle and the EXPD register cells on that trace
+    (a register whose whole job is one multiply-add may legitimately
+    edge it out on some shapes; falling behind both means the forward
+    hot path regressed).  ``min_ratio`` leaves room for timer noise, not
+    for an algorithmic slowdown.  ``passed`` is True on every skip path
+    (no forward cell in the report, or no reference cells), so
+    pre-forward baselines keep comparing cleanly.
+    """
+    if not 0 < min_ratio <= 1:
+        raise InvalidParameterError(
+            f"min_ratio must be in (0, 1], got {min_ratio}"
+        )
+    cells = _cells(fresh)
+    forward = {
+        trace: ips
+        for (engine, trace, mode), ips in cells.items()
+        if engine.startswith("fwd(") and mode == "batched"
+    }
+    if not forward:
+        return True, "forward-ingest gate skipped: no forward cell measured"
+    floors: dict[str, float] = {}
+    for (engine, trace, mode), ips in cells.items():
+        if mode != "batched":
+            continue
+        if engine.startswith("exact(") or engine.startswith("ewma("):
+            floors[trace] = min(ips, floors.get(trace, ips))
+    worst: tuple[float, str] | None = None
+    for trace, floor_ips in floors.items():
+        fwd_ips = forward.get(trace)
+        if fwd_ips is None:
+            continue
+        ratio = fwd_ips / floor_ips
+        if worst is None or ratio < worst[0]:
+            worst = (ratio, trace)
+    if worst is None:
+        return True, (
+            "forward-ingest gate skipped: no shared trace with the "
+            "exact/ewma reference cells"
+        )
+    ratio, trace = worst
+    if ratio >= min_ratio:
+        return True, (
+            f"forward-ingest gate OK: worst ratio {ratio:.2f}x of the "
+            f"exact/ewma tier on {trace} (bar {min_ratio:.2f}x)"
+        )
+    return False, (
+        f"forward-ingest gate FAIL: forward batched ingest is only "
+        f"{ratio:.2f}x of the slower exact/ewma reference on {trace}, "
+        f"below the {min_ratio:.2f}x bar"
+    )
+
+
 def format_diff(diffs: Sequence[CellDiff], *, threshold: float) -> str:
     """Human-readable comparison table plus a one-line verdict."""
     rows = []
@@ -280,7 +355,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     print(format_diff(diffs, threshold=args.threshold))
     speedup_ok, message = check_shard_speedup(fresh)
     print(message)
-    if any(d.regressed for d in diffs) or not speedup_ok:
+    forward_ok, forward_message = check_forward_fastest(fresh)
+    print(forward_message)
+    if any(d.regressed for d in diffs) or not speedup_ok or not forward_ok:
         return 1
     return 0
 

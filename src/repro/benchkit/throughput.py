@@ -38,6 +38,7 @@ from repro.core.decay import ExponentialDecay, PolynomialDecay
 from repro.core.errors import InvalidParameterError
 from repro.core.ewma import ExponentialSum
 from repro.core.exact import ExactDecayingSum
+from repro.core.forward import ForwardDecay, ForwardDecaySum
 from repro.core.interfaces import DecayingSum
 from repro.histograms.ceh import CascadedEH
 from repro.histograms.eh import ExponentialHistogram, SlidingWindowSum
@@ -130,7 +131,7 @@ def measure_throughput(
 def default_engines(
     epsilon: float = 0.1,
 ) -> Mapping[str, Callable[[], DecayingSum]]:
-    """The five engines named by the acceptance bar, storage-optimal configs."""
+    """The engines named by the acceptance bar, storage-optimal configs."""
     window = 512
     return {
         "exact(POLYD-1)": lambda: ExactDecayingSum(PolynomialDecay(1.0)),
@@ -138,6 +139,9 @@ def default_engines(
         f"eh(SLIWIN-{window})": lambda: SlidingWindowSum(window, epsilon),
         "ceh(POLYD-1)": lambda: CascadedEH(PolynomialDecay(1.0), epsilon),
         "wbmh(POLYD-1)": lambda: WBMH(PolynomialDecay(1.0), epsilon),
+        "fwd(FWD-EXP-0.01)": lambda: ForwardDecaySum(
+            ForwardDecay("exp", 0.01)
+        ),
     }
 
 

@@ -34,6 +34,7 @@ from repro.core.decay import (
 from repro.core.errors import InvalidParameterError, ReproError
 from repro.core.ewma import ExponentialSum, GeneralPolyexpSum, PolyexponentialSum
 from repro.core.exact import ExactDecayingSum
+from repro.core.forward import ExactForwardSum, ForwardDecay, ForwardDecaySum
 from repro.core.interfaces import DecayingSum, make_decaying_sum
 from repro.histograms.wbmh import WBMH
 from repro.serialize import decay_from_dict, decay_to_dict, engine_to_dict
@@ -50,7 +51,7 @@ __all__ = [
 #: stream, so scaling every value by a power of two scales the registers
 #: bit-exactly (power-of-two multiplication only touches the exponent).
 _LINEAR_EXACT = (ExponentialSum, PolyexponentialSum, GeneralPolyexpSum,
-                 ExactDecayingSum)
+                 ExactDecayingSum, ForwardDecaySum)
 
 #: Ages sampled when classifying a decay function as non-increasing.
 _MONOTONE_PROBE = 128
@@ -68,6 +69,8 @@ class EngineSpec:
     shift_exact: bool
     nonincreasing: bool
     serializable: bool
+    shift_close: bool = False
+    order_insensitive: bool = False
     factory: Callable[[], DecayingSum] | None = None
 
     def build(self) -> DecayingSum:
@@ -76,8 +79,16 @@ class EngineSpec:
             return self.factory()
         return make_decaying_sum(self.decay, self.epsilon)
 
-    def oracle(self) -> ExactDecayingSum:
-        """A fresh ground-truth reference over the same decay."""
+    def oracle(self) -> DecayingSum:
+        """A fresh ground-truth reference over the same decay.
+
+        Forward-decay cells use the O(N) :class:`ExactForwardSum` (their
+        weight is indexed by arrival time, not age, so the age-indexed
+        :class:`ExactDecayingSum` cannot represent it); every backward
+        cell keeps the exact age-indexed oracle.
+        """
+        if isinstance(self.decay, ForwardDecay):
+            return ExactForwardSum(self.decay)
         return ExactDecayingSum(self.decay)
 
     def with_factory(self, factory: Callable[[], DecayingSum]) -> "EngineSpec":
@@ -119,6 +130,13 @@ def make_spec(
         serializable = True
     except (InvalidParameterError, ReproError):
         serializable = False
+    if isinstance(decay, ForwardDecay):
+        # Forward decay weights by arrival time, not age; ``weight`` has no
+        # age-indexed meaning (poly kind raises NotApplicableError), but the
+        # induced item weight is nonincreasing in age for every monotone g.
+        nonincreasing = True
+    else:
+        nonincreasing = _is_nonincreasing(decay)
     return EngineSpec(
         name=name,
         decay=decay,
@@ -128,8 +146,20 @@ def make_spec(
         # WBMH seals its live bucket on an absolute-time lattice, so a
         # shifted trace lands in different lattice cells and the sealed
         # bucket spans (hence certified brackets) legitimately differ.
-        shift_exact=not isinstance(probe, WBMH),
-        nonincreasing=_is_nonincreasing(decay),
+        # The forward engine banks contributions on an absolute-time block
+        # lattice (the price of bit-exact permutation invariance), so exp-
+        # kind shifts are value-identical only up to float rounding: they
+        # get the relative-tolerance tier (``shift_close``); poly-kind
+        # forward decay is mathematically shift-variant and gets neither.
+        shift_exact=not isinstance(probe, (WBMH, ForwardDecaySum)),
+        shift_close=(
+            isinstance(probe, ForwardDecaySum)
+            and bool(getattr(decay, "shift_invariant", False))
+        ),
+        order_insensitive=bool(
+            getattr(probe, "supports_out_of_order", False)
+        ),
+        nonincreasing=nonincreasing,
         serializable=serializable,
         factory=factory,
     )
@@ -141,11 +171,13 @@ def default_specs() -> dict[str, EngineSpec]:
     Covers every engine class :func:`make_decaying_sum` can return --
     the EXPD register, the sliding-window EH, WBMH (polynomial and
     sub-polynomial decay), the cascaded EH (bounded-support, super-
-    exponential, and table decay), and both section 3.4 polyexponential
-    pipelines.
+    exponential, and table decay), both section 3.4 polyexponential
+    pipelines, and the forward-decay register (exp and poly kinds).
     """
     specs = [
         make_spec("expd", ExponentialDecay(0.05)),
+        make_spec("fwd-exp", ForwardDecay("exp", 0.05)),
+        make_spec("fwd-poly", ForwardDecay("poly", 1.2)),
         make_spec("sliwin", SlidingWindowDecay(64)),
         make_spec("polyd-wbmh", PolynomialDecay(1.2)),
         make_spec("logd-wbmh", LogarithmicDecay()),

@@ -18,7 +18,13 @@ CL002     batch-split           ``ingest`` (batch path) bit-identical to the
                                 item-at-a-time ``advance``/``add`` replay
 CL003     time-shift            shifting all arrivals by a constant delta
                                 leaves every estimate bit-identical
-                                (age-indexed decay has no absolute origin)
+                                (age-indexed decay has no absolute origin);
+                                the forward-decay exp register banks on an
+                                absolute-time block lattice, so it gets a
+                                relative-tolerance tier instead
+                                (``shift_close``); poly-kind forward decay
+                                is mathematically shift-variant and is
+                                exempt
 CL004     scale-linearity       scaling all values by a power of two scales
                                 the estimate triplet bit-exactly (register
                                 engines are linear in the stream)
@@ -28,8 +34,11 @@ CL005     advance-monotone      with no new arrivals, a non-increasing decay
 CL006     serialize-roundtrip   snapshot -> restore mid-stream, continue
                                 both; estimates stay bit-identical
 CL007     unsorted-rejection    out-of-order ``ingest`` raises
-                                ``TimeOrderError``; ``advance_to`` refuses
-                                to move the clock backwards
+                                ``TimeOrderError`` -- except on natively
+                                order-insensitive engines, which must
+                                *accept* the disordered trace instead;
+                                ``advance_to`` refuses to move the clock
+                                backwards everywhere
 CL008     merge-split           splitting the trace round-robin across K
                                 shards, ingesting each separately, and
                                 folding with ``merge`` agrees with serial
@@ -37,6 +46,10 @@ CL008     merge-split           splitting the trace round-robin across K
                                 on integer values, ~1 ulp for the float
                                 registers, bracket-sound within the composed
                                 ``K * epsilon`` budget for histogram engines
+CL009     permutation-          ingesting any reordering of the trace (a
+          invariance            seeded shuffle and full reversal are probed)
+                                yields a bit-identical estimate triplet and
+                                clock -- order-insensitive engines only
 ========  ====================  =============================================
 
 Laws report findings as :class:`Violation` values (empty list = law holds).
@@ -48,6 +61,7 @@ report.
 
 from __future__ import annotations
 
+import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import ClassVar, Iterable, Mapping
@@ -301,21 +315,34 @@ class BatchSplitLaw(Law):
 
 
 class TimeShiftLaw(Law):
-    """CL003: age-indexed decay has no absolute time origin."""
+    """CL003: age-indexed decay has no absolute time origin.
+
+    Two tiers.  ``shift_exact`` engines (state a pure function of ages)
+    must answer bit-identically on the shifted trace.  ``shift_close``
+    engines -- the forward-decay exp register, whose weight is
+    shift-invariant in value but whose exact accumulator banks
+    contributions on an absolute-time block lattice -- must agree within
+    a tight relative tolerance instead: the shifted run rounds at
+    different block boundaries.  Poly-kind forward decay carries neither
+    flag (its induced weight genuinely depends on the query time).
+    """
 
     law_id = "CL003"
     name = "time-shift"
     description = (
         "shifting every arrival by a constant delta leaves the estimate "
-        "triplet bit-identical (applies to engines whose state depends on "
-        "ages only)"
+        "triplet bit-identical (age-indexed engines) or equal within a "
+        "relative tolerance (forward-decay exp register)"
     )
 
     #: Deliberately not a multiple of any bucket/window size in the specs.
     delta = 7
 
+    #: Relative tolerance for the ``shift_close`` tier.
+    _REL_CLOSE = 1e-9
+
     def applies(self, spec: EngineSpec) -> bool:
-        return spec.shift_exact
+        return spec.shift_exact or spec.shift_close
 
     def check(self, spec: EngineSpec, trace: Trace) -> list[Violation]:
         base = spec.build()
@@ -328,14 +355,28 @@ class TimeShiftLaw(Law):
                 self.violation(spec, f"engine crashed during replay: {exc!r}")
             ]
         a, b = _triplet(base.query()), _triplet(shifted.query())
-        if a != b:
-            return [
-                self.violation(
-                    spec,
-                    f"shift by {self.delta} changed the estimate: {a} -> {b}",
-                    time=base.time,
-                )
-            ]
+        if spec.shift_exact:
+            if a != b:
+                return [
+                    self.violation(
+                        spec,
+                        f"shift by {self.delta} changed the estimate: "
+                        f"{a} -> {b}",
+                        time=base.time,
+                    )
+                ]
+            return []
+        for want, got in zip(a, b):
+            if abs(got - want) > self._REL_CLOSE * max(1.0, abs(want)):
+                return [
+                    self.violation(
+                        spec,
+                        f"shift by {self.delta} moved the estimate beyond "
+                        f"the relative tolerance: {a} -> {b}",
+                        time=base.time,
+                        details={"want": want, "got": got},
+                    )
+                ]
         return []
 
 
@@ -495,13 +536,21 @@ class SerializeRoundTripLaw(Law):
 
 
 class UnsortedRejectionLaw(Law):
-    """CL007: the batch path refuses disordered time, loudly."""
+    """CL007: the batch path refuses disordered time, loudly.
+
+    Natively order-insensitive engines (``spec.order_insensitive``) flip
+    the first half of the contract: they must *accept* the disordered
+    trace without raising (their answers on it are CL009's business).
+    The ``advance_to``-backwards half applies to every engine -- the
+    clock itself is monotone even when the items need not be.
+    """
 
     law_id = "CL007"
     name = "unsorted-rejection"
     description = (
-        "ingest with out-of-order timestamps raises TimeOrderError and "
-        "advance_to refuses to move the clock backwards"
+        "ingest with out-of-order timestamps raises TimeOrderError "
+        "(order-insensitive engines must accept instead) and advance_to "
+        "refuses to move the clock backwards"
     )
 
     def check(self, spec: EngineSpec, trace: Trace) -> list[Violation]:
@@ -512,19 +561,31 @@ class UnsortedRejectionLaw(Law):
                 StreamItem(t, v) for t, v in reversed(trace.items)
             ]
             engine = spec.build()
-            rejected = False
-            try:
-                engine.ingest(disordered)
-            except TimeOrderError:
-                rejected = True
-            if not rejected:
-                found.append(
-                    self.violation(
-                        spec,
-                        "ingest accepted an out-of-order trace without "
-                        "raising TimeOrderError",
+            if spec.order_insensitive:
+                try:
+                    engine.ingest(disordered)
+                except _ENGINE_FAULTS as exc:
+                    found.append(
+                        self.violation(
+                            spec,
+                            "order-insensitive engine refused an out-of-"
+                            f"order trace: {exc!r}",
+                        )
                     )
-                )
+            else:
+                rejected = False
+                try:
+                    engine.ingest(disordered)
+                except TimeOrderError:
+                    rejected = True
+                if not rejected:
+                    found.append(
+                        self.violation(
+                            spec,
+                            "ingest accepted an out-of-order trace without "
+                            "raising TimeOrderError",
+                        )
+                    )
         engine = spec.build()
         engine.advance(5)
         rejected = False
@@ -717,6 +778,79 @@ class MergeSplitLaw(Law):
         return []
 
 
+class PermutationInvarianceLaw(Law):
+    """CL009: order-insensitive ingestion is a function of the item *set*.
+
+    The forward-decay engines accumulate each item's contribution as an
+    exact integer in a per-magnitude block, so the state -- and hence
+    every later answer -- is a pure function of the item multiset, not
+    the arrival order.  The law drives a seeded shuffle and the full
+    reversal of the trace through ``ingest`` and requires the estimate
+    triplet and clock to be bit-identical to the sorted replay.
+    """
+
+    law_id = "CL009"
+    name = "permutation-invariance"
+    description = (
+        "ingesting a seeded shuffle and the reversal of the trace yields "
+        "bit-identical estimate triplets and clocks (order-insensitive "
+        "engines)"
+    )
+
+    #: Fixed shuffle seed: laws must be deterministic (lintkit RK007).
+    seed = 0x5EED
+
+    def applies(self, spec: EngineSpec) -> bool:
+        return spec.order_insensitive
+
+    def check(self, spec: EngineSpec, trace: Trace) -> list[Violation]:
+        base = spec.build()
+        try:
+            _drive(base, trace)
+        except _ENGINE_FAULTS as exc:
+            return [
+                self.violation(spec, f"engine crashed during replay: {exc!r}")
+            ]
+        expected = _triplet(base.query())
+        items = list(trace.stream_items())
+        shuffled = list(items)
+        random.Random(self.seed).shuffle(shuffled)
+        for label, perm in (
+            ("seeded shuffle", shuffled),
+            ("reversal", list(reversed(items))),
+        ):
+            engine = spec.build()
+            try:
+                engine.ingest(perm, until=trace.end_time)
+            except _ENGINE_FAULTS as exc:
+                return [
+                    self.violation(
+                        spec,
+                        f"ingest of the {label} crashed: {exc!r}",
+                    )
+                ]
+            if engine.time != base.time:
+                return [
+                    self.violation(
+                        spec,
+                        f"{label} left the clock at {engine.time}, sorted "
+                        f"replay at {base.time}",
+                        time=engine.time,
+                    )
+                ]
+            got = _triplet(engine.query())
+            if got != expected:
+                return [
+                    self.violation(
+                        spec,
+                        f"{label} changed the estimate: {expected} -> {got} "
+                        "(must be bit-identical)",
+                        time=engine.time,
+                    )
+                ]
+        return []
+
+
 _CATALOG: tuple[Law, ...] = (
     OracleBracketLaw(),
     BatchSplitLaw(),
@@ -726,6 +860,7 @@ _CATALOG: tuple[Law, ...] = (
     SerializeRoundTripLaw(),
     UnsortedRejectionLaw(),
     MergeSplitLaw(),
+    PermutationInvarianceLaw(),
 )
 
 

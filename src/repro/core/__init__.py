@@ -1,8 +1,9 @@
 """Core problem statements and engines (paper sections 2 and 3).
 
 Decay functions, the decaying-sum protocol and factory, the exact reference
-engine, the EWMA family for exponential and polyexponential decay, and the
-decaying average.
+engine, the EWMA family for exponential and polyexponential decay, the
+forward-decay family (order-insensitive, Cormode et al. 2009), the
+out-of-order ingestion policy, and the decaying average.
 """
 
 from repro.core.average import DecayingAverage
@@ -38,7 +39,14 @@ from repro.core.ewma import (
     QuantizedExponentialSum,
 )
 from repro.core.exact import ExactDecayingSum
+from repro.core.forward import (
+    ExactForwardSum,
+    ForwardDecay,
+    ForwardDecayAverage,
+    ForwardDecaySum,
+)
 from repro.core.interfaces import DecayingSum, make_decaying_sum
+from repro.core.timeorder import OutOfOrderPolicy, bounded_reorder
 
 __all__ = [
     "DecayFunction",
@@ -64,6 +72,12 @@ __all__ = [
     "PolyexponentialSum",
     "GeneralPolyexpSum",
     "DecayingAverage",
+    "ForwardDecay",
+    "ForwardDecaySum",
+    "ForwardDecayAverage",
+    "ExactForwardSum",
+    "OutOfOrderPolicy",
+    "bounded_reorder",
     "ReproError",
     "InvalidParameterError",
     "DecayFunctionError",

@@ -22,9 +22,13 @@ brackets by even one ulp.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Protocol, Sequence
+from typing import TYPE_CHECKING, Hashable, Iterable, Protocol, Sequence, cast
 
 from repro.core.errors import TimeOrderError
+from repro.core.timeorder import OutOfOrderPolicy
+
+if TYPE_CHECKING:
+    from repro.core.interfaces import DecayingSum
 
 __all__ = [
     "TimedValue",
@@ -100,6 +104,7 @@ def ingest_trace(  # lintkit: hot
     items: Iterable[TimedValue],
     *,
     until: int | None = None,
+    policy: OutOfOrderPolicy | None = None,
 ) -> None:
     """Replay a time-sorted ``(time, value)`` trace through the batch path.
 
@@ -110,10 +115,20 @@ def ingest_trace(  # lintkit: hot
     batch instead of being paid per call.  ``until`` advances the clock
     past the last item (for queries "later on").
 
-    Raises :class:`TimeOrderError` on the first out-of-order item; pair
-    unordered traces with :class:`~repro.streams.lateness.LatenessBuffer`
-    or sort them first.
+    ``policy`` decides what happens to an item whose time precedes the
+    engine clock (see :class:`~repro.core.timeorder.OutOfOrderPolicy`):
+    the default ``raise`` policy fails with :class:`TimeOrderError` on the
+    first out-of-order item, ``drop`` skips and counts them, and
+    ``buffer`` reorders them within a bounded lateness window by driving
+    the engine through a :class:`~repro.streams.lateness.LatenessBuffer`.
+    Engines advertising ``supports_out_of_order`` (the forward-decay
+    family) take late items directly via ``add_at`` under every policy.
     """
+    native = getattr(engine, "supports_out_of_order", False)
+    if policy is not None and policy.kind == "buffer" and not native:
+        _ingest_buffered(engine, items, policy, until)
+        return
+    drop = policy is not None and policy.kind == "drop"
     # Hand-rolled lookahead loop instead of itertools.groupby: the engine
     # clock is tracked in a local int (``advance`` moves it by exactly the
     # requested steps, a protocol invariant), singleton groups -- the common
@@ -131,10 +146,17 @@ def ingest_trace(  # lintkit: hot
         when = item.time
         if when != now:
             if when < now:
-                raise TimeOrderError(
-                    f"trace time {when} precedes engine clock {now}; "
-                    "sort the trace or use a LatenessBuffer"
-                )
+                if native:
+                    engine.add_at(when, item.value)  # type: ignore[attr-defined]
+                elif drop and policy is not None:
+                    policy.note_dropped(item.value)
+                else:
+                    raise TimeOrderError(
+                        f"trace time {when} precedes engine clock {now}; "
+                        "sort the trace or pass an OutOfOrderPolicy"
+                    )
+                item = next(it, None)
+                continue
             advance(when - now)
             now = when
         value = item.value
@@ -156,3 +178,33 @@ def ingest_trace(  # lintkit: hot
             )
         if until > engine.time:
             engine.advance(until - engine.time)
+
+
+def _ingest_buffered(
+    engine: BatchEngine,
+    items: Iterable[TimedValue],
+    policy: OutOfOrderPolicy,
+    until: int | None,
+) -> None:
+    """The ``buffer`` policy: drive the engine through a LatenessBuffer.
+
+    Every item goes through the watermark buffer, which feeds the engine
+    strictly in time order; items later than the lateness window are
+    dropped onto both the buffer's and the policy's ledgers.  When the
+    trace ends the buffer drains -- a finite replay has no more stragglers
+    to wait for -- so the final engine state matches the ``raise`` policy
+    on the sorted survivor trace, with the clock at ``until`` (or the
+    newest accepted timestamp).
+    """
+    # Imported lazily: streams sits above core in the layer order.
+    from repro.streams.lateness import LatenessBuffer
+
+    buffer = LatenessBuffer(
+        cast("DecayingSum", engine), policy.max_lateness
+    )
+    for item in items:
+        if not buffer.observe(item.time, item.value):
+            policy.note_dropped(item.value)
+    buffer.drain()
+    if until is not None:
+        advance_engine_to(engine, until)

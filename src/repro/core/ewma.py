@@ -159,11 +159,14 @@ class ExponentialSum:
         self._items += other._items
 
     def storage_report(self) -> StorageReport:
+        # ``exact`` flags an exact register route: the factory's epsilon
+        # bought nothing here (see ``make_decaying_sum``).
         return StorageReport(
             engine="ewma",
             register_bits=_expd_register_bits(
                 self._decay.lam, self._time, self._items, mantissa_bits=52
             ),
+            notes={"exact": 1.0},
         )
 
 
@@ -397,6 +400,7 @@ class PolyexpPipeline:
         return StorageReport(
             engine=f"polyexp[k={self.k}]",
             register_bits=per_register * (self.k + 1),
+            notes={"exact": 1.0},
         )
 
 

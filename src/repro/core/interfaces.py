@@ -116,14 +116,26 @@ def make_decaying_sum(
       :class:`repro.core.ewma.GeneralPolyexpSum`; exact, Theta(k log N)
       bits).  These weights are not nonincreasing (zero at age 0), so the
       histogram engines' domination bounds do not apply to them.
+    * forward decay (Cormode et al., ICDE 2009) ->
+      :class:`repro.core.forward.ForwardDecaySum` (O(1) ingest, no
+      compaction, natively order-insensitive).
     * ratio-nonincreasing decay (POLYD and slower) ->
       :class:`repro.histograms.wbmh.WBMH`
       (O(log D(g) log log N) bits, Lemma 5.1).
     * anything else -> :class:`repro.histograms.ceh.CascadedEH`
       (O(log^2 N) bits for any nonincreasing decay, Theorem 1).
 
+    ``epsilon`` only shapes the *approximate* (histogram) routes.  The
+    EXPD, polyexponential and forward-decay routes are exact register
+    pipelines: they accept and validate ``epsilon`` for interface
+    uniformity but ignore it, and signal so by reporting
+    ``storage_report().notes["exact"] == 1.0`` -- callers sweeping
+    epsilon against storage should skip engines carrying that note.
+
     ``horizon_hint`` bounds the age range used for the numerical
-    ratio-nonincreasing check on user-defined decay functions.
+    ratio-nonincreasing check on user-defined decay functions; it must be
+    at least 1 (a shorter horizon checks nothing and would silently skew
+    the WBMH-vs-CEH routing).
     """
     # Imported here to keep repro.core free of package-level import cycles.
     from repro.core.ewma import (
@@ -131,12 +143,19 @@ def make_decaying_sum(
         GeneralPolyexpSum,
         PolyexponentialSum,
     )
+    from repro.core.forward import ForwardDecay, ForwardDecaySum
     from repro.histograms.ceh import CascadedEH
     from repro.histograms.eh import SlidingWindowSum
     from repro.histograms.wbmh import WBMH
 
     if not 0 < epsilon < 1:
         raise InvalidParameterError(f"epsilon must be in (0, 1), got {epsilon}")
+    if horizon_hint is not None and horizon_hint < 1:
+        raise InvalidParameterError(
+            f"horizon_hint must be >= 1, got {horizon_hint}"
+        )
+    if isinstance(decay, ForwardDecay):
+        return ForwardDecaySum(decay)
     if isinstance(decay, ExponentialDecay):
         return ExponentialSum(decay)
     if isinstance(decay, SlidingWindowDecay):

@@ -1,0 +1,139 @@
+"""One library-wide policy for out-of-order arrivals.
+
+Historically every ingestion surface raised its own
+:class:`~repro.core.errors.TimeOrderError` on a late item while
+:class:`~repro.streams.lateness.LatenessBuffer` quietly dropped them --
+the same situation, four behaviors.  :class:`OutOfOrderPolicy` names the
+three defensible answers once, and ``ingest_trace``,
+``streams.io.replay``, :class:`~repro.fleet.StreamFleet` and
+:class:`~repro.parallel.sharded.ShardedDecayingSum` all take it as an
+optional argument:
+
+* ``raise`` (the default, preserving historical behavior) -- a late item
+  is a contract violation; fail loudly with :class:`TimeOrderError`.
+* ``drop`` -- skip late items, counting them (and their total weight) on
+  the policy so nothing disappears silently.
+* ``buffer(max_lateness)`` -- reorder items within a bounded lateness
+  window (the watermark model of
+  :class:`~repro.streams.lateness.LatenessBuffer`, which the engine path
+  reuses directly); items later than the window are dropped and counted.
+
+Engines that are natively order-insensitive -- the forward-decay family,
+which exposes ``supports_out_of_order`` and ``add_at`` -- accept late
+items directly; the policy never has to intervene for them.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Iterable, Iterator, TypeVar
+
+from repro.core.errors import InvalidParameterError
+
+if TYPE_CHECKING:
+    from repro.core.batching import TimedValue
+
+__all__ = ["OutOfOrderPolicy", "bounded_reorder"]
+
+_KINDS = ("raise", "drop", "buffer")
+
+_T = TypeVar("_T", bound="TimedValue")
+
+
+class OutOfOrderPolicy:
+    """What an ingestion surface does with an item behind the clock.
+
+    The policy doubles as the run's lateness ledger: both the lossy kinds
+    record every item they discard in ``dropped_count`` and
+    ``dropped_weight``, so a caller tolerating late data can still audit
+    how much of it there was.
+    """
+
+    __slots__ = ("kind", "max_lateness", "dropped_count", "dropped_weight")
+
+    def __init__(self, kind: str = "raise", *, max_lateness: int = 0) -> None:
+        if kind not in _KINDS:
+            raise InvalidParameterError(
+                f"policy kind must be one of {_KINDS}, got {kind!r}"
+            )
+        if max_lateness < 0:
+            raise InvalidParameterError(
+                f"max_lateness must be >= 0, got {max_lateness}"
+            )
+        if max_lateness and kind != "buffer":
+            raise InvalidParameterError(
+                "max_lateness only applies to the 'buffer' policy"
+            )
+        self.kind = kind
+        self.max_lateness = int(max_lateness)
+        self.dropped_count = 0
+        self.dropped_weight = 0.0
+
+    @classmethod
+    def raising(cls) -> "OutOfOrderPolicy":
+        """Late items are an error (the library-wide default)."""
+        return cls("raise")
+
+    @classmethod
+    def dropping(cls) -> "OutOfOrderPolicy":
+        """Late items are skipped, counted and weight-accounted."""
+        return cls("drop")
+
+    @classmethod
+    def buffered(cls, max_lateness: int) -> "OutOfOrderPolicy":
+        """Items up to ``max_lateness`` ticks late are reordered in."""
+        return cls("buffer", max_lateness=max_lateness)
+
+    def note_dropped(self, value: float) -> None:
+        """Record one discarded item on the policy's ledger."""
+        self.dropped_count += 1
+        self.dropped_weight += value
+
+    def __repr__(self) -> str:
+        window = (
+            f", max_lateness={self.max_lateness}"
+            if self.kind == "buffer"
+            else ""
+        )
+        return f"OutOfOrderPolicy({self.kind!r}{window})"
+
+
+def bounded_reorder(
+    items: Iterable[_T], policy: "OutOfOrderPolicy"
+) -> Iterator[_T]:
+    """Re-sort a stream within the policy's bounded lateness window.
+
+    Yields the items of ``items`` in non-decreasing time order, holding at
+    most the window between the running watermark (newest timestamp seen)
+    and ``watermark - max_lateness`` in a heap; items arriving later than
+    the window are dropped onto the policy's ledger, exactly like
+    :class:`~repro.streams.lateness.LatenessBuffer` drops events behind
+    its frontier.  Once the input ends the remaining window drains in
+    order.  In-order input passes through unchanged (and unbuffered
+    beyond the window), so wrapping a sorted trace is behavior-neutral.
+
+    This is the keyed-stream (fleet) counterpart of the engine path's
+    ``LatenessBuffer`` reuse: the heap carries whole items, keys and all.
+    """
+    if policy.kind != "buffer":
+        raise InvalidParameterError(
+            f"bounded_reorder needs a 'buffer' policy, got {policy.kind!r}"
+        )
+    window = policy.max_lateness
+    heap: list[tuple[int, int, _T]] = []
+    seq = 0
+    watermark = -1
+    for item in items:
+        when = item.time
+        if watermark >= 0 and when < watermark - window:
+            policy.note_dropped(item.value)
+            continue
+        heapq.heappush(heap, (when, seq, item))
+        seq += 1
+        if when > watermark:
+            watermark = when
+        frontier = watermark - window
+        while heap and heap[0][0] <= frontier:
+            yield heapq.heappop(heap)[2]
+    while heap:
+        yield heapq.heappop(heap)[2]

@@ -27,6 +27,7 @@ from repro.core.errors import InvalidParameterError, TimeOrderError
 from repro.core.estimate import Estimate
 from repro.core.interfaces import DecayingSum
 from repro.core.merging import require_same_decay
+from repro.core.timeorder import OutOfOrderPolicy, bounded_reorder
 from repro.histograms.boundaries import RegionSchedule
 from repro.histograms.wbmh import WBMH
 from repro.storage.model import StorageReport
@@ -59,10 +60,13 @@ class StreamFleet:
     def _default_factory(self) -> Callable[[], DecayingSum]:
         """Pick the storage-optimal engine; share WBMH schedules."""
         from repro.core.ewma import ExponentialSum
+        from repro.core.forward import ForwardDecay, ForwardDecaySum
         from repro.histograms.ceh import CascadedEH
         from repro.histograms.eh import SlidingWindowSum
 
         decay = self._decay
+        if isinstance(decay, ForwardDecay):
+            return lambda: ForwardDecaySum(decay)
         if isinstance(decay, ExponentialDecay):
             return lambda: ExponentialSum(decay)
         if isinstance(decay, SlidingWindowDecay):
@@ -106,7 +110,12 @@ class StreamFleet:
             self.advance_to(when)
         self._engine_for(key).add(value)
 
-    def observe_batch(self, items: Iterable[KeyedTimedValue]) -> None:
+    def observe_batch(
+        self,
+        items: Iterable[KeyedTimedValue],
+        *,
+        policy: OutOfOrderPolicy | None = None,
+    ) -> None:
         """Record a time-sorted keyed trace through the batch path.
 
         Items are grouped per key and the shared clock advances once per
@@ -115,16 +124,27 @@ class StreamFleet:
         fleet-scale ingestion hot path. Bit-identical to the equivalent
         sequence of :meth:`observe` calls.
 
-        Raises :class:`TimeOrderError` on the first item whose time
-        precedes the fleet clock.
+        Items behind the fleet clock follow ``policy``
+        (:class:`~repro.core.timeorder.OutOfOrderPolicy`): the default
+        ``raise`` fails with :class:`TimeOrderError` on the first one,
+        ``drop`` skips and counts them, and ``buffer`` re-sorts the trace
+        within the policy's lateness window first (whole items, keys and
+        all); anything still behind the clock after re-sorting is dropped
+        onto the policy's ledger.
         """
+        if policy is not None and policy.kind == "buffer":
+            items = bounded_reorder(items, policy)
+        tolerate = policy is not None and policy.kind != "raise"
         pending: dict[Hashable, list[float]] = {}
         for item in items:
             when = item.time
             if when < self._time:
+                if tolerate and policy is not None:
+                    policy.note_dropped(item.value)
+                    continue
                 raise TimeOrderError(
                     f"trace time {when} precedes fleet clock {self._time}; "
-                    "sort the trace or use a LatenessBuffer"
+                    "sort the trace or pass an OutOfOrderPolicy"
                 )
             if when > self._time:
                 self._flush(pending)

@@ -1,10 +1,13 @@
-"""RK006: complete type annotations on the core/histograms public surface.
+"""RK006: complete annotations on the core/histograms/streams surface.
 
-``repro.core`` and ``repro.histograms`` are the layers every other module
-(and external callers) build on; their signatures *are* the contract that
-``mypy --strict`` then verifies end to end.  An unannotated public
-parameter or return silently downgrades everything that flows through it
-to ``Any`` and punches a hole in the typing gate.
+``repro.core``, ``repro.histograms`` and ``repro.streams`` are the layers
+every other module (and external callers) build on; their signatures *are*
+the contract that ``mypy --strict`` then verifies end to end.  An
+unannotated public parameter or return silently downgrades everything that
+flows through it to ``Any`` and punches a hole in the typing gate.
+(``streams`` joined the scope after ``LatenessBuffer.storage_report``
+shipped without a return annotation and under-reported for a full PR
+cycle.)
 """
 
 from __future__ import annotations
@@ -49,12 +52,12 @@ def _missing_annotations(
 @register
 class PublicAnnotationsRule(Rule):
     rule_id = "RK006"
-    title = "public core/histograms functions need complete annotations"
+    title = "public core/histograms/streams functions need complete annotations"
     rationale = (
-        "core and histograms signatures are the typed contract mypy "
-        "--strict enforces across the tree; Any-holes void the gate."
+        "core, histograms and streams signatures are the typed contract "
+        "mypy --strict enforces across the tree; Any-holes void the gate."
     )
-    applies_to = ("core", "histograms")
+    applies_to = ("core", "histograms", "streams")
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         yield from self._walk(ctx, ctx.tree.body, in_class=False, public=True)

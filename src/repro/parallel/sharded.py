@@ -39,6 +39,7 @@ from repro.core.errors import (
 from repro.core.estimate import Estimate
 from repro.core.interfaces import DecayingSum, make_decaying_sum
 from repro.core.merging import require_same_decay
+from repro.core.timeorder import OutOfOrderPolicy
 from repro.histograms.domination import widen_merged_estimate
 from repro.storage.model import StorageReport
 
@@ -163,11 +164,49 @@ class ShardedDecayingSum:
         self._dirty = True
 
     def ingest(
-        self, items: Iterable[TimedValue], *, until: int | None = None
+        self,
+        items: Iterable[TimedValue],
+        *,
+        until: int | None = None,
+        policy: OutOfOrderPolicy | None = None,
     ) -> None:
         """Consume a time-sorted trace; the shared clock moves once per
-        distinct arrival time and items spread round-robin."""
-        ingest_trace(self, items, until=until)
+        distinct arrival time and items spread round-robin.
+
+        Out-of-order items follow ``policy``
+        (:class:`~repro.core.timeorder.OutOfOrderPolicy`; default
+        ``raise``).  When every replica is natively order-insensitive
+        (forward-decay shards), late items route straight through
+        :meth:`add_at` without buffering.
+        """
+        ingest_trace(self, items, until=until, policy=policy)
+
+    @property
+    def supports_out_of_order(self) -> bool:
+        """True when every replica accepts late items natively."""
+        return all(
+            getattr(r, "supports_out_of_order", False) for r in self._replicas
+        )
+
+    def add_at(self, when: int, value: float = 1.0) -> None:
+        """Record one item at absolute time ``when``, possibly behind the
+        facade clock, on the next round-robin shard.
+
+        Only available when every replica is natively order-insensitive
+        (:attr:`supports_out_of_order`); raises
+        :class:`NotApplicableError` otherwise.
+        """
+        if not self.supports_out_of_order:
+            raise NotApplicableError(
+                f"{type(self._replicas[0]).__name__} replicas do not accept "
+                "out-of-order items; use an OutOfOrderPolicy buffer instead"
+            )
+        if when > self._time:
+            self.advance(when - self._time)
+        replica = self._replicas[self._rr]
+        replica.add_at(when, value)  # type: ignore[attr-defined]
+        self._rr = (self._rr + 1) % self.shards
+        self._dirty = True
 
     # ------------------------------------------------------------- reads
 

@@ -40,6 +40,7 @@ from repro.core.decay import (
 from repro.core.errors import InvalidParameterError
 from repro.core.ewma import ExponentialSum, GeneralPolyexpSum, PolyexponentialSum
 from repro.core.exact import ExactDecayingSum
+from repro.core.forward import ForwardDecay, ForwardDecaySum
 from repro.counters.approx_float import FixedQuantizer, LevelQuantizer
 from repro.histograms.buckets import Bucket
 from repro.histograms.ceh import CascadedEH
@@ -81,6 +82,8 @@ def decay_to_dict(decay: DecayFunction) -> dict[str, Any]:
                 "tail": decay.tail}
     if isinstance(decay, GaussianDecay):
         return {"family": "gauss", "sigma": decay.sigma}
+    if isinstance(decay, ForwardDecay):
+        return {"family": "forward", "kind": decay.kind, "rate": decay.rate}
     if isinstance(decay, NoDecay):
         return {"family": "none"}
     raise InvalidParameterError(
@@ -109,6 +112,8 @@ def decay_from_dict(data: dict[str, Any]) -> DecayFunction:
         return TableDecay(data["weights"], tail=data["tail"])
     if family == "gauss":
         return GaussianDecay(data["sigma"])
+    if family == "forward":
+        return ForwardDecay(data["kind"], data["rate"])
     if family == "none":
         return NoDecay()
     raise InvalidParameterError(f"unknown decay family {family!r}")
@@ -156,6 +161,21 @@ def engine_to_dict(engine: Any) -> dict[str, Any]:
             "decay": decay_to_dict(engine.decay),
             "time": engine.time,
             "values": [[t, v] for t, v in engine._values],
+            "items": engine._items,
+        }
+    if isinstance(engine, ForwardDecaySum):
+        # The scale blocks are exact arbitrary-precision integers;
+        # Python's json handles big ints natively, so the snapshot stays
+        # JSON-safe and the restore is bit-identical by construction.
+        return {
+            "version": _FORMAT_VERSION,
+            "engine": "forward",
+            "decay": decay_to_dict(engine.decay),
+            "time": engine.time,
+            "blocks": [
+                [k, num, exp]
+                for k, (num, exp) in sorted(engine._buckets.items())
+            ],
             "items": engine._items,
         }
     if isinstance(engine, SlidingWindowSum):
@@ -275,6 +295,19 @@ def engine_from_dict(data: dict[str, Any]) -> Any:
         engine._values.extend((int(t), float(v)) for t, v in data["values"])
         engine._items = int(data["items"])
         return engine
+    if kind == "forward":
+        forward_decay = decay_from_dict(data["decay"])
+        if not isinstance(forward_decay, ForwardDecay):
+            raise InvalidParameterError(
+                f"forward snapshot carries decay {type(forward_decay).__name__}"
+            )
+        fwd = ForwardDecaySum(forward_decay)
+        fwd._time = int(data["time"])
+        fwd._buckets = {
+            int(k): [int(num), int(exp)] for k, num, exp in data["blocks"]
+        }
+        fwd._items = int(data["items"])
+        return fwd
     if kind in ("eh", "sliwin-sum"):
         if kind == "sliwin-sum":
             wrapper = SlidingWindowSum(int(data["window"]), float(data["epsilon"]))

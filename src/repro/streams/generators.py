@@ -11,9 +11,12 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.core.errors import InvalidParameterError
+
+if TYPE_CHECKING:
+    from repro.core.interfaces import DecayingSum
 
 __all__ = [
     "StreamItem",
@@ -161,7 +164,12 @@ def lognormal_value_stream(
         yield StreamItem(t, math.exp(rng.gauss(mu, sigma)))
 
 
-def drive(engine, items, *, until: int | None = None) -> None:
+def drive(
+    engine: DecayingSum,
+    items: Iterable[StreamItem],
+    *,
+    until: int | None = None,
+) -> None:
     """Feed a stream into one engine, advancing its clock to each arrival.
 
     ``until`` advances the clock past the last item (queries "later on").
@@ -178,7 +186,12 @@ def drive(engine, items, *, until: int | None = None) -> None:
         engine.advance(until - engine.time)
 
 
-def drive_many(engines, items, *, until: int | None = None) -> None:
+def drive_many(
+    engines: Iterable[DecayingSum],
+    items: Iterable[StreamItem],
+    *,
+    until: int | None = None,
+) -> None:
     """Feed the same stream into several engines in lock-step."""
     materialized = list(items)
     for engine in engines:

@@ -17,6 +17,7 @@ from typing import Iterable, TypeVar
 
 from repro.core.batching import BatchEngine, ingest_trace
 from repro.core.errors import InvalidParameterError
+from repro.core.timeorder import OutOfOrderPolicy
 from repro.streams.generators import StreamItem
 
 E = TypeVar("E", bound=BatchEngine)
@@ -149,12 +150,20 @@ def read_jsonl(
     return out
 
 
-def replay(items: Iterable[StreamItem], engine: E, *, until: int | None = None) -> E:
+def replay(
+    items: Iterable[StreamItem],
+    engine: E,
+    *,
+    until: int | None = None,
+    policy: OutOfOrderPolicy | None = None,
+) -> E:
     """Drive an engine with a trace; returns the engine (fluent style).
 
     Routes through the engine's batch path (one ``add_batch`` per distinct
-    arrival time); raises :class:`~repro.core.errors.TimeOrderError` on
-    out-of-order items.
+    arrival time).  Out-of-order items follow ``policy``
+    (:class:`~repro.core.timeorder.OutOfOrderPolicy`); the default
+    ``raise`` policy fails with
+    :class:`~repro.core.errors.TimeOrderError`.
     """
-    ingest_trace(engine, items, until=until)
+    ingest_trace(engine, items, until=until, policy=policy)
     return engine

@@ -12,8 +12,14 @@ engine and restores the in-order contract:
   guaranteed complete, so the engine sees a perfectly ordered stream;
 * queries are answered at the safe frontier (the standard watermark
   trade-off: bounded lateness is bought with bounded staleness);
-* events older than the frontier are counted and dropped
-  (``too_late_count``), never silently mis-weighted.
+* events older than the frontier are counted and *weight*-accounted
+  (``too_late_count`` / ``too_late_weight``) before being dropped, never
+  silently mis-weighted.
+
+The buffer is also the machinery behind the library-wide ``buffer``
+out-of-order policy (:class:`~repro.core.timeorder.OutOfOrderPolicy`):
+``ingest_trace`` drives the wrapped engine through it when asked to
+tolerate bounded lateness.
 """
 
 from __future__ import annotations
@@ -23,28 +29,30 @@ import heapq
 from repro.core.errors import InvalidParameterError, TimeOrderError
 from repro.core.estimate import Estimate
 from repro.core.interfaces import DecayingSum
+from repro.storage.model import StorageReport
 
 __all__ = ["LatenessBuffer"]
 
 
 class LatenessBuffer:
-    """In-order adapter for streams with bounded out-of-orderness."""
+    """In-order adapter for streams with bounded out-of-orderness.
+
+    The engine may be mid-stream: the watermark starts at its clock, so
+    events behind the clock at wrap time are (correctly) too late.
+    """
 
     def __init__(self, engine: DecayingSum, max_lateness: int) -> None:
         if max_lateness < 0:
             raise InvalidParameterError(
                 f"max_lateness must be >= 0, got {max_lateness}"
             )
-        if engine.time != 0:
-            raise InvalidParameterError(
-                "wrap a fresh engine (its clock must start at 0)"
-            )
         self._engine = engine
         self.max_lateness = int(max_lateness)
-        self._watermark = 0
+        self._watermark = engine.time
         self._pending: list[tuple[int, int, float]] = []  # (time, seq, value)
         self._seq = 0
         self.too_late_count = 0
+        self.too_late_weight = 0.0
         self.buffered_count = 0
 
     @property
@@ -75,6 +83,7 @@ class LatenessBuffer:
             raise InvalidParameterError(f"value must be >= 0, got {value}")
         if when < self._engine.time:
             self.too_late_count += 1
+            self.too_late_weight += value
             return False
         heapq.heappush(self._pending, (when, self._seq, value))
         self._seq += 1
@@ -104,9 +113,25 @@ class LatenessBuffer:
         """Events buffered between the frontier and the watermark."""
         return len(self._pending)
 
-    def storage_report(self):
+    def drain(self) -> None:
+        """Flush every pending event into the engine, in time order.
+
+        For a finite replay there are no more stragglers to wait for, so
+        holding the window back would only make the engine stale; after
+        draining, the engine clock sits at the newest accepted timestamp
+        (the watermark itself does not move).
+        """
+        while self._pending:
+            when, _, value = heapq.heappop(self._pending)
+            if when > self._engine.time:
+                self._engine.advance(when - self._engine.time)
+            self._engine.add(value)
+
+    def storage_report(self) -> StorageReport:
         report = self._engine.storage_report()
         report.notes["lateness_buffer_entries"] = float(len(self._pending))
+        report.notes["too_late_count"] = float(self.too_late_count)
+        report.notes["too_late_weight"] = self.too_late_weight
         return report
 
     def _flush(self) -> None:

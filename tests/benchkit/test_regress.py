@@ -17,7 +17,9 @@ import pytest
 
 from repro.benchkit.regress import (
     DEFAULT_THRESHOLD,
+    MIN_FORWARD_RATIO,
     MIN_SHARD_SPEEDUP,
+    check_forward_fastest,
     check_shard_speedup,
     compare_reports,
     format_diff,
@@ -273,6 +275,117 @@ class TestShardSpeedupGate:
         fresh.write_text(json.dumps(fresh_report))
         assert main(["--baseline", str(base), "--fresh", str(fresh)]) == 0
         assert "skipped" in capsys.readouterr().out
+
+
+def forward_report(
+    fwd_dense: float,
+    fwd_bursty: float,
+    *,
+    exact: float = 2_000_000.0,
+    ewma: float = 3_000_000.0,
+) -> dict:
+    """A report with forward + reference batched cells on both traces."""
+    report = small_report()
+    for engine, ips in (
+        ("fwd(FWD-EXP-0.01)", {"dense": fwd_dense, "bursty": fwd_bursty}),
+        ("exact(POLYD-1)", {"dense": exact, "bursty": exact}),
+        ("ewma(EXPD-0.01)", {"dense": ewma, "bursty": ewma}),
+    ):
+        for trace, value in ips.items():
+            report["results"].append(
+                {
+                    "engine": engine,
+                    "trace": trace,
+                    "mode": "batched",
+                    "items": 1000,
+                    "seconds": 0.01,
+                    "items_per_sec": value,
+                }
+            )
+    return report
+
+
+class TestForwardIngestGate:
+    def test_no_forward_cell_skips(self):
+        passed, message = check_forward_fastest(small_report())
+        assert passed
+        assert "skipped" in message
+
+    def test_no_reference_cells_skip(self):
+        report = small_report()
+        report["results"].append(
+            {
+                "engine": "fwd(FWD-EXP-0.01)",
+                "trace": "dense",
+                "mode": "batched",
+                "items": 1000,
+                "seconds": 0.01,
+                "items_per_sec": 1_000_000.0,
+            }
+        )
+        passed, message = check_forward_fastest(report)
+        assert passed
+        assert "skipped" in message
+
+    def test_forward_matching_the_slower_reference_passes(self):
+        # 2.1M beats the slower reference (exact at 2.0M) even though the
+        # ewma register (3.0M) is faster: the gate bars only falling
+        # behind *both* reference cells.
+        passed, message = check_forward_fastest(
+            forward_report(2_100_000.0, 2_100_000.0)
+        )
+        assert passed
+        assert "OK" in message
+
+    def test_forward_behind_both_references_fails(self):
+        passed, message = check_forward_fastest(
+            forward_report(1_000_000.0, 2_100_000.0)
+        )
+        assert not passed
+        assert "dense" in message
+
+    def test_worst_trace_carries_the_bar(self):
+        passed, message = check_forward_fastest(
+            forward_report(2_100_000.0, 900_000.0)
+        )
+        assert not passed
+        assert "bursty" in message
+
+    def test_noise_margin_is_honoured(self):
+        # Just inside the noise bar: ratio MIN_FORWARD_RATIO exactly.
+        floor = 2_000_000.0
+        passed, _ = check_forward_fastest(
+            forward_report(floor * MIN_FORWARD_RATIO, floor)
+        )
+        assert passed
+        passed, _ = check_forward_fastest(
+            forward_report(floor * MIN_FORWARD_RATIO * 0.99, floor)
+        )
+        assert not passed
+
+    def test_min_ratio_validation(self):
+        with pytest.raises(InvalidParameterError):
+            check_forward_fastest(forward_report(1.0, 1.0), min_ratio=0.0)
+        with pytest.raises(InvalidParameterError):
+            check_forward_fastest(forward_report(1.0, 1.0), min_ratio=1.5)
+
+    def test_main_fails_on_forward_shortfall(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(small_report()))
+        fresh = tmp_path / "fresh.json"
+        fresh.write_text(json.dumps(forward_report(500_000.0, 500_000.0)))
+        assert main(["--baseline", str(base), "--fresh", str(fresh)]) == 1
+        assert "forward-ingest gate FAIL" in capsys.readouterr().out
+
+    def test_main_passes_with_healthy_forward_cells(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(small_report()))
+        fresh = tmp_path / "fresh.json"
+        fresh.write_text(
+            json.dumps(forward_report(4_000_000.0, 4_000_000.0))
+        )
+        assert main(["--baseline", str(base), "--fresh", str(fresh)]) == 0
+        assert "forward-ingest gate OK" in capsys.readouterr().out
 
 
 class TestFormatDiff:

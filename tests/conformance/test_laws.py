@@ -51,7 +51,13 @@ class TestApplicability:
     def test_scale_linearity_only_register_engines(self) -> None:
         law = get_law("CL004")
         linear = {name for name, s in SPECS.items() if law.applies(s)}
-        assert linear == {"expd", "polyexp", "polyexppoly"}
+        assert linear == {
+            "expd",
+            "polyexp",
+            "polyexppoly",
+            "fwd-exp",
+            "fwd-poly",
+        }
 
     def test_monotone_skips_nonmonotone_decay(self) -> None:
         law = get_law("CL005")

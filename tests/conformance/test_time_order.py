@@ -1,10 +1,14 @@
-"""Satellite: the batch path rejects disordered time on *every* engine.
+"""Satellite: every engine's batch path honors the time-order contract.
 
-``ingest`` with out-of-order timestamps must raise
-:class:`~repro.core.errors.TimeOrderError` (never silently mis-weight),
-``advance_to`` must refuse to move the clock backwards, and genuinely
-late data has a sanctioned route: :class:`repro.streams.lateness.
-LatenessBuffer` re-orders bounded lateness in front of any engine.
+Backward engines must raise :class:`~repro.core.errors.TimeOrderError`
+on out-of-order timestamps (never silently mis-weight); engines whose
+specs advertise ``order_insensitive`` (the forward-decay family) must
+instead *accept* disordered traces bit-identically to the sorted replay
+(conformance law CL007 as amended).  ``advance_to`` must refuse to move
+the clock backwards on every engine, and genuinely late data has a
+sanctioned route for the backward engines:
+:class:`repro.streams.lateness.LatenessBuffer` re-orders bounded
+lateness in front of any engine.
 """
 
 from __future__ import annotations
@@ -27,16 +31,28 @@ DISORDERED = [
 
 @pytest.mark.parametrize("name", sorted(SPECS), ids=str)
 class TestEveryEngineRejectsDisorder:
-    def test_ingest_unsorted_raises(self, name: str) -> None:
-        engine = SPECS[name].build()
-        with pytest.raises(TimeOrderError):
+    def test_ingest_unsorted_raises_or_matches_sorted(self, name: str) -> None:
+        spec = SPECS[name]
+        engine = spec.build()
+        if spec.order_insensitive:
             engine.ingest(DISORDERED)
+            reference = spec.build()
+            reference.ingest(sorted(DISORDERED, key=lambda i: i.time))
+            assert engine.query().value == reference.query().value
+        else:
+            with pytest.raises(TimeOrderError):
+                engine.ingest(DISORDERED)
 
     def test_ingest_before_clock_raises(self, name: str) -> None:
-        engine = SPECS[name].build()
+        spec = SPECS[name]
+        engine = spec.build()
         engine.advance(10)
-        with pytest.raises(TimeOrderError):
+        if spec.order_insensitive:
             engine.ingest([StreamItem(4, 1.0)])
+            assert engine.time == 10
+        else:
+            with pytest.raises(TimeOrderError):
+                engine.ingest([StreamItem(4, 1.0)])
 
     def test_ingest_until_before_last_item_raises(self, name: str) -> None:
         engine = SPECS[name].build()

@@ -1,0 +1,307 @@
+"""Unit tests for the forward-decay engine family (Cormode et al. 2009)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.decay import ExponentialDecay, PolynomialDecay
+from repro.core.errors import (
+    EmptyAggregateError,
+    InvalidParameterError,
+    NotApplicableError,
+    TimeOrderError,
+)
+from repro.core.forward import (
+    ExactForwardSum,
+    ForwardDecay,
+    ForwardDecayAverage,
+    ForwardDecaySum,
+)
+from repro.core.interfaces import make_decaying_sum
+from repro.serialize import engine_from_dict, engine_to_dict
+from repro.streams.generators import StreamItem
+
+
+def triplet(engine):
+    est = engine.query()
+    return est.value, est.lower, est.upper
+
+
+class TestForwardDecay:
+    def test_kind_and_rate_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ForwardDecay("linear", 1.0)
+        with pytest.raises(InvalidParameterError):
+            ForwardDecay("exp", 0.0)
+        with pytest.raises(InvalidParameterError):
+            ForwardDecay("exp", -1.0)
+        with pytest.raises(InvalidParameterError):
+            ForwardDecay("poly", math.inf)
+
+    def test_exp_kind_induces_backward_exponential(self):
+        d = ForwardDecay("exp", 0.25)
+        assert d.shift_invariant
+        assert d.weight(0) == pytest.approx(1.0)
+        assert d.weight(4) == pytest.approx(math.exp(-1.0))
+        assert d.is_ratio_nonincreasing()
+
+    def test_poly_kind_has_no_age_indexed_weight(self):
+        d = ForwardDecay("poly", 2.0)
+        assert not d.shift_invariant
+        with pytest.raises(NotApplicableError):
+            d.weight(3)
+        with pytest.raises(NotApplicableError):
+            d.is_ratio_nonincreasing()
+
+    def test_log2_g_matches_definition(self):
+        exp = ForwardDecay("exp", 0.1)
+        assert exp.log2_g(100) == pytest.approx(0.1 * 100 / math.log(2))
+        poly = ForwardDecay("poly", 1.5)
+        assert poly.log2_g(7) == pytest.approx(1.5 * math.log2(8))
+        assert poly.log2_g(0) == 0.0
+
+    def test_describe_and_repr(self):
+        d = ForwardDecay("exp", 0.05)
+        assert "FWD-EXP" in d.describe()
+        assert "ForwardDecay" in repr(d)
+
+
+class TestForwardDecaySum:
+    def test_empty_stream(self):
+        s = ForwardDecaySum(ForwardDecay("exp", 0.1))
+        assert s.query().value == 0.0
+        s.advance(1000)
+        assert s.query().value == 0.0
+
+    def test_requires_forward_decay(self):
+        with pytest.raises(InvalidParameterError):
+            ForwardDecaySum(ExponentialDecay(0.1))
+
+    def test_exp_matches_backward_exponential_closed_form(self):
+        rate = 0.1
+        s = ForwardDecaySum(ForwardDecay("exp", rate))
+        s.add(2.0)
+        s.advance(5)
+        s.add(3.0)
+        s.advance(7)
+        expected = 2.0 * math.exp(-rate * 12) + 3.0 * math.exp(-rate * 7)
+        assert s.query().value == pytest.approx(expected, rel=1e-12)
+
+    def test_poly_matches_definition(self):
+        rate = 1.5
+        s = ForwardDecaySum(ForwardDecay("poly", rate))
+        s.advance(3)
+        s.add(2.0)
+        s.advance(5)  # T = 8
+        expected = 2.0 * (4.0 / 9.0) ** rate
+        assert s.query().value == pytest.approx(expected, rel=1e-12)
+
+    def test_query_is_exact_estimate(self):
+        s = ForwardDecaySum(ForwardDecay("exp", 0.1))
+        s.add(1.0)
+        s.advance(3)
+        est = s.query()
+        assert est.lower == est.value == est.upper
+
+    def test_add_at_accepts_late_items(self):
+        s = ForwardDecaySum(ForwardDecay("exp", 0.1))
+        s.advance(100)
+        s.add_at(10, 5.0)  # 90 ticks behind the clock: accepted
+        assert s.time == 100
+        assert s.query().value == pytest.approx(
+            5.0 * math.exp(-0.1 * 90), rel=1e-12
+        )
+
+    def test_add_at_beyond_clock_advances_it(self):
+        s = ForwardDecaySum(ForwardDecay("exp", 0.1))
+        s.add_at(42, 1.0)
+        assert s.time == 42
+
+    def test_input_validation(self):
+        s = ForwardDecaySum(ForwardDecay("exp", 0.1))
+        with pytest.raises(InvalidParameterError):
+            s.add(-1.0)
+        with pytest.raises(InvalidParameterError):
+            s.add_at(-1, 1.0)
+        with pytest.raises(InvalidParameterError):
+            s.add_at(0, -1.0)
+        with pytest.raises(InvalidParameterError):
+            s.advance(-1)
+        with pytest.raises(TimeOrderError):
+            s.ingest([StreamItem(3, 1.0)], until=1)
+
+    def test_overflowing_contribution_rejected(self):
+        s = ForwardDecaySum(ForwardDecay("exp", 0.1))
+        with pytest.raises(InvalidParameterError):
+            s.add(math.inf)
+
+    def test_huge_values_banked_exactly(self):
+        # A value >= 2**52 is integer-valued as a double; the exponent-0
+        # branch banks it without the 2**52 rescale (which would overflow
+        # past ~2**971).
+        s = ForwardDecaySum(ForwardDecay("exp", 0.1))
+        s.add(float(2**1000))
+        assert s.query().value == float(2**1000)
+
+    def test_long_exponential_stream_never_overflows(self):
+        # lam * t reaches 2e4 >> 709: the literal g(t) overflows a double
+        # ~28 times over, but the block accumulator never leaves range.
+        rate = 2.0
+        s = ForwardDecaySum(ForwardDecay("exp", rate))
+        for t in range(0, 10_001, 100):
+            s.add_at(t, 1.0)
+        expected = sum(
+            math.exp(-rate * (10_000 - t)) for t in range(0, 10_001, 100)
+        )
+        assert s.query().value == pytest.approx(expected, rel=1e-9)
+
+    def test_quiet_period_underflows_to_zero(self):
+        s = ForwardDecaySum(ForwardDecay("exp", 1.0))
+        s.add(1.0)
+        s.advance(100_000)
+        assert s.query().value == 0.0
+
+    def test_ingest_bit_identical_to_add_at_any_order(self):
+        rng = random.Random(7)
+        items = [
+            StreamItem(rng.randrange(0, 500), rng.choice([0.5, 1.0, 3.25]))
+            for _ in range(300)
+        ]
+        a = ForwardDecaySum(ForwardDecay("exp", 0.05))
+        a.ingest(items, until=600)
+        b = ForwardDecaySum(ForwardDecay("exp", 0.05))
+        for item in sorted(items, key=lambda i: i.time):
+            b.add_at(item.time, item.value)
+        b.advance_to(600)
+        assert triplet(a) == triplet(b)
+        assert a.time == b.time == 600
+
+    def test_add_batch_bit_identical_to_adds(self):
+        values = [1.0, 1.0, 1.0, 0.25, 7.5, 0.0, 1.0]
+        a = ForwardDecaySum(ForwardDecay("poly", 1.2))
+        a.advance(9)
+        a.add_batch(values)
+        b = ForwardDecaySum(ForwardDecay("poly", 1.2))
+        b.advance(9)
+        for v in values:
+            b.add(v)
+        assert triplet(a) == triplet(b)
+
+    def test_merge_bit_identical_to_union_stream(self):
+        rng = random.Random(11)
+        left = [StreamItem(rng.randrange(0, 200), 1.0) for _ in range(80)]
+        right = [StreamItem(rng.randrange(0, 200), 2.5) for _ in range(80)]
+        a = ForwardDecaySum(ForwardDecay("exp", 0.02))
+        a.ingest(left, until=250)
+        b = ForwardDecaySum(ForwardDecay("exp", 0.02))
+        b.ingest(right, until=250)
+        a.merge(b)
+        union = ForwardDecaySum(ForwardDecay("exp", 0.02))
+        union.ingest(left + right, until=250)
+        assert triplet(a) == triplet(union)
+
+    def test_merge_requires_same_decay(self):
+        a = ForwardDecaySum(ForwardDecay("exp", 0.1))
+        b = ForwardDecaySum(ForwardDecay("exp", 0.2))
+        with pytest.raises(InvalidParameterError):
+            a.merge(b)
+
+    def test_storage_report_notes_exactness(self):
+        s = ForwardDecaySum(ForwardDecay("exp", 0.1))
+        s.add(1.0)
+        report = s.storage_report()
+        assert report.engine == "forward"
+        assert report.notes["exact"] == 1.0
+        assert report.buckets >= 1
+
+    def test_serialize_roundtrip_bit_identical(self):
+        rng = random.Random(3)
+        s = ForwardDecaySum(ForwardDecay("poly", 1.7))
+        s.ingest(
+            [StreamItem(rng.randrange(0, 300), 1.0) for _ in range(120)],
+            until=400,
+        )
+        clone = engine_from_dict(engine_to_dict(s))
+        assert isinstance(clone, ForwardDecaySum)
+        assert clone.time == s.time
+        assert triplet(clone) == triplet(s)
+        clone.add(1.0)  # the revived engine keeps working
+        assert clone.query().value >= s.query().value
+
+    def test_factory_routes_forward_decay(self):
+        s = make_decaying_sum(ForwardDecay("exp", 0.1), epsilon=0.05)
+        assert isinstance(s, ForwardDecaySum)
+        p = make_decaying_sum(ForwardDecay("poly", 1.2), epsilon=0.05)
+        assert isinstance(p, ForwardDecaySum)
+
+    def test_factory_rejects_bad_horizon_hint(self):
+        with pytest.raises(InvalidParameterError):
+            make_decaying_sum(PolynomialDecay(1.0), horizon_hint=0)
+
+
+class TestExactForwardSum:
+    def test_agrees_with_block_engine(self):
+        rng = random.Random(5)
+        items = [
+            StreamItem(rng.randrange(0, 400), rng.uniform(0.0, 4.0))
+            for _ in range(200)
+        ]
+        for kind, rate in (("exp", 0.03), ("poly", 1.4)):
+            fast = ForwardDecaySum(ForwardDecay(kind, rate))
+            slow = ExactForwardSum(ForwardDecay(kind, rate))
+            fast.ingest(items, until=500)
+            slow.ingest(items, until=500)
+            assert fast.query().value == pytest.approx(
+                slow.query().value, rel=1e-9
+            )
+
+    def test_merge_and_storage(self):
+        a = ExactForwardSum(ForwardDecay("exp", 0.1))
+        b = ExactForwardSum(ForwardDecay("exp", 0.1))
+        a.add(1.0)
+        b.add(2.0)
+        a.merge(b)
+        assert a.query().value == pytest.approx(3.0)
+        assert a.storage_report().buckets == 2
+
+
+class TestForwardDecayAverage:
+    def test_requires_forward_decay(self):
+        with pytest.raises(InvalidParameterError):
+            ForwardDecayAverage(ExponentialDecay(0.1))
+
+    def test_empty_stream_raises(self):
+        avg = ForwardDecayAverage(ForwardDecay("exp", 0.1))
+        with pytest.raises(EmptyAggregateError):
+            avg.query()
+
+    def test_constant_stream_average_is_the_constant(self):
+        avg = ForwardDecayAverage(ForwardDecay("poly", 1.2))
+        for _ in range(10):
+            avg.add(4.0)
+            avg.advance(3)
+        assert avg.query().value == pytest.approx(4.0, rel=1e-12)
+        assert avg.items_observed == 10
+
+    def test_order_insensitive_like_components(self):
+        items = [(50, 2.0), (10, 8.0), (30, 5.0)]
+        a = ForwardDecayAverage(ForwardDecay("exp", 0.05))
+        b = ForwardDecayAverage(ForwardDecay("exp", 0.05))
+        for when, value in items:
+            a.add_at(when, value)
+        for when, value in reversed(items):
+            b.add_at(when, value)
+        assert a.query().value == b.query().value
+
+    def test_fully_decayed_average_raises(self):
+        avg = ForwardDecayAverage(ForwardDecay("exp", 1.0))
+        avg.add(3.0)
+        avg.advance(100_000)
+        with pytest.raises(EmptyAggregateError):
+            avg.query()
+
+    def test_negative_value_rejected(self):
+        avg = ForwardDecayAverage(ForwardDecay("exp", 0.1))
+        with pytest.raises(InvalidParameterError):
+            avg.add(-1.0)

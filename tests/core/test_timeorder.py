@@ -1,0 +1,104 @@
+"""Unit tests for the out-of-order policy and bounded reordering."""
+
+import random
+
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.core.timeorder import OutOfOrderPolicy, bounded_reorder
+from repro.streams.generators import StreamItem
+
+
+class TestOutOfOrderPolicy:
+    def test_kind_validation(self):
+        with pytest.raises(InvalidParameterError):
+            OutOfOrderPolicy("ignore")
+        with pytest.raises(InvalidParameterError):
+            OutOfOrderPolicy("buffer", max_lateness=-1)
+        with pytest.raises(InvalidParameterError):
+            OutOfOrderPolicy("drop", max_lateness=5)
+
+    def test_constructors(self):
+        assert OutOfOrderPolicy.raising().kind == "raise"
+        assert OutOfOrderPolicy.dropping().kind == "drop"
+        buffered = OutOfOrderPolicy.buffered(7)
+        assert buffered.kind == "buffer"
+        assert buffered.max_lateness == 7
+        assert OutOfOrderPolicy().kind == "raise"
+
+    def test_ledger_accumulates(self):
+        policy = OutOfOrderPolicy.dropping()
+        assert policy.dropped_count == 0
+        assert policy.dropped_weight == 0.0
+        policy.note_dropped(2.5)
+        policy.note_dropped(1.0)
+        assert policy.dropped_count == 2
+        assert policy.dropped_weight == 3.5
+
+    def test_repr_names_the_window(self):
+        assert "buffer" in repr(OutOfOrderPolicy.buffered(3))
+        assert "max_lateness=3" in repr(OutOfOrderPolicy.buffered(3))
+        assert "max_lateness" not in repr(OutOfOrderPolicy.dropping())
+
+
+class TestBoundedReorder:
+    def test_requires_buffer_policy(self):
+        with pytest.raises(InvalidParameterError):
+            list(bounded_reorder([], OutOfOrderPolicy.dropping()))
+
+    def test_sorted_input_passes_through(self):
+        items = [StreamItem(t, 1.0) for t in range(10)]
+        policy = OutOfOrderPolicy.buffered(3)
+        assert list(bounded_reorder(items, policy)) == items
+        assert policy.dropped_count == 0
+
+    def test_reorders_within_window(self):
+        items = [
+            StreamItem(2, 1.0),
+            StreamItem(0, 2.0),
+            StreamItem(1, 3.0),
+            StreamItem(4, 4.0),
+            StreamItem(3, 5.0),
+        ]
+        policy = OutOfOrderPolicy.buffered(4)
+        out = list(bounded_reorder(items, policy))
+        assert [i.time for i in out] == [0, 1, 2, 3, 4]
+        assert policy.dropped_count == 0
+
+    def test_items_beyond_window_dropped_onto_ledger(self):
+        items = [
+            StreamItem(10, 1.0),
+            StreamItem(3, 2.5),  # 7 ticks behind a window of 2: dropped
+            StreamItem(9, 1.0),  # 1 tick behind: reordered in
+        ]
+        policy = OutOfOrderPolicy.buffered(2)
+        out = list(bounded_reorder(items, policy))
+        assert [i.time for i in out] == [9, 10]
+        assert policy.dropped_count == 1
+        assert policy.dropped_weight == 2.5
+
+    def test_equal_times_keep_arrival_order(self):
+        items = [
+            StreamItem(5, 1.0),
+            StreamItem(5, 2.0),
+            StreamItem(5, 3.0),
+        ]
+        out = list(bounded_reorder(items, OutOfOrderPolicy.buffered(1)))
+        assert [i.value for i in out] == [1.0, 2.0, 3.0]
+
+    def test_random_traces_match_stable_sort_of_survivors(self):
+        rng = random.Random(9)
+        for _ in range(20):
+            window = rng.randrange(0, 12)
+            items = [
+                StreamItem(rng.randrange(0, 40), float(i))
+                for i in range(rng.randrange(0, 60))
+            ]
+            policy = OutOfOrderPolicy.buffered(window)
+            out = list(bounded_reorder(items, policy))
+            # Output is non-decreasing in time...
+            assert all(
+                a.time <= b.time for a, b in zip(out, out[1:])
+            )
+            # ...and survivors + dropped partition the input.
+            assert len(out) + policy.dropped_count == len(items)

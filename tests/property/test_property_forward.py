@@ -1,0 +1,88 @@
+"""Property: forward-decay state is a pure function of the item multiset.
+
+The block accumulator's whole design exists for one promise: ingesting
+any permutation of a trace -- shuffled, reversed, or split arbitrarily
+between ``ingest``/``add_at``/``merge`` -- produces the *bit-identical*
+certified estimate triplet (value, lower, upper), not merely a close one.
+These properties are the Hypothesis-driven twin of conformance law CL009.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.forward import ForwardDecay, ForwardDecaySum
+from repro.streams.generators import StreamItem
+
+decays = st.one_of(
+    st.floats(0.001, 2.0).map(lambda r: ForwardDecay("exp", r)),
+    st.floats(0.1, 3.0).map(lambda r: ForwardDecay("poly", r)),
+)
+
+# Values cross every banking branch: zero, sub-unit (as_integer_ratio),
+# the fixed 2**-52 grid, and the integer-valued >= 2**52 regime.
+values = st.one_of(
+    st.just(0.0),
+    st.floats(1e-9, 0.99),
+    st.floats(1.0, 1e6),
+    st.just(float(2**60)),
+)
+
+traces = st.lists(
+    st.tuples(st.integers(0, 5000), values).map(
+        lambda tv: StreamItem(*tv)
+    ),
+    max_size=60,
+)
+
+
+def triplet(engine):
+    est = engine.query()
+    return est.value, est.lower, est.upper
+
+
+@settings(max_examples=150, deadline=None)
+@given(decay=decays, trace=traces, seed=st.integers(0, 2**32 - 1))
+def test_any_permutation_is_bit_identical(decay, trace, seed):
+    import random
+
+    end = max((i.time for i in trace), default=0) + 10
+    base = ForwardDecaySum(decay)
+    base.ingest(trace, until=end)
+    shuffled = list(trace)
+    random.Random(seed).shuffle(shuffled)
+    for perm in (shuffled, list(reversed(trace))):
+        other = ForwardDecaySum(decay)
+        other.ingest(perm, until=end)
+        assert other.time == base.time
+        assert triplet(other) == triplet(base)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    decay=decays,
+    trace=traces,
+    split=st.integers(0, 60),
+)
+def test_merge_of_any_split_is_bit_identical(decay, trace, split):
+    end = max((i.time for i in trace), default=0) + 10
+    whole = ForwardDecaySum(decay)
+    whole.ingest(trace, until=end)
+    left = ForwardDecaySum(decay)
+    right = ForwardDecaySum(decay)
+    left.ingest(trace[:split], until=end)
+    right.ingest(trace[split:], until=end)
+    left.merge(right)
+    assert triplet(left) == triplet(whole)
+
+
+@settings(max_examples=100, deadline=None)
+@given(decay=decays, trace=traces)
+def test_add_at_replay_matches_ingest(decay, trace):
+    end = max((i.time for i in trace), default=0) + 10
+    batched = ForwardDecaySum(decay)
+    batched.ingest(trace, until=end)
+    itemized = ForwardDecaySum(decay)
+    for item in trace:
+        itemized.add_at(item.time, item.value)
+    itemized.advance_to(end)
+    assert triplet(itemized) == triplet(batched)

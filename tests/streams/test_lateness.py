@@ -91,18 +91,67 @@ class TestValidation:
     def test_rejects_bad_args(self):
         with pytest.raises(InvalidParameterError):
             LatenessBuffer(ExactDecayingSum(PolynomialDecay(1.0)), -1)
-        engine = ExactDecayingSum(PolynomialDecay(1.0))
-        engine.advance(3)
-        with pytest.raises(InvalidParameterError):
-            LatenessBuffer(engine, 1)
         buf = LatenessBuffer(ExactDecayingSum(PolynomialDecay(1.0)), 1)
         with pytest.raises(InvalidParameterError):
             buf.observe(-1, 1.0)
         with pytest.raises(InvalidParameterError):
             buf.observe(1, -1.0)
 
+    def test_mid_stream_engine_starts_at_its_clock(self):
+        # The buffer policy wraps engines that have already run: the
+        # watermark starts at the engine clock, so anything behind it at
+        # wrap time is (correctly) too late.
+        engine = ExactDecayingSum(PolynomialDecay(1.0))
+        engine.advance(3)
+        buf = LatenessBuffer(engine, 1)
+        assert buf.watermark == 3
+        assert not buf.observe(2, 5.0)
+        assert buf.too_late_count == 1
+        assert buf.too_late_weight == 5.0
+        assert buf.observe(4, 1.0)
+
     def test_storage_report_notes_buffer(self):
         buf = LatenessBuffer(ExactDecayingSum(PolynomialDecay(1.0)), 10)
         buf.observe(25, 1.0)
         rep = buf.storage_report()
         assert rep.notes["lateness_buffer_entries"] == 1.0
+        assert rep.notes["too_late_count"] == 0.0
+        assert rep.notes["too_late_weight"] == 0.0
+
+    def test_storage_report_carries_the_dropped_weight(self):
+        buf = LatenessBuffer(ExactDecayingSum(PolynomialDecay(1.0)), 2)
+        buf.observe(100, 1.0)
+        buf.observe(50, 2.5)  # too late
+        rep = buf.storage_report()
+        assert rep.notes["too_late_count"] == 1.0
+        assert rep.notes["too_late_weight"] == 2.5
+
+
+class TestDrain:
+    def test_drain_flushes_the_window(self):
+        buf = LatenessBuffer(ExactDecayingSum(PolynomialDecay(1.0)), 10)
+        buf.observe(25, 1.0)
+        buf.observe(20, 2.0)
+        assert buf.pending() == 2
+        buf.drain()
+        assert buf.pending() == 0
+        # The engine clock sits at the newest accepted timestamp...
+        assert buf.engine.time == 25
+        # ...and the watermark did not move.
+        assert buf.watermark == 25
+
+    def test_drain_matches_sorted_replay(self):
+        buf = LatenessBuffer(ExactDecayingSum(PolynomialDecay(1.0)), 10)
+        for when, value in ((7, 1.0), (3, 2.0), (9, 4.0), (5, 1.0)):
+            buf.observe(when, value)
+        buf.drain()
+        reference = ExactDecayingSum(PolynomialDecay(1.0))
+        for when, value in ((3, 2.0), (5, 1.0), (7, 1.0), (9, 4.0)):
+            reference.advance(when - reference.time)
+            reference.add(value)
+        assert buf.query().value == reference.query().value
+
+    def test_drain_on_empty_buffer_is_a_noop(self):
+        buf = LatenessBuffer(ExactDecayingSum(PolynomialDecay(1.0)), 10)
+        buf.drain()
+        assert buf.engine.time == 0
