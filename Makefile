@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint lint-baseline typecheck check conformance bench bench-throughput bench-compare examples clean all
+.PHONY: install test lint lint-baseline typecheck check conformance conformance-service bench bench-throughput bench-compare bench-service bench-service-compare examples clean all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -31,6 +31,13 @@ conformance:
 	PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) -m repro.conformance \
 		--seeds 50 --engines all --self-test --out CONFORMANCE.json
 
+# The same law catalog run *through* the keyed ServiceStore (the
+# daemon/API state machine): any divergence from the direct engine is a
+# law violation (docs/SERVICE.md).
+conformance-service:
+	PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) -m repro.conformance \
+		--mode service --seeds 25 --engines all
+
 # Requires the `lint` extra (pip install -e .[lint]).
 typecheck:
 	MYPYPATH=src $(PYTHON) -m mypy --strict src/repro
@@ -52,6 +59,19 @@ bench-compare: bench-throughput
 		--baseline benchmarks/baselines/BENCH_throughput.json \
 		--fresh BENCH_throughput.json
 
+# Service-layer baseline: live daemon + HTTP query path; writes
+# BENCH_service.json (repo root).
+bench-service:
+	PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) -m repro.benchkit.service \
+		--items 20000 --keys 64 --queries 400 --out BENCH_service.json
+
+# Service regress gate: fresh measurement vs the checked-in baseline.
+# Fails (exit 1) on >30% ingest-throughput drop or p99 query inflation.
+bench-service-compare: bench-service
+	PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) -m repro.benchkit.service \
+		--baseline benchmarks/baselines/BENCH_service.json \
+		--fresh BENCH_service.json
+
 examples:
 	@for ex in examples/*.py; do \
 		echo "=== $$ex ==="; \
@@ -60,7 +80,8 @@ examples:
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache \
-		benchmarks/results .benchmarks CONFORMANCE.json coverage.xml
+		benchmarks/results .benchmarks CONFORMANCE.json coverage.xml \
+		BENCH_service.json
 	find . -name __pycache__ -type d -exec rm -rf {} +
 
 all: install test bench

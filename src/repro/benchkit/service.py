@@ -1,0 +1,347 @@
+"""Service-layer benchmark: ingest throughput and query latency.
+
+Wall-clock measurement lives in ``benchkit`` by design (RK001); the
+workload and the running service come from :mod:`repro.service.loadgen`.
+Two headline sections, both against a *live* stack (real daemon task,
+real sockets for the query path):
+
+* ``ingest`` -- items/sec through the daemon's bounded queue
+  (``submit_many`` + ``drain``): the price of the asyncio hop plus the
+  store's grouped ``observe_batch`` folds.
+* ``query`` -- HTTP ``GET /query/{key}`` round-trip latency over a real
+  socket, reported as p50/p99/mean milliseconds across ``n_queries``
+  one-shot requests against hot keys.
+
+``python -m repro.benchkit.service --out BENCH_service.json`` writes the
+schema-validated report; ``--baseline`` compares a fresh report against
+the checked-in reference with :func:`check_service_regress` (CI's
+service job): the gate fails when ingest throughput drops more than
+``threshold`` below the baseline or query p99 inflates more than the
+same factor above it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Any, Mapping, Sequence, cast
+
+from repro.benchkit.reporting import format_table
+from repro.core.decay import ExponentialDecay
+from repro.core.errors import InvalidParameterError
+from repro.service.api import http_request
+from repro.service.loadgen import ServiceHarness, keyed_trace
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "run_service_bench",
+    "validate_report",
+    "write_report",
+    "format_report",
+    "check_service_regress",
+    "main",
+]
+
+SCHEMA_VERSION = 1
+
+DEFAULT_THRESHOLD = 0.3
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending sequence (q in [0, 1])."""
+    if not sorted_values:
+        raise InvalidParameterError("no samples to take a percentile of")
+    rank = min(len(sorted_values) - 1, max(0, round(q * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+async def _bench(
+    n_items: int,
+    n_keys: int,
+    n_queries: int,
+    *,
+    seed: int,
+    epsilon: float,
+    batch_max: int,
+) -> dict[str, Any]:
+    items = keyed_trace(n_items, n_keys, seed=seed)
+    harness = ServiceHarness(
+        ExponentialDecay(0.05), epsilon, batch_max=batch_max
+    )
+    await harness.start()
+    try:
+        t0 = time.perf_counter()
+        admitted = await harness.daemon.submit_many(items)
+        await harness.daemon.drain()
+        ingest_seconds = time.perf_counter() - t0
+        # Query the hottest keys round-robin: every request is a fresh
+        # one-shot HTTP connection, so the number includes connect cost.
+        keys = harness.store.keys()
+        if not keys:
+            raise InvalidParameterError("ingest produced no keys to query")
+        hot = keys[: min(8, len(keys))]
+        latencies: list[float] = []
+        for index in range(n_queries):
+            key = hot[index % len(hot)]
+            t0 = time.perf_counter()
+            status, body = await http_request(
+                harness.host, harness.port, "GET", f"/query/{key}"
+            )
+            latencies.append((time.perf_counter() - t0) * 1000.0)
+            if status != 200:
+                raise InvalidParameterError(
+                    f"query for {key!r} failed: {status} {body!r}"
+                )
+        daemon_stats = harness.daemon.stats()
+    finally:
+        await harness.stop()
+    latencies.sort()
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "python_version": platform.python_version(),
+        "n_items": int(n_items),
+        "n_keys": int(n_keys),
+        "seed": int(seed),
+        "epsilon": float(epsilon),
+        "ingest": {
+            "items": int(admitted),
+            "seconds": ingest_seconds,
+            "items_per_sec": admitted / max(ingest_seconds, 1e-12),
+            "batches_folded": int(daemon_stats["batches_folded"]),
+        },
+        "query": {
+            "transport": "http",
+            "count": len(latencies),
+            "p50_ms": _percentile(latencies, 0.50),
+            "p99_ms": _percentile(latencies, 0.99),
+            "mean_ms": sum(latencies) / len(latencies),
+        },
+        "store": {
+            "keys": len(keys),
+            "time": harness.store.time,
+        },
+    }
+
+
+def run_service_bench(
+    n_items: int = 20_000,
+    n_keys: int = 64,
+    n_queries: int = 400,
+    *,
+    seed: int = 7,
+    epsilon: float = 0.1,
+    batch_max: int = 512,
+) -> dict[str, Any]:
+    """Measure the live service once; returns the validated report dict."""
+    if n_queries < 1:
+        raise InvalidParameterError(f"n_queries must be >= 1, got {n_queries}")
+    report = asyncio.run(
+        _bench(
+            n_items,
+            n_keys,
+            n_queries,
+            seed=seed,
+            epsilon=epsilon,
+            batch_max=batch_max,
+        )
+    )
+    validate_report(report)
+    return report
+
+
+def validate_report(report: Mapping[str, Any]) -> None:
+    """Schema check for BENCH_service.json; raises on the first violation."""
+    if report.get("schema_version") != SCHEMA_VERSION:
+        raise InvalidParameterError(
+            f"schema_version must be {SCHEMA_VERSION}, "
+            f"got {report.get('schema_version')!r}"
+        )
+    for key in ("python_version", "n_items", "n_keys", "ingest", "query",
+                "store"):
+        if key not in report:
+            raise InvalidParameterError(f"missing top-level key {key!r}")
+    if not isinstance(report["python_version"], str):
+        raise InvalidParameterError("python_version must be a string")
+    ingest = report["ingest"]
+    if not isinstance(ingest, dict):
+        raise InvalidParameterError("ingest must be a dict")
+    for key in ("items", "seconds", "items_per_sec"):
+        if not isinstance(ingest.get(key), (int, float)):
+            raise InvalidParameterError(f"ingest missing numeric {key!r}")
+    if not float(ingest["items_per_sec"]) > 0:
+        raise InvalidParameterError("non-positive ingest throughput")
+    query = report["query"]
+    if not isinstance(query, dict):
+        raise InvalidParameterError("query must be a dict")
+    for key in ("count", "p50_ms", "p99_ms", "mean_ms"):
+        if not isinstance(query.get(key), (int, float)):
+            raise InvalidParameterError(f"query missing numeric {key!r}")
+    if not float(query["p99_ms"]) >= float(query["p50_ms"]):
+        raise InvalidParameterError("query p99 below p50")
+    store = report["store"]
+    if not isinstance(store, dict) or not isinstance(store.get("keys"), int):
+        raise InvalidParameterError("store section must carry a key count")
+
+
+def write_report(report: Mapping[str, Any], path: str | Path) -> Path:
+    """Validate and write the JSON report; returns the path."""
+    validate_report(report)
+    out = Path(path)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return out
+
+
+def format_report(report: Mapping[str, Any]) -> str:
+    """Human-readable summary (printed by the CLI)."""
+    validate_report(report)
+    ingest = cast("dict[str, Any]", report["ingest"])
+    query = cast("dict[str, Any]", report["query"])
+    store = cast("dict[str, Any]", report["store"])
+    table = format_table(
+        ["section", "metric", "value"],
+        [
+            ["ingest", "items/sec", f"{float(ingest['items_per_sec']):,.0f}"],
+            ["ingest", "items", f"{int(ingest['items'])}"],
+            ["query", "p50 ms", f"{float(query['p50_ms']):.3f}"],
+            ["query", "p99 ms", f"{float(query['p99_ms']):.3f}"],
+            ["query", "mean ms", f"{float(query['mean_ms']):.3f}"],
+            ["store", "keys", f"{int(store['keys'])}"],
+        ],
+    )
+    return (
+        table
+        + f"\nPython {report['python_version']}, "
+        + f"{int(report['n_items'])} items over {int(report['n_keys'])} keys"
+    )
+
+
+def check_service_regress(
+    baseline: Mapping[str, Any],
+    fresh: Mapping[str, Any],
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> tuple[bool, str]:
+    """The service regress gate: ``(passed, message)``.
+
+    Fails when fresh ingest items/sec drops below ``(1 - threshold)`` of
+    the baseline, or fresh query p99 rises above ``baseline / (1 -
+    threshold)``.  A baseline from a different schema version skips the
+    gate with a message (the baseline needs regenerating, not the code
+    reverting).
+    """
+    if not 0 < threshold < 1:
+        raise InvalidParameterError(
+            f"threshold must be in (0, 1), got {threshold}"
+        )
+    if baseline.get("schema_version") != fresh.get("schema_version"):
+        return True, (
+            "service gate skipped: baseline schema "
+            f"{baseline.get('schema_version')!r} != fresh "
+            f"{fresh.get('schema_version')!r}; regenerate the baseline"
+        )
+    validate_report(fresh)
+    base_ingest = cast("dict[str, Any]", baseline["ingest"])
+    fresh_ingest = cast("dict[str, Any]", fresh["ingest"])
+    base_ips = float(base_ingest["items_per_sec"])
+    fresh_ips = float(fresh_ingest["items_per_sec"])
+    ingest_ratio = fresh_ips / max(base_ips, 1e-12)
+    base_query = cast("dict[str, Any]", baseline["query"])
+    fresh_query = cast("dict[str, Any]", fresh["query"])
+    base_p99 = float(base_query["p99_ms"])
+    fresh_p99 = float(fresh_query["p99_ms"])
+    p99_ratio = fresh_p99 / max(base_p99, 1e-12)
+    problems: list[str] = []
+    if ingest_ratio < 1.0 - threshold:
+        problems.append(
+            f"ingest throughput {fresh_ips:,.0f} items/sec is "
+            f"{ingest_ratio:.2f}x of the baseline {base_ips:,.0f} "
+            f"(floor {1.0 - threshold:.2f}x)"
+        )
+    if p99_ratio > 1.0 / (1.0 - threshold):
+        problems.append(
+            f"query p99 {fresh_p99:.3f} ms is {p99_ratio:.2f}x of the "
+            f"baseline {base_p99:.3f} ms "
+            f"(ceiling {1.0 / (1.0 - threshold):.2f}x)"
+        )
+    if problems:
+        return False, "service gate FAIL: " + "; ".join(problems)
+    return True, (
+        f"service gate OK: ingest {ingest_ratio:.2f}x of baseline, "
+        f"query p99 {p99_ratio:.2f}x of baseline "
+        f"(threshold {threshold:.0%})"
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.benchkit.service",
+        description=(
+            "Measure service-layer ingest throughput and query latency, "
+            "or gate a fresh report against a baseline."
+        ),
+    )
+    parser.add_argument(
+        "--items", type=int, default=20_000, help="workload items"
+    )
+    parser.add_argument(
+        "--keys", type=int, default=64, help="distinct stream keys"
+    )
+    parser.add_argument(
+        "--queries", type=int, default=400, help="HTTP queries to time"
+    )
+    parser.add_argument("--seed", type=int, default=7, help="workload seed")
+    parser.add_argument(
+        "--epsilon", type=float, default=0.1, help="engine accuracy knob"
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="write the JSON report here"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="compare --fresh against this report instead of measuring",
+    )
+    parser.add_argument(
+        "--fresh",
+        type=Path,
+        default=None,
+        help="freshly measured report for the --baseline comparison",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="tolerated fractional change (default 0.3)",
+    )
+    args = parser.parse_args(argv)
+    if args.baseline is not None:
+        if args.fresh is None:
+            parser.error("--baseline requires --fresh")
+        baseline = json.loads(Path(args.baseline).read_text())
+        fresh = json.loads(Path(args.fresh).read_text())
+        passed, message = check_service_regress(
+            baseline, fresh, threshold=args.threshold
+        )
+        print(message)
+        return 0 if passed else 1
+    report = run_service_bench(
+        args.items,
+        args.keys,
+        args.queries,
+        seed=args.seed,
+        epsilon=args.epsilon,
+    )
+    print(format_report(report))
+    if args.out is not None:
+        write_report(report, args.out)
+        print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

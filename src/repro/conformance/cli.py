@@ -77,6 +77,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="comma-separated law ids/names (e.g. CL001,batch-split), or 'all'",
     )
     parser.add_argument(
+        "--mode",
+        choices=("direct", "service"),
+        default="direct",
+        help=(
+            "run engines directly, or through the repro.service keyed "
+            "store (service mode defaults --laws to the store-contract "
+            "subset: CL001,CL002,CL006,CL009)"
+        ),
+    )
+    parser.add_argument(
         "--shrink-budget",
         type=int,
         default=2000,
@@ -104,10 +114,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error("--seeds must be >= 1")
     try:
         specs = resolve_specs(args.engines)
-        laws = resolve_laws(args.laws)
+        # In service mode an explicit --laws wins; "all" defers to the
+        # suite's store-contract default (CL001/CL002/CL006/CL009).
+        laws = (
+            None
+            if args.mode == "service" and args.laws == "all"
+            else resolve_laws(args.laws)
+        )
     except (InvalidParameterError, KeyError) as exc:
         parser.error(str(exc))
-    suite = ConformanceSuite(specs, laws, shrink_budget=args.shrink_budget)
+    suite = ConformanceSuite(
+        specs, laws, shrink_budget=args.shrink_budget, mode=args.mode
+    )
     result = suite.run(args.seeds, start_seed=args.start_seed)
     report = build_report(result)
     print(format_report(report))
@@ -117,7 +135,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.corpus_dir is not None and result.findings:
         for finding in result.findings:
             base = finding.violation.engine.split("+")[0]
-            spec = specs.get(base)
+            # Service-mode findings carry the lifted "svc-" name; the
+            # corpus records the raw cell (decay + epsilon pin it).
+            spec = specs.get(base) or specs.get(base.removeprefix("svc-"))
             if spec is None:
                 continue
             path = write_entry(

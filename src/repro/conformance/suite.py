@@ -15,11 +15,18 @@ from typing import Any, Iterable, Mapping
 
 from repro.conformance.engines import EngineSpec, default_specs
 from repro.conformance.fuzz import trace_for_seed
-from repro.conformance.laws import Law, Violation, all_laws
+from repro.conformance.laws import Law, Violation, all_laws, resolve_laws
 from repro.conformance.shrink import shrink_trace
 from repro.conformance.trace import Trace
+from repro.core.errors import InvalidParameterError
 
 __all__ = ["Finding", "RunResult", "ConformanceSuite"]
+
+#: Execution modes: ``direct`` checks factory engines as built;
+#: ``service`` lifts every spec into its
+#: :class:`~repro.service.adapter.ServiceBackedEngine` twin so the same
+#: laws run through the keyed store (the daemon/API state machine).
+_MODES = ("direct", "service")
 
 
 @dataclass(frozen=True)
@@ -82,8 +89,25 @@ class ConformanceSuite:
         laws: Iterable[Law] | None = None,
         *,
         shrink_budget: int = 2000,
+        mode: str = "direct",
     ) -> None:
-        self.specs = dict(specs) if specs is not None else default_specs()
+        if mode not in _MODES:
+            raise InvalidParameterError(
+                f"mode must be one of {_MODES}, got {mode!r}"
+            )
+        self.mode = mode
+        resolved = dict(specs) if specs is not None else default_specs()
+        if mode == "service":
+            # Lazy import: repro.service.adapter imports this package's
+            # engine specs, so the dependency must stay one-way at load.
+            from repro.service.adapter import SERVICE_LAW_IDS, service_specs
+
+            resolved = service_specs(resolved)
+            if laws is None:
+                # Default to the laws whose contract the store must
+                # preserve verbatim; callers can still pass any catalog.
+                laws = resolve_laws(list(SERVICE_LAW_IDS))
+        self.specs = resolved
         self.laws = tuple(laws) if laws is not None else all_laws()
         self.shrink_budget = shrink_budget
 

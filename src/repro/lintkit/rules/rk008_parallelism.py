@@ -1,15 +1,25 @@
-"""RK008: concurrency primitives live only in ``repro.parallel``.
+"""RK008: concurrency primitives live only at the declared boundaries.
 
 The merge algebra makes shard-parallelism a *boundary* concern: workers
 run ordinary single-threaded engines and the fold happens at the edge
 (:mod:`repro.parallel`).  An engine or law that imports
-``multiprocessing``, ``concurrent.futures``, or ``threading`` directly
-would smuggle scheduling nondeterminism into code whose answers must be
-a pure function of the trace -- replay determinism (RK002) and the
-conformance kit's shrinking both depend on that.  This rule keeps the
-allowlist honest: any process- or thread-level machinery added outside
-the ``parallel`` package is a lint failure, not a code-review judgement
-call.
+``multiprocessing``, ``concurrent.futures``, ``threading``, or
+``asyncio`` directly would smuggle scheduling nondeterminism into code
+whose answers must be a pure function of the trace -- replay determinism
+(RK002) and the conformance kit's shrinking both depend on that.  This
+rule keeps the allowlist honest: any process-, thread-, or event-loop-
+level machinery added outside the exempt packages is a lint failure,
+not a code-review judgement call.
+
+Three packages are exempt, each for one structural reason:
+
+* ``repro.parallel`` -- the shard boundary itself (process pools);
+* ``repro.service`` -- the serving layer's single-consumer asyncio loop
+  (its *store* stays synchronous; only the daemon/API modules may touch
+  the event loop);
+* ``repro.benchkit`` -- measures the service layer end-to-end, so it
+  must be able to drive that event loop (mirroring its RK001 wall-clock
+  exemption).
 """
 
 from __future__ import annotations
@@ -21,7 +31,7 @@ from repro.lintkit.registry import Rule, Violation, register
 
 #: Top-level module names whose import marks concurrency machinery.
 _BANNED_ROOTS = frozenset(
-    {"multiprocessing", "concurrent", "threading", "_thread"}
+    {"multiprocessing", "concurrent", "threading", "_thread", "asyncio"}
 )
 
 
@@ -32,13 +42,15 @@ def _root(module: str) -> str:
 @register
 class ParallelismBoundaryRule(Rule):
     rule_id = "RK008"
-    title = "concurrency imports only inside repro.parallel"
+    title = "concurrency imports only inside repro.parallel/service/benchkit"
     rationale = (
         "Engines must stay pure functions of the trace; process/thread "
-        "machinery belongs at the shard boundary (repro.parallel), where "
-        "the merge algebra makes the fold order irrelevant."
+        "machinery belongs at the shard boundary (repro.parallel) and "
+        "event-loop machinery at the serving boundary (repro.service, "
+        "measured by repro.benchkit), where the merge algebra and the "
+        "single-consumer fold keep answers deterministic."
     )
-    exempt = ("parallel",)
+    exempt = ("parallel", "service", "benchkit")
 
     def check(self, ctx) -> Iterator[Violation]:
         for node in ast.walk(ctx.tree):
@@ -53,7 +65,9 @@ class ParallelismBoundaryRule(Rule):
                     yield self.violation(
                         ctx,
                         node,
-                        f"concurrency import `{name}` outside repro.parallel; "
-                        "ship work to the pool via repro.parallel and merge "
-                        "the summaries instead",
+                        f"concurrency import `{name}` outside the exempt "
+                        "packages (repro.parallel / repro.service / "
+                        "repro.benchkit); ship work to the pool via "
+                        "repro.parallel or serve it via repro.service and "
+                        "merge the summaries instead",
                     )

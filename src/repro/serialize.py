@@ -130,7 +130,17 @@ def _buckets_in(rows) -> list[Bucket]:
 
 
 def engine_to_dict(engine: Any) -> dict[str, Any]:
-    """Serialize a deterministic decaying-sum engine."""
+    """Serialize a deterministic decaying-sum engine.
+
+    Engines living outside this module's isinstance ladder (e.g. the
+    service-layer adapter) participate by exposing ``snapshot_state()``
+    returning a complete versioned dict; the matching ``engine`` kind
+    must be dispatched below in :func:`engine_from_dict`.
+    """
+    snapshot = getattr(engine, "snapshot_state", None)
+    if snapshot is not None:
+        state: dict[str, Any] = snapshot()
+        return state
     if isinstance(engine, ExponentialSum):
         return {
             "version": _FORMAT_VERSION,
@@ -351,6 +361,12 @@ def engine_from_dict(data: dict[str, Any]) -> Any:
         )
         engine._hist = engine_from_dict(data["histogram"])
         return engine
+    if kind == "service-key":
+        # Lazy import: repro.service imports this module for its per-key
+        # engine snapshots, so a top-level import would be a cycle.
+        from repro.service.adapter import ServiceBackedEngine
+
+        return ServiceBackedEngine.from_snapshot(data)
     if kind == "wbmh":
         decay = decay_from_dict(data["decay"])
         quant = data["quantizer"]

@@ -1,0 +1,38 @@
+"""repro.service: the serving layer over the keyed engine store.
+
+A long-running deployment (paper section 1.1: millions of per-customer
+summaries under heavy traffic) needs three things the batch library does
+not provide: a keyed store with TTL eviction
+(:class:`~repro.service.store.ServiceStore`), an ingestion daemon with
+bounded-queue backpressure (:class:`~repro.service.daemon.IngestDaemon`),
+and a query surface (:class:`~repro.service.api.ServiceServer`, HTTP +
+WebSocket over stdlib asyncio).  :class:`~repro.service.loadgen.
+ServiceHarness` wires all three for tests and benchmarks.
+
+The conformance adapter (:mod:`repro.service.adapter`) is imported
+explicitly, not re-exported here: it pulls in :mod:`repro.conformance`,
+which a serving process has no reason to load.
+
+Concurrency note: asyncio is confined to ``daemon.py``/``api.py``/
+``loadgen.py`` under lintkit RK008's service exemption; ``store.py`` and
+``adapter.py`` are plain synchronous code a single consumer task owns --
+that single-writer discipline is what makes service answers bit-identical
+to directly-driven engines (see ``tests/service/test_differential.py``).
+"""
+
+from repro.service.api import ServiceServer, WSClient, http_request
+from repro.service.daemon import BackpressurePolicy, IngestDaemon
+from repro.service.loadgen import ServiceHarness, keyed_trace
+from repro.service.store import EvictionLedger, ServiceStore
+
+__all__ = [
+    "ServiceStore",
+    "EvictionLedger",
+    "IngestDaemon",
+    "BackpressurePolicy",
+    "ServiceServer",
+    "http_request",
+    "WSClient",
+    "ServiceHarness",
+    "keyed_trace",
+]

@@ -663,6 +663,33 @@ class TestParallelismBoundary:
             """
         assert _lint(source, "repro/parallel/executor.py", "RK008") == []
 
+    def test_asyncio_flagged_outside_the_boundaries(self):
+        # Event-loop machinery is concurrency machinery: an engine that
+        # awaits is no longer a pure function of the trace.
+        found = _lint(
+            "import asyncio\n",
+            "repro/core/x.py",
+            "RK008",
+        )
+        assert _ids(found) == ["RK008"]
+        assert "repro.service" in found[0].message
+        assert _ids(
+            _lint(
+                "from asyncio import Queue\n",
+                "repro/conformance/x.py",
+                "RK008",
+            )
+        ) == ["RK008"]
+
+    def test_service_and_benchkit_packages_are_exempt(self):
+        source = """
+            import asyncio
+            from asyncio import StreamReader
+            """
+        assert _lint(source, "repro/service/daemon.py", "RK008") == []
+        assert _lint(source, "repro/service/api.py", "RK008") == []
+        assert _lint(source, "repro/benchkit/service.py", "RK008") == []
+
     def test_prefix_lookalike_module_not_flagged(self):
         # `concurrency_notes` shares a prefix with `concurrent` but is not
         # the banned root module.

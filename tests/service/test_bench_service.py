@@ -1,0 +1,162 @@
+"""The service benchmark: report schema, regress gate, and CLI.
+
+``run_service_bench`` is exercised at a deliberately tiny N (this is a
+correctness test of the harness and report plumbing; the real numbers
+come from ``make bench-service``), and the regress gate is probed on
+synthetic reports in both failure directions plus the schema-skip path.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from pathlib import Path
+from typing import Any
+
+import pytest
+
+from repro.benchkit.service import (
+    SCHEMA_VERSION,
+    _percentile,
+    check_service_regress,
+    format_report,
+    main,
+    run_service_bench,
+    validate_report,
+    write_report,
+)
+from repro.core.errors import InvalidParameterError
+
+
+def _small_report() -> dict[str, Any]:
+    return run_service_bench(300, 8, 20, seed=3)
+
+
+@pytest.fixture(scope="module")
+def report() -> dict[str, Any]:
+    return _small_report()
+
+
+class TestRun:
+    def test_report_shape(self, report: dict[str, Any]) -> None:
+        validate_report(report)
+        assert report["schema_version"] == SCHEMA_VERSION
+        assert report["ingest"]["items"] == 300
+        assert report["ingest"]["items_per_sec"] > 0
+        assert report["query"]["count"] == 20
+        assert report["query"]["p99_ms"] >= report["query"]["p50_ms"]
+        assert report["store"]["keys"] >= 1
+
+    def test_write_and_format(
+        self, report: dict[str, Any], tmp_path: Path
+    ) -> None:
+        out = write_report(report, tmp_path / "BENCH_service.json")
+        assert json.loads(out.read_text()) == report
+        text = format_report(report)
+        assert "items/sec" in text
+        assert "p99 ms" in text
+
+    def test_query_count_validated(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            run_service_bench(10, 2, 0)
+
+
+class TestValidation:
+    def test_rejects_wrong_schema_and_missing_keys(
+        self, report: dict[str, Any]
+    ) -> None:
+        with pytest.raises(InvalidParameterError):
+            validate_report({**report, "schema_version": 99})
+        broken = copy.deepcopy(report)
+        del broken["query"]
+        with pytest.raises(InvalidParameterError):
+            validate_report(broken)
+
+    def test_rejects_inconsistent_latencies(
+        self, report: dict[str, Any]
+    ) -> None:
+        broken = copy.deepcopy(report)
+        broken["query"]["p99_ms"] = broken["query"]["p50_ms"] / 2 - 1e-9
+        with pytest.raises(InvalidParameterError):
+            validate_report(broken)
+
+    def test_rejects_nonpositive_throughput(
+        self, report: dict[str, Any]
+    ) -> None:
+        broken = copy.deepcopy(report)
+        broken["ingest"]["items_per_sec"] = 0.0
+        with pytest.raises(InvalidParameterError):
+            validate_report(broken)
+
+    def test_percentile_edges(self) -> None:
+        assert _percentile([1.0, 2.0, 3.0, 4.0], 0.0) == 1.0
+        assert _percentile([1.0, 2.0, 3.0, 4.0], 1.0) == 4.0
+        with pytest.raises(InvalidParameterError):
+            _percentile([], 0.5)
+
+
+class TestGate:
+    def test_identical_reports_pass(self, report: dict[str, Any]) -> None:
+        passed, message = check_service_regress(report, report)
+        assert passed, message
+        assert "OK" in message
+
+    def test_ingest_collapse_fails(self, report: dict[str, Any]) -> None:
+        slow = copy.deepcopy(report)
+        slow["ingest"]["items_per_sec"] = (
+            report["ingest"]["items_per_sec"] * 0.5
+        )
+        passed, message = check_service_regress(report, slow)
+        assert not passed
+        assert "ingest throughput" in message
+
+    def test_p99_inflation_fails(self, report: dict[str, Any]) -> None:
+        slow = copy.deepcopy(report)
+        slow["query"]["p99_ms"] = report["query"]["p99_ms"] * 10
+        passed, message = check_service_regress(report, slow)
+        assert not passed
+        assert "query p99" in message
+
+    def test_schema_mismatch_skips(self, report: dict[str, Any]) -> None:
+        stale = {**copy.deepcopy(report), "schema_version": 0}
+        passed, message = check_service_regress(stale, report)
+        assert passed
+        assert "regenerate" in message
+
+    def test_threshold_validated(self, report: dict[str, Any]) -> None:
+        with pytest.raises(InvalidParameterError):
+            check_service_regress(report, report, threshold=0.0)
+
+
+class TestCli:
+    def test_measure_mode_writes_report(self, tmp_path: Path) -> None:
+        out = tmp_path / "BENCH_service.json"
+        status = main(
+            ["--items", "200", "--keys", "4", "--queries", "15",
+             "--seed", "3", "--out", str(out)]
+        )
+        assert status == 0
+        validate_report(json.loads(out.read_text()))
+
+    def test_compare_mode_exit_codes(
+        self, report: dict[str, Any], tmp_path: Path
+    ) -> None:
+        baseline = tmp_path / "baseline.json"
+        fresh = tmp_path / "fresh.json"
+        baseline.write_text(json.dumps(report))
+        fresh.write_text(json.dumps(report))
+        assert main(
+            ["--baseline", str(baseline), "--fresh", str(fresh)]
+        ) == 0
+        slow = copy.deepcopy(report)
+        slow["ingest"]["items_per_sec"] = (
+            report["ingest"]["items_per_sec"] * 0.1
+        )
+        fresh.write_text(json.dumps(slow))
+        assert main(
+            ["--baseline", str(baseline), "--fresh", str(fresh)]
+        ) == 1
+
+    def test_baseline_requires_fresh(self, tmp_path: Path) -> None:
+        with pytest.raises(SystemExit):
+            main(["--baseline", str(tmp_path / "b.json")])

@@ -1,0 +1,134 @@
+"""The ``service`` conformance execution mode and its engine adapter.
+
+``ConformanceSuite(mode="service")`` lifts every spec into its
+:class:`ServiceBackedEngine` twin, so the store-contract laws (CL001
+oracle bracket, CL002 batch split, CL006 serialize round-trip, CL009
+permutation invariance) run through the keyed store's code path.  These
+tests pin the lifting (names, capability flags, default law set), run a
+small fuzz slice clean, and check the adapter's protocol surface
+directly -- including the ``service-key`` snapshot kind registered with
+:mod:`repro.serialize`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conformance import cli
+from repro.conformance.engines import default_specs, resolve_specs
+from repro.conformance.suite import ConformanceSuite
+from repro.core.decay import ExponentialDecay
+from repro.core.errors import InvalidParameterError
+from repro.core.estimate import Estimate
+from repro.serialize import engine_from_dict, engine_to_dict
+from repro.service.adapter import (
+    SERVICE_LAW_IDS,
+    ServiceBackedEngine,
+    service_spec,
+    service_specs,
+)
+from repro.streams.generators import StreamItem
+
+
+def _triplet(estimate: Estimate) -> tuple[float, float, float]:
+    return (estimate.value, estimate.lower, estimate.upper)
+
+
+class TestLifting:
+    def test_service_spec_keeps_derived_flags(self) -> None:
+        for name, spec in default_specs().items():
+            lifted = service_spec(spec)
+            assert lifted.name == f"svc-{name}"
+            assert lifted.order_insensitive == spec.order_insensitive
+            assert lifted.linear_exact == spec.linear_exact
+            assert lifted.serializable == spec.serializable
+            assert lifted.nonincreasing == spec.nonincreasing
+            engine = lifted.build()
+            assert isinstance(engine, ServiceBackedEngine)
+            assert (
+                engine.supports_out_of_order == spec.order_insensitive
+            )
+
+    def test_service_specs_covers_the_matrix(self) -> None:
+        lifted = service_specs()
+        assert sorted(lifted) == sorted(
+            f"svc-{name}" for name in default_specs()
+        )
+
+    def test_suite_service_mode_defaults_to_store_laws(self) -> None:
+        suite = ConformanceSuite(
+            resolve_specs("expd,sliwin"), mode="service"
+        )
+        assert sorted(suite.specs) == ["svc-expd", "svc-sliwin"]
+        assert tuple(law.law_id for law in suite.laws) == SERVICE_LAW_IDS
+
+    def test_unknown_mode_is_rejected(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            ConformanceSuite(mode="proxy")
+
+
+class TestServiceModeRun:
+    def test_small_fuzz_slice_holds_through_the_store(self) -> None:
+        suite = ConformanceSuite(
+            resolve_specs("expd,sliwin,fwd-exp"), mode="service"
+        )
+        result = suite.run(4)
+        assert result.ok, [f.violation.message for f in result.findings]
+        assert result.cases > 0
+        assert all(name.startswith("svc-") for name in result.engines)
+
+    def test_cli_service_mode_exits_clean(self, capsys) -> None:  # type: ignore[no-untyped-def]
+        status = cli.main(
+            ["--mode", "service", "--engines", "expd,polyd-wbmh",
+             "--seeds", "3"]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "svc-expd" in out
+
+
+class TestAdapter:
+    def test_adapter_matches_direct_engine(self) -> None:
+        rows = [(0, 1.0), (2, 3.0), (2, 1.0), (7, 2.0)]
+        adapter = ServiceBackedEngine(ExponentialDecay(0.05))
+        adapter.ingest([StreamItem(t, v) for t, v in rows], until=10)
+        direct = default_specs()["expd"].build()
+        direct.ingest([StreamItem(t, v) for t, v in rows], until=10)
+        assert adapter.time == direct.time == 10
+        assert _triplet(adapter.query()) == _triplet(direct.query())
+        report = adapter.storage_report()
+        assert report.engine == direct.storage_report().engine
+
+    def test_service_key_snapshot_roundtrip(self) -> None:
+        adapter = ServiceBackedEngine(ExponentialDecay(0.05), key="cell")
+        adapter.ingest([StreamItem(0, 2.0), StreamItem(4, 1.0)])
+        revived = engine_from_dict(engine_to_dict(adapter))
+        assert isinstance(revived, ServiceBackedEngine)
+        assert revived.key == "cell"
+        for engine in (adapter, revived):
+            engine.advance(3)
+            engine.add(1.0)
+        assert _triplet(revived.query()) == _triplet(adapter.query())
+
+    def test_from_snapshot_rejects_foreign_kinds(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            ServiceBackedEngine.from_snapshot({"engine": "wbmh"})
+
+    def test_merge_aligns_clocks_like_direct_engines(self) -> None:
+        left = ServiceBackedEngine(ExponentialDecay(0.05))
+        left.advance(3)
+        left.add(2.0)
+        right = ServiceBackedEngine(ExponentialDecay(0.05))
+        right.advance(8)
+        right.add(1.0)
+        left.merge(right)
+        d_left = default_specs()["expd"].build()
+        d_left.advance(3)
+        d_left.add(2.0)
+        d_right = default_specs()["expd"].build()
+        d_right.advance(8)
+        d_right.add(1.0)
+        d_left.advance_to(d_right.time)
+        d_left.merge(d_right)
+        assert left.time == d_left.time == 8
+        assert _triplet(left.query()) == _triplet(d_left.query())

@@ -1,0 +1,121 @@
+"""The differential service-vs-engine harness: the PR's headline contract.
+
+Every conformance fuzz trace replayed *through the live daemon* -- real
+asyncio queue, real HTTP socket, JSON on the wire -- must produce an
+:class:`~repro.core.estimate.Estimate` bit-identical to the same trace
+driven directly into the factory engine via ``ingest``.  Not close:
+identical, every float of the certified triplet, for every engine family
+and every fuzz seed.  Any ulp of drift means the service layer computed
+something other than the paper's aggregate.
+
+The store under each cell holds a single key, so the shared store clock
+advances exactly when the direct engine's clock does (multi-key stores
+advance in lock-step at every distinct global arrival time, which is a
+different -- equally deterministic -- advance pattern; the keyed-oracle
+property test covers that regime).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.conformance.engines import default_specs
+from repro.conformance.fuzz import trace_for_seed
+from repro.service.api import WSClient, http_request
+from repro.service.loadgen import ServiceHarness
+
+#: Engine families replayed through the live daemon.  Seven cells cover
+#: every storage architecture the factory routes to: the EXPD register,
+#: both forward-decay kinds, the sliding-window EH, WBMH, the cascaded
+#: EH, and the polyexponential pipeline.
+CELLS = (
+    "expd",
+    "fwd-exp",
+    "fwd-poly",
+    "sliwin",
+    "polyd-wbmh",
+    "linear-ceh",
+    "polyexp",
+)
+
+N_SEEDS = 20
+
+
+async def _replay_through_daemon(cell: str, seed: int) -> None:
+    spec = default_specs()[cell]
+    trace = trace_for_seed(seed)
+    direct = spec.build()
+    direct.ingest(trace.stream_items(), until=trace.end_time)
+    expected = direct.query()
+
+    async with ServiceHarness(spec.decay, spec.epsilon) as harness:
+        rows = [
+            {"key": "cell", "time": t, "value": v} for t, v in trace.items
+        ]
+        # Three HTTP batches: the daemon's queue and the store's grouped
+        # folds must be batch-boundary-neutral, exactly like `ingest`.
+        cut = max(1, len(rows) // 3)
+        for chunk in (rows[:cut], rows[cut : 2 * cut], rows[2 * cut :]):
+            if chunk:
+                status, body = await http_request(
+                    harness.host,
+                    harness.port,
+                    "POST",
+                    "/ingest",
+                    {"items": chunk},
+                )
+                assert status == 200, body
+        status, body = await http_request(
+            harness.host,
+            harness.port,
+            "POST",
+            "/ingest",
+            {"items": [], "until": trace.end_time},
+        )
+        assert status == 200, body
+        assert body["time"] == trace.end_time
+
+        status, body = await http_request(
+            harness.host, harness.port, "GET", "/query/cell"
+        )
+        if trace.n_items == 0:
+            # No arrivals ever created the key; the direct engine agrees
+            # there is nothing there.
+            assert status == 404
+            assert expected.value == 0.0
+        else:
+            assert status == 200, body
+            assert body["time"] == direct.time == trace.end_time
+            assert (body["value"], body["lower"], body["upper"]) == (
+                expected.value,
+                expected.lower,
+                expected.upper,
+            ), f"{cell} seed {seed}: service diverged from direct engine"
+
+        if seed % 7 == 3 and trace.n_items:
+            ws = await WSClient.connect(harness.host, harness.port)
+            try:
+                reply = await ws.request({"op": "query", "key": "cell"})
+            finally:
+                await ws.close()
+            assert (reply["value"], reply["lower"], reply["upper"]) == (
+                expected.value,
+                expected.lower,
+                expected.upper,
+            ), f"{cell} seed {seed}: websocket diverged from direct engine"
+
+        assert harness.daemon.items_folded == trace.n_items
+        assert harness.daemon.fold_errors == 0
+
+
+async def _run_cell(cell: str) -> None:
+    for seed in range(N_SEEDS):
+        await _replay_through_daemon(cell, seed)
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("cell", CELLS)
+    def test_cell_bit_identical_through_live_daemon(self, cell: str) -> None:
+        asyncio.run(_run_cell(cell))

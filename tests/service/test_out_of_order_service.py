@@ -1,0 +1,181 @@
+"""Out-of-order arrivals through the service path.
+
+The store-level ``buffer`` :class:`OutOfOrderPolicy` keeps one watermark
+heap *across* ingest batches -- the cross-batch case the per-call
+reorder cannot cover.  These tests pin the exact semantics: a late item
+within the window lands in the right key's engine with the store clock
+advancing in lock-step release order, items beyond the window drop onto
+the policy ledger, and ``GET /keys`` surfaces the ledger verbatim.
+Natively order-insensitive engines (forward decay) bypass the policy
+entirely via ``add_at``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.core.decay import ExponentialDecay
+from repro.core.forward import ForwardDecay
+from repro.core.interfaces import make_decaying_sum
+from repro.core.timeorder import OutOfOrderPolicy
+from repro.service.api import http_request
+from repro.service.loadgen import ServiceHarness
+from repro.service.store import ServiceStore
+from repro.streams.generators import StreamItem
+from repro.streams.io import KeyedItem
+
+
+def _triplet(estimate) -> tuple[float, float, float]:  # type: ignore[no-untyped-def]
+    return (estimate.value, estimate.lower, estimate.upper)
+
+
+class TestStoreBuffer:
+    def test_cross_batch_late_item_lands_in_the_right_key(self) -> None:
+        policy = OutOfOrderPolicy.buffered(2)
+        store = ServiceStore(ExponentialDecay(0.05), policy=policy)
+        # Batch 1: everything is buffered until the watermark moves on.
+        store.observe_batch([KeyedItem("k1", 5, 1.0)])
+        assert store.keys() == []
+        assert store.stats()["buffered"] == 1
+        # Batch 2: k3@2 is beyond the window (watermark 5, lateness 2),
+        # k2@4 is late but within it, k1@8 pushes the watermark to 8 and
+        # releases t4 and t5 (frontier 6).
+        store.observe_batch(
+            [
+                KeyedItem("k3", 2, 7.0),
+                KeyedItem("k2", 4, 2.0),
+                KeyedItem("k1", 8, 1.0),
+            ]
+        )
+        assert store.keys() == ["k1", "k2"]
+        assert store.time == 5
+        assert policy.dropped_count == 1
+        assert policy.dropped_weight == 7.0
+        assert store.stats()["buffered"] == 1  # k1@8 still in the heap
+        assert store.stats()["watermark"] == 8
+        store.flush()
+        assert store.time == 8
+        assert store.stats()["buffered"] == 0
+
+        # Replay the exact release schedule on bare engines: k2's engine
+        # is created at t=4 (one advance jump), k1's at t=5; both then
+        # advance in lock-step with every later release.
+        k2 = make_decaying_sum(ExponentialDecay(0.05), 0.1)
+        k2.advance(4)
+        k2.add(2.0)
+        k2.advance(1)
+        k2.advance(3)
+        k1 = make_decaying_sum(ExponentialDecay(0.05), 0.1)
+        k1.advance(5)
+        k1.add(1.0)
+        k1.advance(3)
+        k1.add(1.0)
+        assert _triplet(store.query("k1")) == _triplet(k1.query())
+        assert _triplet(store.query("k2")) == _triplet(k2.query())
+
+    def test_buffer_survives_snapshot_roundtrip(self) -> None:
+        policy = OutOfOrderPolicy.buffered(3)
+        store = ServiceStore(ExponentialDecay(0.05), policy=policy)
+        store.observe_batch(
+            [KeyedItem("a", 4, 1.0), KeyedItem("b", 6, 2.0)]
+        )
+        revived = ServiceStore.from_dict(store.to_dict())
+        for s in (store, revived):
+            s.observe_batch([KeyedItem("a", 10, 1.0)])
+            s.flush()
+        assert revived.keys() == store.keys()
+        for key in store.keys():
+            assert _triplet(revived.query(key)) == _triplet(store.query(key))
+
+
+class TestNativeOutOfOrder:
+    def test_forward_engines_take_late_items_directly(self) -> None:
+        rows = [(0, 1.0), (6, 2.0), (3, 4.0), (6, 1.0), (2, 5.0)]
+        store = ServiceStore(ForwardDecay("exp", 0.05), 0.1)
+        assert store.native_out_of_order is True
+        store.observe_batch(
+            [KeyedItem("k", t, v) for t, v in rows], until=9
+        )
+        direct = make_decaying_sum(ForwardDecay("exp", 0.05), 0.1)
+        direct.ingest([StreamItem(t, v) for t, v in rows], until=9)
+        assert _triplet(store.query("k")) == _triplet(direct.query())
+        # Nothing was dropped: native engines need no policy.
+        assert store.stats()["dropped_count"] == 0
+
+
+class TestDaemonPath:
+    def test_late_arrival_across_daemon_batches(self) -> None:
+        async def main() -> None:
+            policy = OutOfOrderPolicy.buffered(2)
+            async with ServiceHarness(
+                ExponentialDecay(0.05), policy=policy
+            ) as harness:
+                host, port = harness.host, harness.port
+                await http_request(
+                    host,
+                    port,
+                    "POST",
+                    "/ingest",
+                    {"items": [{"key": "k1", "time": 5, "value": 1.0}]},
+                )
+                await http_request(
+                    host,
+                    port,
+                    "POST",
+                    "/ingest",
+                    {
+                        "items": [
+                            {"key": "k3", "time": 2, "value": 7.0},
+                            {"key": "k2", "time": 4, "value": 2.0},
+                            {"key": "k1", "time": 8, "value": 1.0},
+                        ]
+                    },
+                )
+                status, body = await http_request(host, port, "GET", "/keys")
+                assert status == 200
+                # The late k2@4 landed in k2's engine; the too-late k3@2
+                # is on the ledger the endpoint surfaces.
+                assert body["keys"] == ["k1", "k2"]
+                assert body["stats"]["dropped_count"] == 1
+                assert body["stats"]["dropped_weight"] == 7.0
+                assert body["stats"]["buffered"] == 1
+                assert body["stats"]["watermark"] == 8
+            # Shutdown drains the lateness buffer (k1@8).
+            assert harness.store.time == 8
+            k1 = make_decaying_sum(ExponentialDecay(0.05), 0.1)
+            k1.advance(5)
+            k1.add(1.0)
+            k1.advance(3)
+            k1.add(1.0)
+            assert _triplet(harness.store.query("k1")) == _triplet(k1.query())
+
+        asyncio.run(main())
+
+    def test_drop_policy_ledger_surfaced_over_http(self) -> None:
+        async def main() -> None:
+            policy = OutOfOrderPolicy.dropping()
+            async with ServiceHarness(
+                ExponentialDecay(0.05), policy=policy
+            ) as harness:
+                host, port = harness.host, harness.port
+                await http_request(
+                    host,
+                    port,
+                    "POST",
+                    "/ingest",
+                    {"items": [{"key": "a", "time": 9, "value": 1.0}]},
+                )
+                await http_request(
+                    host,
+                    port,
+                    "POST",
+                    "/ingest",
+                    {"items": [{"key": "a", "time": 4, "value": 3.5}]},
+                )
+                status, body = await http_request(host, port, "GET", "/keys")
+                assert status == 200
+                assert body["stats"]["dropped_count"] == 1
+                assert body["stats"]["dropped_weight"] == 3.5
+                assert harness.daemon.fold_errors == 0
+
+        asyncio.run(main())
