@@ -25,6 +25,17 @@ batched throughput must stay within ``MIN_FORWARD_RATIO`` of the slower
 of the exact and EXPD reference registers on every shared trace shape.
 Reports without a forward cell skip it with a message.
 
+Two schema-v4 gates ride on top.  The histogram-headroom bar
+(:func:`check_histogram_headroom`): every histogram engine (EH, CEH,
+WBMH) must ingest the dense trace batched within
+``MAX_HISTOGRAM_HEADROOM`` (2x) of the numpy brute-force baseline --
+the acceptance metric of the structure-of-arrays kernels.  And the
+schema-lag check (:func:`check_schema_lag`): the fresh report's
+``schema_version`` must not lag the baseline's, which catches the
+classic stale-artifact mistake of regenerating ``benchmarks/baselines/``
+after a schema bump but leaving the repo-root ``BENCH_throughput.json``
+behind (or comparing against a snapshot produced by an older checkout).
+
 Wall-clock derived numbers live in ``benchkit`` by design: RK001 exempts
 this package precisely so the library proper stays on the model clock.
 
@@ -55,6 +66,8 @@ __all__ = [
     "compare_reports",
     "check_shard_speedup",
     "check_forward_fastest",
+    "check_histogram_headroom",
+    "check_schema_lag",
     "format_diff",
     "main",
 ]
@@ -71,6 +84,13 @@ SPEEDUP_GATE_SHARDS = 4
 #: measured 0.86x and 1.01x minutes apart); a genuine hot-path
 #: regression lands far below it (the pre-optimized loop sat at 0.45x).
 MIN_FORWARD_RATIO = 0.75
+#: Every histogram engine's batched dense ingest must land within this
+#: factor of the numpy brute-force baseline (the SoA-kernel acceptance
+#: bar; the same build measures ~0.6-1.5x, so 2x flags a real slide
+#: while absorbing runner noise).
+MAX_HISTOGRAM_HEADROOM = 2.0
+#: Engines the headroom bar applies to, by report-name prefix.
+HEADROOM_ENGINE_PREFIXES = ("eh(", "ceh(", "wbmh(")
 
 Cell = tuple[str, str, str]
 
@@ -292,6 +312,95 @@ def check_forward_fastest(
     )
 
 
+def check_histogram_headroom(
+    fresh: Mapping[str, Any],
+    *,
+    max_headroom: float = MAX_HISTOGRAM_HEADROOM,
+) -> tuple[bool, str]:
+    """The SoA-kernel headroom bar: ``(passed, message)``.
+
+    Reads the ``numpy_baseline.headroom`` map (numpy brute-force items/sec
+    divided by the engine's batched dense items/sec, so *smaller is
+    faster*) and fails when any histogram engine exceeds ``max_headroom``.
+    ``passed`` is True on the skip paths (no headroom section in the
+    report, or no histogram engines listed), so pre-v2 baselines keep
+    comparing cleanly.
+    """
+    if not max_headroom > 0:
+        raise InvalidParameterError(
+            f"max_headroom must be > 0, got {max_headroom}"
+        )
+    baseline = fresh.get("numpy_baseline")
+    if not isinstance(baseline, dict) or not isinstance(
+        baseline.get("headroom"), dict
+    ):
+        return True, (
+            "histogram-headroom gate skipped: no numpy headroom section"
+        )
+    try:
+        headroom = {
+            str(name): float(value)
+            for name, value in baseline["headroom"].items()
+        }
+    except (TypeError, ValueError) as exc:
+        raise InvalidParameterError(
+            f"malformed headroom map: {baseline['headroom']!r}"
+        ) from exc
+    gated = {
+        name: value
+        for name, value in headroom.items()
+        if name.startswith(HEADROOM_ENGINE_PREFIXES)
+    }
+    if not gated:
+        return True, (
+            "histogram-headroom gate skipped: no histogram engines in the "
+            "headroom map"
+        )
+    worst_name, worst = max(gated.items(), key=lambda pair: pair[1])
+    if worst <= max_headroom:
+        return True, (
+            f"histogram-headroom gate OK: worst engine {worst_name} is "
+            f"{worst:.2f}x the numpy dense baseline "
+            f"(bar {max_headroom:.1f}x)"
+        )
+    return False, (
+        f"histogram-headroom gate FAIL: {worst_name} needs {worst:.2f}x "
+        f"the numpy dense baseline's time on batched ingest, above the "
+        f"{max_headroom:.1f}x bar"
+    )
+
+
+def check_schema_lag(
+    baseline: Mapping[str, Any], fresh: Mapping[str, Any]
+) -> tuple[bool, str]:
+    """Fail clearly when the fresh snapshot's schema lags the baseline's.
+
+    In the ``make bench-compare`` flow the "fresh" side is the repo-root
+    ``BENCH_throughput.json``; after a schema bump it is easy to
+    regenerate ``benchmarks/baselines/`` and forget the root snapshot (or
+    to compare a snapshot written by an older checkout).  A lagging
+    schema means the two reports were produced by different writers, so
+    the cell-by-cell diff would be comparing different measurements --
+    better to fail with instructions than to pass on stale numbers.
+    A fresh schema *ahead* of the baseline is fine (that is the normal
+    state right after a bump, until the baseline is re-recorded).
+    """
+    base_version = baseline.get("schema_version")
+    fresh_version = fresh.get("schema_version")
+    if not isinstance(base_version, int) or not isinstance(fresh_version, int):
+        return True, "schema-lag gate skipped: a report lacks schema_version"
+    if fresh_version < base_version:
+        return False, (
+            f"schema-lag gate FAIL: fresh report is schema v{fresh_version} "
+            f"but the baseline is v{base_version} -- the snapshot is stale; "
+            f"regenerate it (python -m repro.benchkit.throughput --out ...)"
+        )
+    return True, (
+        f"schema-lag gate OK: fresh schema v{fresh_version} >= baseline "
+        f"v{base_version}"
+    )
+
+
 def format_diff(diffs: Sequence[CellDiff], *, threshold: float) -> str:
     """Human-readable comparison table plus a one-line verdict."""
     rows = []
@@ -346,18 +455,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="maximum tolerated per-cell drop as a fraction (default 0.3)",
     )
     args = parser.parse_args(argv)
+    baseline = load_report(args.baseline)
     fresh = load_report(args.fresh)
-    diffs = compare_reports(
-        load_report(args.baseline),
-        fresh,
-        threshold=args.threshold,
-    )
+    diffs = compare_reports(baseline, fresh, threshold=args.threshold)
     print(format_diff(diffs, threshold=args.threshold))
-    speedup_ok, message = check_shard_speedup(fresh)
-    print(message)
-    forward_ok, forward_message = check_forward_fastest(fresh)
-    print(forward_message)
-    if any(d.regressed for d in diffs) or not speedup_ok or not forward_ok:
+    checks = [
+        check_schema_lag(baseline, fresh),
+        check_shard_speedup(fresh),
+        check_forward_fastest(fresh),
+        check_histogram_headroom(fresh),
+    ]
+    for _, message in checks:
+        print(message)
+    if any(d.regressed for d in diffs) or not all(ok for ok, _ in checks):
         return 1
     return 0
 

@@ -19,7 +19,11 @@ the shard-parallel sections: ``scaling`` (items/sec of the
 :func:`repro.parallel.executor.parallel_ingest` pool vs shard count,
 stamped with the runner's core count so the regress gate can skip the
 speedup bar on starved runners) and ``merge_cost`` (seconds to fold two
-engines vs per-operand state size).
+engines vs per-operand state size). Schema v4 adds ``phases``: the
+per-phase wall-clock breakdown of item-mode ingest for the histogram
+engines (``add`` vs ``cascade`` vs ``expire`` vs ``query``), measured by
+timing the compaction entry points class-wide while a dense trace replays
+-- the profile that tells an optimization effort *which* kernel to aim at.
 """
 
 from __future__ import annotations
@@ -56,6 +60,7 @@ __all__ = [
     "numpy_dense_baseline",
     "shard_scaling",
     "merge_cost",
+    "histogram_phase_breakdown",
     "run_suite",
     "validate_report",
     "write_report",
@@ -63,9 +68,12 @@ __all__ = [
     "main",
 ]
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 Modes = ("batched", "item")
+
+#: Phase labels of the schema-v4 item-mode ingest breakdown.
+Phases = ("add", "cascade", "expire", "query")
 
 
 @dataclass(slots=True)
@@ -415,6 +423,132 @@ def merge_cost(
     return rows
 
 
+def _patched_timer(
+    cls: type, name: str, phase: str, acc: "dict[str, float]"
+) -> Callable[[], None]:
+    """Time every call of ``cls.name`` into ``acc[phase]``; returns the
+    undo closure.  Class-level patching reaches the histogram instances
+    buried inside adapter engines (``SlidingWindowSum``/``CascadedEH``
+    hold slotted inner histograms that cannot be wrapped per-instance)."""
+    orig = getattr(cls, name)
+
+    def wrapper(self: Any, *args: Any, **kwargs: Any) -> Any:
+        t0 = time.perf_counter()
+        try:
+            return orig(self, *args, **kwargs)
+        finally:
+            acc[phase] += time.perf_counter() - t0
+
+    setattr(cls, name, wrapper)
+
+    def restore() -> None:
+        setattr(cls, name, orig)
+
+    return restore
+
+
+def _phase_sources() -> "list[tuple[type, str, str]]":
+    """(class, method, phase) entry points of the compaction machinery.
+
+    The timed methods are *siblings* on every call path (``add`` calls the
+    cascade, ``advance`` calls expiry; WBMH's seal/merge/expire run
+    back-to-back in its advance loop), so no timed frame ever encloses
+    another and the accumulated seconds partition cleanly.
+    """
+    from repro.histograms.domination import DominationHistogram
+
+    return [
+        (ExponentialHistogram, "_cascade", "cascade"),
+        (ExponentialHistogram, "_expire", "expire"),
+        (DominationHistogram, "_compact", "cascade"),
+        (DominationHistogram, "_expire", "expire"),
+        (WBMH, "_seal", "cascade"),
+        (WBMH, "_merge_scan", "cascade"),
+        (WBMH, "_merge_scheduled", "cascade"),
+        (WBMH, "_expire", "expire"),
+    ]
+
+
+def histogram_phase_breakdown(
+    n_items: int = 20_000,
+    *,
+    epsilon: float = 0.1,
+    seed: int = 7,
+    query_every: int = 256,
+) -> dict[str, object]:
+    """Where item-mode ingest time goes, per histogram engine.
+
+    Replays the dense trace one ``advance``/``add`` pair at a time --
+    the path the SoA bulk kernels exist to beat -- with the compaction
+    entry points (:func:`_phase_sources`) timed class-wide, and a query
+    every ``query_every`` items (each lands after a write, so the
+    per-generation memo is cold and the Eq.-4 walk is what gets timed).
+    The ``add`` phase is the remainder: loop total minus the timed
+    cascade/expire/query seconds, clamped at zero against timer jitter.
+    ``share`` divides by the loop total, so the four phases of one engine
+    sum to ~1.
+    """
+    if n_items < 1:
+        raise InvalidParameterError(f"n_items must be >= 1, got {n_items}")
+    if query_every < 1:
+        raise InvalidParameterError(
+            f"query_every must be >= 1, got {query_every}"
+        )
+    engines = {
+        name: factory
+        for name, factory in default_engines(epsilon).items()
+        if name.startswith(("eh(", "ceh(", "wbmh("))
+    }
+    items = default_traces(n_items, seed=seed)["dense"]
+    rows: list[dict[str, object]] = []
+    for engine_name, factory in engines.items():
+        acc = {"cascade": 0.0, "expire": 0.0}
+        restores: list[Callable[[], None]] = []
+        try:
+            for cls, method, phase in _phase_sources():
+                restores.append(_patched_timer(cls, method, phase, acc))
+            engine = factory()
+            query_seconds = 0.0
+            t0 = time.perf_counter()
+            for i, item in enumerate(items):
+                if item.time > engine.time:
+                    engine.advance(item.time - engine.time)
+                engine.add(item.value)
+                if not i % query_every:
+                    q0 = time.perf_counter()
+                    engine.query()
+                    query_seconds += time.perf_counter() - q0
+            total = time.perf_counter() - t0
+        finally:
+            for restore in restores:
+                restore()
+        seconds = {
+            "add": max(
+                0.0,
+                total - query_seconds - acc["cascade"] - acc["expire"],
+            ),
+            "cascade": acc["cascade"],
+            "expire": acc["expire"],
+            "query": query_seconds,
+        }
+        denom = max(total, 1e-12)
+        for phase_name in Phases:
+            rows.append(
+                {
+                    "engine": engine_name,
+                    "phase": phase_name,
+                    "seconds": seconds[phase_name],
+                    "share": seconds[phase_name] / denom,
+                }
+            )
+    return {
+        "n_items": len(items),
+        "query_every": int(query_every),
+        "engines": list(engines),
+        "rows": rows,
+    }
+
+
 def run_suite(
     n_items: int = 20_000,
     *,
@@ -492,6 +626,9 @@ def run_suite(
         "merge_cost": merge_cost(
             epsilon=epsilon, seed=seed, sizes=merge_sizes, repeats=repeats
         ),
+        "phases": histogram_phase_breakdown(
+            n_items, epsilon=epsilon, seed=seed
+        ),
     }
     validate_report(report)
     return report
@@ -529,6 +666,7 @@ def validate_report(report: Mapping[str, object]) -> None:
         "numpy_baseline",
         "scaling",
         "merge_cost",
+        "phases",
     ):
         if key not in report:
             raise InvalidParameterError(f"missing top-level key {key!r}")
@@ -655,6 +793,38 @@ def validate_report(report: Mapping[str, object]) -> None:
             or not isinstance(row.get("seconds"), (int, float))
         ):
             raise InvalidParameterError(f"malformed merge_cost row: {row!r}")
+    # Schema v4: per-phase ingest breakdown.  Structural plus one semantic
+    # invariant -- every listed engine must carry all four phases, so the
+    # regress gate and EXPERIMENTS table can index rows without guards.
+    phases = report["phases"]
+    if not isinstance(phases, dict):
+        raise InvalidParameterError("phases must be a dict")
+    phase_engines = phases.get("engines")
+    if not isinstance(phase_engines, list) or not phase_engines:
+        raise InvalidParameterError("phases.engines must be a non-empty list")
+    phase_rows = phases.get("rows")
+    if not isinstance(phase_rows, list) or not phase_rows:
+        raise InvalidParameterError("phases.rows must be a non-empty list")
+    covered: dict[str, set[str]] = {}
+    for row in phase_rows:
+        if not isinstance(row, dict) or not isinstance(row.get("engine"), str):
+            raise InvalidParameterError(f"malformed phase row: {row!r}")
+        if row.get("phase") not in Phases:
+            raise InvalidParameterError(
+                f"phase must be one of {Phases}: {row!r}"
+            )
+        for key in ("seconds", "share"):
+            got = row.get(key)
+            if not isinstance(got, (int, float)) or not got >= 0:
+                raise InvalidParameterError(
+                    f"phase row needs non-negative numeric {key!r}: {row!r}"
+                )
+        covered.setdefault(str(row["engine"]), set()).add(str(row["phase"]))
+    for engine in phase_engines:
+        if covered.get(str(engine)) != set(Phases):
+            raise InvalidParameterError(
+                f"engine {engine!r} is missing phase rows"
+            )
 
 
 def write_report(report: Mapping[str, object], path: str | Path) -> Path:
@@ -706,6 +876,19 @@ def format_report(report: Mapping[str, object]) -> str:
     scaling_table = format_table(
         ["engine", "shards", "items/sec", "speedup"], scaling_rows, precision=2
     )
+    phases = cast("dict[str, Any]", report["phases"])
+    phase_rows = [
+        [
+            str(row["engine"]),
+            str(row["phase"]),
+            float(row["seconds"]),
+            float(row["share"]),
+        ]
+        for row in cast("list[dict[str, Any]]", phases["rows"])
+    ]
+    phase_table = format_table(
+        ["engine", "phase", "seconds", "share"], phase_rows, precision=4
+    )
     eh_bulk = cast("dict[str, float]", report["eh_bulk"])
     wbmh_advance = cast("dict[str, float]", report["wbmh_advance"])
     numpy_baseline = cast("dict[str, Any]", report["numpy_baseline"])
@@ -719,7 +902,10 @@ def format_report(report: Mapping[str, object]) -> str:
         f"\nnumpy brute-force dense baseline: "
         f"{float(numpy_baseline['items_per_sec']):,.0f} items/sec"
     )
-    return "\n".join([table, "", ratio_table, "", scaling_table]) + tail
+    return (
+        "\n".join([table, "", ratio_table, "", scaling_table, "", phase_table])
+        + tail
+    )
 
 
 def main(argv: Sequence[str] | None = None) -> int:

@@ -173,7 +173,19 @@ class ForwardDecaySum:
     gracefully to 0.0 instead of overflowing.
     """
 
-    __slots__ = ("_decay", "_time", "_buckets", "_items")
+    __slots__ = (
+        "_decay",
+        "_time",
+        "_buckets",
+        "_items",
+        "_cache_t",
+        "_k",
+        "_blo",
+        "_bhi",
+        "_w",
+        "_slot",
+        "_pend",
+    )
 
     #: Forward state is a function of the item multiset: ingestion accepts
     #: items stamped at or before the clock (``add_at``) without error.
@@ -186,6 +198,18 @@ class ForwardDecaySum:
         self._time = 0
         self._buckets: dict[int, list[int]] = {}  # k -> [num, exp]
         self._items = 0
+        # Item-mode hot-loop cache, mirroring the local cache in `ingest`:
+        # the residual weight for the current timestamp, the live block (its
+        # index *and* slot), and an exact integer of deferred -52-exponent
+        # contributions.  Integer addition is associative, so flushing the
+        # pending total in one shot is bit-identical to banking each item.
+        self._cache_t = -1
+        self._k = 0
+        self._blo = 0.0  # lintkit: not-serialized
+        self._bhi = -1.0  # empty range: the next add recomputes the block
+        self._w = 1.0  # lintkit: not-serialized
+        self._slot: list[int] | None = None
+        self._pend = 0
 
     # -------------------------------------------------------------- clock
 
@@ -212,8 +236,60 @@ class ForwardDecaySum:
     def add(self, value: float = 1.0) -> None:
         if value < 0:
             raise InvalidParameterError(f"value must be >= 0, got {value}")
-        self._bank(self._time, value)
+        when = self._time
+        if when != self._cache_t:
+            f = self._decay.log2_g(when)
+            if not self._blo <= f < self._bhi:
+                if self._pend:
+                    self._slot = _flush(
+                        self._buckets, self._k, self._slot, self._pend, -52, 1
+                    )
+                    self._pend = 0
+                k = int(f * _INV_BLOCK)
+                self._k = k
+                self._blo = float(k << 6)
+                self._bhi = self._blo + 64.0
+                self._slot = self._buckets.get(k)
+            self._w = 2.0 ** (f - self._blo)
+            self._cache_t = when
+        x = value * self._w
+        if x >= 1.0:
+            if x >= _P52:
+                # Mirror the _exact_parts branches: x is already
+                # integer-valued here and x * _P52 could overflow.
+                if x == math.inf:
+                    raise InvalidParameterError(
+                        "forward contribution overflows a float; values "
+                        "this large are outside the engine's domain"
+                    )
+                self._slot = _flush(
+                    self._buckets, self._k, self._slot, int(x), 0, 1
+                )
+            else:
+                self._pend += int(x * _P52)
+        elif x > 0.0:
+            num, den = x.as_integer_ratio()
+            self._slot = _flush(
+                self._buckets, self._k, self._slot, num, 1 - den.bit_length(), 1
+            )
         self._items += 1
+
+    def _flush_pending(self) -> None:
+        """Bank the deferred item-mode total and drop the block cache.
+
+        Called before any observation of ``_buckets`` (query, storage,
+        merge, serialize) and before every write path that manages its own
+        block cache -- those paths may create the block this cache believes
+        is absent, so the cached slot is invalidated wholesale.  Exact
+        integer accumulation makes the flushed state bit-identical to
+        banking each deferred item individually.
+        """
+        if self._pend:
+            _flush(self._buckets, self._k, self._slot, self._pend, -52, 1)
+            self._pend = 0
+        self._cache_t = -1
+        self._bhi = -1.0
+        self._slot = None
 
     def add_at(self, when: int, value: float = 1.0) -> None:
         """Record an item stamped ``when``, late or not.
@@ -228,11 +304,13 @@ class ForwardDecaySum:
             raise InvalidParameterError(f"value must be >= 0, got {value}")
         if when > self._time:
             self._time = when
+        self._flush_pending()
         self._bank(when, value)
         self._items += 1
 
     def add_batch(self, values: Sequence[float]) -> None:
         """Bank a same-instant batch; bit-identical to sequential adds."""
+        self._flush_pending()
         when = self._time
         decay = self._decay
         f = decay.log2_g(when)
@@ -278,6 +356,7 @@ class ForwardDecaySum:
         replaying the items one at a time through :meth:`add_at`, in any
         order.
         """
+        self._flush_pending()
         decay = self._decay
         exp_kind = decay.kind == "exp"
         cfac = decay.rate * _LOG2_E
@@ -391,6 +470,7 @@ class ForwardDecaySum:
         deterministic rounding, then renormalized by ``2**-log2 g(T)`` in
         the exponent: a pure function of ``(item multiset, T)``.
         """
+        self._flush_pending()
         buckets = self._buckets
         if not buckets:
             return Estimate.exact(0.0)
@@ -408,6 +488,7 @@ class ForwardDecaySum:
         return Estimate.exact(value)
 
     def storage_report(self) -> StorageReport:
+        self._flush_pending()
         register_bits = 0
         for num, _ in self._buckets.values():
             # mantissa bits plus one block-exponent field per bucket
@@ -432,6 +513,8 @@ class ForwardDecaySum:
         require_merge_operand(self, other)
         require_same_decay(self._decay, other._decay)
         align_merge_clocks(self, other)
+        self._flush_pending()
+        other._flush_pending()
         buckets = self._buckets
         for k, (num, exp) in other._buckets.items():
             if num:

@@ -167,6 +167,23 @@ class RegionSchedule:
         memo[key] = result
         return result
 
+    def merge_fire_offset(self, young_age: int, span: int) -> int | None:
+        """Start age of the first region admitting the pair, or ``None``.
+
+        Convenience for the bulk lattice kernel
+        (:mod:`repro.histograms.soa`): the absolute fire time of a sealed
+        pair evaluated at young-endpoint age ``young_age`` is
+        ``young_end + merge_fire_offset(young_age, span)``, exactly the
+        translation :meth:`WBMH._pair_fire_time` performs from
+        :meth:`merge_region_index`.
+        """
+        idx = self.merge_region_index(young_age, span)
+        if idx is None:
+            return None
+        region = self.region_at(idx)
+        assert region is not None  # memo only stores real region indices
+        return region[0]
+
     def starts(self, upto_age: int) -> list[int]:
         """Region start ages covering ``[0, upto_age]`` (for inspection)."""
         self.region_of(min(upto_age, self._limit))

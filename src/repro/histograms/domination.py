@@ -15,6 +15,13 @@ total count of strictly newer buckets. Newer items can only expire after the
 bucket itself does, so at query time any straddling bucket still accounts
 for at most an ``eps`` fraction of the newer mass -- giving the same
 ``(1 +- eps)`` window guarantees as the classic EH, for real values.
+
+Bucket state lives in the structure-of-arrays column store
+(:class:`~repro.histograms.soa.BucketColumns`); the per-arrival compaction
+sweep is gated by the exact no-merge pre-check
+(:func:`~repro.histograms.soa.domination_merge_possible`, vectorized under
+the numpy kernel backend), so the common dominated-by-nothing arrival costs
+one scan instead of a full list rebuild.
 """
 
 from __future__ import annotations
@@ -26,6 +33,11 @@ from repro.core.errors import InvalidParameterError
 from repro.core.estimate import Estimate
 from repro.core.merging import align_merge_clocks, require_merge_operand
 from repro.histograms.buckets import Bucket, interleave_buckets
+from repro.histograms.soa import (
+    BucketColumns,
+    domination_merge_possible,
+    resolve_backend,
+)
 from repro.storage.model import StorageReport, bits_for_value, float_register_bits
 
 __all__ = [
@@ -80,7 +92,8 @@ class DominationHistogram:
         "epsilon",
         "compact_every",
         "effective_epsilon",
-        "_buckets",
+        "kernel_backend",
+        "_cols",
         "_time",
         "_total",
         "_since_compact",
@@ -93,6 +106,7 @@ class DominationHistogram:
         epsilon: float,
         *,
         compact_every: int = 1,
+        kernel_backend: str = "auto",
     ) -> None:
         if window is not None and window < 1:
             raise InvalidParameterError(f"window must be >= 1, got {window}")
@@ -106,7 +120,10 @@ class DominationHistogram:
         #: Composed error budget: starts at ``epsilon`` and grows by
         #: :func:`compose_merge_epsilon` with every shard merge.
         self.effective_epsilon = float(epsilon)
-        self._buckets: list[Bucket] = []  # oldest first
+        #: Resolved kernel backend ("numpy" or "python"); selects which
+        #: sweep-kernel twins run, never what the answers are.
+        self.kernel_backend = resolve_backend(kernel_backend)
+        self._cols = BucketColumns()  # oldest first
         self._time = 0
         self._total = 0.0
         self._since_compact = 0
@@ -128,12 +145,12 @@ class DominationHistogram:
         if value == 0:
             return
         self._gen += 1
-        if self._buckets and self._buckets[-1].end == self._time:
-            last = self._buckets[-1]
-            self._buckets[-1] = Bucket(last.start, last.end, last.count + value,
-                                       last.level)
+        cols = self._cols
+        ends = cols.ends
+        if ends and ends[-1] == self._time:
+            cols.counts[-1] = cols.counts[-1] + value
         else:
-            self._buckets.append(Bucket(self._time, self._time, value))
+            cols.append(self._time, self._time, value, 0)
         self._total += value
         self._since_compact += 1
         if self._since_compact >= self.compact_every:
@@ -182,17 +199,20 @@ class DominationHistogram:
                 f"cannot merge windows {self.window} and {other.window}"
             )
         align_merge_clocks(self, other)
-        if not other._buckets:
+        if not len(other._cols):
             return
         self._gen += 1
-        if self._buckets:
+        if len(self._cols):
             self.effective_epsilon = compose_merge_epsilon(
                 self.effective_epsilon, other.effective_epsilon
             )
-            self._buckets = interleave_buckets(self._buckets, other._buckets)
+            union = interleave_buckets(
+                self._cols.to_buckets(), other._cols.to_buckets()
+            )
         else:
             self.effective_epsilon = other.effective_epsilon
-            self._buckets = list(other._buckets)
+            union = other._cols.to_buckets()
+        self._cols.load_buckets(union)
         self._total += other._total
         self._compact()
         self._since_compact = 0
@@ -219,13 +239,16 @@ class DominationHistogram:
         # most one straddler (disjoint spans); a shard-merged one can carry
         # one straddler per operand, so *every* contributing bucket whose
         # start falls outside the window is summed into the slack.
-        for b in reversed(self._buckets):
-            if b.end <= cutoff:
+        starts = self._cols.starts
+        ends = self._cols.ends
+        counts = self._cols.counts
+        for i in range(len(ends) - 1, -1, -1):
+            if ends[i] <= cutoff:
                 break
-            total += b.count
+            total += counts[i]
             contributed = True
-            if b.start <= cutoff:
-                straddle += b.count
+            if starts[i] <= cutoff:
+                straddle += counts[i]
         if not contributed:
             return Estimate.exact(0.0)
         if straddle == 0.0:
@@ -240,16 +263,16 @@ class DominationHistogram:
 
     def bucket_view(self) -> list[Bucket]:
         """Snapshot of live buckets, oldest first (consumed by CEH)."""
-        return list(self._buckets)
+        return self._cols.to_buckets()
 
     def bucket_count(self) -> int:
-        return len(self._buckets)
+        return len(self._cols)
 
     def storage_report(self) -> StorageReport:
         horizon = self.window if self.window is not None else max(1, self._time)
         ts_bits = bits_for_value(horizon)
-        n = len(self._buckets)
-        max_count = max((b.count for b in self._buckets), default=1.0)
+        n = len(self._cols)
+        max_count = max(self._cols.counts, default=1.0)
         per_count = float_register_bits(max(2.0, max_count), mantissa_bits=24)
         return StorageReport(
             engine="domination",
@@ -259,51 +282,92 @@ class DominationHistogram:
             register_bits=bits_for_value(max(1, self._time)),
         )
 
+    def _load_buckets(self, buckets: Iterable[Bucket]) -> None:
+        """Adopt a row-wise bucket list wholesale (serialization restore).
+
+        Rebuilds the running total from the rows (same oldest-first
+        accumulation order as before) and invalidates cached queries; the
+        caller owns the clock and the compaction countdown.
+        """
+        self._gen += 1
+        self._cols.load_buckets(buckets)
+        self._total = sum(self._cols.counts)
+
     def _compact(self) -> None:
         """One newest-to-oldest merge sweep.
 
         Maintains ``suffix`` = total count of buckets strictly newer than
         the pair under consideration and merges whenever the pair is
-        dominated: ``pair_count <= eps * suffix``.
+        dominated: ``pair_count <= eps * suffix``.  The exact pre-check
+        (:func:`~repro.histograms.soa.domination_merge_possible`) proves
+        most sweeps are no-ops before any column is rebuilt.
         """
-        buckets = self._buckets
-        if len(buckets) < 3:
+        cols = self._cols
+        counts = cols.counts
+        n = len(counts)
+        if n < 3:
             return
         eps = self.epsilon
-        out: list[Bucket] = []  # newest first while building
+        if not domination_merge_possible(counts, eps, self.kernel_backend):
+            return
+        starts = cols.starts
+        ends = cols.ends
+        levels = cols.levels
+        out_s: list[int] = []  # newest first while building
+        out_e: list[int] = []
+        out_c: list[float] = []
+        out_l: list[int] = []
         suffix = 0.0
-        i = len(buckets) - 1
-        current = buckets[i]
+        i = n - 1
+        cs = starts[i]
+        ce = ends[i]
+        cc = counts[i]
+        cl = levels[i]
         i -= 1
         while i >= 0:
-            older = buckets[i]
-            if older.count + current.count <= eps * suffix:
+            oc = counts[i]
+            if oc + cc <= eps * suffix:
                 # Union span: post-merge lists can hold overlapping buckets,
-                # where ``older`` (earlier end) may start *after* ``current``;
-                # min() keeps the bracket sound and is bit-identical for the
-                # classic disjoint case.
-                current = Bucket(
-                    start=min(older.start, current.start),
-                    end=current.end,
-                    count=older.count + current.count,
-                    level=max(older.level, current.level) + 1,
-                )
+                # where the older row (earlier end) may start *after* the
+                # current one; min() keeps the bracket sound and is
+                # bit-identical for the classic disjoint case.
+                osv = starts[i]
+                if osv < cs:
+                    cs = osv
+                cc = oc + cc
+                ol = levels[i]
+                cl = (ol if ol > cl else cl) + 1
             else:
-                out.append(current)
-                suffix += current.count
-                current = older
+                out_s.append(cs)
+                out_e.append(ce)
+                out_c.append(cc)
+                out_l.append(cl)
+                suffix += cc
+                cs = starts[i]
+                ce = ends[i]
+                cc = counts[i]
+                cl = levels[i]
             i -= 1
-        out.append(current)
-        out.reverse()
-        self._buckets = out
+        out_s.append(cs)
+        out_e.append(ce)
+        out_c.append(cc)
+        out_l.append(cl)
+        out_s.reverse()
+        out_e.reverse()
+        out_c.reverse()
+        out_l.reverse()
+        cols.replace(out_s, out_e, out_c, out_l)
 
     def _expire(self) -> None:
         if self.window is None:
             return
         cutoff = self._time - self.window
+        cols = self._cols
+        ends = cols.ends
+        counts = cols.counts
         drop = 0
-        while drop < len(self._buckets) and self._buckets[drop].end <= cutoff:
-            self._total -= self._buckets[drop].count
+        n = len(ends)
+        while drop < n and ends[drop] <= cutoff:
+            self._total -= counts[drop]
             drop += 1
-        if drop:
-            del self._buckets[:drop]
+        cols.drop_head(drop)

@@ -25,6 +25,13 @@ the oldest bucket's start is ever consulted) so that
 :meth:`ExponentialHistogram.query_window` answers *every* window ``w <= W``
 from the same structure (paper Lemma 4.1), which is what the cascaded
 construction of Theorem 1 consumes.
+
+Bucket state lives in a structure-of-arrays column store
+(:class:`~repro.histograms.soa.BucketColumns`); :class:`Bucket` rows are
+materialized only at the ``bucket_view()``/serialization boundary.  Bulk
+ingestion routes through the :mod:`repro.histograms.soa` kernel selected by
+``kernel_backend`` and falls back to the organic replay whenever the kernel
+declines.
 """
 
 from __future__ import annotations
@@ -44,6 +51,7 @@ from repro.core.merging import (
 )
 from repro.histograms.buckets import Bucket, interleave_buckets
 from repro.histograms.domination import compose_merge_epsilon
+from repro.histograms.soa import BucketColumns, eh_bulk_ingest, resolve_backend
 from repro.storage.model import StorageReport, bits_for_value
 
 __all__ = ["ExponentialHistogram", "SlidingWindowSum"]
@@ -67,7 +75,8 @@ class ExponentialHistogram:
         "epsilon",
         "buckets_per_size",
         "effective_epsilon",
-        "_buckets",
+        "kernel_backend",
+        "_cols",
         "_per_size",
         "_time",
         "_total",
@@ -75,7 +84,13 @@ class ExponentialHistogram:
         "_q_cache",
     )
 
-    def __init__(self, window: int | None, epsilon: float) -> None:
+    def __init__(
+        self,
+        window: int | None,
+        epsilon: float,
+        *,
+        kernel_backend: str = "auto",
+    ) -> None:
         if window is not None and window < 1:
             raise InvalidParameterError(f"window must be >= 1, got {window}")
         if not 0 < epsilon < 1:
@@ -89,7 +104,10 @@ class ExponentialHistogram:
         #: then grown by :func:`~repro.histograms.domination.
         #: compose_merge_epsilon` per merge.
         self.effective_epsilon = float(epsilon)
-        self._buckets: list[Bucket] = []  # oldest first; sizes non-increasing
+        #: Resolved kernel backend ("numpy" or "python"); selects which
+        #: bulk-kernel twins run -- never what the answers are.
+        self.kernel_backend = resolve_backend(kernel_backend)
+        self._cols = BucketColumns()  # oldest first; sizes non-increasing
         self._per_size: Counter[int] = Counter()
         self._time = 0
         self._total = 0  # sum of bucket counts (ints: powers of two)
@@ -131,7 +149,7 @@ class ExponentialHistogram:
             # for the flattened simulation's run bookkeeping.
             self._gen += 1
             t = self._time
-            self._buckets.append(Bucket(t, t, 1))
+            self._cols.append(t, t, 1, 0)
             self._total += 1
             per = self._per_size
             n = per.get(1, 0) + 1
@@ -169,12 +187,12 @@ class ExponentialHistogram:
             # Small totals: the literal unary process beats the flattened
             # simulation's fixed setup cost (cutover measured empirically;
             # both are bit-identical by construction).
-            buckets = self._buckets
+            cols = self._cols
             per = self._per_size
             m1 = self.buckets_per_size + 1
             t = self._time
             for _ in range(total):
-                buckets.append(Bucket(t, t, 1))
+                cols.append(t, t, 1, 0)
                 self._total += 1
                 n = per.get(1, 0) + 1
                 per[1] = n
@@ -192,8 +210,8 @@ class ExponentialHistogram:
         # Expiry guard: only walk the bucket list when the oldest bucket
         # can actually have left the window.
         if self.window is not None:
-            buckets = self._buckets
-            if buckets and buckets[0].end <= self._time - self.window:
+            ends = self._cols.ends
+            if ends and ends[0] <= self._time - self.window:
                 self._expire()
 
     def advance_to(self, when: int) -> None:
@@ -204,8 +222,20 @@ class ExponentialHistogram:
         self, items: Iterable[TimedValue], *, until: int | None = None
     ) -> None:
         """Consume a time-sorted trace with one clock advance per arrival
-        time (see :func:`repro.core.batching.ingest_trace`)."""
-        ingest_trace(self, items, until=until)
+        time.
+
+        Routes through the structure-of-arrays bulk kernel
+        (:func:`repro.histograms.soa.eh_bulk_ingest`) when the trace and
+        the current state qualify; otherwise falls back to the organic
+        :func:`repro.core.batching.ingest_trace` replay.  Both paths are
+        bit-identical, ``until`` handling and error semantics included.
+        """
+        seq = items if isinstance(items, Sequence) else list(items)
+        if eh_bulk_ingest(self, seq):
+            if until is not None:
+                advance_engine_to(self, until)
+            return
+        ingest_trace(self, seq, until=until)
 
     def query(self) -> Estimate:
         """Estimate the count over the full window (ages ``0..W-1``).
@@ -243,12 +273,15 @@ class ExponentialHistogram:
         # contributing bucket can straddle the boundary; after a shard
         # merge (interleaved spans) each operand contributes at most one
         # straddler, so every contributing bucket is tested.
-        for b in reversed(self._buckets):
-            if b.end <= cutoff:
+        starts = self._cols.starts
+        ends = self._cols.ends
+        counts = self._cols.counts
+        for i in range(len(ends) - 1, -1, -1):
+            if ends[i] <= cutoff:
                 break
-            c = int(b.count)
+            c = int(counts[i])
             total += c
-            if b.start <= cutoff:
+            if starts[i] <= cutoff:
                 straddle += c
                 n_straddle += 1
         if total == 0:
@@ -290,26 +323,29 @@ class ExponentialHistogram:
                 f"cannot merge windows {self.window} and {other.window}"
             )
         align_merge_clocks(self, other)
-        if not other._buckets:
+        if not len(other._cols):
             return
         self._gen += 1
-        if self._buckets:
+        if len(self._cols):
             self.effective_epsilon = compose_merge_epsilon(
                 self.effective_epsilon, other.effective_epsilon
             )
-            self._buckets = interleave_buckets(self._buckets, other._buckets)
+            union = interleave_buckets(
+                self._cols.to_buckets(), other._cols.to_buckets()
+            )
         else:
             self.effective_epsilon = other.effective_epsilon
-            self._buckets = list(other._buckets)
-        self._per_size = Counter(int(b.count) for b in self._buckets)
+            union = other._cols.to_buckets()
+        self._cols.load_buckets(union)
+        self._per_size = Counter(int(c) for c in self._cols.counts)
         self._total += other._total
 
     def bucket_view(self) -> list[Bucket]:
         """Snapshot of live buckets, oldest first (consumed by CEH)."""
-        return list(self._buckets)
+        return self._cols.to_buckets()
 
     def bucket_count(self) -> int:
-        return len(self._buckets)
+        return len(self._cols)
 
     def storage_report(self) -> StorageReport:
         """Per Datar et al.: one timestamp (log N bits) and one size exponent
@@ -317,8 +353,8 @@ class ExponentialHistogram:
         register."""
         horizon = self.window if self.window is not None else max(1, self._time)
         ts_bits = bits_for_value(horizon)
-        n = len(self._buckets)
-        max_size = max((int(b.count) for b in self._buckets), default=1)
+        n = len(self._cols)
+        max_size = max((int(c) for c in self._cols.counts), default=1)
         size_exp_bits = bits_for_value(max(1, max_size.bit_length()))
         return StorageReport(
             engine="eh",
@@ -327,6 +363,39 @@ class ExponentialHistogram:
             count_bits=size_exp_bits * n,
             register_bits=bits_for_value(max(1, self._time)),
         )
+
+    def _load_buckets(self, buckets: Iterable[Bucket]) -> None:
+        """Adopt a row-wise bucket list wholesale (serialization restore).
+
+        Rebuilds the size census and the running total from the rows and
+        invalidates the query memo; the caller owns the clock.
+        """
+        self._gen += 1
+        self._cols.load_buckets(buckets)
+        counts = self._cols.counts
+        self._per_size = Counter(int(c) for c in counts)
+        self._total = sum(int(c) for c in counts)
+
+    def _commit_bulk(
+        self,
+        starts: list[int],
+        ends: list[int],
+        counts: list[float],
+        levels: list[int],
+        t_last: int,
+    ) -> None:
+        """Adopt bulk-kernel result columns (see :mod:`repro.histograms.soa`).
+
+        The kernel has already applied expiry at ``t_last``; this commit
+        replaces the columns, rebuilds the census/total, moves the clock,
+        and bumps the generation so query memos invalidate exactly as the
+        organic replay would have.
+        """
+        self._gen += 1
+        self._cols.replace(starts, ends, counts, levels)
+        self._per_size = Counter(int(c) for c in counts)
+        self._total = sum(int(c) for c in counts)
+        self._time = t_last
 
     def _bulk_insert(self, count: int) -> None:
         """Insert ``count`` ones at the current time, amortized per bucket.
@@ -344,10 +413,15 @@ class ExponentialHistogram:
         than materialized; per level only ``O(m)`` distinct buckets are
         touched, giving ``O(m (log count + log total))`` work in place of
         the seed's ``O(count)`` unary loop.
+
+        Runs on materialized rows: the carry simulation touches
+        ``O(m log count)`` buckets however long the list is, so the
+        row-object round-trip at the column boundary is not the dominant
+        cost here (unlike the per-item paths, which stay on the columns).
         """
         now = self._time
         m = self.buckets_per_size
-        buckets = self._buckets
+        buckets = self._cols.to_buckets()
         self._total += count
         idx = len(buckets)  # boundary between unprocessed head and this run
         processed: list[list[Bucket]] = []  # survivors, smallest size first
@@ -422,7 +496,7 @@ class ExponentialHistogram:
             (a.end, a.start) > (b.end, b.start) for a, b in zip(out, out[1:])
         ):
             out.sort(key=lambda b: (b.end, b.start))
-        self._buckets = out
+        self._cols.load_buckets(out)
 
     def _add_ones_unary(self, count: int) -> None:
         """The pre-batching O(count) unary insert (reference only).
@@ -431,8 +505,9 @@ class ExponentialHistogram:
         (structure-identical buckets) and as the baseline the throughput
         benchmark measures its speedup over.
         """
+        t = self._time
         for _ in range(count):
-            self._buckets.append(Bucket(self._time, self._time, 1))
+            self._cols.append(t, t, 1, 0)
             self._per_size[1] += 1
             self._total += 1
             self._cascade()
@@ -449,26 +524,32 @@ class ExponentialHistogram:
         """
         m1 = self.buckets_per_size + 1
         per = self._per_size
+        cols = self._cols
+        starts = cols.starts
+        ends = cols.ends
+        counts = cols.counts
+        levels = cols.levels
         size = 1
         below = 0  # census total of sizes strictly smaller than `size`
         while per.get(size, 0) > m1:
-            buckets = self._buckets
             n_here = per[size]
-            run_start = len(buckets) - below - n_here
-            older = buckets[run_start]
-            newer = buckets[run_start + 1]
+            a = len(ends) - below - n_here
+            b = a + 1
             # Union span (min/max): bit-identical to the classic disjoint
             # merge on fresh histograms; on shard-merged lists the census
             # may pair overlapping buckets, and the union span keeps their
             # bracket sound.  End-sortedness is preserved: the merged end
             # is the pair's larger end, at the pair's position.
-            merged = Bucket(
-                start=min(older.start, newer.start),
-                end=max(older.end, newer.end),
-                count=older.count + newer.count,
-                level=max(older.level, newer.level) + 1,
-            )
-            buckets[run_start : run_start + 2] = [merged]
+            sa = starts[a]
+            sb = starts[b]
+            ea = ends[a]
+            eb = ends[b]
+            la = levels[a]
+            lb = levels[b]
+            starts[a : b + 1] = [sa if sa < sb else sb]
+            ends[a : b + 1] = [ea if ea > eb else eb]
+            counts[a : b + 1] = [counts[a] + counts[b]]
+            levels[a : b + 1] = [(la if la > lb else lb) + 1]
             n_left = n_here - 2
             if n_left:
                 per[size] = n_left
@@ -484,17 +565,20 @@ class ExponentialHistogram:
         if self.window is None:
             return
         cutoff = self._time - self.window
+        cols = self._cols
+        ends = cols.ends
+        counts = cols.counts
+        per = self._per_size
         drop = 0
-        while drop < len(self._buckets) and self._buckets[drop].end <= cutoff:
-            expired = self._buckets[drop]
-            self._total -= int(expired.count)
-            size = int(expired.count)
-            self._per_size[size] -= 1
-            if not self._per_size[size]:
-                del self._per_size[size]
+        n = len(ends)
+        while drop < n and ends[drop] <= cutoff:
+            size = int(counts[drop])
+            self._total -= size
+            per[size] -= 1
+            if not per[size]:
+                del per[size]
             drop += 1
-        if drop:
-            del self._buckets[:drop]
+        cols.drop_head(drop)
 
 
 class SlidingWindowSum:
@@ -507,9 +591,13 @@ class SlidingWindowSum:
 
     __slots__ = ("_decay", "_eh")
 
-    def __init__(self, window: int, epsilon: float) -> None:
+    def __init__(
+        self, window: int, epsilon: float, *, kernel_backend: str = "auto"
+    ) -> None:
         self._decay = SlidingWindowDecay(window)
-        self._eh = ExponentialHistogram(window, epsilon)
+        self._eh = ExponentialHistogram(
+            window, epsilon, kernel_backend=kernel_backend
+        )
 
     @property
     def time(self) -> int:
@@ -523,6 +611,11 @@ class SlidingWindowSum:
     def histogram(self) -> ExponentialHistogram:
         """The underlying EH (exposed for storage experiments)."""
         return self._eh
+
+    @property
+    def kernel_backend(self) -> str:
+        """Resolved kernel backend of the substrate EH."""
+        return self._eh.kernel_backend
 
     def add(self, value: float = 1.0) -> None:
         self._eh.add(value)

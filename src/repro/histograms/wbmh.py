@@ -65,6 +65,7 @@ from repro.core.merging import (
 from repro.counters.approx_float import FixedQuantizer, LevelQuantizer
 from repro.histograms.boundaries import RegionSchedule
 from repro.histograms.buckets import Bucket
+from repro.histograms.soa import resolve_backend, wbmh_bulk_ingest
 from repro.storage.model import StorageReport, bits_for_value
 
 __all__ = ["WBMH"]
@@ -124,6 +125,7 @@ class WBMH:
         check_horizon: int = 4096,
         merge_strategy: Literal["scheduled", "scan"] = "scheduled",
         schedule: RegionSchedule | None = None,
+        kernel_backend: str = "auto",
     ) -> None:
         if ratio is None:
             if not 0 < epsilon < 1:
@@ -154,6 +156,9 @@ class WBMH:
         self._decay = decay
         self.epsilon = float(epsilon)
         self.merge_strategy = merge_strategy
+        #: Resolved kernel backend ("numpy" or "python"); selects which
+        #: bulk-lattice kernel twins run, never what the answers are.
+        self.kernel_backend = resolve_backend(kernel_backend)
         if schedule is not None:
             # A fleet of streams over the same decay shares one schedule
             # (its boundaries are stream-independent); the caller must pass
@@ -252,8 +257,21 @@ class WBMH:
     def ingest(
         self, items: Iterable[TimedValue], *, until: int | None = None
     ) -> None:
-        """Consume a time-sorted trace through the batch path."""
-        ingest_trace(self, items, until=until)
+        """Consume a time-sorted trace through the batch path.
+
+        A *fresh* scheduled-strategy histogram over an infinite-support
+        decay builds its whole bucket lattice in closed form
+        (:func:`repro.histograms.soa.wbmh_bulk_ingest`); anything else --
+        or any trace/schedule the kernel's self-checks decline -- replays
+        through the organic :func:`~repro.core.batching.ingest_trace`.
+        Both paths are bit-identical, ``until`` handling included.
+        """
+        seq = items if isinstance(items, Sequence) else list(items)
+        if wbmh_bulk_ingest(self, seq):
+            if until is not None:
+                advance_engine_to(self, until)
+            return
+        ingest_trace(self, seq, until=until)
 
     def advance(self, steps: int = 1) -> None:
         if steps < 0:

@@ -177,6 +177,8 @@ def engine_to_dict(engine: Any) -> dict[str, Any]:
         # The scale blocks are exact arbitrary-precision integers;
         # Python's json handles big ints natively, so the snapshot stays
         # JSON-safe and the restore is bit-identical by construction.
+        # Deferred item-mode contributions must land first.
+        engine._flush_pending()
         return {
             "version": _FORMAT_VERSION,
             "engine": "forward",
@@ -329,10 +331,7 @@ def engine_from_dict(data: dict[str, Any]) -> Any:
                 float(data["epsilon"]),
             )
         target._time = int(data["time"])
-        target._buckets = _buckets_in(data["buckets"])
-        for b in target._buckets:
-            target._per_size[int(b.count)] += 1
-        target._total = sum(int(b.count) for b in target._buckets)
+        target._load_buckets(_buckets_in(data["buckets"]))
         # Older (pre-merge) snapshots carry no composed budget.
         target.effective_epsilon = float(
             data.get("effective_epsilon", data["epsilon"])
@@ -345,8 +344,7 @@ def engine_from_dict(data: dict[str, Any]) -> Any:
             compact_every=int(data["compact_every"]),
         )
         engine._time = int(data["time"])
-        engine._buckets = _buckets_in(data["buckets"])
-        engine._total = sum(b.count for b in engine._buckets)
+        engine._load_buckets(_buckets_in(data["buckets"]))
         engine._since_compact = int(data["since_compact"])
         engine.effective_epsilon = float(
             data.get("effective_epsilon", data["epsilon"])

@@ -17,9 +17,12 @@ import pytest
 
 from repro.benchkit.regress import (
     DEFAULT_THRESHOLD,
+    MAX_HISTOGRAM_HEADROOM,
     MIN_FORWARD_RATIO,
     MIN_SHARD_SPEEDUP,
     check_forward_fastest,
+    check_histogram_headroom,
+    check_schema_lag,
     check_shard_speedup,
     compare_reports,
     format_diff,
@@ -394,6 +397,137 @@ class TestFormatDiff:
         out = format_diff(diffs, threshold=DEFAULT_THRESHOLD)
         assert out.count("ok") >= len(diffs)
         assert "30%" in out
+
+
+def headroom_section(**engines: float) -> dict:
+    """A minimal schema-v4 numpy_baseline section for gate tests."""
+    return {
+        "items": 20_000.0,
+        "seconds": 0.02,
+        "items_per_sec": 1_000_000.0,
+        "headroom": dict(engines),
+    }
+
+
+class TestHistogramHeadroomGate:
+    def test_no_headroom_section_skips(self):
+        ok, msg = check_histogram_headroom(small_report())
+        assert ok
+        assert "skipped" in msg
+
+    def test_no_histogram_engines_skips(self):
+        report = {
+            **small_report(),
+            "numpy_baseline": headroom_section(**{"ewma(EXPD-0.01)": 9.0}),
+        }
+        ok, msg = check_histogram_headroom(report)
+        assert ok
+        assert "skipped" in msg
+
+    def test_all_engines_within_bar_pass(self):
+        report = {
+            **small_report(),
+            "numpy_baseline": headroom_section(
+                **{
+                    "eh(SLIWIN-512)": 1.4,
+                    "ceh(POLYD-1)": 1.1,
+                    "wbmh(POLYD-1)": 0.7,
+                    # Register engines may sit anywhere; the bar ignores them.
+                    "exact(POLYD-1)": 50.0,
+                }
+            ),
+        }
+        ok, msg = check_histogram_headroom(report)
+        assert ok
+        assert "OK" in msg
+
+    def test_one_engine_above_bar_fails_and_is_named(self):
+        report = {
+            **small_report(),
+            "numpy_baseline": headroom_section(
+                **{
+                    "eh(SLIWIN-512)": 1.4,
+                    "ceh(POLYD-1)": MAX_HISTOGRAM_HEADROOM + 0.5,
+                }
+            ),
+        }
+        ok, msg = check_histogram_headroom(report)
+        assert not ok
+        assert "ceh(POLYD-1)" in msg
+        assert "FAIL" in msg
+
+    def test_exactly_on_the_bar_passes(self):
+        report = {
+            **small_report(),
+            "numpy_baseline": headroom_section(
+                **{"wbmh(POLYD-1)": MAX_HISTOGRAM_HEADROOM}
+            ),
+        }
+        ok, _ = check_histogram_headroom(report)
+        assert ok
+
+    def test_malformed_headroom_rejected(self):
+        report = {
+            **small_report(),
+            "numpy_baseline": headroom_section(**{"eh(SLIWIN-512)": 1.0}),
+        }
+        report["numpy_baseline"]["headroom"]["eh(SLIWIN-512)"] = "fast"
+        with pytest.raises(InvalidParameterError):
+            check_histogram_headroom(report)
+
+    def test_bar_validation(self):
+        with pytest.raises(InvalidParameterError):
+            check_histogram_headroom(small_report(), max_headroom=0.0)
+
+    def test_main_fails_on_headroom_breach(self, tmp_path, capsys):
+        report = {
+            **small_report(),
+            "numpy_baseline": headroom_section(
+                **{"eh(SLIWIN-512)": MAX_HISTOGRAM_HEADROOM * 3}
+            ),
+        }
+        base = tmp_path / "base.json"
+        fresh = tmp_path / "fresh.json"
+        base.write_text(json.dumps(small_report()))
+        fresh.write_text(json.dumps(report))
+        code = main(["--baseline", str(base), "--fresh", str(fresh)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "histogram-headroom gate FAIL" in out
+
+
+class TestSchemaLagGate:
+    def test_missing_versions_skip(self):
+        report = {"results": small_report()["results"]}
+        ok, msg = check_schema_lag(report, small_report())
+        assert ok
+        assert "skipped" in msg
+
+    def test_equal_and_ahead_pass(self):
+        base = small_report()
+        ahead = {**small_report(), "schema_version": base["schema_version"] + 1}
+        assert check_schema_lag(base, base)[0]
+        assert check_schema_lag(base, ahead)[0]
+
+    def test_lagging_fresh_fails_with_instructions(self):
+        base = {**small_report(), "schema_version": 4}
+        stale = {**small_report(), "schema_version": 3}
+        ok, msg = check_schema_lag(base, stale)
+        assert not ok
+        assert "stale" in msg
+        assert "regenerate" in msg
+
+    def test_main_fails_on_stale_root_snapshot(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        fresh = tmp_path / "fresh.json"
+        base.write_text(
+            json.dumps({**small_report(), "schema_version": 99})
+        )
+        fresh.write_text(json.dumps(small_report()))
+        code = main(["--baseline", str(base), "--fresh", str(fresh)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "schema-lag gate FAIL" in out
 
 
 class TestWallClockExemption:

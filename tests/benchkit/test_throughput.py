@@ -11,10 +11,12 @@ import pytest
 
 from repro.benchkit.throughput import (
     SCHEMA_VERSION,
+    Phases,
     ThroughputResult,
     default_engines,
     default_traces,
     eh_bulk_speedup,
+    histogram_phase_breakdown,
     measure_throughput,
     numpy_dense_baseline,
     run_suite,
@@ -179,6 +181,76 @@ class TestSchemaV2Fields:
                 validate_report(bad)
         bad = dict(report)
         bad["speedups"] = []
+        with pytest.raises(InvalidParameterError):
+            validate_report(bad)
+
+
+class TestPhaseBreakdown:
+    def test_covers_every_histogram_engine_and_phase(self):
+        section = histogram_phase_breakdown(400)
+        assert set(section["engines"]) == {
+            "eh(SLIWIN-512)",
+            "ceh(POLYD-1)",
+            "wbmh(POLYD-1)",
+        }
+        covered = {}
+        for row in section["rows"]:
+            covered.setdefault(row["engine"], set()).add(row["phase"])
+            assert row["seconds"] >= 0
+            assert 0 <= row["share"] <= 1
+        for engine in section["engines"]:
+            assert covered[engine] == set(Phases)
+
+    def test_shares_partition_the_loop(self):
+        section = histogram_phase_breakdown(400)
+        totals = {}
+        for row in section["rows"]:
+            totals[row["engine"]] = totals.get(row["engine"], 0.0) + row["share"]
+        for engine, total in totals.items():
+            # The add phase is the clamped remainder, so the four shares
+            # can only undershoot 1 (by timer jitter), never overshoot.
+            assert 0.5 < total <= 1.0 + 1e-9, engine
+
+    def test_timers_are_unpatched_afterwards(self):
+        from repro.histograms.eh import ExponentialHistogram
+        from repro.histograms.wbmh import WBMH
+
+        before = (ExponentialHistogram._cascade, WBMH._seal)
+        histogram_phase_breakdown(50)
+        assert (ExponentialHistogram._cascade, WBMH._seal) == before
+
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidParameterError):
+            histogram_phase_breakdown(0)
+        with pytest.raises(InvalidParameterError):
+            histogram_phase_breakdown(100, query_every=0)
+
+    def test_validate_rejects_broken_phase_sections(self):
+        report = run_suite(
+            100, bulk_value=500, repeats=1, advance_events=5,
+            advance_max_gap=500,
+        )
+        bad = dict(report)
+        del bad["phases"]
+        with pytest.raises(InvalidParameterError):
+            validate_report(bad)
+        bad = dict(report)
+        bad["phases"] = dict(report["phases"], rows=[])
+        with pytest.raises(InvalidParameterError):
+            validate_report(bad)
+        bad = dict(report)
+        rows = [dict(r) for r in report["phases"]["rows"]]
+        rows[0]["phase"] = "mystery"
+        bad["phases"] = dict(report["phases"], rows=rows)
+        with pytest.raises(InvalidParameterError):
+            validate_report(bad)
+        bad = dict(report)
+        rows = [
+            dict(r)
+            for r in report["phases"]["rows"]
+            if not (r["engine"].startswith("wbmh") and r["phase"] == "expire")
+        ]
+        bad["phases"] = dict(report["phases"], rows=rows)
         with pytest.raises(InvalidParameterError):
             validate_report(bad)
 

@@ -1,0 +1,145 @@
+"""Conformance cells under both SoA kernel backends (numpy and python).
+
+The backend seam (:func:`repro.histograms.soa.resolve_backend`) promises
+that the numpy and pure-python kernel twins are *bit-identical*, not just
+approximately equal.  This module drives the histogram cells of the
+factory matrix -- eh (sliwin), ceh, and wbmh -- through the law catalog
+explicitly pinned to each backend (CL001-CL006 plus the merge-split law
+CL008), then pins the seam itself: both backends must produce identical
+serialized state and query triplets on the same trace, and a snapshot
+written by one backend must restore bit-identically under the other.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conformance.engines import make_spec
+from repro.conformance.fuzz import trace_for_seed
+from repro.conformance.laws import resolve_laws, run_laws
+from repro.core.decay import (
+    DecayFunction,
+    GaussianDecay,
+    LinearDecay,
+    LogarithmicDecay,
+    PolynomialDecay,
+    SlidingWindowDecay,
+    TableDecay,
+)
+from repro.core.interfaces import make_decaying_sum
+from repro.histograms.soa import HAVE_NUMPY
+from repro.serialize import engine_from_dict, engine_to_dict
+from repro.streams.generators import StreamItem
+
+BACKENDS = ("python", "numpy") if HAVE_NUMPY else ("python",)
+
+#: CL007 (unsorted-rejection) probes input validation, which happens before
+#: any kernel runs; CL009 (permutation) only applies to the forward engine.
+LAWS = resolve_laws("CL001,CL002,CL003,CL004,CL005,CL006,CL008")
+
+#: The histogram cells of the factory matrix: every decay family routed to
+#: an engine with bucket kernels (eh, wbmh, ceh on both its substrates).
+HISTOGRAM_CELLS: dict[str, DecayFunction] = {
+    "sliwin": SlidingWindowDecay(64),
+    "polyd-wbmh": PolynomialDecay(1.2),
+    "logd-wbmh": LogarithmicDecay(),
+    "linear-ceh": LinearDecay(96),
+    "gauss-ceh": GaussianDecay(40.0),
+    "table-ceh": TableDecay([1.0, 0.8, 0.6, 0.4, 0.2], tail=0.1),
+}
+
+SEEDS = (3, 11, 27)
+
+
+def backend_spec(name: str, backend: str):
+    decay = HISTOGRAM_CELLS[name]
+    return make_spec(
+        f"{name}[{backend}]",
+        decay,
+        factory=lambda: make_decaying_sum(decay, backend=backend),
+    )
+
+
+class TestLawsHoldUnderEachBackend:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("name", sorted(HISTOGRAM_CELLS), ids=str)
+    def test_cells_clean(self, name: str, backend: str) -> None:
+        spec = backend_spec(name, backend)
+        for seed in SEEDS:
+            trace = trace_for_seed(seed)
+            violations = run_laws(spec, trace, LAWS)
+            assert not violations, "\n".join(
+                v.render() for v in violations
+            )
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="needs both kernel backends")
+class TestBackendsAgreeBitForBit:
+    @pytest.mark.parametrize("name", sorted(HISTOGRAM_CELLS), ids=str)
+    def test_same_state_and_queries(self, name: str) -> None:
+        """Same trace, both backends: identical snapshots and triplets.
+
+        The serialized dict captures the full bucket state (starts, ends,
+        counts, levels, clock), so dict equality is the strongest
+        cross-backend statement the seam makes.
+        """
+        for seed in SEEDS:
+            trace = trace_for_seed(seed)
+            engines = {}
+            for backend in BACKENDS:
+                engine = make_decaying_sum(
+                    HISTOGRAM_CELLS[name], backend=backend
+                )
+                engine.ingest(trace.stream_items(), until=trace.end_time)
+                engines[backend] = engine
+            py, np_ = engines["python"], engines["numpy"]
+            est_py, est_np = py.query(), np_.query()
+            assert (est_py.value, est_py.lower, est_py.upper) == (
+                est_np.value,
+                est_np.lower,
+                est_np.upper,
+            ), (name, seed)
+            assert engine_to_dict(py) == engine_to_dict(np_), (name, seed)
+
+    @pytest.mark.parametrize("name", sorted(HISTOGRAM_CELLS), ids=str)
+    def test_snapshot_restores_across_backends(
+        self, name: str, monkeypatch
+    ) -> None:
+        """A snapshot written by one backend restores bit-identically into
+        the other and the two continuations stay in lock-step."""
+        for seed in SEEDS:
+            trace = trace_for_seed(seed)
+            prefix = trace.stream_items()
+            last = prefix[-1].time if prefix else 0
+            suffix = [
+                StreamItem(last + 2, 3.0),
+                StreamItem(last + 2, 1.0),
+                StreamItem(last + 7, 2.0),
+            ]
+            for writer, reader in (("numpy", "python"), ("python", "numpy")):
+                origin = make_decaying_sum(
+                    HISTOGRAM_CELLS[name], backend=writer
+                )
+                origin.ingest(prefix)
+                snapshot = engine_to_dict(origin)
+                monkeypatch.setenv("REPRO_KERNEL_BACKEND", reader)
+                try:
+                    restored = engine_from_dict(snapshot)
+                finally:
+                    monkeypatch.delenv("REPRO_KERNEL_BACKEND")
+                assert restored.kernel_backend == reader
+                assert engine_to_dict(restored) == snapshot, (
+                    name,
+                    seed,
+                    writer,
+                    reader,
+                )
+                origin.ingest(suffix)
+                restored.ingest(suffix)
+                est_o, est_r = origin.query(), restored.query()
+                assert (est_o.value, est_o.lower, est_o.upper) == (
+                    est_r.value,
+                    est_r.lower,
+                    est_r.upper,
+                ), (name, seed, writer, reader)
+                assert engine_to_dict(origin) == engine_to_dict(restored)

@@ -157,8 +157,8 @@ class TestRK009Mutants:
         contexts = load_tree(
             {
                 "histograms/eh.py": (
-                    "        self._gen += 1\n        if self._buckets:",
-                    "        if self._buckets:",
+                    "        self._gen += 1\n        if len(self._cols):",
+                    "        if len(self._cols):",
                 )
             }
         )
@@ -290,8 +290,12 @@ class TestRK011:
 
         eh = (REPO_SRC / "repro" / "histograms" / "eh.py").read_text()
         batching = (REPO_SRC / "repro" / "core" / "batching.py").read_text()
+        soa = (REPO_SRC / "repro" / "histograms" / "soa.py").read_text()
         assert marker_lines(eh, "hot")
         assert marker_lines(batching, "hot")
+        # The SoA kernel module must keep its per-item append path and
+        # both bulk-kernel inner loops under RK011's allocation scoping.
+        assert len(marker_lines(soa, "hot")) >= 3
 
     def test_unmarked_function_unconstrained(self):
         found = lint_project(

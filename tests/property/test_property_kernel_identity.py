@@ -7,15 +7,26 @@ optimized engines must produce the same bucket lists -- starts, ends,
 counts, levels -- as the pre-optimization unary replay, for every trace.
 These properties pin that at the bucket level (stronger than the query
 triplet used by ``test_property_batching``), and assert the EH bucket
-bound ``O((1/eps) * log W)`` that the flattened cascade must preserve.
+bound ``O((1/eps) * log W)`` that the flattened cascade must not loosen.
+
+The structure-of-arrays pass adds a second axis: every engine runs its
+bulk and organic paths under either the numpy or the pure-python kernel
+twins (:func:`repro.histograms.soa.resolve_backend`).  The cross-backend
+classes below drive both twins over the same hypothesis traces --
+through ``ingest`` (the bulk-kernel entry) *and* organic replay -- and
+require identical bucket columns, plus the EH invariant that counts stay
+Python ints under the numpy backend (numpy scalars would poison the
+big-int carry arithmetic downstream).
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.decay import ExponentialDecay, PolynomialDecay
 from repro.histograms.ceh import CascadedEH
 from repro.histograms.eh import ExponentialHistogram
+from repro.histograms.soa import HAVE_NUMPY
 from repro.histograms.wbmh import WBMH
 from repro.streams.generators import StreamItem
 
@@ -143,3 +154,87 @@ def _decay_params(decay):
         return {"alpha": decay.alpha}
     assert isinstance(decay, ExponentialDecay)
     return {"lam": decay.lam}
+
+
+def _rounds_to_items(rounds):
+    """The rounds as a sorted trace plus the organic replay's final clock
+    (rounds may end with item-free gaps that only ``until`` can express)."""
+    items = []
+    t = 0
+    for gap, batch in rounds:
+        t += gap
+        for value in batch:
+            items.append(StreamItem(t, value))
+    return items, t
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="needs both kernel backends")
+class TestCrossBackendIdentity:
+    @settings(max_examples=150, deadline=None)
+    @given(windows, epsilons, eh_rounds)
+    def test_eh_ingest_and_organic_agree(self, window, eps, rounds):
+        """numpy vs python kernels, both through the bulk ``ingest`` entry
+        and organic advance/add replay: four bit-identical engines."""
+        items, end = _rounds_to_items(rounds)
+        states = []
+        for backend in ("numpy", "python"):
+            bulk = ExponentialHistogram(window, eps, kernel_backend=backend)
+            bulk.ingest(items, until=end)
+            organic = ExponentialHistogram(window, eps, kernel_backend=backend)
+            for gap, batch in rounds:
+                organic.advance(gap)
+                organic.add_batch(batch)
+            states.append(eh_state(bulk))
+            states.append(eh_state(organic))
+            for hist in (bulk, organic):
+                for count in hist._cols.counts:
+                    assert type(count) is int, backend
+        # dict equality, not repr: the census Counter's *insertion order*
+        # may differ between build paths while the state is identical.
+        assert all(state == states[0] for state in states[1:]), states
+
+    @settings(max_examples=100, deadline=None)
+    @given(wbmh_decays, epsilons, wbmh_rounds, st.booleans())
+    def test_wbmh_ingest_and_organic_agree(self, decay, eps, rounds, quantize):
+        items, end = _rounds_to_items(rounds)
+        states = []
+        for backend in ("numpy", "python"):
+            bulk = WBMH(
+                type(decay)(**_decay_params(decay)),
+                eps,
+                quantize=quantize,
+                kernel_backend=backend,
+            )
+            bulk.ingest(items, until=end)
+            organic = WBMH(
+                type(decay)(**_decay_params(decay)),
+                eps,
+                quantize=quantize,
+                kernel_backend=backend,
+            )
+            for gap, batch in rounds:
+                organic.advance(gap)
+                organic.add_batch(batch)
+            states.append(wbmh_state(bulk))
+            states.append(wbmh_state(organic))
+        assert all(state == states[0] for state in states[1:]), states
+
+    @settings(max_examples=75, deadline=None)
+    @given(epsilons, eh_rounds)
+    def test_ceh_backends_agree(self, eps, rounds):
+        items, end = _rounds_to_items(rounds)
+        states = []
+        for backend in ("numpy", "python"):
+            engine = CascadedEH(
+                PolynomialDecay(1.0), eps, kernel_backend=backend
+            )
+            engine.ingest(items, until=end)
+            est = engine.query()
+            states.append(
+                (
+                    engine.time,
+                    engine.histogram.bucket_view(),
+                    (est.value, est.lower, est.upper),
+                )
+            )
+        assert states[0] == states[1]
