@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint lint-baseline typecheck check conformance conformance-service bench bench-throughput bench-compare bench-service bench-service-compare examples clean all
+.PHONY: install test lint lint-baseline typecheck check conformance conformance-service conformance-service-sharded bench bench-throughput bench-compare bench-service bench-service-scaling bench-service-compare examples clean all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -38,6 +38,13 @@ conformance-service:
 	PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) -m repro.conformance \
 		--mode service --seeds 25 --engines all
 
+# The store-contract laws once more, but served from a 3-worker
+# ShardedServiceStore: every cell crosses the multi-process IPC plane
+# (docs/SERVICE.md, "Sharded deployment").
+conformance-service-sharded:
+	PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) -m repro.conformance \
+		--mode service --service-workers 3 --seeds 10 --engines all
+
 # Requires the `lint` extra (pip install -e .[lint]).
 typecheck:
 	MYPYPATH=src $(PYTHON) -m mypy --strict src/repro
@@ -64,6 +71,14 @@ bench-compare: bench-throughput
 bench-service:
 	PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) -m repro.benchkit.service \
 		--items 20000 --keys 64 --queries 400 --out BENCH_service.json
+
+# The same measurement plus the scaling section: sharded 2- and
+# 4-worker fronts against the single-process reference. The regress
+# gate enforces the 4-worker speedup only on >= 4-cpu machines.
+bench-service-scaling:
+	PYTHONPATH=src:$(PYTHONPATH) $(PYTHON) -m repro.benchkit.service \
+		--items 20000 --keys 64 --queries 400 \
+		--scaling --scaling-workers 2,4 --out BENCH_service.json
 
 # Service regress gate: fresh measurement vs the checked-in baseline.
 # Fails (exit 1) on >30% ingest-throughput drop or p99 query inflation.

@@ -87,6 +87,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--service-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "with --mode service: serve every cell from an N-worker "
+            "ShardedServiceStore, so the laws run across the multi-process "
+            "IPC plane (svcNw- engine naming)"
+        ),
+    )
+    parser.add_argument(
         "--shrink-budget",
         type=int,
         default=2000,
@@ -112,6 +123,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.seeds < 1:
         parser.error("--seeds must be >= 1")
+    if args.service_workers is not None:
+        if args.mode != "service":
+            parser.error("--service-workers requires --mode service")
+        if args.service_workers < 1:
+            parser.error("--service-workers must be >= 1")
     try:
         specs = resolve_specs(args.engines)
         # In service mode an explicit --laws wins; "all" defers to the
@@ -124,7 +140,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     except (InvalidParameterError, KeyError) as exc:
         parser.error(str(exc))
     suite = ConformanceSuite(
-        specs, laws, shrink_budget=args.shrink_budget, mode=args.mode
+        specs,
+        laws,
+        shrink_budget=args.shrink_budget,
+        mode=args.mode,
+        service_workers=args.service_workers,
     )
     result = suite.run(args.seeds, start_seed=args.start_seed)
     report = build_report(result)
@@ -135,9 +155,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.corpus_dir is not None and result.findings:
         for finding in result.findings:
             base = finding.violation.engine.split("+")[0]
-            # Service-mode findings carry the lifted "svc-" name; the
-            # corpus records the raw cell (decay + epsilon pin it).
-            spec = specs.get(base) or specs.get(base.removeprefix("svc-"))
+            # Service-mode findings carry the lifted "svc-" (or sharded
+            # "svcNw-") name; the corpus records the raw cell (decay +
+            # epsilon pin it).
+            raw = base.partition("-")[2] if base.startswith("svc") else base
+            spec = specs.get(base) or specs.get(raw)
             if spec is None:
                 continue
             path = write_entry(

@@ -90,19 +90,28 @@ class ConformanceSuite:
         *,
         shrink_budget: int = 2000,
         mode: str = "direct",
+        service_workers: int | None = None,
     ) -> None:
         if mode not in _MODES:
             raise InvalidParameterError(
                 f"mode must be one of {_MODES}, got {mode!r}"
             )
+        if service_workers is not None and mode != "service":
+            raise InvalidParameterError(
+                "service_workers only applies to mode='service'"
+            )
         self.mode = mode
+        self.service_workers = service_workers
         resolved = dict(specs) if specs is not None else default_specs()
         if mode == "service":
             # Lazy import: repro.service.adapter imports this package's
             # engine specs, so the dependency must stay one-way at load.
             from repro.service.adapter import SERVICE_LAW_IDS, service_specs
 
-            resolved = service_specs(resolved)
+            # With service_workers every cell is served from a sharded
+            # multi-process front (svcNw- naming), so the laws cross the
+            # IPC plane end to end instead of an in-process store.
+            resolved = service_specs(resolved, workers=service_workers)
             if laws is None:
                 # Default to the laws whose contract the store must
                 # preserve verbatim; callers can still pass any catalog.

@@ -14,12 +14,16 @@ not a code-review judgement call.
 Three packages are exempt, each for one structural reason:
 
 * ``repro.parallel`` -- the shard boundary itself (process pools);
-* ``repro.service`` -- the serving layer's single-consumer asyncio loop
-  (its *store* stays synchronous; only the daemon/API modules may touch
-  the event loop);
-* ``repro.benchkit`` -- measures the service layer end-to-end, so it
-  must be able to drive that event loop (mirroring its RK001 wall-clock
-  exemption).
+* ``repro.service`` -- two sanctioned surfaces: the serving layer's
+  single-consumer asyncio loop (daemon/API modules), and the sharded
+  worker plane (``service/sharded.py`` + ``service/ipc.py``), where
+  ``multiprocessing`` pipes carry batched frames to per-worker stores.
+  The *store* itself stays synchronous either way: workers run ordinary
+  single-threaded ``ServiceStore`` shards in lock-step, so every reply
+  is still a pure function of the routed trace;
+* ``repro.benchkit`` -- measures the service layer end-to-end (including
+  the sharded front's scaling section), so it must be able to drive
+  that event loop (mirroring its RK001 wall-clock exemption).
 """
 
 from __future__ import annotations

@@ -13,20 +13,31 @@ The conformance adapter (:mod:`repro.service.adapter`) is imported
 explicitly, not re-exported here: it pulls in :mod:`repro.conformance`,
 which a serving process has no reason to load.
 
+Scale-out past one core is :mod:`repro.service.sharded`:
+:class:`~repro.service.sharded.ShardedServiceStore` satisfies the same
+:class:`~repro.service.store.StoreFront` seam the daemon and server
+program against, with per-key state sharded by CRC-32 onto worker
+processes and cross-shard answers folded via engine ``merge``.
+
 Concurrency note: asyncio is confined to ``daemon.py``/``api.py``/
-``loadgen.py`` under lintkit RK008's service exemption; ``store.py`` and
-``adapter.py`` are plain synchronous code a single consumer task owns --
-that single-writer discipline is what makes service answers bit-identical
-to directly-driven engines (see ``tests/service/test_differential.py``).
+``loadgen.py``, and multiprocessing to ``sharded.py``/``ipc.py``, under
+lintkit RK008's service exemption; ``store.py`` and ``adapter.py`` are
+plain synchronous code a single consumer task owns -- that single-writer
+discipline is what makes service answers bit-identical to directly-driven
+engines (see ``tests/service/test_differential.py`` and
+``test_sharded_differential.py``).
 """
 
 from repro.service.api import ServiceServer, WSClient, http_request
 from repro.service.daemon import BackpressurePolicy, IngestDaemon
 from repro.service.loadgen import ServiceHarness, keyed_trace
-from repro.service.store import EvictionLedger, ServiceStore
+from repro.service.sharded import ShardedServiceStore
+from repro.service.store import EvictionLedger, ServiceStore, StoreFront
 
 __all__ = [
     "ServiceStore",
+    "ShardedServiceStore",
+    "StoreFront",
     "EvictionLedger",
     "IngestDaemon",
     "BackpressurePolicy",

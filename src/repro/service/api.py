@@ -43,7 +43,7 @@ from typing import Any
 
 from repro.core.errors import ReproError
 from repro.service.daemon import IngestDaemon
-from repro.service.store import ServiceStore
+from repro.service.store import StoreFront
 from repro.streams.io import KeyedItem
 
 __all__ = ["ServiceServer", "http_request", "WSClient"]
@@ -110,7 +110,7 @@ class ServiceServer:
     """The query surface; optionally fronts an :class:`IngestDaemon`."""
 
     def __init__(
-        self, store: ServiceStore, daemon: IngestDaemon | None = None
+        self, store: StoreFront, daemon: IngestDaemon | None = None
     ) -> None:
         self.store = store
         self.daemon = daemon

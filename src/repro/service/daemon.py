@@ -34,7 +34,7 @@ from typing import Any, Iterable
 
 from repro.core.errors import InvalidParameterError, ReproError
 from repro.core.timeorder import OutOfOrderPolicy
-from repro.service.store import ServiceStore
+from repro.service.store import StoreFront
 from repro.streams.io import KeyedItem
 
 __all__ = ["BackpressurePolicy", "IngestDaemon"]
@@ -92,7 +92,7 @@ class IngestDaemon:
 
     def __init__(
         self,
-        store: ServiceStore,
+        store: StoreFront,
         *,
         maxsize: int = 4096,
         batch_max: int = 512,

@@ -23,7 +23,7 @@ from repro.core.errors import InvalidParameterError
 from repro.core.timeorder import OutOfOrderPolicy
 from repro.service.api import ServiceServer
 from repro.service.daemon import BackpressurePolicy, IngestDaemon
-from repro.service.store import ServiceStore
+from repro.service.store import ServiceStore, StoreFront
 from repro.streams.io import KeyedItem
 
 __all__ = ["keyed_trace", "ServiceHarness"]
@@ -71,8 +71,15 @@ class ServiceHarness:
     HTTP/WS query server (``harness.host``/``harness.port``), and --
     with ``serve_feed`` -- the JSON-lines TCP feed
     (``feed_host``/``feed_port``).  ``await harness.stop()`` drains the
-    queue, flushes the store's lateness buffer, and cancels the consumer
-    task, leaving nothing running on the loop.
+    queue, flushes the store's lateness buffer, cancels the consumer
+    task, and closes the store (joining the worker pool when a sharded
+    front is behind the seam), leaving nothing running on the loop.
+
+    ``store=`` accepts any :class:`~repro.service.store.StoreFront` --
+    the seam the sharded deployment rides in on; ``workers=`` is the
+    shorthand that builds a
+    :class:`~repro.service.sharded.ShardedServiceStore` with that many
+    worker processes behind the same HTTP/WS surface.
     """
 
     def __init__(
@@ -87,10 +94,30 @@ class ServiceHarness:
         maxsize: int = 4096,
         batch_max: int = 512,
         serve_feed: bool = False,
+        store: StoreFront | None = None,
+        workers: int | None = None,
     ) -> None:
-        self.store = ServiceStore(
-            decay, epsilon, ttl=ttl, shards=shards, policy=policy
-        )
+        if store is not None and workers is not None:
+            raise InvalidParameterError(
+                "pass either store or workers, not both"
+            )
+        if store is not None:
+            self.store: StoreFront = store
+        elif workers is not None:
+            from repro.service.sharded import ShardedServiceStore
+
+            if shards is not None:
+                raise InvalidParameterError(
+                    "per-key engine shards are a single-process store "
+                    "feature; the sharded front shards by key already"
+                )
+            self.store = ShardedServiceStore(
+                decay, epsilon, workers=workers, ttl=ttl, policy=policy
+            )
+        else:
+            self.store = ServiceStore(
+                decay, epsilon, ttl=ttl, shards=shards, policy=policy
+            )
         self.daemon = IngestDaemon(
             self.store,
             maxsize=maxsize,
@@ -121,6 +148,7 @@ class ServiceHarness:
             return
         await self.server.stop()
         await self.daemon.stop(drain=drain)
+        self.store.close()
         self._started = False
 
     async def __aenter__(self) -> "ServiceHarness":

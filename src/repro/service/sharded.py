@@ -1,0 +1,1226 @@
+"""Multi-process sharded service store: per-worker stores, merge fan-in.
+
+:class:`ShardedServiceStore` is the multi-core front the single-process
+:class:`~repro.service.store.ServiceStore` was designed to scale into:
+``N`` worker processes, each owning a *full* ``ServiceStore`` shard on
+the lock-step shared clock, with keys routed by CRC-32
+(:func:`repro.parallel.sharded.shard_of`, stable across interpreters).
+The front presents the same store surface the
+:class:`~repro.service.daemon.IngestDaemon` and
+:class:`~repro.service.api.ServiceServer` already speak, so it is a
+drop-in behind the existing HTTP/WS API.
+
+**The IPC plane is batched.**  One ingest batch becomes at most one
+frame per shard (:mod:`repro.service.ipc`, length-prefixed JSON): the
+router compiles the batch into per-shard *programs* -- ``["adv", t]``
+clock steps shared by every shard plus that shard's own ``["fold", key,
+values]`` / ``["late", key, when, value]`` entries -- so the router's
+cost is O(shards) frames per batch, not O(items).  Every shard executes
+every global clock step, which keeps the worker stores bit-identical to
+the single-process store (same advance pattern, same TTL sweep stops,
+same fold grouping; the differential harness in
+``tests/service/test_sharded_differential.py`` pins exactly this).
+
+**Cross-shard reads fold via ``merge``.**  ``query_total`` fans out one
+``fold`` frame per worker; each worker merges clones of its per-key
+engines (the PR-5 monoid, in the spirit of the mergeable-summary
+treatment in Braverman et al. 2019) and the router merges the per-worker
+summaries -- or combines certified brackets when the engine family has
+no structural merge.  ``keys``/``stats``/snapshots fan out and fold the
+same way, with ledgers summed at the router.
+
+**Order policy and ledgers live at the router.**  Late-item policy
+(raise/drop/buffer) runs once, router-side, against the *global* clock
+and watermark -- exactly the single-store algorithm -- so workers only
+ever see clean in-order programs (natively order-insensitive engines
+still take their late items via ``["late", ...]`` entries).  Ingest
+ledgers are accumulated at the router in single-store fold order
+(bit-identical floats); eviction ledgers accumulate worker-side and are
+summed at the router.
+
+**Workers are revivable.**  Every state-mutating frame is journaled
+per worker before it is sent; every ``checkpoint_every`` journaled
+frames the router snapshots the worker and truncates its journal.  When
+a worker dies mid-batch (EOF/broken pipe), the router respawns it,
+restores the checkpoint, and replays the journal -- workers are
+deterministic functions of their frame sequence, so the revived shard
+is bit-identical and no admitted weight is lost.  Revivals are counted
+on ``stats()["revived_workers"]``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+from multiprocessing.connection import Connection
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.core.batching import KeyedTimedValue
+from repro.core.decay import DecayFunction
+from repro.core.errors import (
+    InvalidParameterError,
+    NotApplicableError,
+    ReproError,
+    TimeOrderError,
+)
+from repro.core.estimate import Estimate
+from repro.core.interfaces import DecayingSum, make_decaying_sum
+from repro.core.timeorder import OutOfOrderPolicy
+from repro.histograms.domination import widen_merged_estimate
+from repro.parallel.sharded import shard_of
+from repro.serialize import (
+    decay_from_dict,
+    decay_to_dict,
+    engine_from_dict,
+    engine_to_dict,
+)
+from repro.service.ipc import WorkerDiedError, recv_frame, send_frame
+from repro.service.store import EvictionLedger, ServiceStore
+from repro.storage.model import StorageReport
+
+__all__ = ["ShardedServiceStore", "flatten_snapshot"]
+
+_SNAPSHOT_VERSION = 1
+_SNAPSHOT_KIND = "sharded-service-store"
+
+
+# ------------------------------------------------------------------ worker
+#
+# Module-level so every multiprocessing start method can import it by name.
+# The worker is a plain frame-dispatch loop over one ServiceStore; it holds
+# no policy (lateness runs at the router) and exits on EOF, a ``shutdown``
+# frame, or a dead router.
+
+def _worker_build_store(config: Mapping[str, Any]) -> ServiceStore:
+    return ServiceStore(
+        decay_from_dict(dict(config["decay"])),
+        float(config["epsilon"]),
+        ttl=config["ttl"],
+        memoize=bool(config.get("memoize", True)),
+    )
+
+
+def _worker_exec_ingest(
+    store: ServiceStore, prog: Sequence[Sequence[Any]]
+) -> None:
+    """Run one compiled ingest program against the shard store."""
+    for entry in prog:
+        op = entry[0]
+        if op == "adv":
+            store.advance_to(int(entry[1]))
+        elif op == "fold":
+            store.observe_values(
+                str(entry[1]), [float(v) for v in entry[2]]
+            )
+        elif op == "late":
+            store.observe(
+                str(entry[1]), float(entry[3]), when=int(entry[2])
+            )
+        else:
+            raise InvalidParameterError(f"unknown program entry {op!r}")
+
+
+def _estimate_triplet(estimate: Estimate) -> list[float]:
+    return [estimate.value, estimate.lower, estimate.upper]
+
+
+def _worker_dispatch(
+    store: ServiceStore, frame: Mapping[str, Any]
+) -> dict[str, Any]:
+    op = frame.get("op")
+    if op == "ingest":
+        _worker_exec_ingest(store, frame.get("prog") or [])
+        return {"ok": True, "time": store.time}
+    if op == "query":
+        key = str(frame["key"])
+        if frame.get("create"):
+            estimate = store.query(key, create=True)
+        else:
+            try:
+                estimate = store.query(key)
+            except KeyError:
+                return {"ok": True, "found": False}
+        return {
+            "ok": True,
+            "found": True,
+            "time": store.time,
+            "estimate": _estimate_triplet(estimate),
+        }
+    if op == "fold":
+        try:
+            merged = store.fold_engine()
+        except NotApplicableError:
+            merged = None
+        return {
+            "ok": True,
+            "keys": len(store),
+            "engine": None if merged is None else engine_to_dict(merged),
+            "estimate": _estimate_triplet(store.query_total()),
+        }
+    if op == "keys":
+        return {
+            "ok": True,
+            "keys": store.keys(),
+            "key_stats": store.key_stats(),
+        }
+    if op == "stats":
+        return {"ok": True, "stats": store.stats()}
+    if op == "snapshot":
+        return {"ok": True, "snapshot": store.to_dict()}
+    if op == "restore":
+        store.restore(dict(frame["data"]))
+        return {"ok": True, "time": store.time}
+    if op == "merge_key":
+        store.merge_into(str(frame["key"]), engine_from_dict(frame["engine"]))
+        return {"ok": True, "time": store.time}
+    if op == "export":
+        return {
+            "ok": True,
+            "engine": engine_to_dict(store.engine(str(frame["key"]))),
+        }
+    if op == "storage":
+        key = frame.get("key")
+        report = (
+            store.storage_report()
+            if key is None
+            else store.key_storage_report(str(key))
+        )
+        return {
+            "ok": True,
+            "report": {
+                "engine": report.engine,
+                "buckets": report.buckets,
+                "timestamp_bits": report.timestamp_bits,
+                "count_bits": report.count_bits,
+                "register_bits": report.register_bits,
+                "shared_bits": report.shared_bits,
+            },
+        }
+    if op == "flush":
+        store.flush()
+        return {"ok": True, "time": store.time}
+    if op == "ping":
+        return {"ok": True, "time": store.time}
+    if op == "shutdown":
+        return {"ok": True}
+    return {"ok": False, "error": f"InvalidParameterError(unknown op {op!r})"}
+
+
+def _worker_main(conn: Connection, config: dict[str, Any]) -> None:
+    """One shard: build the store, serve frames until EOF/shutdown."""
+    store = _worker_build_store(config)
+    while True:
+        try:
+            frame = recv_frame(conn)
+        except WorkerDiedError:
+            return  # router is gone; nothing left to serve
+        try:
+            reply = _worker_dispatch(store, frame)
+        except (ReproError, KeyError, ValueError, TypeError) as exc:
+            reply = {"ok": False, "error": repr(exc)}
+        try:
+            send_frame(conn, reply)
+        except WorkerDiedError:
+            return
+        if frame.get("op") == "shutdown":
+            conn.close()
+            return
+
+
+# ------------------------------------------------------------------ router
+
+class _Shard:
+    """Router-side worker bookkeeping: pipe, process, journal, checkpoint."""
+
+    __slots__ = ("conn", "process", "journal", "checkpoint", "journaled")
+
+    def __init__(self, conn: Connection, process: Any) -> None:
+        self.conn = conn
+        self.process = process
+        #: State-mutating frames since the last checkpoint, in send order.
+        self.journal: list[dict[str, Any]] = []
+        #: The worker store snapshot the journal replays on top of.
+        self.checkpoint: dict[str, Any] | None = None
+        self.journaled = 0
+
+
+def _raise_worker_error(message: str) -> None:
+    """Re-raise a worker-reported error as the matching local type."""
+    if message.startswith("KeyError"):
+        raise KeyError(message)
+    if message.startswith("TimeOrderError"):
+        raise TimeOrderError(message)
+    if message.startswith("NotApplicableError"):
+        raise NotApplicableError(message)
+    if message.startswith("InvalidParameterError"):
+        raise InvalidParameterError(message)
+    raise ReproError(message)
+
+
+class ShardedServiceStore:
+    """``workers`` ServiceStore shards behind one store front.
+
+    Constructor arguments mirror :class:`ServiceStore` (``ttl`` on the
+    shared clock, ``policy`` for late items -- the ``buffer`` kind must
+    be installed here because its watermark heap is router state);
+    ``workers`` is the process count, ``checkpoint_every`` bounds the
+    per-worker revival journal, and ``context`` picks the
+    multiprocessing start method (default: ``fork`` where available --
+    worker startup cost matters when a store front is built per request
+    batch in tests -- otherwise the platform default).
+    """
+
+    def __init__(
+        self,
+        decay: DecayFunction,
+        epsilon: float = 0.1,
+        *,
+        workers: int = 2,
+        ttl: int | None = None,
+        policy: OutOfOrderPolicy | None = None,
+        memoize: bool = True,
+        checkpoint_every: int = 512,
+        context: Any | None = None,
+    ) -> None:
+        if workers < 1:
+            raise InvalidParameterError(f"workers must be >= 1, got {workers}")
+        if not 0 < epsilon < 1:
+            raise InvalidParameterError(
+                f"epsilon must be in (0, 1), got {epsilon}"
+            )
+        if ttl is not None and ttl < 1:
+            raise InvalidParameterError(f"ttl must be >= 1, got {ttl}")
+        if checkpoint_every < 1:
+            raise InvalidParameterError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        self._decay = decay
+        self.epsilon = float(epsilon)
+        self.ttl = None if ttl is None else int(ttl)
+        self.workers = int(workers)
+        self.policy = policy
+        self.checkpoint_every = int(checkpoint_every)
+        self._memoize = bool(memoize)
+        #: Probed once, like the single store: forward-decay families take
+        #: late items natively, so the policy never has to intervene.
+        self._native = bool(
+            getattr(
+                make_decaying_sum(decay, self.epsilon),
+                "supports_out_of_order",
+                False,
+            )
+        )
+        self._time = 0
+        self.ingested_items = 0
+        self.ingested_weight = 0.0
+        #: Evictions inherited from a restored snapshot; live evictions
+        #: accumulate on the worker stores and are summed on top.
+        self.eviction_base = EvictionLedger()
+        self.revived_workers = 0
+        self.dead_at_close = 0
+        # Router-side lateness buffer (store-level "buffer" policy).
+        self._watermark = -1
+        self._late_heap: list[tuple[int, int, str, float]] = []
+        self._late_seq = 0
+        # Router-side read memo, same contract as the store's: a write
+        # routed through this front bumps the key's generation.
+        self._write_gen: dict[str, int] = {}
+        self._query_cache: dict[str, tuple[int, int, Estimate]] = {}
+        self._config = {
+            "decay": decay_to_dict(decay),
+            "epsilon": self.epsilon,
+            "ttl": self.ttl,
+            "memoize": self._memoize,
+        }
+        if context is None:
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else None
+            )
+        self._ctx = context
+        self._shards: list[_Shard] = [
+            self._spawn(index) for index in range(self.workers)
+        ]
+        self._closed = False
+
+    # ----------------------------------------------------------- lifecycle
+
+    def _spawn(self, index: int) -> _Shard:
+        parent, child = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child, self._config),
+            name=f"repro-service-shard-{index}",
+            daemon=True,
+        )
+        process.start()
+        child.close()
+        return _Shard(parent, process)
+
+    def close(self) -> None:
+        """Shut every worker down and join it (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self._shards:
+            try:
+                send_frame(shard.conn, {"op": "shutdown"})
+                recv_frame(shard.conn)
+            except WorkerDiedError:
+                # Already gone; the join/terminate below is all that's left.
+                self.dead_at_close += 1
+            shard.conn.close()
+        for shard in self._shards:
+            shard.process.join(timeout=5)
+            if shard.process.is_alive():
+                shard.process.terminate()
+                shard.process.join(timeout=5)
+
+    def __enter__(self) -> "ShardedServiceStore":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        # Interpreter teardown may have dismantled pipes or the module
+        # table under us; anything close() hits at that point is moot.
+        try:
+            self.close()
+        except (ReproError, OSError, ValueError, AttributeError):
+            self._closed = True
+
+    def worker_pids(self) -> list[int]:
+        """Live worker process ids (crash tests kill one of these)."""
+        return [int(shard.process.pid or 0) for shard in self._shards]
+
+    # ------------------------------------------------------------ plumbing
+
+    def _revive(self, index: int) -> dict[str, Any] | None:
+        """Respawn a dead shard and replay checkpoint + journal.
+
+        Returns the reply to the journal's final frame (the one that was
+        in flight when the worker died), or ``None`` for an empty journal.
+        """
+        old = self._shards[index]
+        old.conn.close()
+        if old.process.is_alive():
+            old.process.terminate()
+        old.process.join(timeout=5)
+        shard = self._spawn(index)
+        shard.checkpoint = old.checkpoint
+        shard.journal = old.journal
+        shard.journaled = old.journaled
+        self._shards[index] = shard
+        self.revived_workers += 1
+        last_reply: dict[str, Any] | None = None
+        if shard.checkpoint is not None:
+            send_frame(shard.conn, {"op": "restore", "data": shard.checkpoint})
+            reply = recv_frame(shard.conn)
+            if not reply.get("ok"):
+                raise WorkerDiedError(
+                    f"shard {index} checkpoint replay failed: "
+                    f"{reply.get('error')}"
+                )
+        for frame in shard.journal:
+            send_frame(shard.conn, frame)
+            last_reply = recv_frame(shard.conn)
+        return last_reply
+
+    def _recover(
+        self, index: int, frame: dict[str, Any] | None, *, journal: bool
+    ) -> dict[str, Any]:
+        """Revive a dead shard and recover ``frame``'s reply.
+
+        A journaled frame was appended before the send, so the replay
+        applies it and its answer is the journal's final reply; a
+        read-only frame left no journal trace and is simply re-sent to
+        the fresh worker.
+        """
+        replayed = self._revive(index)
+        if journal:
+            return replayed if replayed is not None else {"ok": True}
+        assert frame is not None
+        shard = self._shards[index]
+        send_frame(shard.conn, frame)
+        return recv_frame(shard.conn)
+
+    def _check_open(self) -> None:
+        # Without this guard a post-close frame would hit a dead pipe and
+        # the death path would happily respawn the whole worker pool.
+        if self._closed:
+            raise InvalidParameterError("store is closed")
+
+    def _request(
+        self, index: int, frame: dict[str, Any], *, journal: bool
+    ) -> dict[str, Any]:
+        """One frame round trip, with journaling and revive-on-death."""
+        self._check_open()
+        shard = self._shards[index]
+        if journal:
+            shard.journal.append(frame)
+            shard.journaled += 1
+        try:
+            send_frame(shard.conn, frame)
+            reply = recv_frame(shard.conn)
+        except WorkerDiedError:
+            reply = self._recover(index, frame, journal=journal)
+        if not reply.get("ok", False):
+            _raise_worker_error(str(reply.get("error", "worker error")))
+        return reply
+
+    def _broadcast(
+        self,
+        frames: Sequence[dict[str, Any] | None],
+        *,
+        journal: bool,
+    ) -> list[dict[str, Any] | None]:
+        """Send one frame per shard (None skips), then collect replies.
+
+        Sends complete before the first reply is read, so the workers
+        decode and fold concurrently -- this is where the multi-core
+        ingest speedup comes from.
+        """
+        self._check_open()
+        pending: list[int] = []
+        replies: list[dict[str, Any] | None] = [None] * len(frames)
+        for index, frame in enumerate(frames):
+            if frame is None:
+                continue
+            shard = self._shards[index]
+            if journal:
+                shard.journal.append(frame)
+                shard.journaled += 1
+            try:
+                send_frame(shard.conn, frame)
+                pending.append(index)
+            except WorkerDiedError:
+                replies[index] = self._recover(index, frame, journal=journal)
+        for index in pending:
+            try:
+                replies[index] = recv_frame(self._shards[index].conn)
+            except WorkerDiedError:
+                replies[index] = self._recover(
+                    index, frames[index], journal=journal
+                )
+        for index, frame in enumerate(frames):
+            if frame is None:
+                continue
+            reply = replies[index]
+            if reply is not None and not reply.get("ok", False):
+                _raise_worker_error(str(reply.get("error", "worker error")))
+        self._maybe_checkpoint()
+        return replies
+
+    def _maybe_checkpoint(self) -> None:
+        """Snapshot shards whose journal outgrew ``checkpoint_every``."""
+        for index, shard in enumerate(self._shards):
+            if shard.journaled < self.checkpoint_every:
+                continue
+            reply = self._request(index, {"op": "snapshot"}, journal=False)
+            shard = self._shards[index]  # _request may have revived it
+            shard.checkpoint = reply["snapshot"]
+            shard.journal = []
+            shard.journaled = 0
+
+    def _shard_of(self, key: str) -> int:
+        return shard_of(str(key), self.workers)
+
+    def _note_write(self, key: str) -> None:
+        self._write_gen[key] = self._write_gen.get(key, 0) + 1
+
+    # --------------------------------------------------------------- clock
+
+    @property
+    def time(self) -> int:
+        return self._time
+
+    @property
+    def decay(self) -> DecayFunction:
+        return self._decay
+
+    @property
+    def native_out_of_order(self) -> bool:
+        """Whether shard engines take late items via ``add_at``."""
+        return self._native
+
+    def advance(self, steps: int = 1) -> None:
+        """Advance the shared clock on every shard (TTL sweeps run there)."""
+        if steps < 0:
+            raise InvalidParameterError(f"steps must be >= 0, got {steps}")
+        if steps == 0:
+            return
+        self._time += steps
+        frame = {"op": "ingest", "prog": [["adv", self._time]]}
+        self._broadcast([dict(frame) for _ in self._shards], journal=True)
+
+    def advance_to(self, when: int) -> None:
+        if when < self._time:
+            raise TimeOrderError(
+                f"cannot move the store clock back: {self._time} -> {when}"
+            )
+        self.advance(when - self._time)
+
+    # -------------------------------------------------------------- writes
+    #
+    # Every write path compiles to per-shard programs that reproduce the
+    # single-process store's advance/fold sequence exactly; the ledger
+    # arithmetic below mirrors ServiceStore line for line so the router's
+    # ingested_items/ingested_weight stay bit-identical to it.
+
+    def observe(
+        self, key: str, value: float = 1.0, *, when: int | None = None
+    ) -> None:
+        """Record one item on ``key``'s stream, optionally at ``when``."""
+        when = self._time if when is None else int(when)
+        key = str(key)
+        policy = self.policy
+        if policy is not None and policy.kind == "buffer" and not self._native:
+            self._buffer_push(key, when, value)
+            self._send_programs(self._release_programs())
+            return
+        if when < self._time:
+            self._late_one(key, when, value, policy)
+            return
+        progs = self._fresh_programs()
+        if when > self._time:
+            self._time = when
+            self._emit_adv(progs, when)
+        owner = self._shard_of(key)
+        progs[owner].append(["fold", key, [float(value)]])
+        self.ingested_items += 1
+        self.ingested_weight += float(value)
+        self._note_write(key)
+        self._send_programs(progs)
+
+    def observe_values(self, key: str, values: Iterable[float]) -> None:
+        """Fold several same-time values into ``key`` at the current clock."""
+        batch = [float(v) for v in values]
+        if not batch:
+            return
+        key = str(key)
+        progs = self._fresh_programs()
+        progs[self._shard_of(key)].append(["fold", key, batch])
+        self.ingested_items += len(batch)
+        self.ingested_weight += float(sum(batch))
+        self._note_write(key)
+        self._send_programs(progs)
+
+    def observe_batch(
+        self,
+        items: Iterable[KeyedTimedValue],
+        *,
+        until: int | None = None,
+        policy: OutOfOrderPolicy | None = None,
+    ) -> None:
+        """Record a time-sorted keyed trace: one frame per shard per batch.
+
+        Semantics (and ledger float order) match
+        :meth:`ServiceStore.observe_batch` exactly; the batch is compiled
+        into per-shard programs and shipped in a single broadcast, so
+        the router cost is O(shards), not O(items).
+        """
+        pol = self.policy if policy is None else policy
+        if pol is not None and pol.kind == "buffer" and not self._native:
+            if pol is not self.policy:
+                raise InvalidParameterError(
+                    "bounded-lateness buffering is store state; install the "
+                    "buffer policy on the ShardedServiceStore constructor"
+                )
+            for item in items:
+                self._buffer_push(str(item.key), item.time, item.value)
+            progs = self._release_programs()
+            if until is not None:
+                self._until_into(progs, until)
+            self._send_programs(progs)
+            return
+        tolerate = pol is not None and pol.kind != "raise"
+        progs = self._fresh_programs()
+        # ``pending`` mirrors the single store's per-tick key grouping:
+        # insertion order is first-seen key order at the current tick.
+        pending: dict[str, list[float]] = {}
+        error: TimeOrderError | None = None
+        for item in items:
+            when = item.time
+            key = str(item.key)
+            if when < self._time:
+                if self._native:
+                    progs[self._shard_of(key)].append(
+                        ["late", key, int(when), float(item.value)]
+                    )
+                    self.ingested_items += 1
+                    self.ingested_weight += float(item.value)
+                    self._note_write(key)
+                elif tolerate and pol is not None:
+                    pol.note_dropped(item.value)
+                else:
+                    error = TimeOrderError(
+                        f"trace time {when} precedes store clock "
+                        f"{self._time}; sort the feed or pass an "
+                        "OutOfOrderPolicy"
+                    )
+                    break
+                continue
+            if when > self._time:
+                self._flush_pending(progs, pending)
+                self._time = when
+                self._emit_adv(progs, when)
+            pending.setdefault(key, []).append(float(item.value))
+        if error is None:
+            self._flush_pending(progs, pending)
+        if until is not None and error is None:
+            if until < self._time:
+                self._send_programs(progs)
+                raise TimeOrderError(
+                    f"until={until} precedes the clock after replay "
+                    f"({self._time}); clocks are monotone"
+                )
+            self._until_into(progs, until)
+        self._send_programs(progs)
+        if error is not None:
+            raise error
+
+    def flush(self) -> None:
+        """Drain the router's lateness buffer (end of feed / shutdown)."""
+        progs = self._fresh_programs()
+        while self._late_heap:
+            self._pop_into(progs)
+        self._send_programs(progs)
+
+    def merge_into(self, key: str, other: DecayingSum) -> None:
+        """Fold another summary into ``key``'s engine on its owning shard."""
+        if other.time > self._time:
+            self.advance_to(other.time)
+        elif other.time < self._time:
+            other.advance_to(self._time)
+        key = str(key)
+        self._note_write(key)
+        self._request(
+            self._shard_of(key),
+            {"op": "merge_key", "key": key, "engine": engine_to_dict(other)},
+            journal=True,
+        )
+        self._maybe_checkpoint()
+
+    # ---------------------------------------------------- program building
+
+    def _fresh_programs(self) -> list[list[list[Any]]]:
+        return [[] for _ in self._shards]
+
+    def _emit_adv(self, progs: list[list[list[Any]]], when: int) -> None:
+        """Every shard advances at every global tick: same sweep stops,
+        same engine advance pattern, as the single-process store."""
+        for prog in progs:
+            prog.append(["adv", when])
+
+    def _flush_pending(
+        self,
+        progs: list[list[list[Any]]],
+        pending: dict[str, list[float]],
+    ) -> None:
+        for key, values in pending.items():
+            progs[self._shard_of(key)].append(["fold", key, values])
+            self.ingested_items += len(values)
+            self.ingested_weight += float(sum(values))
+            self._note_write(key)
+        pending.clear()
+
+    def _until_into(self, progs: list[list[list[Any]]], until: int) -> None:
+        if until < self._time:
+            self._send_programs(progs)
+            raise TimeOrderError(
+                f"until={until} precedes the clock after replay "
+                f"({self._time}); clocks are monotone"
+            )
+        if until > self._time:
+            self._time = int(until)
+            self._emit_adv(progs, self._time)
+
+    def _send_programs(self, progs: list[list[list[Any]]]) -> None:
+        frames: list[dict[str, Any] | None] = [
+            {"op": "ingest", "prog": prog} if prog else None for prog in progs
+        ]
+        if any(frame is not None for frame in frames):
+            self._broadcast(frames, journal=True)
+
+    # ------------------------------------------------------ lateness buffer
+
+    def _late_one(
+        self,
+        key: str,
+        when: int,
+        value: float,
+        policy: OutOfOrderPolicy | None,
+    ) -> None:
+        if self._native:
+            progs = self._fresh_programs()
+            progs[self._shard_of(key)].append(
+                ["late", key, int(when), float(value)]
+            )
+            self.ingested_items += 1
+            self.ingested_weight += float(value)
+            self._note_write(key)
+            self._send_programs(progs)
+        elif policy is not None and policy.kind != "raise":
+            policy.note_dropped(value)
+        else:
+            raise TimeOrderError(
+                f"observation time {when} precedes store clock {self._time}; "
+                "pass an OutOfOrderPolicy to tolerate late items"
+            )
+
+    def _buffer_push(self, key: str, when: int, value: float) -> None:
+        policy = self.policy
+        assert policy is not None
+        if when > self._watermark:
+            self._watermark = when
+        if when < self._time or when < self._watermark - policy.max_lateness:
+            policy.note_dropped(value)
+            return
+        self._late_seq += 1
+        heapq.heappush(self._late_heap, (when, self._late_seq, key, value))
+
+    def _release_programs(self) -> list[list[list[Any]]]:
+        policy = self.policy
+        assert policy is not None
+        progs = self._fresh_programs()
+        frontier = self._watermark - policy.max_lateness
+        while self._late_heap and self._late_heap[0][0] <= frontier:
+            self._pop_into(progs)
+        return progs
+
+    def _pop_into(self, progs: list[list[list[Any]]]) -> None:
+        """One heap pop, folded exactly like ``ServiceStore._pop_fold``."""
+        when, _, key, value = heapq.heappop(self._late_heap)
+        if when < self._time:
+            assert self.policy is not None
+            self.policy.note_dropped(value)
+            return
+        if when > self._time:
+            self._time = when
+            self._emit_adv(progs, when)
+        progs[self._shard_of(key)].append(["fold", key, [value]])
+        self.ingested_items += 1
+        self.ingested_weight += float(value)
+        self._note_write(key)
+
+    # --------------------------------------------------------------- reads
+
+    def query(self, key: str, *, create: bool = False) -> Estimate:
+        """Certified estimate for ``key`` from its owning shard.
+
+        Memoized at the router on ``(clock, key write generation)`` --
+        every write to the key routes through this front, so a repeated
+        poll of a quiet key answers without any IPC at all.
+        """
+        key = str(key)
+        gen = self._write_gen.get(key, 0)
+        if self._memoize:
+            hit = self._query_cache.get(key)
+            if hit is not None and hit[0] == self._time and hit[1] == gen:
+                return hit[2]
+        reply = self._request(
+            self._shard_of(key),
+            {"op": "query", "key": key},
+            journal=False,
+        )
+        if not reply.get("found"):
+            if not create:
+                raise KeyError(key)
+            # Creation is a write: journal it (replay must recreate the
+            # engine) and bump the generation so stale hits die.
+            self._note_write(key)
+            gen = self._write_gen[key]
+            reply = self._request(
+                self._shard_of(key),
+                {"op": "query", "key": key, "create": True},
+                journal=True,
+            )
+            self._maybe_checkpoint()
+        value, lower, upper = reply["estimate"]
+        estimate = Estimate(float(value), float(lower), float(upper))
+        if self._memoize:
+            self._query_cache[key] = (self._time, gen, estimate)
+        return estimate
+
+    def query_total(self) -> Estimate:
+        """Whole-store decayed sum: fan out, fold via engine ``merge``.
+
+        Each worker merges clones of its own per-key engines and ships
+        one summary; the router merges the per-worker summaries in shard
+        order.  Families without a structural merge combine certified
+        brackets instead (:func:`widen_merged_estimate`).
+        """
+        frames: list[dict[str, Any] | None] = [
+            {"op": "fold"} for _ in self._shards
+        ]
+        replies = self._broadcast(frames, journal=False)
+        engines: list[DecayingSum] = []
+        estimates: list[Estimate] = []
+        structural = True
+        for reply in replies:
+            assert reply is not None
+            if not reply["keys"]:
+                continue
+            value, lower, upper = reply["estimate"]
+            estimates.append(Estimate(float(value), float(lower), float(upper)))
+            if reply["engine"] is None:
+                structural = False
+            elif structural:
+                engines.append(engine_from_dict(reply["engine"]))
+        if not estimates:
+            return Estimate.exact(0.0)
+        if structural and engines:
+            merged = engines[0]
+            try:
+                for engine in engines[1:]:
+                    merged.merge(engine)
+                return merged.query()
+            except NotApplicableError:
+                # Per-worker summaries merged but the cross-worker fold
+                # is not structural; fall through to bracket widening.
+                structural = False
+        estimate = estimates[0]
+        for other in estimates[1:]:
+            estimate = widen_merged_estimate(estimate, other)
+        return estimate
+
+    def keys(self) -> list[str]:
+        frames: list[dict[str, Any] | None] = [
+            {"op": "keys"} for _ in self._shards
+        ]
+        replies = self._broadcast(frames, journal=False)
+        merged: list[str] = []
+        for reply in replies:
+            assert reply is not None
+            merged.extend(reply["keys"])
+        return sorted(merged)
+
+    def key_stats(self) -> dict[str, dict[str, Any]]:
+        frames: list[dict[str, Any] | None] = [
+            {"op": "keys"} for _ in self._shards
+        ]
+        replies = self._broadcast(frames, journal=False)
+        merged: dict[str, dict[str, Any]] = {}
+        for reply in replies:
+            assert reply is not None
+            merged.update(reply["key_stats"])
+        return dict(sorted(merged.items()))
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __contains__(self, key: str) -> bool:
+        try:
+            self.query(str(key))
+        except KeyError:
+            return False
+        return True
+
+    def stats(self) -> dict[str, Any]:
+        """The ledger block: router ledgers + worker ledgers, folded."""
+        frames: list[dict[str, Any] | None] = [
+            {"op": "stats"} for _ in self._shards
+        ]
+        replies = self._broadcast(frames, journal=False)
+        per_worker: list[dict[str, Any]] = []
+        keys = 0
+        evicted_keys = self.eviction_base.evicted_keys
+        evicted_weight = self.eviction_base.evicted_weight
+        for reply in replies:
+            assert reply is not None
+            stats = reply["stats"]
+            per_worker.append(stats)
+            keys += int(stats["keys"])
+            evicted_keys += int(stats["evicted_keys"])
+            evicted_weight += float(stats["evicted_weight"])
+        policy = self.policy
+        return {
+            "time": self._time,
+            "keys": keys,
+            "ingested_items": self.ingested_items,
+            "ingested_weight": self.ingested_weight,
+            "evicted_keys": evicted_keys,
+            "evicted_weight": evicted_weight,
+            "dropped_count": 0 if policy is None else policy.dropped_count,
+            "dropped_weight": 0.0 if policy is None else policy.dropped_weight,
+            "buffered": len(self._late_heap),
+            "watermark": self._watermark,
+            "workers": self.workers,
+            "revived_workers": self.revived_workers,
+            "per_worker": per_worker,
+        }
+
+    def storage_report(self) -> StorageReport:
+        """Aggregate worker storage, fleet-style (shared bits once)."""
+        frames: list[dict[str, Any] | None] = [
+            {"op": "storage"} for _ in self._shards
+        ]
+        replies = self._broadcast(frames, journal=False)
+        total = StorageReport(engine=f"sharded-service[{self.workers}]")
+        shared_once = 0
+        for reply in replies:
+            assert reply is not None
+            rep = reply["report"]
+            shared_once = max(shared_once, int(rep["shared_bits"]))
+            total.buckets += int(rep["buckets"])
+            total.timestamp_bits += int(rep["timestamp_bits"])
+            total.count_bits += int(rep["count_bits"])
+            total.register_bits += int(rep["register_bits"])
+        total.shared_bits = shared_once
+        return total
+
+    def export_engine(self, key: str) -> DecayingSum:
+        """A clone of ``key``'s engine, shipped from its owning shard.
+
+        Journaled because the shard creates the engine on first use,
+        exactly like :meth:`ServiceStore.export_engine`.
+        """
+        key = str(key)
+        reply = self._request(
+            self._shard_of(key),
+            {"op": "export", "key": key},
+            journal=True,
+        )
+        self._note_write(key)
+        self._maybe_checkpoint()
+        return engine_from_dict(reply["engine"])
+
+    def key_storage_report(self, key: str) -> StorageReport:
+        """Storage report for one key's engine on its owning shard."""
+        key = str(key)
+        reply = self._request(
+            self._shard_of(key),
+            {"op": "storage", "key": key},
+            journal=True,  # may create the engine, like ServiceStore.engine
+        )
+        self._note_write(key)
+        self._maybe_checkpoint()
+        rep = reply["report"]
+        report = StorageReport(engine=str(rep["engine"]))
+        report.buckets = int(rep["buckets"])
+        report.timestamp_bits = int(rep["timestamp_bits"])
+        report.count_bits = int(rep["count_bits"])
+        report.register_bits = int(rep["register_bits"])
+        report.shared_bits = int(rep["shared_bits"])
+        return report
+
+    # ------------------------------------------------------------ snapshot
+
+    def to_dict(self) -> dict[str, Any]:
+        """Global snapshot: router state + one snapshot per shard.
+
+        Fetching the shard snapshots doubles as a checkpoint: each
+        worker's journal is truncated against the state just captured.
+        """
+        frames: list[dict[str, Any] | None] = [
+            {"op": "snapshot"} for _ in self._shards
+        ]
+        replies = self._broadcast(frames, journal=False)
+        shards: list[dict[str, Any]] = []
+        for index, reply in enumerate(replies):
+            assert reply is not None
+            shards.append(reply["snapshot"])
+            shard = self._shards[index]
+            shard.checkpoint = reply["snapshot"]
+            shard.journal = []
+            shard.journaled = 0
+        policy = self.policy
+        return {
+            "version": _SNAPSHOT_VERSION,
+            "kind": _SNAPSHOT_KIND,
+            "decay": decay_to_dict(self._decay),
+            "epsilon": self.epsilon,
+            "ttl": self.ttl,
+            "workers": self.workers,
+            "time": self._time,
+            "watermark": self._watermark,
+            "policy": None
+            if policy is None
+            else {
+                "kind": policy.kind,
+                "max_lateness": policy.max_lateness,
+                "dropped_count": policy.dropped_count,
+                "dropped_weight": policy.dropped_weight,
+            },
+            "eviction_base": {
+                "evicted_keys": self.eviction_base.evicted_keys,
+                "evicted_weight": self.eviction_base.evicted_weight,
+            },
+            "ingested_items": self.ingested_items,
+            "ingested_weight": self.ingested_weight,
+            "buffered": [
+                [when, seq, key, value]
+                for when, seq, key, value in sorted(self._late_heap)
+            ],
+            "shards": shards,
+        }
+
+    def restore(self, data: dict[str, Any]) -> None:
+        """Replace all state from a snapshot -- sharded *or* single-store.
+
+        A ``sharded-service-store`` snapshot is flattened and re-split by
+        the current worker count (so a 4-worker snapshot restores into a
+        2-worker front), and a plain ``service-store`` snapshot is split
+        by CRC-32 straight onto the shards: scale-out of a single-process
+        deployment is one snapshot/restore pair.
+        """
+        kind = data.get("kind")
+        if kind == _SNAPSHOT_KIND:
+            plain = flatten_snapshot(data)
+        elif kind == "service-store":
+            plain = data
+        else:
+            raise InvalidParameterError(
+                f"not a service snapshot: kind={kind!r}"
+            )
+        if data.get("version") != _SNAPSHOT_VERSION:
+            raise InvalidParameterError(
+                f"unsupported snapshot version {data.get('version')!r}"
+            )
+        worker_dicts = self._split_snapshot(plain)
+        frames: list[dict[str, Any] | None] = [
+            {"op": "restore", "data": worker_dict}
+            for worker_dict in worker_dicts
+        ]
+        # Restore frames are not journaled: the restored snapshot *is*
+        # each worker's new checkpoint and the journals restart empty.
+        for index, shard in enumerate(self._shards):
+            shard.journal = []
+            shard.journaled = 0
+            frame = frames[index]
+            assert frame is not None
+            shard.checkpoint = frame["data"]
+        self._broadcast(frames, journal=False)
+        self._time = int(plain["time"])
+        self._watermark = int(plain["watermark"])
+        policy_data = plain.get("policy")
+        if policy_data is None:
+            self.policy = None
+        else:
+            self.policy = OutOfOrderPolicy(
+                policy_data["kind"],
+                max_lateness=int(policy_data["max_lateness"]),
+            )
+            self.policy.dropped_count = int(policy_data["dropped_count"])
+            self.policy.dropped_weight = float(policy_data["dropped_weight"])
+        ledger = plain["eviction"]
+        self.eviction_base = EvictionLedger(
+            ledger["evicted_keys"], ledger["evicted_weight"]
+        )
+        self.ingested_items = int(plain["ingested_items"])
+        self.ingested_weight = float(plain["ingested_weight"])
+        self._late_heap = [
+            (int(when), int(seq), str(key), float(value))
+            for when, seq, key, value in plain["buffered"]
+        ]
+        heapq.heapify(self._late_heap)
+        self._late_seq = max(
+            (seq for _, seq, _, _ in self._late_heap), default=0
+        )
+        self._write_gen.clear()
+        self._query_cache.clear()
+
+    @classmethod
+    def from_dict(
+        cls,
+        data: dict[str, Any],
+        *,
+        workers: int | None = None,
+        checkpoint_every: int = 512,
+        context: Any | None = None,
+    ) -> "ShardedServiceStore":
+        """Spawn a fresh worker pool and restore ``data`` into it."""
+        if data.get("kind") not in (_SNAPSHOT_KIND, "service-store"):
+            raise InvalidParameterError(
+                f"not a service snapshot: kind={data.get('kind')!r}"
+            )
+        count = int(data.get("workers", 2)) if workers is None else workers
+        store = cls(
+            decay_from_dict(dict(data["decay"])),
+            float(data["epsilon"]),
+            workers=count,
+            ttl=data.get("ttl"),
+            checkpoint_every=checkpoint_every,
+            context=context,
+        )
+        store.restore(data)
+        return store
+
+    def _split_snapshot(
+        self, plain: Mapping[str, Any]
+    ) -> list[dict[str, Any]]:
+        """Partition a plain service-store snapshot onto the shards."""
+        buckets: list[dict[str, Any]] = [{} for _ in self._shards]
+        for key, state in plain["keys"].items():
+            buckets[self._shard_of(str(key))][key] = state
+        worker_dicts: list[dict[str, Any]] = []
+        for bucket in buckets:
+            worker_dicts.append(
+                {
+                    "version": 1,
+                    "kind": "service-store",
+                    "decay": plain["decay"],
+                    "epsilon": plain["epsilon"],
+                    "ttl": plain["ttl"],
+                    "shards": None,
+                    "time": int(plain["time"]),
+                    "watermark": -1,
+                    "policy": None,
+                    "eviction": {"evicted_keys": 0, "evicted_weight": 0.0},
+                    "ingested_items": 0,
+                    "ingested_weight": 0.0,
+                    "buffered": [],
+                    "keys": bucket,
+                }
+            )
+        return worker_dicts
+
+
+def flatten_snapshot(data: Mapping[str, Any]) -> dict[str, Any]:
+    """Fold a sharded snapshot into one plain ``service-store`` snapshot.
+
+    The inverse of the restore-time split: per-shard key maps are
+    disjoint by construction, shard eviction ledgers sum onto the
+    router's inherited base, and router-owned state (clock, watermark,
+    lateness buffer, policy, ingest ledgers) carries over verbatim.  The
+    result restores into a single-process :class:`ServiceStore` -- the
+    scale-*in* direction of the deployment story.
+    """
+    if data.get("kind") != _SNAPSHOT_KIND:
+        raise InvalidParameterError(
+            f"not a sharded-service-store snapshot: kind={data.get('kind')!r}"
+        )
+    keys: dict[str, Any] = {}
+    base = data.get("eviction_base", {"evicted_keys": 0, "evicted_weight": 0.0})
+    evicted_keys = int(base["evicted_keys"])
+    evicted_weight = float(base["evicted_weight"])
+    for shard in data["shards"]:
+        for key, state in shard["keys"].items():
+            if key in keys:
+                raise InvalidParameterError(
+                    f"key {key!r} appears on two shards; snapshot corrupt"
+                )
+            keys[key] = state
+        ledger = shard["eviction"]
+        evicted_keys += int(ledger["evicted_keys"])
+        evicted_weight += float(ledger["evicted_weight"])
+    return {
+        "version": 1,
+        "kind": "service-store",
+        "decay": data["decay"],
+        "epsilon": data["epsilon"],
+        "ttl": data["ttl"],
+        "shards": None,
+        "time": int(data["time"]),
+        "watermark": int(data["watermark"]),
+        "policy": data.get("policy"),
+        "eviction": {
+            "evicted_keys": evicted_keys,
+            "evicted_weight": evicted_weight,
+        },
+        "ingested_items": int(data["ingested_items"]),
+        "ingested_weight": float(data["ingested_weight"]),
+        "buffered": [list(row) for row in data.get("buffered", [])],
+        "keys": keys,
+    }

@@ -33,14 +33,19 @@ differential contract ``tests/service/test_differential.py`` enforces).
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Iterable
+from typing import Any, Callable, Iterable, Protocol, runtime_checkable
 
 from repro.core.batching import KeyedTimedValue
 from repro.core.decay import DecayFunction
-from repro.core.errors import InvalidParameterError, TimeOrderError
+from repro.core.errors import (
+    InvalidParameterError,
+    NotApplicableError,
+    TimeOrderError,
+)
 from repro.core.estimate import Estimate
 from repro.core.interfaces import DecayingSum, make_decaying_sum
 from repro.core.timeorder import OutOfOrderPolicy
+from repro.histograms.domination import widen_merged_estimate
 from repro.parallel.sharded import ShardedDecayingSum
 from repro.serialize import (
     decay_from_dict,
@@ -50,9 +55,76 @@ from repro.serialize import (
 )
 from repro.storage.model import StorageReport
 
-__all__ = ["EvictionLedger", "ServiceStore"]
+__all__ = ["EvictionLedger", "ServiceStore", "StoreFront"]
 
 _SNAPSHOT_VERSION = 1
+
+
+@runtime_checkable
+class StoreFront(Protocol):
+    """The store seam the daemon, API server, and harness program against.
+
+    Anything with this surface can sit behind
+    :class:`~repro.service.daemon.IngestDaemon` and
+    :class:`~repro.service.api.ServiceServer`: the single-process
+    :class:`ServiceStore` and the multi-process
+    :class:`~repro.service.sharded.ShardedServiceStore` both satisfy it,
+    which is what makes the sharded front a drop-in behind the existing
+    HTTP/WS API.  Purely structural -- neither store subclasses anything.
+    """
+
+    @property
+    def time(self) -> int: ...
+
+    @property
+    def decay(self) -> DecayFunction: ...
+
+    @property
+    def native_out_of_order(self) -> bool: ...
+
+    def observe(
+        self, key: str, value: float = 1.0, *, when: int | None = None
+    ) -> None: ...
+
+    def observe_values(self, key: str, values: Iterable[float]) -> None: ...
+
+    def observe_batch(
+        self,
+        items: Iterable[KeyedTimedValue],
+        *,
+        until: int | None = None,
+        policy: OutOfOrderPolicy | None = None,
+    ) -> None: ...
+
+    def advance(self, steps: int = 1) -> None: ...
+
+    def advance_to(self, when: int) -> None: ...
+
+    def flush(self) -> None: ...
+
+    def query(self, key: str, *, create: bool = False) -> Estimate: ...
+
+    def query_total(self) -> Estimate: ...
+
+    def keys(self) -> list[str]: ...
+
+    def key_stats(self) -> dict[str, dict[str, Any]]: ...
+
+    def stats(self) -> dict[str, Any]: ...
+
+    def storage_report(self) -> StorageReport: ...
+
+    def key_storage_report(self, key: str) -> StorageReport: ...
+
+    def merge_into(self, key: str, other: DecayingSum) -> None: ...
+
+    def export_engine(self, key: str) -> DecayingSum: ...
+
+    def to_dict(self) -> dict[str, Any]: ...
+
+    def restore(self, data: dict[str, Any]) -> None: ...
+
+    def close(self) -> None: ...
 
 
 class EvictionLedger:
@@ -97,6 +169,7 @@ class ServiceStore:
         shards: int | None = None,
         policy: OutOfOrderPolicy | None = None,
         engine_factory: Callable[[], DecayingSum] | None = None,
+        memoize: bool = True,
     ) -> None:
         if not 0 < epsilon < 1:
             raise InvalidParameterError(
@@ -139,6 +212,14 @@ class ServiceStore:
         self._watermark = -1
         self._late_heap: list[tuple[int, int, str, float]] = []
         self._late_seq = 0
+        # Read-path memo: key -> (clock, write generation, Estimate).  A
+        # hit requires both the store clock and the key's write
+        # generation to match, so any fold, merge, or clock move makes
+        # the cached answer unreachable (repeated polls of a quiet key
+        # skip ``query()`` re-evaluation entirely).
+        self._memoize = bool(memoize)
+        self._write_gen: dict[str, int] = {}
+        self._query_cache: dict[str, tuple[int, int, Estimate]] = {}
 
     def _sharded_factory(self) -> Callable[[], DecayingSum]:
         decay = self._decay
@@ -360,6 +441,7 @@ class ServiceStore:
 
     def _touch(self, key: str) -> None:
         self._last_seen[key] = self._time
+        self._write_gen[key] = self._write_gen.get(key, 0) + 1
         if self.ttl is not None:
             self._expiry_seq += 1
             heapq.heappush(
@@ -380,6 +462,8 @@ class ServiceStore:
                 continue  # superseded by a fresher observation
             engine = self._engines.pop(key)
             del self._last_seen[key]
+            self._query_cache.pop(key, None)
+            self._write_gen.pop(key, None)
             self.eviction.note(engine.query().value)
 
     # ------------------------------------------------------------- reads
@@ -394,19 +478,123 @@ class ServiceStore:
         return sorted(self._engines)
 
     def engine(self, key: str) -> DecayingSum:
-        """The key's live engine, created at the store clock on first use."""
+        """The key's live engine, created at the store clock on first use.
+
+        Mutating the engine behind the store's back bypasses the read
+        memo -- use :meth:`observe`/:meth:`observe_values`/
+        :meth:`merge_into` for writes, or treat the handle as read-only.
+        """
         created = key not in self._engines
         engine = self._engine_for(key)
         if created:
             self._touch(key)
         return engine
 
-    def query(self, key: str) -> Estimate:
-        """Certified estimate for ``key``; ``KeyError`` if absent/evicted."""
+    def query(self, key: str, *, create: bool = False) -> Estimate:
+        """Certified estimate for ``key``; ``KeyError`` if absent/evicted.
+
+        With ``create`` an unknown key gets a fresh engine at the store
+        clock and answers its (exact zero) empty estimate -- the adapter
+        path, where a query must mean "this key's stream so far" even
+        before the first arrival.  Answers are memoized on
+        ``(store clock, key write generation)`` unless the store was
+        built with ``memoize=False``.
+        """
         engine = self._engines.get(key)
         if engine is None:
-            raise KeyError(key)
-        return engine.query()
+            if not create:
+                raise KeyError(key)
+            engine = self.engine(key)
+        if not self._memoize:
+            return engine.query()
+        gen = self._write_gen.get(key, 0)
+        hit = self._query_cache.get(key)
+        if hit is not None and hit[0] == self._time and hit[1] == gen:
+            return hit[2]
+        estimate = engine.query()
+        self._query_cache[key] = (self._time, gen, estimate)
+        return estimate
+
+    def query_total(self) -> Estimate:
+        """Certified estimate of the decayed sum over *every* live key.
+
+        Folds per-key summaries with the PR-5 merge algebra: clones every
+        engine through the checkpoint path and merges them in sorted key
+        order, so the answer carries the composed error bound of a
+        K-way merge.  Engine families without a structural merge fall
+        back to :func:`widen_merged_estimate` over per-key answers
+        (sound, just wider); an empty store answers an exact zero.
+        """
+        merged = None
+        try:
+            merged = self.fold_engine()
+        except NotApplicableError:
+            merged = None
+        if merged is not None:
+            return merged.query()
+        if not self._engines:
+            return Estimate.exact(0.0)
+        keys = sorted(self._engines)
+        estimate = self._engines[keys[0]].query()
+        for key in keys[1:]:
+            estimate = widen_merged_estimate(
+                estimate, self._engines[key].query()
+            )
+        return estimate
+
+    def fold_engine(self) -> DecayingSum | None:
+        """One engine summarising all keys (clone + merge in key order).
+
+        ``None`` for an empty store; raises
+        :class:`~repro.core.errors.NotApplicableError` when the engine
+        family has no structural merge.  The clones go through the
+        serialize round-trip (bit-identical by the checkpoint contract),
+        so the live per-key engines are never mutated.
+        """
+        merged: DecayingSum | None = None
+        for key in sorted(self._engines):
+            clone = engine_from_dict(engine_to_dict(self._engines[key]))
+            if merged is None:
+                merged = clone
+            else:
+                merged.merge(clone)
+        return merged
+
+    def merge_into(self, key: str, other: DecayingSum) -> None:
+        """Fold another summary of the same decay into ``key``'s engine.
+
+        The write-path twin of reading through :meth:`engine`: clocks
+        align by advancing the younger side (store engines move in
+        lock-step with the store clock, so the store advances as a
+        whole), and the key's write generation is bumped so the read
+        memo cannot serve a pre-merge answer.
+        """
+        if other.time > self._time:
+            self.advance_to(other.time)
+        elif other.time < self._time:
+            other.advance_to(self._time)
+        self.engine(key).merge(other)
+        self._touch(key)
+
+    def export_engine(self, key: str) -> DecayingSum:
+        """A checkpoint-faithful clone of ``key``'s engine.
+
+        Clones through the serialize round-trip (bit-identical by the
+        checkpoint contract), so callers can merge or inspect the result
+        without mutating store state behind the memo's back.  The key's
+        engine is created at the store clock on first use, like
+        :meth:`engine`.
+        """
+        return engine_from_dict(engine_to_dict(self.engine(key)))
+
+    def key_storage_report(self, key: str) -> StorageReport:
+        """Storage report for one key's engine (created on first use)."""
+        return self.engine(key).storage_report()
+
+    def close(self) -> None:
+        """Release resources.  A no-op here; part of the store seam so
+        callers can tear down any store front (the sharded front joins
+        its worker processes) without type-switching."""
 
     def stats(self) -> dict[str, Any]:
         """The ``GET /keys`` ledger block: everything lossy, accounted."""
@@ -584,4 +772,5 @@ class ServiceStore:
         configuration (decay, ttl, shards, policy) comes from the snapshot.
         """
         fresh = ServiceStore.from_dict(data)
+        fresh._memoize = self._memoize
         vars(self).update(vars(fresh))

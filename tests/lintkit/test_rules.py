@@ -690,6 +690,17 @@ class TestParallelismBoundary:
         assert _lint(source, "repro/service/api.py", "RK008") == []
         assert _lint(source, "repro/benchkit/service.py", "RK008") == []
 
+    def test_sharded_worker_plane_is_exempt(self):
+        # The multi-process sharded front is the second sanctioned
+        # concurrency surface inside repro.service: worker processes and
+        # their pipes live in sharded.py/ipc.py.
+        source = """
+            import multiprocessing
+            from multiprocessing.connection import Connection
+            """
+        assert _lint(source, "repro/service/sharded.py", "RK008") == []
+        assert _lint(source, "repro/service/ipc.py", "RK008") == []
+
     def test_prefix_lookalike_module_not_flagged(self):
         # `concurrency_notes` shares a prefix with `concurrent` but is not
         # the banned root module.

@@ -16,8 +16,11 @@ from typing import Any
 import pytest
 
 from repro.benchkit.service import (
+    SCALING_MIN_CPUS,
+    SCALING_MIN_SPEEDUP,
     SCHEMA_VERSION,
     _percentile,
+    _sample_note,
     check_service_regress,
     format_report,
     main,
@@ -26,6 +29,25 @@ from repro.benchkit.service import (
     write_report,
 )
 from repro.core.errors import InvalidParameterError
+
+
+def _scaling_rows(
+    report: dict[str, Any], *, workers: int = 4, speedup: float = 3.0
+) -> list[dict[str, Any]]:
+    """Synthetic scaling section: workers=1 reference + one sharded row."""
+    single = {
+        "workers": 1,
+        "sharded": False,
+        "ingest": copy.deepcopy(report["ingest"]),
+        "query": copy.deepcopy(report["query"]),
+    }
+    wide = copy.deepcopy(single)
+    wide["workers"] = workers
+    wide["sharded"] = True
+    wide["ingest"]["items_per_sec"] = (
+        report["ingest"]["items_per_sec"] * speedup
+    )
+    return [single, wide]
 
 
 def _small_report() -> dict[str, Any]:
@@ -94,6 +116,59 @@ class TestValidation:
         with pytest.raises(InvalidParameterError):
             _percentile([], 0.5)
 
+    def test_percentile_interpolates(self) -> None:
+        # v1 nearest-rank made p99 of any tiny sample the max; linear
+        # interpolation places interior quantiles between order stats.
+        assert _percentile([1.0, 2.0, 3.0, 4.0], 0.5) == pytest.approx(2.5)
+        assert _percentile([0.0, 10.0], 0.99) == pytest.approx(9.9)
+        assert _percentile([5.0], 0.99) == 5.0
+        with pytest.raises(InvalidParameterError):
+            _percentile([1.0], 1.5)
+
+    def test_sample_note_flags_unresolvable_tails(self) -> None:
+        assert _sample_note(100, 0.99) is None
+        note = _sample_note(20, 0.99)
+        assert note is not None and "100" in note
+        assert _sample_note(2, 0.5) is None
+        with pytest.raises(InvalidParameterError):
+            _sample_note(0)
+
+    def test_small_run_carries_query_note(
+        self, report: dict[str, Any]
+    ) -> None:
+        # The module fixture times only 20 queries: far too few for p99.
+        assert "dominated by the maximum" in report["query"]["note"]
+        assert "note" in format_report(report)
+
+    def test_cpu_count_stamped(self, report: dict[str, Any]) -> None:
+        assert isinstance(report["cpu_count"], int)
+        assert report["cpu_count"] >= 1
+        broken = copy.deepcopy(report)
+        broken["cpu_count"] = 0
+        with pytest.raises(InvalidParameterError):
+            validate_report(broken)
+        del broken["cpu_count"]
+        with pytest.raises(InvalidParameterError):
+            validate_report(broken)
+
+    def test_scaling_section_validated(self, report: dict[str, Any]) -> None:
+        with_scaling = copy.deepcopy(report)
+        with_scaling["scaling"] = _scaling_rows(report)
+        validate_report(with_scaling)
+        assert "scaling w=4" in format_report(with_scaling)
+        no_reference = copy.deepcopy(with_scaling)
+        no_reference["scaling"] = no_reference["scaling"][1:]
+        with pytest.raises(InvalidParameterError):
+            validate_report(no_reference)
+        duplicate = copy.deepcopy(with_scaling)
+        duplicate["scaling"].append(duplicate["scaling"][1])
+        with pytest.raises(InvalidParameterError):
+            validate_report(duplicate)
+        empty = copy.deepcopy(with_scaling)
+        empty["scaling"] = []
+        with pytest.raises(InvalidParameterError):
+            validate_report(empty)
+
 
 class TestGate:
     def test_identical_reports_pass(self, report: dict[str, Any]) -> None:
@@ -128,6 +203,64 @@ class TestGate:
             check_service_regress(report, report, threshold=0.0)
 
 
+class TestScalingGate:
+    """The scaling clause rides only on the fresh report's scaling rows."""
+
+    def test_skips_without_scaling_section(
+        self, report: dict[str, Any]
+    ) -> None:
+        passed, message = check_service_regress(report, report)
+        assert passed
+        assert "scaling gate skipped" in message
+        assert "no scaling section" in message
+
+    def test_skips_on_starved_runner(self, report: dict[str, Any]) -> None:
+        fresh = copy.deepcopy(report)
+        fresh["scaling"] = _scaling_rows(report)
+        fresh["cpu_count"] = SCALING_MIN_CPUS - 1
+        passed, message = check_service_regress(report, fresh)
+        assert passed
+        assert "scaling gate skipped" in message
+        assert "cpu(s)" in message
+
+    def test_skips_without_wide_row(self, report: dict[str, Any]) -> None:
+        fresh = copy.deepcopy(report)
+        rows = _scaling_rows(report, workers=2)
+        fresh["scaling"] = rows
+        fresh["cpu_count"] = SCALING_MIN_CPUS
+        passed, message = check_service_regress(report, fresh)
+        assert passed
+        assert "scaling gate skipped" in message
+
+    def test_enforces_speedup_floor(self, report: dict[str, Any]) -> None:
+        fresh = copy.deepcopy(report)
+        fresh["scaling"] = _scaling_rows(
+            report, speedup=SCALING_MIN_SPEEDUP * 0.5
+        )
+        fresh["cpu_count"] = SCALING_MIN_CPUS
+        passed, message = check_service_regress(report, fresh)
+        assert not passed
+        assert "speedup" in message
+
+    def test_enforces_p99_ceiling(self, report: dict[str, Any]) -> None:
+        fresh = copy.deepcopy(report)
+        rows = _scaling_rows(report)
+        rows[1]["query"]["p99_ms"] = rows[0]["query"]["p99_ms"] * 10
+        fresh["scaling"] = rows
+        fresh["cpu_count"] = SCALING_MIN_CPUS
+        passed, message = check_service_regress(report, fresh)
+        assert not passed
+        assert "p99" in message
+
+    def test_healthy_scaling_passes(self, report: dict[str, Any]) -> None:
+        fresh = copy.deepcopy(report)
+        fresh["scaling"] = _scaling_rows(report)
+        fresh["cpu_count"] = SCALING_MIN_CPUS
+        passed, message = check_service_regress(report, fresh)
+        assert passed, message
+        assert "scaling gate OK" in message
+
+
 class TestCli:
     def test_measure_mode_writes_report(self, tmp_path: Path) -> None:
         out = tmp_path / "BENCH_service.json"
@@ -160,3 +293,29 @@ class TestCli:
     def test_baseline_requires_fresh(self, tmp_path: Path) -> None:
         with pytest.raises(SystemExit):
             main(["--baseline", str(tmp_path / "b.json")])
+
+    def test_scaling_mode_records_sharded_rows(self, tmp_path: Path) -> None:
+        out = tmp_path / "BENCH_service.json"
+        status = main(
+            ["--items", "150", "--keys", "4", "--queries", "10",
+             "--seed", "3", "--scaling", "--scaling-workers", "2",
+             "--out", str(out)]
+        )
+        assert status == 0
+        report = json.loads(out.read_text())
+        validate_report(report)
+        rows = {row["workers"]: row for row in report["scaling"]}
+        assert set(rows) == {1, 2}
+        assert not rows[1]["sharded"] and rows[2]["sharded"]
+        # Same workload through both fronts: identical admitted counts.
+        assert (
+            rows[2]["ingest"]["items"] == rows[1]["ingest"]["items"] == 150
+        )
+
+    def test_scaling_workers_parse_errors(self) -> None:
+        with pytest.raises(SystemExit):
+            main(["--scaling", "--scaling-workers", "two"])
+        with pytest.raises(InvalidParameterError):
+            run_service_bench(50, 2, 5, scaling_workers=[1])
+        with pytest.raises(InvalidParameterError):
+            run_service_bench(50, 2, 5, scaling_workers=[2, 2])

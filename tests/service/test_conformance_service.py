@@ -66,6 +66,19 @@ class TestLifting:
         with pytest.raises(InvalidParameterError):
             ConformanceSuite(mode="proxy")
 
+    def test_sharded_lifting_uses_worker_count_naming(self) -> None:
+        suite = ConformanceSuite(
+            resolve_specs("expd,fwd-exp"),
+            mode="service",
+            service_workers=3,
+        )
+        assert sorted(suite.specs) == ["svc3w-expd", "svc3w-fwd-exp"]
+        assert tuple(law.law_id for law in suite.laws) == SERVICE_LAW_IDS
+
+    def test_service_workers_requires_service_mode(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            ConformanceSuite(mode="direct", service_workers=2)
+
 
 class TestServiceModeRun:
     def test_small_fuzz_slice_holds_through_the_store(self) -> None:
@@ -85,6 +98,33 @@ class TestServiceModeRun:
         out = capsys.readouterr().out
         assert status == 0
         assert "svc-expd" in out
+
+    def test_forward_decay_cells_hold_through_sharded_front(self) -> None:
+        # Satellite contract: the fwd-exp/fwd-poly cells run the store
+        # laws across the 3-worker IPC plane, not just in process.
+        suite = ConformanceSuite(
+            resolve_specs("fwd-exp,fwd-poly"),
+            mode="service",
+            service_workers=3,
+        )
+        result = suite.run(3)
+        assert result.ok, [f.violation.message for f in result.findings]
+        assert sorted(result.engines) == ["svc3w-fwd-exp", "svc3w-fwd-poly"]
+
+    def test_cli_sharded_service_mode(self, capsys) -> None:  # type: ignore[no-untyped-def]
+        status = cli.main(
+            ["--mode", "service", "--engines", "expd",
+             "--service-workers", "2", "--seeds", "2"]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "svc2w-expd" in out
+
+    def test_cli_service_workers_validation(self) -> None:
+        with pytest.raises(SystemExit):
+            cli.main(["--service-workers", "2"])  # needs --mode service
+        with pytest.raises(SystemExit):
+            cli.main(["--mode", "service", "--service-workers", "0"])
 
 
 class TestAdapter:
@@ -113,6 +153,45 @@ class TestAdapter:
     def test_from_snapshot_rejects_foreign_kinds(self) -> None:
         with pytest.raises(InvalidParameterError):
             ServiceBackedEngine.from_snapshot({"engine": "wbmh"})
+
+    def test_adapter_over_sharded_front_matches_direct(self) -> None:
+        rows = [(0, 1.0), (2, 3.0), (2, 1.0), (7, 2.0)]
+        adapter = ServiceBackedEngine(ExponentialDecay(0.05), workers=2)
+        try:
+            adapter.ingest([StreamItem(t, v) for t, v in rows], until=10)
+            direct = default_specs()["expd"].build()
+            direct.ingest([StreamItem(t, v) for t, v in rows], until=10)
+            assert _triplet(adapter.query()) == _triplet(direct.query())
+        finally:
+            adapter.close()
+
+    def test_sharded_snapshot_roundtrip_through_adapter(self) -> None:
+        adapter = ServiceBackedEngine(
+            ExponentialDecay(0.05), key="cell", workers=2
+        )
+        revived = None
+        try:
+            adapter.ingest([StreamItem(0, 2.0), StreamItem(4, 1.0)])
+            revived = engine_from_dict(engine_to_dict(adapter))
+            assert isinstance(revived, ServiceBackedEngine)
+            for engine in (adapter, revived):
+                engine.advance(3)
+                engine.add(1.0)
+            assert _triplet(revived.query()) == _triplet(adapter.query())
+        finally:
+            adapter.close()
+            if revived is not None:
+                revived.close()
+
+    def test_store_and_workers_are_exclusive(self) -> None:
+        from repro.service.store import ServiceStore
+
+        with pytest.raises(InvalidParameterError):
+            ServiceBackedEngine(
+                ExponentialDecay(0.05),
+                store=ServiceStore(ExponentialDecay(0.05)),
+                workers=2,
+            )
 
     def test_merge_aligns_clocks_like_direct_engines(self) -> None:
         left = ServiceBackedEngine(ExponentialDecay(0.05))

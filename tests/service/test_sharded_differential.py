@@ -1,0 +1,217 @@
+"""Sharded-vs-single differential: the multi-process front changes nothing.
+
+The acceptance contract of the sharded service PR: replaying the
+differential service suite (same seven engine-family cells, same fuzz
+seeds) through a 3-worker :class:`ShardedServiceStore` must be
+bit-identical to the single-process :class:`ServiceStore` -- and, for
+single-key traces, to the direct factory engine -- on every per-key
+certified triplet.  Cross-shard ``query_total`` folds worker summaries
+through engine ``merge``, so its guarantee is the CL008 one: a certified
+interval containing the true total, with the point value reproducing the
+single-store fold up to float summation order.
+
+The crash clause: SIGKILL a worker mid-run and keep feeding.  The router
+must revive it from checkpoint + journal replay and reconcile the
+ledgers without losing a single unit of admitted weight.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time as _time
+
+import pytest
+
+from repro.conformance.engines import default_specs
+from repro.conformance.fuzz import trace_for_seed
+from repro.core.decay import ExponentialDecay
+from repro.service.loadgen import keyed_trace
+from repro.streams.io import KeyedItem
+from repro.service.sharded import ShardedServiceStore
+from repro.service.store import ServiceStore
+
+#: Same seven storage architectures as tests/service/test_differential.py.
+CELLS = (
+    "expd",
+    "fwd-exp",
+    "fwd-poly",
+    "sliwin",
+    "polyd-wbmh",
+    "linear-ceh",
+    "polyexp",
+)
+
+N_SEEDS = 5
+
+WORKERS = 3
+
+
+def _replay_single_key(cell: str, seed: int) -> None:
+    spec = default_specs()[cell]
+    trace = trace_for_seed(seed)
+    direct = spec.build()
+    direct.ingest(trace.stream_items(), until=trace.end_time)
+    expected = direct.query()
+
+    rows = [KeyedItem("cell", t, v) for t, v in trace.items]
+    single = ServiceStore(spec.decay, spec.epsilon)
+    single.observe_batch(rows, until=trace.end_time)
+    sharded = ShardedServiceStore(spec.decay, spec.epsilon, workers=WORKERS)
+    try:
+        sharded.observe_batch(rows, until=trace.end_time)
+        if trace.n_items == 0:
+            with pytest.raises(KeyError):
+                sharded.query("cell")
+            assert expected.value == 0.0
+            return
+        got = sharded.query("cell")
+        want = single.query("cell")
+        assert (got.value, got.lower, got.upper) == (
+            want.value,
+            want.lower,
+            want.upper,
+        ), f"{cell} seed {seed}: sharded diverged from single store"
+        assert (got.value, got.lower, got.upper) == (
+            expected.value,
+            expected.lower,
+            expected.upper,
+        ), f"{cell} seed {seed}: sharded diverged from direct engine"
+        assert sharded.time == single.time == direct.time
+    finally:
+        sharded.close()
+
+
+class TestSingleKeyCells:
+    @pytest.mark.parametrize("cell", CELLS)
+    def test_cell_bit_identical_across_ipc_plane(self, cell: str) -> None:
+        for seed in range(N_SEEDS):
+            _replay_single_key(cell, seed)
+
+
+def _pair(cell: str, ttl: int | None = None):
+    spec = default_specs()[cell]
+    single = ServiceStore(spec.decay, spec.epsilon, ttl=ttl)
+    sharded = ShardedServiceStore(
+        spec.decay, spec.epsilon, workers=WORKERS, ttl=ttl
+    )
+    return single, sharded
+
+
+def _assert_stores_agree(
+    single: ServiceStore, sharded: ShardedServiceStore
+) -> None:
+    assert sharded.time == single.time
+    assert sorted(sharded.keys()) == sorted(single.keys())
+    for key in single.keys():
+        want = single.query(key)
+        got = sharded.query(key)
+        assert (got.value, got.lower, got.upper) == (
+            want.value,
+            want.lower,
+            want.upper,
+        ), f"key {key}: sharded diverged from single store"
+    single_stats = single.stats()
+    sharded_stats = sharded.stats()
+    # Admission ledgers are router-owned and folded in the exact
+    # single-store float order: identical, not merely close.
+    for field in ("keys", "ingested_items", "ingested_weight",
+                  "evicted_keys", "dropped_count", "buffered"):
+        assert sharded_stats[field] == single_stats[field], field
+    # Evicted weight sums per-worker floats in shard order.
+    assert sharded_stats["evicted_weight"] == pytest.approx(
+        single_stats["evicted_weight"], rel=1e-12, abs=1e-12
+    )
+    want_total = single.query_total()
+    got_total = sharded.query_total()
+    assert got_total.lower <= got_total.upper
+    # CL008 composition: the fan-in fold reproduces the single-store
+    # total up to float summation order, with bounds still certified.
+    assert got_total.value == pytest.approx(want_total.value, rel=1e-9)
+    assert got_total.lower <= want_total.value * (1 + 1e-9) + 1e-9
+    assert want_total.value <= got_total.upper * (1 + 1e-9) + 1e-9
+
+
+class TestMultiKeyWorkload:
+    @pytest.mark.parametrize("cell", ("expd", "fwd-exp", "sliwin"))
+    def test_keyed_workload_agrees(self, cell: str) -> None:
+        items = keyed_trace(400, 8, seed=11)
+        if cell == "sliwin":
+            # The sliding-window EH counts integer arrivals.
+            items = [
+                KeyedItem(item.key, item.time, float(int(item.value) + 1))
+                for item in items
+            ]
+        single, sharded = _pair(cell)
+        try:
+            single.observe_batch(items, until=items[-1].time + 3)
+            sharded.observe_batch(items, until=items[-1].time + 3)
+            _assert_stores_agree(single, sharded)
+        finally:
+            sharded.close()
+
+    def test_ttl_eviction_agrees(self) -> None:
+        items = keyed_trace(300, 6, seed=4)
+        single, sharded = _pair("expd", ttl=5)
+        try:
+            single.observe_batch(items, until=items[-1].time + 40)
+            sharded.observe_batch(items, until=items[-1].time + 40)
+            # The long quiet tail expires every key on both fronts.
+            assert single.stats()["evicted_keys"] > 0
+            _assert_stores_agree(single, sharded)
+        finally:
+            sharded.close()
+
+
+class TestWorkerCrash:
+    def test_kill_worker_mid_run_loses_no_admitted_weight(self) -> None:
+        items = keyed_trace(500, 8, seed=9)
+        cut = len(items) // 2
+        single = ServiceStore(ExponentialDecay(0.05), 0.1)
+        sharded = ShardedServiceStore(
+            ExponentialDecay(0.05), 0.1, workers=WORKERS, checkpoint_every=8
+        )
+        try:
+            single.observe_batch(items[:cut])
+            sharded.observe_batch(items[:cut])
+            victim = sharded.worker_pids()[1]
+            os.kill(victim, signal.SIGKILL)
+            deadline = _time.monotonic() + 10.0
+            while _time.monotonic() < deadline:
+                try:
+                    os.kill(victim, 0)
+                except ProcessLookupError:
+                    break
+                _time.sleep(0.05)
+            single.observe_batch(items[cut:], until=items[-1].time + 2)
+            sharded.observe_batch(items[cut:], until=items[-1].time + 2)
+            assert sharded.revived_workers >= 1
+            assert victim not in sharded.worker_pids()
+            _assert_stores_agree(single, sharded)
+            # The reconciliation clause, stated directly: every admitted
+            # unit of weight survived the crash.
+            assert (
+                sharded.stats()["ingested_weight"]
+                == single.stats()["ingested_weight"]
+                == pytest.approx(sum(item.value for item in items))
+            )
+        finally:
+            sharded.close()
+
+    def test_kill_worker_between_queries_replays_reads(self) -> None:
+        items = keyed_trace(200, 5, seed=2)
+        single = ServiceStore(ExponentialDecay(0.05), 0.1)
+        sharded = ShardedServiceStore(
+            ExponentialDecay(0.05), 0.1, workers=WORKERS, checkpoint_every=4
+        )
+        try:
+            single.observe_batch(items)
+            sharded.observe_batch(items)
+            for victim in list(sharded.worker_pids()):
+                os.kill(victim, signal.SIGKILL)
+            # Every worker is dead: the next reads must revive all three
+            # from their checkpoints + journals and still agree.
+            _assert_stores_agree(single, sharded)
+            assert sharded.revived_workers >= WORKERS
+        finally:
+            sharded.close()

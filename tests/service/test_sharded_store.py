@@ -1,0 +1,294 @@
+"""Unit tests for :class:`repro.service.sharded.ShardedServiceStore`.
+
+The differential suite (test_sharded_differential.py) proves the
+multi-process front computes the same numbers as the single store; this
+file pins the machinery itself: crc32 routing, the lock-step shared
+clock across workers, the batched IPC plane's journaling/checkpoint
+lifecycle, snapshot portability in both directions (sharded <-> plain,
+including worker-count changes), the router-owned lateness buffer, and
+the StoreFront seam the daemon/server/adapter consume.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.decay import ExponentialDecay
+from repro.core.errors import InvalidParameterError, TimeOrderError
+from repro.core.estimate import Estimate
+from repro.core.interfaces import make_decaying_sum
+from repro.core.timeorder import OutOfOrderPolicy
+from repro.parallel.sharded import shard_of
+from repro.service.sharded import ShardedServiceStore, flatten_snapshot
+from repro.service.store import ServiceStore, StoreFront
+from repro.streams.io import KeyedItem
+
+
+def _triplet(estimate: Estimate) -> tuple[float, float, float]:
+    return (estimate.value, estimate.lower, estimate.upper)
+
+
+@pytest.fixture()
+def store():
+    front = ShardedServiceStore(ExponentialDecay(0.05), 0.1, workers=3)
+    yield front
+    front.close()
+
+
+class TestConstruction:
+    def test_parameters_validated(self) -> None:
+        with pytest.raises(InvalidParameterError):
+            ShardedServiceStore(ExponentialDecay(0.05), 0.0)
+        with pytest.raises(InvalidParameterError):
+            ShardedServiceStore(ExponentialDecay(0.05), workers=0)
+        with pytest.raises(InvalidParameterError):
+            ShardedServiceStore(ExponentialDecay(0.05), ttl=0)
+        with pytest.raises(InvalidParameterError):
+            ShardedServiceStore(ExponentialDecay(0.05), checkpoint_every=0)
+
+    def test_satisfies_store_front_protocol(self, store) -> None:
+        assert isinstance(store, StoreFront)
+        assert isinstance(ServiceStore(ExponentialDecay(0.05)), StoreFront)
+
+    def test_spawns_one_process_per_worker(self, store) -> None:
+        pids = store.worker_pids()
+        assert len(pids) == 3
+        assert len(set(pids)) == 3
+
+    def test_close_is_idempotent(self) -> None:
+        front = ShardedServiceStore(ExponentialDecay(0.05), 0.1, workers=2)
+        front.close()
+        front.close()
+        with pytest.raises(InvalidParameterError):
+            front.observe("k", 1.0)
+
+    def test_context_manager_closes(self) -> None:
+        with ShardedServiceStore(
+            ExponentialDecay(0.05), 0.1, workers=2
+        ) as front:
+            front.observe("k", 2.0)
+            assert "k" in front
+        # Memoized reads of "k" would still hit the router cache; a
+        # fresh key must cross the (closed) IPC plane and fail loudly.
+        with pytest.raises(InvalidParameterError):
+            front.query("other")
+
+
+class TestRouting:
+    def test_keys_land_on_their_crc32_shard(self, store) -> None:
+        keys = [f"key{i}" for i in range(20)]
+        for key in keys:
+            store.observe(key, 1.0)
+        per_worker = store.stats()["per_worker"]
+        for key in keys:
+            owner = shard_of(key, 3)
+            # The owning worker's key census must include this key.
+            assert per_worker[owner]["keys"] >= 1
+        assert sum(w["keys"] for w in per_worker) == len(keys)
+        assert sorted(store.keys()) == sorted(keys)
+        assert len(store) == 20
+
+    def test_workers_share_one_lockstep_clock(self, store) -> None:
+        store.observe("a", 1.0, when=4)
+        store.observe("b", 1.0, when=9)
+        assert store.time == 9
+        # Every worker's shard store sits at the same clock, even the
+        # one(s) holding neither key.
+        for worker in store.stats()["per_worker"]:
+            assert worker["time"] == 9
+
+    def test_clock_validation(self, store) -> None:
+        store.advance_to(5)
+        with pytest.raises(InvalidParameterError):
+            store.advance(-1)
+        with pytest.raises(TimeOrderError):
+            store.advance_to(3)
+
+    def test_missing_key_raises_unless_created(self, store) -> None:
+        with pytest.raises(KeyError):
+            store.query("ghost")
+        created = store.query("ghost", create=True)
+        assert created.value == 0.0
+        assert "ghost" in store
+
+
+class TestReadsAndWrites:
+    def test_observe_values_folds_at_current_clock(self, store) -> None:
+        store.advance_to(3)
+        store.observe_values("k", [1.0, 2.0, 3.0])
+        twin = ServiceStore(ExponentialDecay(0.05), 0.1)
+        twin.advance_to(3)
+        twin.observe_values("k", [1.0, 2.0, 3.0])
+        assert _triplet(store.query("k")) == _triplet(twin.query("k"))
+        assert store.stats()["ingested_weight"] == 6.0
+
+    def test_query_total_spans_workers(self, store) -> None:
+        for index in range(9):
+            store.observe(f"key{index}", 1.0)
+        total = store.query_total()
+        assert total.lower <= total.value <= total.upper
+        assert total.value == pytest.approx(9.0)
+        with ShardedServiceStore(
+            ExponentialDecay(0.05), 0.1, workers=1
+        ) as empty:
+            assert _triplet(empty.query_total()) == _triplet(
+                Estimate.exact(0.0)
+            )
+
+    def test_merge_into_and_export_engine(self, store) -> None:
+        other = make_decaying_sum(ExponentialDecay(0.05), 0.1)
+        other.add(5.0)
+        store.observe("k", 1.0)
+        store.merge_into("k", other)
+        exported = store.export_engine("k")
+        assert _triplet(exported.query()) == _triplet(store.query("k"))
+        assert exported.query().value == pytest.approx(6.0)
+
+    def test_key_stats_and_reports(self, store) -> None:
+        store.observe("a", 1.0)
+        store.observe("b", 2.0, when=3)
+        stats = store.key_stats()
+        assert set(stats) == {"a", "b"}
+        assert stats["b"]["last_seen"] == 3
+        report = store.storage_report()
+        assert report.total_bits > 0
+        key_report = store.key_storage_report("a")
+        assert key_report.total_bits > 0
+
+    def test_buffer_policy_is_router_owned(self) -> None:
+        policy = OutOfOrderPolicy.buffered(4)
+        front = ShardedServiceStore(
+            ExponentialDecay(0.05), 0.1, workers=2, policy=policy
+        )
+        try:
+            twin = ServiceStore(
+                ExponentialDecay(0.05), 0.1,
+                policy=OutOfOrderPolicy.buffered(4),
+            )
+            items = [
+                KeyedItem("a", 6, 1.0),
+                KeyedItem("b", 4, 2.0),  # late: buffered at the router
+                KeyedItem("a", 8, 1.5),
+            ]
+            front.observe_batch(items)
+            twin.observe_batch(items)
+            assert front.stats()["buffered"] == twin.stats()["buffered"] >= 1
+            front.flush()
+            twin.flush()
+            assert front.stats()["buffered"] == 0
+            for key in ("a", "b"):
+                assert _triplet(front.query(key)) == _triplet(twin.query(key))
+            with pytest.raises(InvalidParameterError):
+                front.observe_batch(
+                    [KeyedItem("a", 9, 1.0)],
+                    policy=OutOfOrderPolicy.buffered(2),
+                )
+        finally:
+            front.close()
+
+
+class TestMemoization:
+    def test_repeat_queries_hit_the_router_memo(self, store) -> None:
+        store.observe("k", 2.0)
+        first = store.query("k")
+        again = store.query("k")
+        assert _triplet(first) == _triplet(again)
+        # A write invalidates; an advance re-keys the memo.
+        store.observe("k", 1.0)
+        assert store.query("k").value != first.value
+        before = _triplet(store.query("k"))
+        store.advance(2)
+        assert _triplet(store.query("k")) != before
+
+    def test_memoized_matches_unmemoized(self) -> None:
+        items = [
+            KeyedItem(f"k{i % 4}", t, float(i % 3) + 0.5)
+            for i, t in enumerate(range(0, 40, 2))
+        ]
+        memo = ShardedServiceStore(
+            ExponentialDecay(0.05), 0.1, workers=2, memoize=True
+        )
+        plain = ShardedServiceStore(
+            ExponentialDecay(0.05), 0.1, workers=2, memoize=False
+        )
+        try:
+            for front in (memo, plain):
+                front.observe_batch(items[:10])
+                for key in front.keys():
+                    front.query(key)
+                front.observe_batch(items[10:], until=50)
+            for key in memo.keys():
+                assert _triplet(memo.query(key)) == _triplet(plain.query(key))
+            assert _triplet(memo.query_total()) == _triplet(
+                plain.query_total()
+            )
+        finally:
+            memo.close()
+            plain.close()
+
+
+class TestSnapshot:
+    @staticmethod
+    def _seed(front) -> None:
+        items = [
+            KeyedItem(f"k{i % 5}", t, 1.0 + (i % 3))
+            for i, t in enumerate(range(0, 30, 3))
+        ]
+        front.observe_batch(items, until=32)
+
+    def test_round_trip_preserves_queries(self, store) -> None:
+        self._seed(store)
+        data = store.to_dict()
+        assert data["kind"] == "sharded-service-store"
+        clone = ShardedServiceStore.from_dict(data)
+        try:
+            assert clone.workers == store.workers
+            assert clone.time == store.time
+            for key in store.keys():
+                assert _triplet(clone.query(key)) == _triplet(
+                    store.query(key)
+                )
+            assert clone.stats()["ingested_weight"] == (
+                store.stats()["ingested_weight"]
+            )
+        finally:
+            clone.close()
+
+    def test_restore_across_worker_counts(self, store) -> None:
+        self._seed(store)
+        wider = ShardedServiceStore.from_dict(store.to_dict(), workers=5)
+        try:
+            assert wider.workers == 5
+            for key in store.keys():
+                assert _triplet(wider.query(key)) == _triplet(
+                    store.query(key)
+                )
+        finally:
+            wider.close()
+
+    def test_flatten_to_plain_service_store(self, store) -> None:
+        self._seed(store)
+        plain_data = flatten_snapshot(store.to_dict())
+        assert plain_data["kind"] == "service-store"
+        plain = ServiceStore.from_dict(plain_data)
+        assert plain.time == store.time
+        for key in store.keys():
+            assert _triplet(plain.query(key)) == _triplet(store.query(key))
+        stats = plain.stats()
+        assert stats["ingested_weight"] == store.stats()["ingested_weight"]
+
+    def test_restore_accepts_plain_snapshot(self, store) -> None:
+        twin = ServiceStore(ExponentialDecay(0.05), 0.1)
+        self._seed(twin)
+        store.restore(twin.to_dict())
+        assert store.time == twin.time
+        for key in twin.keys():
+            assert _triplet(store.query(key)) == _triplet(twin.query(key))
+
+    def test_snapshot_doubles_as_checkpoint(self, store) -> None:
+        self._seed(store)
+        store.to_dict()
+        # After a snapshot every journal is truncated onto a checkpoint.
+        for shard in store._shards:
+            assert shard.journal == []
+            assert shard.checkpoint is not None

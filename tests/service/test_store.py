@@ -219,6 +219,59 @@ class TestStats:
         assert report.buckets >= single.buckets
 
 
+class TestMemoization:
+    def test_memoized_matches_unmemoized_bit_for_bit(self) -> None:
+        # The read memo keys on (clock, per-key write generation): any
+        # interleaving of reads and writes must be invisible in results.
+        memo = ServiceStore(ExponentialDecay(0.05), 0.1, memoize=True)
+        plain = ServiceStore(ExponentialDecay(0.05), 0.1, memoize=False)
+        items = [
+            KeyedItem(f"k{i % 3}", t, 0.5 + (i % 4))
+            for i, t in enumerate(range(0, 36, 2))
+        ]
+        for store in (memo, plain):
+            for item in items:
+                store.observe(item.key, item.value, when=item.time)
+                store.query(item.key)  # interleaved read on every write
+            store.advance(3)
+        for key in plain.keys():
+            want = plain.query(key)
+            got = memo.query(key)
+            assert (got.value, got.lower, got.upper) == (
+                want.value,
+                want.lower,
+                want.upper,
+            )
+        want_total = plain.query_total()
+        got_total = memo.query_total()
+        assert (got_total.value, got_total.lower, got_total.upper) == (
+            want_total.value,
+            want_total.lower,
+            want_total.upper,
+        )
+
+    def test_repeat_read_returns_identical_estimate(self) -> None:
+        store = ServiceStore(ExponentialDecay(0.05), 0.1)
+        store.observe("k", 2.0)
+        first = store.query("k")
+        assert store.query("k") is first  # served from the memo
+        store.observe("k", 1.0)  # write generation bump invalidates
+        assert store.query("k") is not first
+        before = store.query("k")
+        store.advance(1)  # clock motion re-keys the memo
+        assert store.query("k") is not before
+
+    def test_memoize_is_a_runtime_knob_not_snapshot_state(self) -> None:
+        # Snapshots carry stream state, not serving configuration: a
+        # restore keeps the receiving store's memoize choice.
+        source = ServiceStore(ExponentialDecay(0.05), 0.1)
+        source.observe("k", 1.0)
+        receiver = ServiceStore(ExponentialDecay(0.05), 0.1, memoize=False)
+        receiver.restore(source.to_dict())
+        assert receiver._memoize is False
+        assert receiver.query("k").value == source.query("k").value
+
+
 class TestSharded:
     def test_sharded_store_folds_and_snapshots(self) -> None:
         rows = [KeyedItem("k", t, float(v)) for t, v in
